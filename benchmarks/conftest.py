@@ -1,0 +1,22 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one of the paper's tables or figures: it runs
+the corresponding experiment once under ``pytest-benchmark`` timing,
+prints the rendered artefact (run with ``-s`` to see it inline; it is
+also written to ``benchmarks/output/``), and asserts the paper's shape
+claims for that artefact.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+def emit(name: str, text: str) -> None:
+    """Print an artefact and persist it under benchmarks/output/."""
+    print()
+    print(text)
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")

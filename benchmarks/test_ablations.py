@@ -1,0 +1,169 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+* ARQ without the shared region (strict partitions) — loses the sharing
+  benefit on the BE side;
+* ARQ without entropy rollback — no E_S feedback (pure ReT greed);
+* ARQ without the 60 s cooldown — ping-pong susceptibility;
+* monitoring-interval sensitivity (§IV-B: 100 ms / 500 ms / 2 s);
+* relative-importance sensitivity (RI ∈ {0.5, 0.8, 1.0} in Eq. 7).
+"""
+
+import pytest
+from conftest import emit
+
+from repro.cluster.collocation import Collocation
+from repro.cluster.run import run_collocation
+from repro.experiments.common import canonical_mix, make_collocation
+from repro.experiments.reporting import ascii_table
+from repro.schedulers.arq import ARQScheduler
+from repro.workloads.loadgen import FluctuatingLoad
+
+MIX = dict(xapian_load=0.9, moses_load=0.4, imgdnn_load=0.4, be_name="stream")
+
+
+def _run(collocation, scheduler, duration=120.0, warmup=60.0):
+    return run_collocation(collocation, scheduler, duration, warmup)
+
+
+def test_ablation_shared_region(benchmark):
+    """The shared region is what buys ARQ its BE-side efficiency."""
+    collocation = canonical_mix(0.3, 0.2, 0.2, be_name="stream")
+
+    def run_both():
+        full = _run(collocation, ARQScheduler())
+        no_shared = _run(collocation, ARQScheduler(shared_region=False))
+        return full, no_shared
+
+    full, no_shared = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    emit(
+        "ablation_shared_region",
+        ascii_table(
+            ["variant", "E_LC", "E_BE", "E_S"],
+            [
+                ["arq (full)", full.mean_e_lc(), full.mean_e_be(), full.mean_e_s()],
+                [
+                    "arq w/o shared region",
+                    no_shared.mean_e_lc(),
+                    no_shared.mean_e_be(),
+                    no_shared.mean_e_s(),
+                ],
+            ],
+            title="Ablation: ARQ without the shared region (Xapian 30% + Stream)",
+        ),
+    )
+    assert full.mean_e_be() <= no_shared.mean_e_be() + 0.02
+    assert full.mean_e_s() <= no_shared.mean_e_s() + 0.02
+
+
+def test_ablation_rollback_and_cooldown(benchmark):
+    """Entropy rollback and the cooldown keep ARQ out of bad corners."""
+    trace = FluctuatingLoad()
+    collocation = make_collocation(
+        {"xapian": trace, "moses": 0.2, "img-dnn": 0.2}, ["stream"]
+    )
+
+    def run_variants():
+        results = {}
+        for label, scheduler in (
+            ("full", ARQScheduler()),
+            ("no-rollback", ARQScheduler(entropy_rollback=False)),
+            ("no-cooldown", ARQScheduler(cooldown_s=0.0)),
+        ):
+            results[label] = run_collocation(
+                collocation, scheduler, trace.duration_s, warmup_s=0.0
+            )
+        return results
+
+    results = benchmark.pedantic(run_variants, rounds=1, iterations=1)
+    emit(
+        "ablation_rollback_cooldown",
+        ascii_table(
+            ["variant", "violations", "E_S", "plan changes"],
+            [
+                [
+                    label,
+                    run.violation_count(),
+                    run.mean_e_s(),
+                    sum(1 for r in run.records if r.plan_changed),
+                ]
+                for label, run in results.items()
+            ],
+            title="Ablation: rollback / cooldown under the Fig. 13 trace",
+        ),
+    )
+    # The variants stay functional (no collapse); the full version is not
+    # beaten by a large margin by either ablation.
+    for label, run in results.items():
+        assert run.mean_e_s() < 0.35, label
+    assert results["full"].mean_e_s() <= results["no-rollback"].mean_e_s() + 0.05
+    assert results["full"].mean_e_s() <= results["no-cooldown"].mean_e_s() + 0.05
+
+
+def test_ablation_monitoring_interval(benchmark):
+    """§IV-B: 500 ms balances reaction time against measurement stability."""
+    trace = FluctuatingLoad()
+
+    def run_intervals():
+        results = {}
+        for epoch_s in (0.1, 0.5, 2.0):
+            base = make_collocation(
+                {"xapian": trace, "moses": 0.2, "img-dnn": 0.2}, ["stream"]
+            )
+            collocation = Collocation(
+                lc=base.lc,
+                be=base.be,
+                spec=base.spec,
+                epoch_s=epoch_s,
+                seed=base.seed,
+            )
+            results[epoch_s] = run_collocation(
+                collocation, ARQScheduler(), trace.duration_s, warmup_s=0.0
+            )
+        return results
+
+    results = benchmark.pedantic(run_intervals, rounds=1, iterations=1)
+    emit(
+        "ablation_interval",
+        ascii_table(
+            ["interval (s)", "violation rate", "E_S"],
+            [
+                [
+                    interval,
+                    run.violation_count() / len(run.records),
+                    run.mean_e_s(),
+                ]
+                for interval, run in sorted(results.items())
+            ],
+            title="Ablation: monitoring interval under the Fig. 13 trace",
+        ),
+    )
+    for run in results.values():
+        assert run.mean_e_s() < 0.35
+
+
+def test_ablation_relative_importance(benchmark):
+    """Eq. 7's RI shifts how much the controller values LC over BE."""
+    def run_ri():
+        results = {}
+        for ri in (0.5, 0.8, 1.0):
+            base = canonical_mix(0.9, 0.2, 0.2, be_name="stream")
+            collocation = Collocation(
+                lc=base.lc, be=base.be, relative_importance=ri, seed=base.seed
+            )
+            results[ri] = _run(collocation, ARQScheduler())
+        return results
+
+    results = benchmark.pedantic(run_ri, rounds=1, iterations=1)
+    emit(
+        "ablation_ri",
+        ascii_table(
+            ["RI", "E_LC", "E_BE", "E_S"],
+            [
+                [ri, run.mean_e_lc(), run.mean_e_be(), run.mean_e_s()]
+                for ri, run in sorted(results.items())
+            ],
+            title="Ablation: relative importance (Xapian 90% + Stream)",
+        ),
+    )
+    # Raising RI can only keep E_LC equal or lower (LC protected harder).
+    assert results[1.0].mean_e_lc() <= results[0.5].mean_e_lc() + 0.03

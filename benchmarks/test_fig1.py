@@ -1,0 +1,23 @@
+"""Fig. 1 — the strategy A vs B motivating example."""
+
+from conftest import emit
+
+from repro.experiments.fig1_example import render, run_fig1
+
+
+def test_fig1(benchmark):
+    result = benchmark.pedantic(run_fig1, rounds=1, iterations=1)
+    emit("fig1", render(result))
+
+    run_a, run_b = result.runs["A"], result.runs["B"]
+    # Strategy A: a small QoS violation inside the 5% elasticity...
+    tails_a = run_a.mean_tail_latencies_ms()
+    worst_violation = max(
+        tails_a[name] / run_a.collocation.lc_profiles[name].threshold_ms
+        for name in tails_a
+    )
+    assert worst_violation < 1.08
+    # ...but a far better BE experience than strategy B.
+    assert run_a.mean_ipcs()["fluidanimate"] > 2 * run_b.mean_ipcs()["fluidanimate"]
+    # E_S resolves the ambiguity in favour of A (the paper's argument).
+    assert result.winner() == "A"

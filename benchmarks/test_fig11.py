@@ -1,0 +1,35 @@
+"""Fig. 11 — Img-dnn sweep with Moses + Sphinx + Stream."""
+
+from conftest import emit
+
+from repro.experiments.fig11_sphinx_mix import (
+    high_load_reduction,
+    render,
+    run_fig11,
+)
+
+
+def test_fig11_panel_20(benchmark):
+    result = benchmark.pedantic(
+        run_fig11, kwargs={"moses_sphinx_load": 0.2}, rounds=1, iterations=1
+    )
+    emit("fig11_panel20", render(result))
+
+    e_s = {name: dict(p) for name, p in result.series("e_s").items()}
+    # Low load: ARQ roughly matches PARTIES (paper: "almost the same").
+    assert abs(e_s["arq"][0.1] - e_s["parties"][0.1]) < 0.12
+    # High load: ARQ pulls ahead (paper: −40.93% on average).
+    reductions = high_load_reduction(result)
+    assert reductions["e_s_reduction_vs_parties"] < 0.0
+
+
+def test_fig11_panel_40(benchmark):
+    result = benchmark.pedantic(
+        run_fig11, kwargs={"moses_sphinx_load": 0.4}, rounds=1, iterations=1
+    )
+    emit("fig11_panel40", render(result))
+
+    means = result.mean_over_loads("e_s")
+    assert means["arq"] <= means["parties"] + 1e-9
+    yields = result.mean_over_loads("yield")
+    assert yields["arq"] >= yields["parties"] - 1e-9

@@ -1,0 +1,27 @@
+"""Fig. 13 — fluctuating Xapian load: violations and adaptation."""
+
+from conftest import emit
+
+from repro.experiments.fig13_fluctuating import render, run_fig13
+
+
+def test_fig13(benchmark):
+    result = benchmark.pedantic(run_fig13, rounds=1, iterations=1)
+    emit("fig13", render(result))
+
+    # The paper's headline: ARQ suffers materially fewer tail-latency
+    # violations than PARTIES over the 250 s / 500-sample trace
+    # (paper: 59 vs 105).
+    assert result.violations["arq"] < result.violations["parties"]
+
+    # ARQ also ends with the lowest overall entropy of the three.
+    assert result.mean_e_s["arq"] <= min(result.mean_e_s.values()) + 1e-9
+
+    # LC-first leaves E_BE high and cannot protect against Stream's
+    # bandwidth pressure as well as ARQ at the load peak.
+    assert result.mean_e_lc["arq"] < result.mean_e_lc["lc-first"]
+
+    # ARQ's shared region shrinks when Xapian's load peaks (resources are
+    # pulled into the isolated region) and recovers afterwards.
+    shared = [cores for _, cores in result.shared_core_series("arq")]
+    assert min(shared) < shared[0]

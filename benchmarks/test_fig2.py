@@ -1,0 +1,26 @@
+"""Fig. 2 — impact of the amount of available resources on E_S."""
+
+from conftest import emit
+
+from repro.entropy.properties import check_resource_sensitivity
+from repro.experiments.fig2_resource_surface import render, run_fig2
+
+
+def test_fig2(benchmark):
+    result = benchmark.pedantic(run_fig2, rounds=1, iterations=1)
+    emit("fig2", render(result))
+
+    for strategy in ("unmanaged", "arq"):
+        cores_curve = result.by_cores[strategy]
+        ways_curve = result.by_ways[strategy]
+        # Property ②: more resources never increase E_S (noise-tolerant).
+        assert check_resource_sensitivity(cores_curve, tolerance=0.05) == []
+        assert check_resource_sensitivity(ways_curve, tolerance=0.05) == []
+        # Plenty (10 cores / 20 ways) → tiny entropy (paper: 0.006-0.008).
+        assert cores_curve[10.0] < 0.08
+        # Scarcity (4 cores) → large entropy.
+        assert cores_curve[4.0] > 0.3
+
+    # Under scarcity ARQ clearly beats Unmanaged (paper: 0.15 vs 0.53 at
+    # 6 cores).
+    assert result.by_cores["arq"][6.0] < result.by_cores["unmanaged"][6.0]

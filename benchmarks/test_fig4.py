@@ -1,0 +1,26 @@
+"""Fig. 4 — the space-time isolation/sharing illustration."""
+
+from conftest import emit
+
+from repro.experiments.fig4_spacetime import (
+    Cell,
+    render,
+    run_isolated,
+    run_shared,
+    run_solo,
+)
+
+
+def test_fig4(benchmark):
+    def run_all():
+        return run_solo(), run_isolated(), run_shared()
+
+    solo, isolated, shared = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    emit("fig4", render([solo, isolated, shared]))
+
+    # The paper's counts: sharing cuts unmet demands from 10 to 6, serves
+    # four of them with switching overhead, and nearly doubles utilisation.
+    assert isolated.count(Cell.CROSS) == 10
+    assert shared.count(Cell.CROSS) == 6
+    assert shared.count(Cell.TRIANGLE) == 4
+    assert shared.utilisation == 2 * isolated.utilisation

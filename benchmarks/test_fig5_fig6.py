@@ -1,0 +1,40 @@
+"""Figs. 5-6 — allocation snapshots of PARTIES vs ARQ at 30% / 90% load."""
+
+from conftest import emit
+
+from repro.experiments.fig5_fig6_snapshots import render, run_fig5_fig6
+
+
+def test_fig5_fig6(benchmark):
+    snapshots = benchmark.pedantic(run_fig5_fig6, rounds=1, iterations=1)
+    emit("fig5_fig6", render(snapshots))
+
+    low, high = snapshots[0.3], snapshots[0.9]
+
+    # Fig. 5 (low load): ARQ keeps a large shared region the BE tenant can
+    # exploit; PARTIES has none by construction.
+    assert low["arq"].core_share["shared"] > 0.4
+    assert low["parties"].core_share["shared"] == 0.0
+    assert (
+        low["arq"].effective_cores["stream"]
+        > low["parties"].effective_cores["stream"]
+    )
+
+    # Fig. 6 (high load): ARQ serves Xapian fully (all four threads'
+    # worth of cores, ample cache) while — unlike PARTIES, which strips
+    # every other partition to its floor — the other applications retain
+    # real cache through the shared region.
+    assert (
+        high["arq"].effective_cores["xapian"]
+        >= high["parties"].effective_cores["xapian"] - 0.3
+    )
+    assert high["arq"].effective_ways["xapian"] > 4.0
+    # ...while still operating a shared region (PARTIES has none).
+    assert high["arq"].core_share["shared"] > 0.0
+    assert high["parties"].core_share["shared"] == 0.0
+
+    # ARQ adapts: Xapian's isolated+shared footprint grows with its load.
+    assert (
+        high["arq"].effective_cores["xapian"]
+        > low["arq"].effective_cores["xapian"]
+    )

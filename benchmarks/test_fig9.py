@@ -1,0 +1,51 @@
+"""Fig. 9 — Xapian sweep collocated with Stream (severe interference)."""
+
+from conftest import emit
+
+from repro.experiments.fig9_stream import headline_numbers, render, run_fig9
+
+
+def test_fig9_panel_20(benchmark):
+    result = benchmark.pedantic(
+        run_fig9, kwargs={"moses_imgdnn_load": 0.2}, rounds=1, iterations=1
+    )
+    emit("fig9_panel20", render(result))
+
+    e_lc = {name: dict(p) for name, p in result.series("e_lc").items()}
+    # Unmanaged cannot satisfy QoS even at low load (§VI-A).
+    assert e_lc["unmanaged"][0.1] > 0.2
+    # The managed strategies keep E_LC low at low load.
+    for strategy in ("parties", "clite", "arq"):
+        assert e_lc[strategy][0.1] < 0.1
+
+    means = result.mean_over_loads("e_s")
+    assert means["arq"] == min(means.values())
+
+    numbers = headline_numbers(result)
+    # The paper's headline directions: ARQ's yield ≥ PARTIES/CLITE and its
+    # E_S below both (paper: +25/+20 pp and −36.4%/−33.3%).
+    assert numbers["yield_gain_vs_parties_pp"] >= 0.0
+    assert numbers["yield_gain_vs_clite_pp"] >= 0.0
+    assert numbers["e_s_reduction_vs_parties"] < 0.0
+    assert numbers["e_s_reduction_vs_clite"] < 0.0
+
+
+def test_fig9_panel_40(benchmark):
+    result = benchmark.pedantic(
+        run_fig9, kwargs={"moses_imgdnn_load": 0.4}, rounds=1, iterations=1
+    )
+    emit("fig9_panel40", render(result))
+
+    # The extreme point (Xapian 90%, others 40%): only ARQ keeps E_LC low
+    # (paper: 0.06; PARTIES/CLITE cannot find a feasible allocation).
+    e_lc = {name: dict(p) for name, p in result.series("e_lc").items()}
+    assert e_lc["arq"][0.9] < 0.1
+    assert e_lc["parties"][0.9] > e_lc["arq"][0.9]
+
+    # Paper: ARQ cuts E_S by 73.4% vs Unmanaged at this point, more than
+    # CLITE (53.2%) and PARTIES (22.3%).
+    e_s = {name: dict(p) for name, p in result.series("e_s").items()}
+    arq_cut = 1.0 - e_s["arq"][0.9] / e_s["unmanaged"][0.9]
+    parties_cut = 1.0 - e_s["parties"][0.9] / e_s["unmanaged"][0.9]
+    assert arq_cut > 0.5
+    assert arq_cut > parties_cut

@@ -1,0 +1,26 @@
+"""Table II — Unmanaged on 6/7/8 cores: per-application entropy breakdown."""
+
+from conftest import emit
+
+from repro.experiments.table2_resource_sensitivity import render, run_table2
+
+
+def test_table2(benchmark):
+    rows = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    emit("table2", render(rows))
+
+    system = {row.cores: row.values for row in rows if row.application == "System"}
+    # Paper shape: E_LC collapses as cores grow (0.64 → 0.23 → 0).
+    assert system[6]["E_LC"] > system[7]["E_LC"] > system[8]["E_LC"]
+    assert system[8]["E_LC"] < 0.05
+    assert system[6]["E_LC"] > 0.4
+    # E_S follows (0.55 → 0.19 → 0).
+    assert system[6]["E_S"] > system[7]["E_S"] > system[8]["E_S"]
+    assert system[8]["E_S"] < 0.1
+    # At 8 cores the remaining tolerance becomes positive (paper: 0.23).
+    assert system[8]["ReT_i"] > system[6]["ReT_i"]
+    # Per-application: at 6 cores every application violates (ReT = 0).
+    for row in rows:
+        if row.cores == 6 and row.application != "System":
+            assert row.values["ReT_i"] == 0.0
+            assert row.values["Q_i"] > 0.0

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Compare all five strategies of the paper on one collocation.
+
+Runs Unmanaged, LC-first, PARTIES, CLITE and ARQ on the same mix and
+prints the paper's summary metrics side by side — a miniature of the
+Fig. 8/9 evaluation.
+
+Run with:  python examples/scheduler_faceoff.py [xapian_load]
+"""
+
+import sys
+
+from repro.experiments.common import canonical_mix, run_strategies
+from repro.experiments.reporting import ascii_table
+
+
+def main() -> None:
+    xapian_load = float(sys.argv[1]) if len(sys.argv) > 1 else 0.5
+    collocation = canonical_mix(xapian_load, 0.2, 0.2, be_name="stream")
+    print(
+        f"Mix: xapian@{xapian_load:.0%}, moses@20%, img-dnn@20% + stream "
+        f"(10-thread bandwidth hog)\n"
+    )
+    results = run_strategies(collocation, duration_s=120.0, warmup_s=60.0)
+    rows = []
+    for name, result in results.items():
+        tails = result.mean_tail_latencies_ms()
+        rows.append(
+            [
+                name,
+                result.mean_e_lc(),
+                result.mean_e_be(),
+                result.mean_e_s(),
+                f"{result.yield_fraction():.0%}",
+                max(tails.values()),
+                min(result.mean_ipcs().values()),
+            ]
+        )
+    rows.sort(key=lambda row: row[3])
+    print(
+        ascii_table(
+            ["strategy", "E_LC", "E_BE", "E_S", "yield", "worst tail ms", "BE IPC"],
+            rows,
+            precision=3,
+        )
+    )
+    print("\n(sorted by E_S — lower is better; the paper's Fig. 8/9 shapes)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Ah-Q: system entropy and the ARQ scheduler — an HPCA 2023 reproduction.
+
+The public API in one import::
+
+    from repro import (
+        Collocation, LCMember, BEMember,       # describe a collocation
+        ARQScheduler, PartiesScheduler, ...,   # pick a strategy
+        run_collocation,                        # run it
+        system_entropy, lc_entropy, be_entropy  # the theory
+    )
+
+See ``DESIGN.md`` for the module inventory and ``EXPERIMENTS.md`` for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.cluster import (
+    BEMember,
+    Collocation,
+    LCMember,
+    RunResult,
+    run_collocation,
+)
+from repro.entropy import (
+    BEObservation,
+    LCObservation,
+    SystemObservation,
+    be_entropy,
+    lc_entropy,
+    resource_equivalence,
+    system_entropy,
+)
+from repro.schedulers import (
+    ARQScheduler,
+    CLITEScheduler,
+    LCFirstScheduler,
+    PartiesScheduler,
+    RegionPlan,
+    Scheduler,
+    StaticScheduler,
+    UnmanagedScheduler,
+)
+from repro.server import NodeSpec, PAPER_NODE, ResourceVector, ServerNode
+from repro.workloads import (
+    BE_APPLICATIONS,
+    LC_APPLICATIONS,
+    ConstantLoad,
+    FluctuatingLoad,
+    be_profile,
+    lc_profile,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ARQScheduler",
+    "BEMember",
+    "BEObservation",
+    "BE_APPLICATIONS",
+    "CLITEScheduler",
+    "Collocation",
+    "ConstantLoad",
+    "FluctuatingLoad",
+    "LCFirstScheduler",
+    "LCMember",
+    "LCObservation",
+    "LC_APPLICATIONS",
+    "NodeSpec",
+    "PAPER_NODE",
+    "PartiesScheduler",
+    "RegionPlan",
+    "ResourceVector",
+    "RunResult",
+    "Scheduler",
+    "ServerNode",
+    "StaticScheduler",
+    "SystemObservation",
+    "UnmanagedScheduler",
+    "be_entropy",
+    "be_profile",
+    "lc_entropy",
+    "lc_profile",
+    "resource_equivalence",
+    "run_collocation",
+    "system_entropy",
+]

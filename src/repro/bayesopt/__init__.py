@@ -1,0 +1,27 @@
+"""From-scratch Bayesian optimisation (CLITE's search engine).
+
+CLITE explores the resource-partition configuration space with a Gaussian
+process surrogate and an expected-improvement acquisition function. No
+third-party BO stack is available offline, so this package implements the
+pieces on numpy/scipy:
+
+* :mod:`repro.bayesopt.kernels` — RBF and Matérn-5/2 covariance kernels;
+* :mod:`repro.bayesopt.gp` — Gaussian-process regression (Cholesky solve,
+  noise jitter, standardised targets);
+* :mod:`repro.bayesopt.acquisition` — expected improvement;
+* :mod:`repro.bayesopt.optimizer` — the sample-then-model search loop over
+  a discrete candidate set.
+"""
+
+from repro.bayesopt.acquisition import expected_improvement
+from repro.bayesopt.gp import GaussianProcess
+from repro.bayesopt.kernels import Matern52Kernel, RBFKernel
+from repro.bayesopt.optimizer import BayesianOptimizer
+
+__all__ = [
+    "BayesianOptimizer",
+    "GaussianProcess",
+    "Matern52Kernel",
+    "RBFKernel",
+    "expected_improvement",
+]

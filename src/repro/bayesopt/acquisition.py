@@ -1,0 +1,46 @@
+"""Acquisition functions for Bayesian optimisation."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+from repro.errors import ModelError
+
+
+def expected_improvement(
+    mean: np.ndarray,
+    std: np.ndarray,
+    best_observed: float,
+    exploration: float = 0.01,
+) -> np.ndarray:
+    """Expected improvement (maximisation convention).
+
+    ``EI(x) = E[max(f(x) − f* − ξ, 0)]`` under the GP posterior, where
+    ``f*`` is the best observation so far and ``ξ`` encourages
+    exploration.
+    """
+    mean = np.asarray(mean, dtype=float)
+    std = np.asarray(std, dtype=float)
+    if mean.shape != std.shape:
+        raise ModelError(f"mean/std shape mismatch: {mean.shape} vs {std.shape}")
+    if exploration < 0:
+        raise ModelError("exploration cannot be negative")
+    improvement = mean - best_observed - exploration
+    with np.errstate(divide="ignore", invalid="ignore"):
+        z = np.where(std > 0, improvement / std, 0.0)
+    ei = improvement * stats.norm.cdf(z) + std * stats.norm.pdf(z)
+    return np.where(std > 1e-12, np.maximum(ei, 0.0), np.maximum(improvement, 0.0))
+
+
+def upper_confidence_bound(
+    mean: np.ndarray, std: np.ndarray, beta: float = 2.0
+) -> np.ndarray:
+    """GP-UCB: ``μ + β·σ`` (maximisation convention)."""
+    if beta < 0:
+        raise ModelError("beta cannot be negative")
+    mean = np.asarray(mean, dtype=float)
+    std = np.asarray(std, dtype=float)
+    if mean.shape != std.shape:
+        raise ModelError(f"mean/std shape mismatch: {mean.shape} vs {std.shape}")
+    return mean + beta * std

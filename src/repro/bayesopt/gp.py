@@ -1,0 +1,102 @@
+"""Gaussian-process regression with a Cholesky solve."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.bayesopt.kernels import Kernel, Matern52Kernel
+from repro.errors import ModelError
+
+
+class GaussianProcess:
+    """GP regression with observation noise and standardised targets.
+
+    Targets are standardised internally (zero mean, unit variance) so the
+    default kernel variance of 1 is a reasonable prior regardless of the
+    objective's scale.
+    """
+
+    def __init__(
+        self,
+        kernel: Optional[Kernel] = None,
+        noise: float = 1e-4,
+        jitter: float = 1e-8,
+    ) -> None:
+        if noise < 0:
+            raise ModelError("noise cannot be negative")
+        if jitter <= 0:
+            raise ModelError("jitter must be positive")
+        self.kernel = kernel if kernel is not None else Matern52Kernel()
+        self.noise = noise
+        self.jitter = jitter
+        self._x: Optional[np.ndarray] = None
+        self._alpha: Optional[np.ndarray] = None
+        self._chol: Optional[np.ndarray] = None
+        self._y_mean = 0.0
+        self._y_std = 1.0
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._x is not None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "GaussianProcess":
+        """Fit the posterior to observations ``(x, y)``."""
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        if x.shape[0] != y.shape[0]:
+            raise ModelError(
+                f"x has {x.shape[0]} rows but y has {y.shape[0]} values"
+            )
+        if x.shape[0] == 0:
+            raise ModelError("cannot fit a GP to zero observations")
+        self._y_mean = float(np.mean(y))
+        self._y_std = float(np.std(y))
+        if self._y_std < 1e-12:
+            self._y_std = 1.0
+        standardised = (y - self._y_mean) / self._y_std
+
+        gram = self.kernel(x, x)
+        gram[np.diag_indices_from(gram)] += self.noise + self.jitter
+        try:
+            chol = np.linalg.cholesky(gram)
+        except np.linalg.LinAlgError as error:
+            raise ModelError(f"kernel matrix not positive definite: {error}") from error
+        alpha = np.linalg.solve(chol.T, np.linalg.solve(chol, standardised))
+
+        self._x = x
+        self._chol = chol
+        self._alpha = alpha
+        return self
+
+    def predict(self, x_new: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Posterior mean and standard deviation at ``x_new``."""
+        if not self.is_fitted:
+            raise ModelError("predict() before fit()")
+        x_new = np.atleast_2d(np.asarray(x_new, dtype=float))
+        cross = self.kernel(x_new, self._x)
+        mean = cross @ self._alpha
+        v = np.linalg.solve(self._chol, cross.T)
+        prior_var = np.diag(self.kernel(x_new, x_new))
+        var = np.maximum(prior_var - np.sum(v * v, axis=0), 1e-12)
+        return (
+            mean * self._y_std + self._y_mean,
+            np.sqrt(var) * self._y_std,
+        )
+
+    def log_marginal_likelihood(self) -> float:
+        """Log marginal likelihood of the fitted data (model selection)."""
+        if not self.is_fitted:
+            raise ModelError("log_marginal_likelihood() before fit()")
+        n = self._x.shape[0]
+        # y^T K^{-1} y = y^T alpha, with y recovered as K alpha.
+        data_fit = -0.5 * float(np.dot(self._standardised_targets(), self._alpha))
+        complexity = -float(np.sum(np.log(np.diag(self._chol))))
+        return data_fit + complexity - 0.5 * n * np.log(2.0 * np.pi)
+
+    def _standardised_targets(self) -> np.ndarray:
+        """Recover the standardised targets from alpha: ``y = K alpha``."""
+        gram = self.kernel(self._x, self._x)
+        gram[np.diag_indices_from(gram)] += self.noise + self.jitter
+        return gram @ self._alpha

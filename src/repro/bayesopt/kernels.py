@@ -1,0 +1,73 @@
+"""Covariance kernels for Gaussian-process regression."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def _pairwise_sq_dists(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distances between the rows of ``a`` and ``b``."""
+    a = np.atleast_2d(np.asarray(a, dtype=float))
+    b = np.atleast_2d(np.asarray(b, dtype=float))
+    if a.shape[1] != b.shape[1]:
+        raise ConfigurationError(
+            f"dimension mismatch: {a.shape[1]} vs {b.shape[1]}"
+        )
+    a_sq = np.sum(a * a, axis=1)[:, None]
+    b_sq = np.sum(b * b, axis=1)[None, :]
+    sq = a_sq + b_sq - 2.0 * (a @ b.T)
+    return np.maximum(sq, 0.0)
+
+
+class Kernel(abc.ABC):
+    """A positive-definite covariance function."""
+
+    @abc.abstractmethod
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Covariance matrix between the rows of ``a`` and ``b``."""
+
+
+@dataclass(frozen=True)
+class RBFKernel(Kernel):
+    """Squared-exponential kernel ``σ² exp(−d²/2ℓ²)``."""
+
+    length_scale: float = 1.0
+    variance: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.length_scale <= 0:
+            raise ConfigurationError("length_scale must be positive")
+        if self.variance <= 0:
+            raise ConfigurationError("variance must be positive")
+
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        sq = _pairwise_sq_dists(a, b)
+        return self.variance * np.exp(-0.5 * sq / (self.length_scale**2))
+
+
+@dataclass(frozen=True)
+class Matern52Kernel(Kernel):
+    """Matérn-5/2 kernel — the standard choice for BO over rough objectives."""
+
+    length_scale: float = 1.0
+    variance: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.length_scale <= 0:
+            raise ConfigurationError("length_scale must be positive")
+        if self.variance <= 0:
+            raise ConfigurationError("variance must be positive")
+
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        d = np.sqrt(_pairwise_sq_dists(a, b))
+        scaled = np.sqrt(5.0) * d / self.length_scale
+        return (
+            self.variance
+            * (1.0 + scaled + scaled**2 / 3.0)
+            * np.exp(-scaled)
+        )

@@ -1,0 +1,108 @@
+"""The sample-then-model Bayesian-optimisation loop.
+
+CLITE's search (§V): evaluate a handful of random configurations first,
+then repeatedly fit a GP to everything observed and evaluate the candidate
+maximising expected improvement. Duplicate suggestions are avoided so the
+scarce evaluation budget (one configuration per monitoring interval) is
+never wasted re-measuring a known point.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.bayesopt.acquisition import expected_improvement
+from repro.bayesopt.gp import GaussianProcess
+from repro.bayesopt.kernels import Matern52Kernel
+from repro.errors import ConfigurationError, ModelError
+
+
+class BayesianOptimizer:
+    """Maximise a noisy black-box objective over a discrete candidate set."""
+
+    def __init__(
+        self,
+        candidates: Sequence[Tuple[float, ...]],
+        rng: np.random.Generator,
+        initial_samples: int = 6,
+        length_scale: float = 0.25,
+        noise: float = 1e-3,
+        exploration: float = 0.01,
+    ) -> None:
+        if not candidates:
+            raise ConfigurationError("the optimiser needs at least one candidate")
+        if initial_samples < 1:
+            raise ConfigurationError("initial_samples must be positive")
+        self._candidates = [tuple(float(v) for v in c) for c in candidates]
+        self._candidate_set = set(self._candidates)
+        dims = {len(c) for c in self._candidates}
+        if len(dims) != 1:
+            raise ConfigurationError(f"candidates have mixed dimensions: {dims}")
+        self._rng = rng
+        self._initial_samples = min(initial_samples, len(self._candidates))
+        self._exploration = exploration
+        self._gp = GaussianProcess(
+            kernel=Matern52Kernel(length_scale=length_scale), noise=noise
+        )
+        self._observed: Dict[Tuple[float, ...], float] = {}
+        self._history: List[Tuple[Tuple[float, ...], float]] = []
+        # Normalisation bounds for GP inputs.
+        matrix = np.asarray(self._candidates)
+        self._low = matrix.min(axis=0)
+        span = matrix.max(axis=0) - self._low
+        self._span = np.where(span > 0, span, 1.0)
+
+    @property
+    def evaluations(self) -> int:
+        return len(self._history)
+
+    @property
+    def observed_points(self) -> int:
+        return len(self._observed)
+
+    def _normalise(self, points: np.ndarray) -> np.ndarray:
+        return (np.asarray(points, dtype=float) - self._low) / self._span
+
+    def suggest(self) -> Tuple[float, ...]:
+        """The next candidate to evaluate."""
+        unexplored = [c for c in self._candidates if c not in self._observed]
+        if not unexplored:
+            return self.best()[0]
+        if len(self._observed) < self._initial_samples:
+            index = int(self._rng.integers(len(unexplored)))
+            return unexplored[index]
+
+        xs = np.asarray(list(self._observed))
+        ys = np.asarray([self._observed[tuple(x)] for x in xs])
+        self._gp.fit(self._normalise(xs), ys)
+        pool = np.asarray(unexplored)
+        mean, std = self._gp.predict(self._normalise(pool))
+        scores = expected_improvement(
+            mean, std, float(ys.max()), self._exploration
+        )
+        return unexplored[int(np.argmax(scores))]
+
+    def observe(self, candidate: Tuple[float, ...], value: float) -> None:
+        """Record an evaluation (repeat observations average)."""
+        key = tuple(float(v) for v in candidate)
+        if key not in self._candidate_set:
+            raise ModelError(f"candidate {key} is not in the search space")
+        if key in self._observed:
+            self._observed[key] = 0.5 * (self._observed[key] + value)
+        else:
+            self._observed[key] = value
+        self._history.append((key, value))
+
+    def best(self) -> Tuple[Tuple[float, ...], float]:
+        """The best (candidate, value) observed so far."""
+        if not self._observed:
+            raise ModelError("no observations yet")
+        key = max(self._observed, key=self._observed.get)
+        return key, self._observed[key]
+
+    def restart(self) -> None:
+        """Forget everything (workload shift re-exploration)."""
+        self._observed = {}
+        self._history = []

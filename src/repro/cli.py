@@ -1,0 +1,177 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three commands:
+
+* ``run`` — run one strategy on a named mix and print the summary
+  (optionally exporting per-epoch samples);
+* ``compare`` — run several strategies on the same mix side by side;
+* ``experiment`` — regenerate one of the paper's tables/figures by name.
+
+Examples::
+
+    python -m repro run --strategy arq --xapian 0.7 --be stream
+    python -m repro compare --xapian 0.9 --duration 120
+    python -m repro experiment table2
+    python -m repro experiment fig9 --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.cluster.export import summary_dict, write_csv, write_json
+from repro.cluster.run import run_collocation
+from repro.experiments.common import (
+    STRATEGY_FACTORIES,
+    STRATEGY_ORDER,
+    canonical_mix,
+    run_strategies,
+)
+from repro.experiments.reporting import ascii_table
+
+#: Experiment name → zero-argument callable printing the artefact.
+_EXPERIMENTS: Dict[str, str] = {
+    "fig1": "repro.experiments.fig1_example",
+    "table2": "repro.experiments.table2_resource_sensitivity",
+    "fig2": "repro.experiments.fig2_resource_surface",
+    "fig3": "repro.experiments.fig3_equivalence",
+    "fig4": "repro.experiments.fig4_spacetime",
+    "fig5_fig6": "repro.experiments.fig5_fig6_snapshots",
+    "fig7": "repro.experiments.fig7_load_curves",
+    "fig8": "repro.experiments.fig8_fluidanimate",
+    "fig9": "repro.experiments.fig9_stream",
+    "fig10": "repro.experiments.fig10_heatmap",
+    "fig11": "repro.experiments.fig11_sphinx_mix",
+    "fig12": "repro.experiments.fig12_eight_apps",
+    "fig13": "repro.experiments.fig13_fluctuating",
+}
+
+
+def _mix_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--xapian", type=float, default=0.5, help="Xapian load")
+    parser.add_argument("--moses", type=float, default=0.2, help="Moses load")
+    parser.add_argument("--img-dnn", type=float, default=0.2, help="Img-dnn load")
+    parser.add_argument(
+        "--be",
+        default="fluidanimate",
+        help="best-effort application (fluidanimate/stream/streamcluster)",
+    )
+    parser.add_argument("--duration", type=float, default=120.0)
+    parser.add_argument("--warmup", type=float, default=None)
+    parser.add_argument("--seed", type=int, default=2023)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Ah-Q reproduction: system entropy + the ARQ scheduler",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = commands.add_parser("run", help="run one strategy on a mix")
+    run_parser.add_argument(
+        "--strategy", choices=sorted(STRATEGY_FACTORIES), default="arq"
+    )
+    _mix_arguments(run_parser)
+    run_parser.add_argument("--csv", help="export per-epoch samples to CSV")
+    run_parser.add_argument("--json", help="export summary+samples to JSON")
+
+    compare_parser = commands.add_parser(
+        "compare", help="run every strategy on the same mix"
+    )
+    _mix_arguments(compare_parser)
+
+    experiment_parser = commands.add_parser(
+        "experiment", help="regenerate a paper table/figure"
+    )
+    experiment_parser.add_argument("name", choices=sorted(_EXPERIMENTS))
+
+    return parser
+
+
+def _collocation(args: argparse.Namespace):
+    return canonical_mix(
+        args.xapian,
+        args.moses,
+        getattr(args, "img_dnn"),
+        be_name=args.be,
+        seed=args.seed,
+    )
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    collocation = _collocation(args)
+    scheduler = STRATEGY_FACTORIES[args.strategy]()
+    warmup = args.warmup if args.warmup is not None else args.duration * 0.5
+    result = run_collocation(collocation, scheduler, args.duration, warmup)
+    summary = summary_dict(result)
+    rows = [[key, value] for key, value in summary.items() if not isinstance(value, dict)]
+    print(ascii_table(["metric", "value"], rows, title=f"run — {args.strategy}"))
+    print()
+    tail_rows = [[app, f"{value:.2f}"] for app, value in summary["mean_tail_ms"].items()]
+    ipc_rows = [[app, f"{value:.2f}"] for app, value in summary["mean_ipc"].items()]
+    if tail_rows:
+        print(ascii_table(["application", "mean tail (ms)"], tail_rows))
+    if ipc_rows:
+        print(ascii_table(["application", "mean IPC"], ipc_rows))
+    if args.csv:
+        print(f"wrote {write_csv(result, args.csv)}")
+    if args.json:
+        print(f"wrote {write_json(result, args.json)}")
+    return 0
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    collocation = _collocation(args)
+    warmup = args.warmup if args.warmup is not None else args.duration * 0.5
+    results = run_strategies(
+        collocation, STRATEGY_ORDER, args.duration, warmup
+    )
+    rows = []
+    for name, result in results.items():
+        rows.append(
+            [
+                name,
+                result.mean_e_lc(),
+                result.mean_e_be(),
+                result.mean_e_s(),
+                f"{result.yield_fraction():.0%}",
+            ]
+        )
+    rows.sort(key=lambda row: row[3])
+    print(
+        ascii_table(
+            ["strategy", "E_LC", "E_BE", "E_S", "yield"],
+            rows,
+            title=(
+                f"compare — xapian {args.xapian:.0%}, moses {args.moses:.0%}, "
+                f"img-dnn {getattr(args, 'img_dnn'):.0%} + {args.be}"
+            ),
+        )
+    )
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    import importlib
+
+    module = importlib.import_module(_EXPERIMENTS[args.name])
+    module.main()
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point (``python -m repro``)."""
+    args = _build_parser().parse_args(argv)
+    handlers: Dict[str, Callable[[argparse.Namespace], int]] = {
+        "run": _command_run,
+        "compare": _command_compare,
+        "experiment": _command_experiment,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

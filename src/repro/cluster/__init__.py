@@ -1,0 +1,27 @@
+"""The collocated node: composing substrate, workloads and schedulers.
+
+* :mod:`repro.cluster.collocation` — declarative description of a run
+  (node, applications, load traces, noise, seed);
+* :mod:`repro.cluster.contention` — resolves a region plan plus current
+  loads into per-application effective resources;
+* :mod:`repro.cluster.monitor` — noisy measurement of tail latency / IPC;
+* :mod:`repro.cluster.epoch` — the 500 ms monitoring/actuation loop;
+* :mod:`repro.cluster.run` — :func:`run_collocation`, the public entry
+  point returning a :class:`RunResult`.
+"""
+
+from repro.cluster.collocation import BEMember, Collocation, LCMember
+from repro.cluster.contention import EffectiveResources, resolve_contention
+from repro.cluster.epoch import EpochRecord
+from repro.cluster.run import RunResult, run_collocation
+
+__all__ = [
+    "BEMember",
+    "Collocation",
+    "EffectiveResources",
+    "EpochRecord",
+    "LCMember",
+    "RunResult",
+    "resolve_contention",
+    "run_collocation",
+]

@@ -1,0 +1,175 @@
+"""Post-processing analysis of collocation runs.
+
+Utilities that turn a :class:`~repro.cluster.run.RunResult` into the
+derived views the paper's discussion uses:
+
+* :func:`violation_episodes` — contiguous stretches of QoS violation per
+  application (the paper counts violations and discusses how long each
+  lasts under PARTIES vs ARQ);
+* :func:`interference_durations` — the Votke-style duration view of
+  interference, fed from episodes;
+* :func:`adjustment_activity` — how often and how heavily a strategy
+  re-allocates (ping-ponging, §IV-D);
+* :func:`entropy_timeline` — smoothed ``E_*`` series for plotting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.cluster.run import RunResult
+from repro.entropy.alternatives import interference_duration_fraction
+from repro.errors import MeasurementError
+from repro.types import ResourceKind
+
+
+@dataclass(frozen=True)
+class ViolationEpisode:
+    """One contiguous run of QoS violations for one application."""
+
+    application: str
+    start_s: float
+    end_s: float
+    epochs: int
+    worst_tail_ms: float
+    threshold_ms: float
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+    @property
+    def worst_ratio(self) -> float:
+        """Depth of the episode: worst tail over the threshold."""
+        return self.worst_tail_ms / self.threshold_ms
+
+
+def violation_episodes(result: RunResult) -> List[ViolationEpisode]:
+    """All contiguous violation stretches, per application, time-ordered."""
+    episodes: List[ViolationEpisode] = []
+    for name in result.collocation.lc_profiles:
+        open_start = None
+        open_epochs = 0
+        open_worst = 0.0
+        threshold = result.collocation.lc_profiles[name].threshold_ms
+        last_time = 0.0
+        for record in result.records:
+            measurement = record.lc[name]
+            last_time = record.time_s
+            if not measurement.satisfied:
+                if open_start is None:
+                    open_start = record.time_s
+                    open_epochs = 0
+                    open_worst = 0.0
+                open_epochs += 1
+                open_worst = max(open_worst, measurement.tail_ms)
+            elif open_start is not None:
+                episodes.append(
+                    ViolationEpisode(
+                        application=name,
+                        start_s=open_start,
+                        end_s=record.time_s,
+                        epochs=open_epochs,
+                        worst_tail_ms=open_worst,
+                        threshold_ms=threshold,
+                    )
+                )
+                open_start = None
+        if open_start is not None:
+            episodes.append(
+                ViolationEpisode(
+                    application=name,
+                    start_s=open_start,
+                    end_s=last_time + result.collocation.epoch_s,
+                    epochs=open_epochs,
+                    worst_tail_ms=open_worst,
+                    threshold_ms=threshold,
+                )
+            )
+    return sorted(episodes, key=lambda e: (e.start_s, e.application))
+
+
+def interference_durations(result: RunResult) -> Dict[str, float]:
+    """Per-application fraction of epochs spent violating (Votke-style)."""
+    durations: Dict[str, float] = {}
+    for name in result.collocation.lc_profiles:
+        flags = [record.lc[name].satisfied for record in result.records]
+        durations[name] = interference_duration_fraction(flags)
+    return durations
+
+
+@dataclass(frozen=True)
+class AdjustmentActivity:
+    """How actively a strategy moved resources during a run."""
+
+    plan_changes: int
+    epochs: int
+    cores_moved: float
+    ways_moved: float
+    membw_moved_gbps: float
+
+    @property
+    def change_rate(self) -> float:
+        return self.plan_changes / self.epochs if self.epochs else 0.0
+
+
+def adjustment_activity(result: RunResult) -> AdjustmentActivity:
+    """Count plan changes and total resource movement across the run."""
+    if not result.records:
+        raise MeasurementError("cannot analyse an empty run")
+    changes = 0
+    moved = {kind: 0.0 for kind in ResourceKind}
+    previous = result.records[0].plan
+    for record in result.records[1:]:
+        plan = record.plan
+        if plan is not previous:
+            delta = 0.0
+            for kind in ResourceKind:
+                regions = set(plan.isolated) | set(previous.isolated) | {"__shared__"}
+                kind_delta = 0.0
+                for region in regions:
+                    kind_delta += abs(
+                        plan.region_amount(region, kind)
+                        - previous.region_amount(region, kind)
+                    )
+                # Each move shows up in two regions; halve the sum.
+                moved[kind] += kind_delta / 2.0
+                delta += kind_delta
+            if delta > 1e-9:
+                changes += 1
+        previous = plan
+    return AdjustmentActivity(
+        plan_changes=changes,
+        epochs=len(result.records),
+        cores_moved=moved[ResourceKind.CORES],
+        ways_moved=moved[ResourceKind.LLC_WAYS],
+        membw_moved_gbps=moved[ResourceKind.MEMBW],
+    )
+
+
+def entropy_timeline(
+    result: RunResult, metric: str = "e_s", window: int = 5
+) -> List[Tuple[float, float]]:
+    """Moving-average ``E_*`` series for plotting.
+
+    ``window`` epochs are averaged (centred) to tame measurement noise the
+    way the paper's time-series figures visually do.
+    """
+    if window < 1:
+        raise MeasurementError(f"window must be positive: {window}")
+    times, values = result.series(metric)
+    smoothed: List[Tuple[float, float]] = []
+    for index in range(len(values)):
+        lo = max(0, index - window // 2)
+        hi = min(len(values), index + window // 2 + 1)
+        smoothed.append((times[index], sum(values[lo:hi]) / (hi - lo)))
+    return smoothed
+
+
+def worst_episode(result: RunResult) -> ViolationEpisode:
+    """The deepest violation episode of a run (by worst ratio)."""
+    episodes = violation_episodes(result)
+    if not episodes:
+        raise MeasurementError("the run has no violation episodes")
+    return max(episodes, key=lambda e: e.worst_ratio)

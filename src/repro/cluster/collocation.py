@@ -1,0 +1,118 @@
+"""Declarative description of one collocation experiment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence, Union
+
+from repro.errors import ConfigurationError
+from repro.server.node import ServerNode
+from repro.server.spec import NodeSpec, PAPER_NODE
+from repro.workloads.be_app import BEProfile
+from repro.workloads.catalog import be_profile, lc_profile
+from repro.workloads.lc_app import LCProfile
+from repro.workloads.loadgen import ConstantLoad, LoadTrace
+
+
+@dataclass(frozen=True)
+class LCMember:
+    """One latency-critical application in a collocation."""
+
+    profile: LCProfile
+    load: LoadTrace
+
+    @classmethod
+    def of(cls, name: str, load: Union[float, LoadTrace]) -> "LCMember":
+        """Catalog lookup + constant-load shorthand: ``LCMember.of("xapian", 0.2)``."""
+        trace = ConstantLoad(load) if isinstance(load, (int, float)) else load
+        return cls(profile=lc_profile(name), load=trace)
+
+    @property
+    def name(self) -> str:
+        return self.profile.name
+
+
+@dataclass(frozen=True)
+class BEMember:
+    """One best-effort application in a collocation."""
+
+    profile: BEProfile
+
+    @classmethod
+    def of(cls, name: str) -> "BEMember":
+        return cls(profile=be_profile(name))
+
+    @property
+    def name(self) -> str:
+        return self.profile.name
+
+
+@dataclass(frozen=True)
+class Collocation:
+    """A node plus the applications collocated on it.
+
+    Attributes
+    ----------
+    lc / be:
+        The application mix. The paper's canonical mix is three Tailbench
+        LC applications plus one PARSEC/STREAM BE application.
+    spec:
+        The machine (Table III by default; experiments shrink it).
+    relative_importance:
+        ``RI`` of Eq. (7) — 0.8 in the paper.
+    epoch_s:
+        Monitoring interval (500 ms, §IV-B).
+    noise_sigma:
+        Log-normal measurement noise on tail latency and IPC.
+    seed:
+        Root seed for all random streams.
+    """
+
+    lc: Sequence[LCMember] = field(default_factory=tuple)
+    be: Sequence[BEMember] = field(default_factory=tuple)
+    spec: NodeSpec = PAPER_NODE
+    relative_importance: float = 0.8
+    epoch_s: float = 0.5
+    noise_sigma: float = 0.03
+    seed: int = 2023
+
+    def __post_init__(self) -> None:
+        if not self.lc and not self.be:
+            raise ConfigurationError("a collocation needs at least one application")
+        names = [m.name for m in self.lc] + [m.name for m in self.be]
+        if len(names) != len(set(names)):
+            raise ConfigurationError(f"duplicate application names: {sorted(names)}")
+        if not 0.0 <= self.relative_importance <= 1.0:
+            raise ConfigurationError("relative_importance must be in [0, 1]")
+        if self.epoch_s <= 0:
+            raise ConfigurationError("epoch_s must be positive")
+        if self.noise_sigma < 0:
+            raise ConfigurationError("noise_sigma cannot be negative")
+
+    @property
+    def node(self) -> ServerNode:
+        return ServerNode(spec=self.spec)
+
+    @property
+    def lc_profiles(self) -> Dict[str, LCProfile]:
+        return {m.name: m.profile for m in self.lc}
+
+    @property
+    def be_profiles(self) -> Dict[str, BEProfile]:
+        return {m.name: m.profile for m in self.be}
+
+    def loads_at(self, time_s: float) -> Dict[str, float]:
+        """LC application name → load fraction at simulation time."""
+        return {m.name: m.load(time_s) for m in self.lc}
+
+    def with_spec(self, spec: NodeSpec) -> "Collocation":
+        """The same mix on a different machine (resource sweeps)."""
+        return Collocation(
+            lc=self.lc,
+            be=self.be,
+            spec=spec,
+            relative_importance=self.relative_importance,
+            epoch_s=self.epoch_s,
+            noise_sigma=self.noise_sigma,
+            seed=self.seed,
+        )

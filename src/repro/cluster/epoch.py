@@ -1,0 +1,76 @@
+"""Epoch records: everything observed in one monitoring interval."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.cluster.contention import EffectiveResources
+from repro.entropy.records import EntropyBreakdown, SystemObservation
+from repro.schedulers.base import RegionPlan
+
+
+@dataclass(frozen=True)
+class LCMeasurement:
+    """One LC application's measurements in one epoch."""
+
+    name: str
+    load_fraction: float
+    tail_ms: float
+    ideal_ms: float
+    threshold_ms: float
+
+    @property
+    def satisfied(self) -> bool:
+        return self.tail_ms <= self.threshold_ms
+
+    @property
+    def slack(self) -> float:
+        """PARTIES-style slack: positive when under the QoS target."""
+        return (self.threshold_ms - self.tail_ms) / self.threshold_ms
+
+
+@dataclass(frozen=True)
+class BEMeasurement:
+    """One BE application's measurements in one epoch."""
+
+    name: str
+    ipc: float
+    ipc_solo: float
+
+    @property
+    def normalised(self) -> float:
+        """IPC relative to solo (1.0 = no interference)."""
+        return self.ipc / self.ipc_solo
+
+
+@dataclass(frozen=True)
+class EpochRecord:
+    """The full picture of one monitoring epoch."""
+
+    index: int
+    time_s: float
+    plan: RegionPlan
+    loads: Mapping[str, float]
+    lc: Mapping[str, LCMeasurement]
+    be: Mapping[str, BEMeasurement]
+    resources: Mapping[str, EffectiveResources]
+    observation: SystemObservation
+    breakdown: EntropyBreakdown
+    plan_changed: bool = field(default=False)
+
+    @property
+    def e_s(self) -> float:
+        return self.breakdown.e_s
+
+    @property
+    def e_lc(self) -> float:
+        return self.breakdown.e_lc
+
+    @property
+    def e_be(self) -> float:
+        return self.breakdown.e_be
+
+    def violations(self) -> int:
+        """Number of LC applications violating QoS this epoch."""
+        return sum(1 for m in self.lc.values() if not m.satisfied)

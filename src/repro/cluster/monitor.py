@@ -1,0 +1,44 @@
+"""Noisy measurement of tail latency and IPC.
+
+Real monitoring agents sample percentiles over a finite window, so repeated
+measurements of the same steady state jitter. We model this with
+multiplicative log-normal noise — always positive, heavier on the high
+side, and scale-free across applications whose latencies span six orders
+of magnitude (Masstree's ~1 ms to Sphinx's ~2.7 s).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import MeasurementError
+
+
+class NoisyMonitor:
+    """Applies reproducible measurement noise from a dedicated RNG stream."""
+
+    def __init__(self, rng: np.random.Generator, sigma: float) -> None:
+        if sigma < 0:
+            raise MeasurementError(f"noise sigma cannot be negative: {sigma}")
+        self._rng = rng
+        self._sigma = sigma
+
+    def latency_ms(self, true_value_ms: float) -> float:
+        """A noisy tail-latency reading."""
+        if true_value_ms < 0:
+            raise MeasurementError(f"latency cannot be negative: {true_value_ms}")
+        return self._apply(true_value_ms)
+
+    def ipc(self, true_value: float) -> float:
+        """A noisy IPC reading."""
+        if true_value < 0:
+            raise MeasurementError(f"IPC cannot be negative: {true_value}")
+        return self._apply(true_value)
+
+    def _apply(self, value: float) -> float:
+        if self._sigma == 0 or value == 0:
+            return value
+        factor = math.exp(self._sigma * float(self._rng.standard_normal()))
+        return value * factor

@@ -1,0 +1,237 @@
+"""The public entry point: run a scheduler on a collocation.
+
+:func:`run_collocation` executes the full measure → entropy → decide loop
+of §IV-B for a given duration and returns a :class:`RunResult` with every
+epoch's record plus the summary statistics the paper reports (mean
+entropies, yield, violation counts, per-application tail latency and IPC).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.cluster.collocation import Collocation
+from repro.cluster.contention import ContentionState, resolve_contention
+from repro.cluster.epoch import BEMeasurement, EpochRecord, LCMeasurement
+from repro.cluster.monitor import NoisyMonitor
+from repro.entropy.aggregate import mean_entropy
+from repro.entropy.records import BEObservation, LCObservation, SystemObservation
+from repro.errors import ConfigurationError, MeasurementError
+from repro.perfmodel.queueing import OverloadState
+from repro.schedulers.base import Scheduler, SchedulerContext
+from repro.sim.rng import RngStreams
+
+
+@dataclass
+class RunResult:
+    """Outcome of one collocation run under one scheduler."""
+
+    scheduler_name: str
+    collocation: Collocation
+    records: List[EpochRecord] = field(default_factory=list)
+    warmup_s: float = 0.0
+
+    # -- windows -----------------------------------------------------------
+
+    def measured_records(self) -> List[EpochRecord]:
+        """Records after the warm-up window (the ones summaries use)."""
+        selected = [r for r in self.records if r.time_s >= self.warmup_s]
+        if not selected:
+            raise MeasurementError("no epochs after the warm-up window")
+        return selected
+
+    # -- entropy summaries ---------------------------------------------------
+
+    def mean_e_s(self) -> float:
+        return mean_entropy(r.e_s for r in self.measured_records())
+
+    def mean_e_lc(self) -> float:
+        return mean_entropy(r.e_lc for r in self.measured_records())
+
+    def mean_e_be(self) -> float:
+        return mean_entropy(r.e_be for r in self.measured_records())
+
+    # -- QoS summaries -------------------------------------------------------
+
+    def yield_fraction(self) -> float:
+        """Ratio of LC applications whose mean tail latency meets QoS."""
+        tails = self.mean_tail_latencies_ms()
+        if not tails:
+            return 1.0
+        profiles = self.collocation.lc_profiles
+        satisfied = sum(
+            1 for name, tail in tails.items() if tail <= profiles[name].threshold_ms
+        )
+        return satisfied / len(tails)
+
+    def violation_count(self) -> int:
+        """Total (epoch × application) QoS violations after warm-up."""
+        return sum(r.violations() for r in self.measured_records())
+
+    def mean_tail_latencies_ms(self) -> Dict[str, float]:
+        records = self.measured_records()
+        result: Dict[str, float] = {}
+        for name in self.collocation.lc_profiles:
+            samples = [r.lc[name].tail_ms for r in records if name in r.lc]
+            result[name] = sum(samples) / len(samples)
+        return result
+
+    def mean_ipcs(self) -> Dict[str, float]:
+        records = self.measured_records()
+        result: Dict[str, float] = {}
+        for name in self.collocation.be_profiles:
+            samples = [r.be[name].ipc for r in records if name in r.be]
+            result[name] = sum(samples) / len(samples)
+        return result
+
+    # -- time series -----------------------------------------------------------
+
+    def series(self, metric: str) -> Tuple[List[float], List[float]]:
+        """A (times, values) series for ``e_s``/``e_lc``/``e_be``."""
+        if metric not in ("e_s", "e_lc", "e_be"):
+            raise MeasurementError(f"unknown metric {metric!r}")
+        times = [r.time_s for r in self.records]
+        values = [getattr(r, metric) for r in self.records]
+        return times, values
+
+
+def run_collocation(
+    collocation: Collocation,
+    scheduler: Scheduler,
+    duration_s: float,
+    warmup_s: float = None,
+) -> RunResult:
+    """Run ``scheduler`` on ``collocation`` for ``duration_s`` seconds.
+
+    ``warmup_s`` (default: 20% of the duration) excludes the initial
+    convergence transient from summary statistics, mirroring how the paper
+    reports steady-state numbers for constant-load experiments.
+    """
+    if duration_s <= 0:
+        raise ConfigurationError(f"duration must be positive: {duration_s}")
+    if warmup_s is None:
+        warmup_s = 0.2 * duration_s
+    if not 0 <= warmup_s < duration_s:
+        raise ConfigurationError(
+            f"warm-up ({warmup_s}s) must be within the run ({duration_s}s)"
+        )
+
+    streams = RngStreams(collocation.seed)
+    context = SchedulerContext(
+        node=collocation.node,
+        lc_profiles=collocation.lc_profiles,
+        be_profiles=collocation.be_profiles,
+        epoch_s=collocation.epoch_s,
+        relative_importance=collocation.relative_importance,
+        rng=streams,
+    )
+    monitor = NoisyMonitor(streams.stream("monitor"), collocation.noise_sigma)
+
+    scheduler.reset()
+    plan = scheduler.initial_plan(context)
+    plan.validate(context.node)
+
+    contention_state = ContentionState()
+    backlogs = {name: OverloadState() for name in collocation.lc_profiles}
+    ideal_cache: Dict[Tuple[str, float], float] = {}
+
+    result = RunResult(
+        scheduler_name=scheduler.name, collocation=collocation, warmup_s=warmup_s
+    )
+
+    epochs = int(round(duration_s / collocation.epoch_s))
+    for index in range(epochs):
+        time_s = index * collocation.epoch_s
+        loads = collocation.loads_at(time_s)
+        resources = resolve_contention(context, plan, loads, contention_state)
+
+        lc_measurements: Dict[str, LCMeasurement] = {}
+        lc_observations = []
+        for name, profile in collocation.lc_profiles.items():
+            load = loads[name]
+            eff = resources[name]
+            capacity = profile.capacity_rps(
+                eff.cores, eff.ways, eff.bandwidth_multiplier, eff.transient_penalty
+            )
+            stretch = (
+                profile.stretch(eff.ways, eff.bandwidth_multiplier)
+                * eff.transient_penalty
+            )
+            true_tail = (
+                profile.base_latency_ms + eff.sched_delay_ms
+            ) + backlogs[name].step(
+                arrival_rps=profile.arrival_rps(load),
+                capacity_rps=capacity,
+                servers=min(eff.cores, float(profile.threads)),
+                service_time_ms=profile.service_time_ms * stretch,
+                epoch_s=collocation.epoch_s,
+                percentile=profile.percentile,
+                service_cv=profile.service_cv,
+            )
+            measured_tail = monitor.latency_ms(true_tail)
+            key = (name, round(load, 6))
+            if key not in ideal_cache:
+                ideal_cache[key] = profile.ideal_latency_ms(load)
+            ideal = ideal_cache[key]
+            measured_tail = max(measured_tail, ideal)
+            lc_measurements[name] = LCMeasurement(
+                name=name,
+                load_fraction=load,
+                tail_ms=measured_tail,
+                ideal_ms=ideal,
+                threshold_ms=profile.threshold_ms,
+            )
+            lc_observations.append(
+                LCObservation(
+                    name=name,
+                    ideal_ms=ideal,
+                    measured_ms=measured_tail,
+                    threshold_ms=profile.threshold_ms,
+                )
+            )
+
+        be_measurements: Dict[str, BEMeasurement] = {}
+        be_observations = []
+        for name, profile in collocation.be_profiles.items():
+            eff = resources[name]
+            true_ipc = profile.ipc(
+                eff.cores, eff.ways, eff.bandwidth_multiplier, eff.transient_penalty
+            )
+            measured_ipc = min(monitor.ipc(true_ipc), profile.ipc_solo)
+            be_measurements[name] = BEMeasurement(
+                name=name, ipc=measured_ipc, ipc_solo=profile.ipc_solo
+            )
+            be_observations.append(
+                BEObservation(
+                    name=name, ipc_solo=profile.ipc_solo, ipc_real=measured_ipc
+                )
+            )
+
+        observation = SystemObservation(
+            lc=tuple(lc_observations), be=tuple(be_observations)
+        )
+        breakdown = observation.breakdown(collocation.relative_importance)
+
+        next_plan = scheduler.decide(context, observation, plan, time_s)
+        plan_changed = next_plan is not plan
+        if plan_changed:
+            next_plan.validate(context.node)
+
+        result.records.append(
+            EpochRecord(
+                index=index,
+                time_s=time_s,
+                plan=plan,
+                loads=dict(loads),
+                lc=lc_measurements,
+                be=be_measurements,
+                resources=resources,
+                observation=observation,
+                breakdown=breakdown,
+                plan_changed=plan_changed,
+            )
+        )
+        plan = next_plan
+
+    return result

@@ -1,0 +1,29 @@
+"""Multi-node extension: placement and datacenter-level entropy.
+
+The paper quantifies interference *within* a datacenter but evaluates on a
+single node; this package scales the machinery out:
+
+* :mod:`repro.datacenter.placement` — strategies assigning applications to
+  nodes (round-robin, reservation-aware bin packing, and entropy-probed
+  greedy placement that uses ``E_S`` itself as the placement signal);
+* :mod:`repro.datacenter.cluster` — :class:`Datacenter`: run every node's
+  collocation under a scheduling strategy and aggregate the observations
+  into datacenter-level ``E_LC``/``E_BE``/``E_S``.
+"""
+
+from repro.datacenter.cluster import Datacenter, DatacenterResult
+from repro.datacenter.placement import (
+    BinPackingPlacement,
+    EntropyAwarePlacement,
+    Placement,
+    RoundRobinPlacement,
+)
+
+__all__ = [
+    "BinPackingPlacement",
+    "Datacenter",
+    "DatacenterResult",
+    "EntropyAwarePlacement",
+    "Placement",
+    "RoundRobinPlacement",
+]

@@ -1,0 +1,130 @@
+"""The datacenter: many nodes, one entropy figure.
+
+:class:`Datacenter` runs each node's collocation under (a fresh instance
+of) a scheduling strategy and aggregates every node's post-warm-up
+observations into datacenter-level entropies — ``E_S`` was designed to be
+"robust to various collocation scenarios" (§II), and pooling observations
+across nodes is exactly the holistic use the paper motivates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from repro.cluster.run import RunResult, run_collocation
+from repro.datacenter.placement import Assignment, Member, Placement
+from repro.entropy.records import (
+    BEObservation,
+    EntropyBreakdown,
+    LCObservation,
+    SystemObservation,
+)
+from repro.errors import ConfigurationError
+from repro.schedulers.base import Scheduler
+from repro.server.spec import NodeSpec
+
+
+@dataclass(frozen=True)
+class DatacenterResult:
+    """Per-node runs plus the pooled datacenter summary."""
+
+    placement_name: str
+    scheduler_name: str
+    node_results: Sequence[RunResult]
+    assignment: Assignment
+
+    def pooled_observation(self) -> SystemObservation:
+        """All nodes' mean post-warm-up observations, pooled."""
+        lc: List[LCObservation] = []
+        be: List[BEObservation] = []
+        for result in self.node_results:
+            records = result.measured_records()
+            for name in result.collocation.lc_profiles:
+                samples = [r.lc[name] for r in records]
+                lc.append(
+                    LCObservation(
+                        name=name,
+                        ideal_ms=sum(s.ideal_ms for s in samples) / len(samples),
+                        measured_ms=sum(s.tail_ms for s in samples) / len(samples),
+                        threshold_ms=samples[0].threshold_ms,
+                    )
+                )
+            for name, profile in result.collocation.be_profiles.items():
+                samples = [r.be[name].ipc for r in records]
+                be.append(
+                    BEObservation(
+                        name=name,
+                        ipc_solo=profile.ipc_solo,
+                        ipc_real=sum(samples) / len(samples),
+                    )
+                )
+        return SystemObservation(lc=tuple(lc), be=tuple(be))
+
+    def breakdown(self, relative_importance: float = 0.8) -> EntropyBreakdown:
+        """Datacenter-level Table II-style summary."""
+        return self.pooled_observation().breakdown(relative_importance)
+
+    def yield_fraction(self) -> float:
+        return self.pooled_observation().yield_fraction()
+
+    def per_node_entropy(self) -> List[float]:
+        return [result.mean_e_s() for result in self.node_results]
+
+
+@dataclass(frozen=True)
+class Datacenter:
+    """A set of nodes to place applications on and run strategies over."""
+
+    specs: Sequence[NodeSpec]
+
+    def __post_init__(self) -> None:
+        if not self.specs:
+            raise ConfigurationError("a datacenter needs at least one node")
+
+    def run(
+        self,
+        members: Sequence[Member],
+        placement: Placement,
+        scheduler_factory: Callable[[], Scheduler],
+        duration_s: float = 120.0,
+        warmup_s: float = 60.0,
+        seed: int = 2023,
+    ) -> DatacenterResult:
+        """Place ``members``, run every node, aggregate.
+
+        Each node gets a *fresh* scheduler instance (schedulers carry
+        internal state) and a distinct RNG seed.
+        """
+        assignment = placement.assign(members, self.specs)
+        collocations = assignment.collocations(self.specs, seed=seed)
+        results = [
+            run_collocation(
+                collocation, scheduler_factory(), duration_s, warmup_s
+            )
+            for collocation in collocations
+        ]
+        scheduler_name = results[0].scheduler_name if results else "n/a"
+        return DatacenterResult(
+            placement_name=placement.name,
+            scheduler_name=scheduler_name,
+            node_results=tuple(results),
+            assignment=assignment,
+        )
+
+    def compare_placements(
+        self,
+        members: Sequence[Member],
+        placements: Sequence[Placement],
+        scheduler_factory: Callable[[], Scheduler],
+        duration_s: float = 120.0,
+        warmup_s: float = 60.0,
+        seed: int = 2023,
+    ) -> Dict[str, DatacenterResult]:
+        """Run several placements on the same application set."""
+        return {
+            placement.name: self.run(
+                members, placement, scheduler_factory, duration_s, warmup_s, seed
+            )
+            for placement in placements
+        }

@@ -1,0 +1,66 @@
+"""The system entropy (``E_S``) theory — the paper's primary contribution.
+
+This package implements §II of the paper:
+
+* per-application quantities ``A_i`` (interference tolerance), ``R_i``
+  (suffered interference), ``ReT_i`` (remaining tolerance) and ``Q_i``
+  (intolerable interference) — Eqs. (1)–(4), in :mod:`repro.entropy.tolerance`;
+* the aggregate entropies ``E_LC`` (Eq. 5), ``E_BE`` (Eq. 6) and
+  ``E_S`` (Eq. 7), in :mod:`repro.entropy.aggregate`;
+* observation containers and full per-system breakdowns (Table II style),
+  in :mod:`repro.entropy.records`;
+* resource equivalence and isentropic lines (§II-C, Fig. 3), in
+  :mod:`repro.entropy.equivalence`;
+* checkers for the three required properties of ``E_S`` (§II-A), in
+  :mod:`repro.entropy.properties`;
+* the §II-B extension with per-application importance weights, in
+  :mod:`repro.entropy.weighted`;
+* the related work's ad-hoc interference metrics (§VII), for side-by-side
+  comparison, in :mod:`repro.entropy.alternatives`.
+"""
+
+from repro.entropy.aggregate import (
+    DEFAULT_RELATIVE_IMPORTANCE,
+    be_entropy,
+    lc_entropy,
+    system_entropy,
+)
+from repro.entropy.equivalence import (
+    EquivalencePoint,
+    IsentropicLine,
+    isentropic_line,
+    resource_equivalence,
+    resources_for_entropy,
+)
+from repro.entropy.records import (
+    BEObservation,
+    EntropyBreakdown,
+    LCObservation,
+    SystemObservation,
+)
+from repro.entropy.tolerance import (
+    interference_suffered,
+    interference_tolerance,
+    intolerable_interference,
+    remaining_tolerance,
+)
+
+__all__ = [
+    "DEFAULT_RELATIVE_IMPORTANCE",
+    "BEObservation",
+    "EntropyBreakdown",
+    "EquivalencePoint",
+    "IsentropicLine",
+    "LCObservation",
+    "SystemObservation",
+    "be_entropy",
+    "interference_suffered",
+    "interference_tolerance",
+    "intolerable_interference",
+    "isentropic_line",
+    "lc_entropy",
+    "remaining_tolerance",
+    "resource_equivalence",
+    "resources_for_entropy",
+    "system_entropy",
+]

@@ -1,0 +1,105 @@
+"""Aggregate entropies — Eqs. (5)–(7) of the paper.
+
+``E_LC`` averages the intolerable interference ``Q_i`` over the LC
+applications; ``E_BE`` is one minus the harmonic mean of the BE speed ratios
+(equivalently, the slowdown incurred by interference); ``E_S`` combines the
+two linearly with the relative importance ``RI``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+from repro.entropy.tolerance import intolerable_interference
+from repro.errors import ModelError
+
+#: The paper's representative choice for the relative importance of LC over
+#: BE applications (§II-B): "without losing representativeness, we set RI to
+#: 0.8".
+DEFAULT_RELATIVE_IMPORTANCE = 0.8
+
+
+def lc_entropy(observations: Sequence[Tuple[float, float, float]]) -> float:
+    """``E_LC = (1/N) Σ Q_i`` (Eq. 5).
+
+    Parameters
+    ----------
+    observations:
+        One ``(TL_i0, TL_i1, M_i)`` triple per LC application.
+
+    Returns
+    -------
+    float
+        A value in ``[0, 1)``. 0 exactly when every LC application meets
+        its QoS target (yield = 100%).
+    """
+    triples = list(observations)
+    if not triples:
+        raise ModelError("E_LC requires at least one LC observation")
+    total = 0.0
+    for ideal_ms, measured_ms, threshold_ms in triples:
+        total += intolerable_interference(ideal_ms, measured_ms, threshold_ms)
+    return total / len(triples)
+
+
+def be_entropy(observations: Sequence[Tuple[float, float]]) -> float:
+    """``E_BE = 1 − M / Σ (IPC_solo / IPC_real)`` (Eq. 6).
+
+    Parameters
+    ----------
+    observations:
+        One ``(IPC_solo, IPC_real)`` pair per BE application.
+
+    Returns
+    -------
+    float
+        A value in ``[0, 1)``. 0 exactly when no BE application is slowed
+        down at all.
+    """
+    pairs = list(observations)
+    if not pairs:
+        raise ModelError("E_BE requires at least one BE observation")
+    slowdown_sum = 0.0
+    for ipc_solo, ipc_real in pairs:
+        if ipc_solo <= 0 or ipc_real <= 0:
+            raise ModelError(
+                f"IPC values must be positive, got solo={ipc_solo} real={ipc_real}"
+            )
+        # Interference cannot speed an application up; clamp noise at 1.
+        slowdown_sum += max(1.0, ipc_solo / ipc_real)
+    return 1.0 - len(pairs) / slowdown_sum
+
+
+def system_entropy(
+    e_lc: float, e_be: float, relative_importance: float = DEFAULT_RELATIVE_IMPORTANCE
+) -> float:
+    """``E_S = RI · E_LC + (1 − RI) · E_BE`` (Eq. 7).
+
+    ``RI`` expresses how much more important LC user experience is than BE
+    throughput. The paper notes that when resources are insufficient the
+    sensible range narrows to ``[0.5, 1]``; this function accepts the full
+    ``[0, 1]`` range and leaves policy to the caller.
+    """
+    if not 0.0 <= relative_importance <= 1.0:
+        raise ModelError(
+            f"relative importance must be in [0, 1], got {relative_importance}"
+        )
+    for label, value in (("E_LC", e_lc), ("E_BE", e_be)):
+        if not 0.0 <= value <= 1.0:
+            raise ModelError(f"{label} must be in [0, 1], got {value}")
+    return relative_importance * e_lc + (1.0 - relative_importance) * e_be
+
+
+def mean_entropy(values: Iterable[float]) -> float:
+    """Arithmetic mean of a series of entropy samples (time averaging).
+
+    Used when summarising a run: the paper reports per-strategy averages of
+    ``E_S`` over the measurement window.
+    """
+    samples = list(values)
+    if not samples:
+        raise ModelError("cannot average an empty series of entropy samples")
+    for value in samples:
+        if not 0.0 <= value <= 1.0:
+            raise ModelError(f"entropy samples must be in [0, 1], got {value}")
+    return sum(samples) / len(samples)

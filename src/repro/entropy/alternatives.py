@@ -1,0 +1,93 @@
+"""The ad-hoc interference metrics of the related work (§VII).
+
+The paper argues that prior quantifications of interference are effective
+only in special cases: the ratio of tail latency over instruction
+throughput [Sun et al. 44], the reduced service rate of an interfered
+VM and the duration of interference [Votke et al. 47, 48], and plain
+slowdown ratios of IPC or execution time. Implementing them side by side
+with ``E_S`` lets the experiments *show* (rather than assert) where each
+ad-hoc metric stops ranking strategies sensibly — see
+``examples/metric_comparison.py``.
+
+All functions return "higher = more interference" so rankings are
+directly comparable with ``E_S``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.entropy.records import BEObservation, LCObservation
+from repro.errors import ModelError
+
+
+def latency_throughput_ratio(
+    lc: Sequence[LCObservation], be: Sequence[BEObservation]
+) -> float:
+    """Mean tail latency over mean BE IPC (Sun et al. style).
+
+    Dimensionful (ms per IPC), dominated by whichever application has the
+    largest absolute latency — the unit problem the paper criticises.
+    """
+    if not lc or not be:
+        raise ModelError("the ratio needs both LC and BE observations")
+    mean_latency = sum(o.measured_ms for o in lc) / len(lc)
+    mean_ipc = sum(o.ipc_real for o in be) / len(be)
+    if mean_ipc <= 0:
+        raise ModelError("mean IPC must be positive")
+    return mean_latency / mean_ipc
+
+
+def mean_slowdown(lc: Sequence[LCObservation]) -> float:
+    """Mean latency slowdown ``TL_i1 / TL_i0`` (CPI²/Bubble-Up style).
+
+    Scale-free per application but QoS-blind: a 3× slowdown far below the
+    threshold scores the same as a 3× slowdown deep in violation.
+    """
+    if not lc:
+        raise ModelError("mean slowdown needs at least one LC observation")
+    return sum(max(1.0, o.measured_ms / o.ideal_ms) for o in lc) / len(lc)
+
+
+def service_rate_reduction(lc: Sequence[LCObservation]) -> float:
+    """Mean reduced service rate under interference (Votke et al. style).
+
+    Approximates each application's service-rate loss by the inverse
+    latency ratio ``1 − TL_i0/TL_i1`` — the same quantity as the paper's
+    ``R_i`` but *without* the tolerance thresholding that turns it into
+    ``Q_i``.
+    """
+    if not lc:
+        raise ModelError("service-rate reduction needs LC observations")
+    total = 0.0
+    for o in lc:
+        if o.measured_ms <= 0:
+            raise ModelError("measured latency must be positive")
+        total += max(0.0, 1.0 - o.ideal_ms / o.measured_ms)
+    return total / len(lc)
+
+
+def violation_fraction(lc: Sequence[LCObservation]) -> float:
+    """Fraction of LC applications violating QoS (1 − yield).
+
+    Threshold-aware but binary: it cannot distinguish a 1% violation from
+    a 10× one, nor reward BE throughput at all.
+    """
+    if not lc:
+        raise ModelError("violation fraction needs LC observations")
+    return sum(1 for o in lc if not o.satisfied) / len(lc)
+
+
+def interference_duration_fraction(
+    satisfied_flags: Sequence[bool],
+) -> float:
+    """Fraction of monitoring epochs spent under interference.
+
+    The duration-based view of Votke et al.: how long interference lasted,
+    regardless of its depth. Feed it one flag per epoch (e.g. "any LC
+    application violating this epoch").
+    """
+    flags = list(satisfied_flags)
+    if not flags:
+        raise ModelError("duration fraction needs at least one epoch flag")
+    return sum(1 for satisfied in flags if not satisfied) / len(flags)

@@ -1,0 +1,159 @@
+"""Resource equivalence and isentropic lines (§II-C and Fig. 3).
+
+Two tools for comparing scheduling strategies *in resource terms*:
+
+* :func:`resource_equivalence` — given two strategies' ``E_S``-vs-resource
+  curves, how many resources does the better strategy save at a target
+  entropy level? (Fig. 3a: ARQ saves 2 cores at ``E_S = 0.25``.)
+* :func:`isentropic_line` — for a strategy evaluated over a 2-D resource
+  grid (cores × LLC ways), the combinations that achieve a given ``E_S``
+  (Fig. 3b).
+
+Both work on *measured curves*: mappings from resource amount to entropy.
+Interpolation is linear, which matches how the paper reads fractional core
+counts (e.g. "7.61 cores") off its measured curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True)
+class EquivalencePoint:
+    """Resource equivalence of ``better`` over ``worse`` at one entropy level."""
+
+    target_entropy: float
+    resources_worse: float
+    resources_better: float
+
+    @property
+    def saved(self) -> float:
+        """ΔR — the resource equivalence (positive when `better` wins)."""
+        return self.resources_worse - self.resources_better
+
+
+@dataclass(frozen=True)
+class IsentropicLine:
+    """Points ``(x_resource, y_resource)`` achieving the same ``E_S``."""
+
+    target_entropy: float
+    points: Tuple[Tuple[float, float], ...]
+
+
+def _as_sorted_curve(curve: Mapping[float, float]) -> List[Tuple[float, float]]:
+    if not curve:
+        raise ModelError("an entropy curve needs at least one point")
+    points = sorted(curve.items())
+    for resource, entropy in points:
+        if resource <= 0:
+            raise ModelError(f"resource amounts must be positive, got {resource}")
+        if not 0.0 <= entropy <= 1.0:
+            raise ModelError(f"entropy values must be in [0, 1], got {entropy}")
+    return points
+
+
+def resources_for_entropy(
+    curve: Mapping[float, float], target_entropy: float
+) -> Optional[float]:
+    """Invert an ``E_S``-vs-resource curve at ``target_entropy``.
+
+    The curve maps resource amount → measured ``E_S`` and is expected to be
+    non-increasing in the resource amount (property ② of §II-A); mild
+    measurement noise is tolerated by scanning for the first bracketing
+    segment. Returns the (linearly interpolated) resource amount at which
+    the strategy first reaches ``target_entropy``, or ``None`` if the curve
+    never gets that low.
+    """
+    if not 0.0 <= target_entropy <= 1.0:
+        raise ModelError(f"target entropy must be in [0, 1], got {target_entropy}")
+    points = _as_sorted_curve(curve)
+    previous = None
+    for resource, entropy in points:
+        if entropy <= target_entropy:
+            if previous is None:
+                return resource
+            prev_resource, prev_entropy = previous
+            if prev_entropy == entropy:
+                return resource
+            # Linear interpolation between the bracketing samples.
+            t = (prev_entropy - target_entropy) / (prev_entropy - entropy)
+            return prev_resource + t * (resource - prev_resource)
+        previous = (resource, entropy)
+    return None
+
+
+def resource_equivalence(
+    curve_worse: Mapping[float, float],
+    curve_better: Mapping[float, float],
+    target_entropy: float,
+) -> Optional[EquivalencePoint]:
+    """Resource equivalence ΔR of ``curve_better`` relative to ``curve_worse``.
+
+    Returns ``None`` when either strategy cannot reach the target entropy
+    within the measured resource range.
+    """
+    worse = resources_for_entropy(curve_worse, target_entropy)
+    better = resources_for_entropy(curve_better, target_entropy)
+    if worse is None or better is None:
+        return None
+    return EquivalencePoint(
+        target_entropy=target_entropy,
+        resources_worse=worse,
+        resources_better=better,
+    )
+
+
+def isentropic_line(
+    surface: Mapping[Tuple[float, float], float],
+    target_entropy: float,
+) -> IsentropicLine:
+    """Extract an isentropic line from an ``E_S`` surface.
+
+    Parameters
+    ----------
+    surface:
+        Mapping ``(x_resource, y_resource) → E_S`` — e.g. (LLC ways, cores)
+        as in Fig. 3b.
+    target_entropy:
+        The entropy level of the line (the paper uses 0.3).
+
+    Returns
+    -------
+    IsentropicLine
+        For each distinct ``x`` value, the minimal interpolated ``y``
+        achieving ``E_S ≤ target_entropy`` (omitted when unreachable).
+    """
+    if not surface:
+        raise ModelError("an entropy surface needs at least one point")
+    by_x: Dict[float, Dict[float, float]] = {}
+    for (x, y), entropy in surface.items():
+        by_x.setdefault(x, {})[y] = entropy
+    points = []
+    for x in sorted(by_x):
+        y_needed = resources_for_entropy(by_x[x], target_entropy)
+        if y_needed is not None:
+            points.append((x, y_needed))
+    return IsentropicLine(target_entropy=target_entropy, points=tuple(points))
+
+
+def equivalence_along_line(
+    line_worse: IsentropicLine, line_better: IsentropicLine
+) -> Dict[float, float]:
+    """Per-``x`` resource savings between two isentropic lines.
+
+    For every ``x`` present in both lines, the difference in the ``y``
+    resource the two strategies need (positive when ``better`` needs less).
+    This is how the paper reads "ARQ saves 1 processing core at 8 LLC ways"
+    off Fig. 3b.
+    """
+    if line_worse.target_entropy != line_better.target_entropy:
+        raise ModelError(
+            "isentropic lines must share a target entropy to be comparable"
+        )
+    worse = dict(line_worse.points)
+    better = dict(line_better.points)
+    return {x: worse[x] - better[x] for x in sorted(set(worse) & set(better))}

@@ -1,0 +1,100 @@
+"""Checkers for the three required properties of ``E_S`` (§II-A).
+
+The paper *requires* the entropy measure to be: ① dimensionless with values
+in [0, 1]; ② non-increasing in the amount of available resources; and
+③ decreasing when the scheduling strategy reduces contention. §III verifies
+the expression empirically. These helpers make the verification executable —
+they are used both by the test suite and by the Fig. 2 / Fig. 3 experiment
+harnesses to assert that measured curves behave.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class PropertyViolation:
+    """A single violation of one of the §II-A properties."""
+
+    property_name: str
+    detail: str
+
+
+def check_dimensionless(values: Sequence[float]) -> List[PropertyViolation]:
+    """Property ①: every entropy sample must lie within [0, 1]."""
+    violations = []
+    for index, value in enumerate(values):
+        if not 0.0 <= value <= 1.0:
+            violations.append(
+                PropertyViolation(
+                    property_name="dimensionless",
+                    detail=f"sample {index} out of [0, 1]: {value}",
+                )
+            )
+    return violations
+
+
+def check_resource_sensitivity(
+    curve: Mapping[float, float], tolerance: float = 0.0
+) -> List[PropertyViolation]:
+    """Property ②: more resources must not increase ``E_S``.
+
+    ``tolerance`` allows a small positive slack for measurement noise in
+    empirical curves (use 0 for analytic curves).
+    """
+    violations = []
+    points = sorted(curve.items())
+    for (r_lo, e_lo), (r_hi, e_hi) in zip(points, points[1:]):
+        if e_hi > e_lo + tolerance:
+            violations.append(
+                PropertyViolation(
+                    property_name="resource_amount_sensitiveness",
+                    detail=(
+                        f"E_S increased from {e_lo:.4f} to {e_hi:.4f} when "
+                        f"resources grew from {r_lo} to {r_hi}"
+                    ),
+                )
+            )
+    return violations
+
+
+def check_strategy_sensitivity(
+    entropy_less_contention: float,
+    entropy_more_contention: float,
+    tolerance: float = 0.0,
+) -> List[PropertyViolation]:
+    """Property ③: reducing contention must reduce ``E_S``.
+
+    Compare the entropy of a strategy known to reduce contention against a
+    strategy known to cause more contention on the same workload and
+    resources.
+    """
+    if entropy_less_contention > entropy_more_contention + tolerance:
+        return [
+            PropertyViolation(
+                property_name="scheduling_strategy_sensitiveness",
+                detail=(
+                    f"the contention-reducing strategy scored E_S="
+                    f"{entropy_less_contention:.4f}, above the baseline's "
+                    f"{entropy_more_contention:.4f}"
+                ),
+            )
+        ]
+    return []
+
+
+def verify_all(
+    samples: Sequence[float],
+    resource_curves: Sequence[Mapping[float, float]] = (),
+    strategy_pairs: Sequence[Tuple[float, float]] = (),
+    noise_tolerance: float = 0.0,
+) -> List[PropertyViolation]:
+    """Run every §II-A property check and collect all violations."""
+    violations = list(check_dimensionless(samples))
+    for curve in resource_curves:
+        violations.extend(check_resource_sensitivity(curve, noise_tolerance))
+    for better, worse in strategy_pairs:
+        violations.extend(check_strategy_sensitivity(better, worse, noise_tolerance))
+    return violations

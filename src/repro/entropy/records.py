@@ -1,0 +1,198 @@
+"""Observation containers and entropy breakdowns (Table II style).
+
+The entropy theory consumes *observations*: for each LC application the
+triple ``(TL_i0, TL_i1, M_i)`` and for each BE application the pair
+``(IPC_solo, IPC_real)``. :class:`SystemObservation` bundles one epoch's
+worth of observations for a whole node, and :meth:`SystemObservation.breakdown`
+produces the full per-application and aggregate picture the paper prints in
+Table II.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.entropy import aggregate, tolerance
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True)
+class LCObservation:
+    """One latency-critical application's observed state in an epoch."""
+
+    name: str
+    ideal_ms: float  # TL_i0
+    measured_ms: float  # TL_i1
+    threshold_ms: float  # M_i
+
+    @property
+    def tolerance(self) -> float:
+        """``A_i`` (Eq. 1)."""
+        return tolerance.interference_tolerance(self.ideal_ms, self.threshold_ms)
+
+    @property
+    def suffered(self) -> float:
+        """``R_i`` (Eq. 2)."""
+        return tolerance.interference_suffered(self.ideal_ms, self.measured_ms)
+
+    @property
+    def remaining(self) -> float:
+        """``ReT_i`` (Eq. 3)."""
+        return tolerance.remaining_tolerance(
+            self.ideal_ms, self.measured_ms, self.threshold_ms
+        )
+
+    @property
+    def intolerable(self) -> float:
+        """``Q_i`` (Eq. 4)."""
+        return tolerance.intolerable_interference(
+            self.ideal_ms, self.measured_ms, self.threshold_ms
+        )
+
+    @property
+    def satisfied(self) -> bool:
+        """True when the measured tail latency meets the QoS target."""
+        return self.measured_ms <= self.threshold_ms
+
+
+@dataclass(frozen=True)
+class BEObservation:
+    """One best-effort application's observed state in an epoch."""
+
+    name: str
+    ipc_solo: float
+    ipc_real: float
+
+    def __post_init__(self) -> None:
+        if self.ipc_solo <= 0:
+            raise ModelError(f"ipc_solo must be positive, got {self.ipc_solo}")
+        if self.ipc_real <= 0:
+            raise ModelError(f"ipc_real must be positive, got {self.ipc_real}")
+
+    @property
+    def slowdown(self) -> float:
+        """``IPC_solo / IPC_real`` — ≥ 1 under interference."""
+        return max(1.0, self.ipc_solo / self.ipc_real)
+
+
+@dataclass(frozen=True)
+class EntropyBreakdown:
+    """The aggregate entropy picture for one epoch (Table II's System rows)."""
+
+    e_lc: float
+    e_be: float
+    e_s: float
+    relative_importance: float
+    mean_tolerance: float  # system-level mean A_i
+    mean_suffered: float  # system-level mean R_i
+    mean_remaining: float  # system-level mean ReT_i
+    yield_fraction: float  # ratio of satisfied LC applications ("yield")
+
+
+@dataclass(frozen=True)
+class SystemObservation:
+    """All observations for one node in one epoch.
+
+    Either application list may be empty — the paper's scenarios 1 and 2
+    (only LC, only BE) are the degenerate cases of scenario 3.
+    """
+
+    lc: Sequence[LCObservation] = field(default_factory=tuple)
+    be: Sequence[BEObservation] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.lc and not self.be:
+            raise ModelError("a SystemObservation needs at least one application")
+
+    def lc_entropy(self) -> float:
+        """``E_LC`` of this observation (Eq. 5); 0.0 when no LC apps exist."""
+        if not self.lc:
+            return 0.0
+        return aggregate.lc_entropy(
+            [(o.ideal_ms, o.measured_ms, o.threshold_ms) for o in self.lc]
+        )
+
+    def be_entropy(self) -> float:
+        """``E_BE`` of this observation (Eq. 6); 0.0 when no BE apps exist."""
+        if not self.be:
+            return 0.0
+        return aggregate.be_entropy([(o.ipc_solo, o.ipc_real) for o in self.be])
+
+    def system_entropy(self, relative_importance: Optional[float] = None) -> float:
+        """``E_S`` (Eq. 7), handling the paper's three scenarios.
+
+        When only LC applications run, ``RI`` is forced to 1; when only BE
+        applications run, to 0; otherwise ``relative_importance`` is used
+        (defaulting to the paper's 0.8).
+        """
+        ri = self._effective_ri(relative_importance)
+        return aggregate.system_entropy(self.lc_entropy(), self.be_entropy(), ri)
+
+    def yield_fraction(self) -> float:
+        """Ratio of LC applications meeting their QoS target (the "yield")."""
+        if not self.lc:
+            return 1.0
+        return sum(1 for o in self.lc if o.satisfied) / len(self.lc)
+
+    def breakdown(
+        self, relative_importance: Optional[float] = None
+    ) -> EntropyBreakdown:
+        """Compute the full Table II-style summary for this epoch."""
+        ri = self._effective_ri(relative_importance)
+        n = len(self.lc)
+        return EntropyBreakdown(
+            e_lc=self.lc_entropy(),
+            e_be=self.be_entropy(),
+            e_s=self.system_entropy(ri),
+            relative_importance=ri,
+            mean_tolerance=(sum(o.tolerance for o in self.lc) / n) if n else 0.0,
+            mean_suffered=(sum(o.suffered for o in self.lc) / n) if n else 0.0,
+            mean_remaining=(sum(o.remaining for o in self.lc) / n) if n else 0.0,
+            yield_fraction=self.yield_fraction(),
+        )
+
+    def remaining_tolerances(self) -> Dict[str, float]:
+        """Map LC application name → ``ReT_i`` (the array ARQ consumes)."""
+        return {o.name: o.remaining for o in self.lc}
+
+    def _effective_ri(self, relative_importance: Optional[float]) -> float:
+        if not self.lc:
+            return 0.0
+        if not self.be:
+            return 1.0
+        if relative_importance is None:
+            return aggregate.DEFAULT_RELATIVE_IMPORTANCE
+        return relative_importance
+
+    @staticmethod
+    def table_rows(observation: "SystemObservation") -> List[dict]:
+        """Rows in the layout of the paper's Table II (one dict per LC app,
+        plus a final ``System`` row with the aggregates)."""
+        rows = []
+        for o in observation.lc:
+            rows.append(
+                {
+                    "application": o.name,
+                    "TL_i0": o.ideal_ms,
+                    "TL_i1": o.measured_ms,
+                    "M_i": o.threshold_ms,
+                    "A_i": o.tolerance,
+                    "R_i": o.suffered,
+                    "ReT_i": o.remaining,
+                    "Q_i": o.intolerable,
+                }
+            )
+        summary = observation.breakdown()
+        rows.append(
+            {
+                "application": "System",
+                "A_i": summary.mean_tolerance,
+                "R_i": summary.mean_suffered,
+                "ReT_i": summary.mean_remaining,
+                "E_LC": summary.e_lc,
+                "E_BE": summary.e_be,
+                "E_S": summary.e_s,
+            }
+        )
+        return rows

@@ -1,0 +1,114 @@
+"""Per-application interference quantities — Eqs. (1)–(4) of the paper.
+
+Each latency-critical application ``i`` has three basic attributes:
+
+* ``TL_i0`` — its *ideal* tail latency, measured while running alone with
+  sufficient resources;
+* ``TL_i1`` — its tail latency under collocation (potentially interfered);
+* ``M_i``  — the maximum tail latency the user tolerates.
+
+From these the paper derives four dimensionless quantities, all implemented
+here as pure functions:
+
+======================  ==========================================  ========
+quantity                meaning                                      equation
+======================  ==========================================  ========
+``A_i``                 interference tolerance                       (1)
+``R_i``                 interference actually suffered               (2)
+``ReT_i``               remaining tolerance after interference       (3)
+``Q_i``                 interference the app cannot tolerate         (4)
+======================  ==========================================  ========
+
+The names of these quantities give the ARQ scheduler its name.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ModelError
+
+
+def _validate_latencies(
+    ideal_ms: float, measured_ms: float, threshold_ms: float
+) -> None:
+    """Validate the (TL_i0, TL_i1, M_i) triple shared by Eqs. (1)-(4)."""
+    if ideal_ms <= 0:
+        raise ModelError(f"ideal tail latency must be positive, got {ideal_ms}")
+    if measured_ms <= 0:
+        raise ModelError(f"measured tail latency must be positive, got {measured_ms}")
+    if threshold_ms <= 0:
+        raise ModelError(f"tail latency threshold must be positive, got {threshold_ms}")
+    if ideal_ms > threshold_ms:
+        raise ModelError(
+            "ideal tail latency exceeds the threshold "
+            f"(TL_i0={ideal_ms} > M_i={threshold_ms}); the QoS target is "
+            "unsatisfiable even without interference"
+        )
+
+
+def interference_tolerance(ideal_ms: float, threshold_ms: float) -> float:
+    """``A_i = 1 − TL_i0 / M_i`` (Eq. 1).
+
+    The closer ``A_i`` is to 0 the less interference the application can
+    absorb before violating its QoS target. Range: ``[0, 1)``.
+
+    Parameters
+    ----------
+    ideal_ms:
+        ``TL_i0`` — tail latency without any interference.
+    threshold_ms:
+        ``M_i`` — the maximum tolerable tail latency.
+    """
+    _validate_latencies(ideal_ms, ideal_ms, threshold_ms)
+    return 1.0 - ideal_ms / threshold_ms
+
+
+def interference_suffered(ideal_ms: float, measured_ms: float) -> float:
+    """``R_i = 1 − TL_i0 / TL_i1`` (Eq. 2).
+
+    Quantifies how much interference the application *actually* suffered
+    under collocation. Range: ``[0, 1)`` (0 when the measured latency is no
+    worse than the ideal one — the paper's ``TL_i0 < TL_i1`` assumption is
+    relaxed to allow noise-free measurements equal to the ideal).
+    """
+    if measured_ms <= 0:
+        raise ModelError(f"measured tail latency must be positive, got {measured_ms}")
+    if ideal_ms <= 0:
+        raise ModelError(f"ideal tail latency must be positive, got {ideal_ms}")
+    if measured_ms < ideal_ms:
+        # Measurement noise can make the collocated run *look* faster than
+        # the solo run; interference cannot be negative.
+        return 0.0
+    return 1.0 - ideal_ms / measured_ms
+
+
+def remaining_tolerance(
+    ideal_ms: float, measured_ms: float, threshold_ms: float
+) -> float:
+    """``ReT_i`` — Eq. (3): remaining tolerance after interference.
+
+    ``ReT_i = 1 − TL_i1 / M_i`` when the application still tolerates the
+    interference (``A_i > R_i``, equivalently ``TL_i1 < M_i``), else 0.
+    """
+    _validate_latencies(ideal_ms, measured_ms, threshold_ms)
+    tolerance = interference_tolerance(ideal_ms, threshold_ms)
+    suffered = interference_suffered(ideal_ms, measured_ms)
+    if tolerance > suffered:
+        return 1.0 - measured_ms / threshold_ms
+    return 0.0
+
+
+def intolerable_interference(
+    ideal_ms: float, measured_ms: float, threshold_ms: float
+) -> float:
+    """``Q_i`` — Eq. (4): interference the application cannot tolerate.
+
+    ``Q_i = 1 − M_i / TL_i1`` when the suffered interference exceeds the
+    tolerance (``R_i > A_i``, equivalently ``TL_i1 > M_i``), else 0.
+    ``Q_i`` is the quantity averaged into ``E_LC`` (Eq. 5).
+    """
+    _validate_latencies(ideal_ms, measured_ms, threshold_ms)
+    tolerance = interference_tolerance(ideal_ms, threshold_ms)
+    suffered = interference_suffered(ideal_ms, measured_ms)
+    if suffered > tolerance:
+        return 1.0 - threshold_ms / measured_ms
+    return 0.0

@@ -1,0 +1,148 @@
+"""Weighted system entropy — the paper's §II-B extension.
+
+The base model treats all LC applications equally and all BE applications
+equally; §II-B notes that "if necessary, the E_S model can be extended to
+involve different RI factors among the same type of applications". This
+module implements that extension:
+
+* :func:`weighted_lc_entropy` — per-application importance weights on the
+  intolerable interference ``Q_i``;
+* :func:`weighted_be_entropy` — importance-weighted harmonic slowdown;
+* :class:`WeightedEntropyModel` — a reusable weighting policy that reduces
+  to the paper's Eqs. (5)–(7) under uniform weights (a property the test
+  suite pins).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence
+
+from repro.entropy.aggregate import DEFAULT_RELATIVE_IMPORTANCE, system_entropy
+from repro.entropy.records import BEObservation, LCObservation, SystemObservation
+from repro.errors import ModelError
+
+
+def _normalised_weights(
+    names: Sequence[str], weights: Optional[Mapping[str, float]]
+) -> Dict[str, float]:
+    """Per-name weights normalised to sum to 1 (uniform when absent)."""
+    if not names:
+        raise ModelError("cannot weight an empty application set")
+    if weights is None:
+        uniform = 1.0 / len(names)
+        return {name: uniform for name in names}
+    missing = [name for name in names if name not in weights]
+    if missing:
+        raise ModelError(f"missing weights for: {sorted(missing)}")
+    for name in names:
+        if weights[name] < 0:
+            raise ModelError(f"weight of {name!r} cannot be negative")
+    total = sum(weights[name] for name in names)
+    if total <= 0:
+        raise ModelError("weights must not all be zero")
+    return {name: weights[name] / total for name in names}
+
+
+def weighted_lc_entropy(
+    observations: Sequence[LCObservation],
+    weights: Optional[Mapping[str, float]] = None,
+) -> float:
+    """``E_LC`` with per-application importance weights.
+
+    ``E_LC = Σ w_i · Q_i`` with ``Σ w_i = 1``; uniform weights recover
+    Eq. (5) exactly.
+    """
+    if not observations:
+        raise ModelError("weighted E_LC requires at least one LC observation")
+    shares = _normalised_weights([o.name for o in observations], weights)
+    return sum(shares[o.name] * o.intolerable for o in observations)
+
+
+def weighted_be_entropy(
+    observations: Sequence[BEObservation],
+    weights: Optional[Mapping[str, float]] = None,
+) -> float:
+    """``E_BE`` with per-application importance weights.
+
+    The unweighted Eq. (6) is one minus the harmonic mean of the speed
+    ratios; the weighted form uses the weighted harmonic mean:
+    ``E_BE = 1 − 1 / Σ w_i · slowdown_i`` — uniform weights recover
+    Eq. (6) exactly.
+    """
+    if not observations:
+        raise ModelError("weighted E_BE requires at least one BE observation")
+    shares = _normalised_weights([o.name for o in observations], weights)
+    weighted_slowdown = sum(shares[o.name] * o.slowdown for o in observations)
+    return 1.0 - 1.0 / weighted_slowdown
+
+
+@dataclass(frozen=True)
+class WeightedEntropyModel:
+    """A reusable importance policy over a collocation's applications.
+
+    Attributes
+    ----------
+    lc_weights / be_weights:
+        Application name → importance (any positive scale; normalised
+        internally). ``None`` means uniform — the paper's base model.
+    relative_importance:
+        The LC-vs-BE split of Eq. (7).
+    """
+
+    lc_weights: Optional[Mapping[str, float]] = None
+    be_weights: Optional[Mapping[str, float]] = None
+    relative_importance: float = DEFAULT_RELATIVE_IMPORTANCE
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.relative_importance <= 1.0:
+            raise ModelError("relative importance must be in [0, 1]")
+
+    @staticmethod
+    def _filled(
+        names: Sequence[str], weights: Optional[Mapping[str, float]]
+    ) -> Optional[Dict[str, float]]:
+        """Model-level convenience: unnamed applications default to 1.0."""
+        if weights is None:
+            return None
+        return {name: weights.get(name, 1.0) for name in names}
+
+    def lc_entropy(self, observation: SystemObservation) -> float:
+        if not observation.lc:
+            return 0.0
+        names = [o.name for o in observation.lc]
+        return weighted_lc_entropy(
+            list(observation.lc), self._filled(names, self.lc_weights)
+        )
+
+    def be_entropy(self, observation: SystemObservation) -> float:
+        if not observation.be:
+            return 0.0
+        names = [o.name for o in observation.be]
+        return weighted_be_entropy(
+            list(observation.be), self._filled(names, self.be_weights)
+        )
+
+    def system_entropy(self, observation: SystemObservation) -> float:
+        """Weighted ``E_S``, degrading to scenario 1/2 like the base model."""
+        if not observation.lc:
+            return self.be_entropy(observation)
+        if not observation.be:
+            return self.lc_entropy(observation)
+        return system_entropy(
+            self.lc_entropy(observation),
+            self.be_entropy(observation),
+            self.relative_importance,
+        )
+
+    def with_lc_priority(self, name: str, factor: float) -> "WeightedEntropyModel":
+        """A copy boosting one LC application's importance by ``factor``."""
+        if factor <= 0:
+            raise ModelError("importance factor must be positive")
+        base = dict(self.lc_weights) if self.lc_weights else {}
+        base[name] = base.get(name, 1.0) * factor
+        return WeightedEntropyModel(
+            lc_weights=base,
+            be_weights=self.be_weights,
+            relative_importance=self.relative_importance,
+        )

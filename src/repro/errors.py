@@ -1,0 +1,45 @@
+"""Exception hierarchy for the Ah-Q reproduction.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed with invalid or inconsistent parameters."""
+
+
+class AllocationError(ReproError):
+    """A resource allocation violates the node's capacity or bounds."""
+
+
+class SchedulingError(ReproError):
+    """A scheduler produced or was asked to apply an invalid action."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine reached an inconsistent state."""
+
+
+class MeasurementError(ReproError):
+    """A telemetry query could not be answered (e.g. no samples yet)."""
+
+
+class ModelError(ReproError):
+    """An analytic model was evaluated outside its domain."""
+
+
+class UnknownApplicationError(ConfigurationError):
+    """A workload name was not found in the catalog."""
+
+    def __init__(self, name: str, known: list) -> None:
+        super().__init__(
+            f"unknown application {name!r}; known applications: {sorted(known)}"
+        )
+        self.name = name

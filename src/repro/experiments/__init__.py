@@ -1,0 +1,26 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every module exposes a ``run_*`` function returning structured results and
+a ``render`` helper producing the ASCII table/curve the paper's artefact
+corresponds to. The benchmarks under ``benchmarks/`` call these with
+reduced durations; the modules' defaults match the full reproduction
+recorded in ``EXPERIMENTS.md``.
+
+========================  =====================================================
+module                    paper artefact
+========================  =====================================================
+fig1_example              Fig. 1 — strategy A vs B through the entropy lens
+table2_resource_sens...   Table II — Unmanaged on 6/7/8 cores
+fig2_resource_surface     Fig. 2 — E_S vs processing units / LLC ways
+fig3_equivalence          Fig. 3 — resource equivalence & isentropic lines
+fig4_spacetime            Fig. 4 — the space-time isolation/sharing model
+fig5_fig6_snapshots       Figs. 5-6 — PARTIES vs ARQ allocation snapshots
+fig7_load_curves          Fig. 7 + Table IV — tail latency vs arrival rate
+fig8_fluidanimate         Fig. 8 — Xapian sweep collocated with Fluidanimate
+fig9_stream               Fig. 9 — Xapian sweep collocated with Stream
+fig10_heatmap             Fig. 10 — Xapian × Img-dnn load heatmaps
+fig11_sphinx_mix          Fig. 11 — Img-dnn sweep with Moses+Sphinx+Stream
+fig12_eight_apps          Fig. 12 — six LC + two BE applications
+fig13_fluctuating         Fig. 13 — fluctuating Xapian load time-series
+========================  =====================================================
+"""

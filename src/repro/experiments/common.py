@@ -1,0 +1,96 @@
+"""Shared experiment setup: canonical mixes, strategies and run helpers."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Union
+
+from repro.cluster.collocation import BEMember, Collocation, LCMember
+from repro.cluster.run import RunResult, run_collocation
+from repro.schedulers.arq import ARQScheduler
+from repro.schedulers.base import Scheduler
+from repro.schedulers.clite import CLITEScheduler
+from repro.schedulers.lc_first import LCFirstScheduler
+from repro.schedulers.parties import PartiesScheduler
+from repro.schedulers.unmanaged import UnmanagedScheduler
+from repro.server.spec import NodeSpec, PAPER_NODE
+from repro.workloads.loadgen import LoadTrace
+
+#: Default measurement length for one steady-state point. Long enough for
+#: PARTIES to converge and CLITE to finish its search budget.
+DEFAULT_DURATION_S = 120.0
+#: Portion of the run excluded from summaries (controller convergence).
+DEFAULT_WARMUP_S = 60.0
+
+#: Factories for the paper's five evaluated strategies (fresh instance per
+#: run — schedulers carry internal state).
+STRATEGY_FACTORIES: Dict[str, Callable[[], Scheduler]] = {
+    "unmanaged": UnmanagedScheduler,
+    "lc-first": LCFirstScheduler,
+    "parties": PartiesScheduler,
+    "clite": CLITEScheduler,
+    "arq": ARQScheduler,
+}
+
+#: Presentation order used throughout the paper's figures.
+STRATEGY_ORDER = ("unmanaged", "lc-first", "parties", "clite", "arq")
+
+
+def make_collocation(
+    lc_loads: Dict[str, Union[float, LoadTrace]],
+    be_names: Sequence[str],
+    spec: NodeSpec = PAPER_NODE,
+    seed: int = 2023,
+) -> Collocation:
+    """Build a collocation from catalog names and load levels."""
+    return Collocation(
+        lc=tuple(LCMember.of(name, load) for name, load in lc_loads.items()),
+        be=tuple(BEMember.of(name) for name in be_names),
+        spec=spec,
+        seed=seed,
+    )
+
+
+def canonical_mix(
+    xapian_load: Union[float, LoadTrace],
+    moses_load: Union[float, LoadTrace] = 0.2,
+    imgdnn_load: Union[float, LoadTrace] = 0.2,
+    be_name: str = "fluidanimate",
+    spec: NodeSpec = PAPER_NODE,
+    seed: int = 2023,
+) -> Collocation:
+    """The paper's canonical mix: Xapian + Moses + Img-dnn + one BE app."""
+    return make_collocation(
+        {"xapian": xapian_load, "moses": moses_load, "img-dnn": imgdnn_load},
+        [be_name],
+        spec=spec,
+        seed=seed,
+    )
+
+
+def run_strategy(
+    collocation: Collocation,
+    strategy: str,
+    duration_s: float = DEFAULT_DURATION_S,
+    warmup_s: float = DEFAULT_WARMUP_S,
+) -> RunResult:
+    """Run one named strategy on a collocation."""
+    scheduler = STRATEGY_FACTORIES[strategy]()
+    return run_collocation(collocation, scheduler, duration_s, warmup_s)
+
+
+def run_strategies(
+    collocation: Collocation,
+    strategies: Sequence[str] = STRATEGY_ORDER,
+    duration_s: float = DEFAULT_DURATION_S,
+    warmup_s: float = DEFAULT_WARMUP_S,
+) -> Dict[str, RunResult]:
+    """Run several strategies on the same collocation."""
+    return {
+        name: run_strategy(collocation, name, duration_s, warmup_s)
+        for name in strategies
+    }
+
+
+def load_sweep(values: Sequence[float] = (0.1, 0.3, 0.5, 0.7, 0.9)) -> List[float]:
+    """The paper's standard 10%–90% load sweep grid."""
+    return list(values)

@@ -1,0 +1,94 @@
+"""Fig. 10: entropy heatmaps over the Xapian × Img-dnn load grid.
+
+Moses stays at 20%; Xapian and Img-dnn each sweep 10%–90%; Stream is the
+BE application; PARTIES and ARQ are compared. Expected shape: in the
+low-load corner ARQ's shared region gives the BE application far more
+resources (lower ``E_BE``); in the high-load corner ARQ's LC applications
+borrow from the shared region (lower ``E_LC`` at the expense of
+``E_BE``); ``E_S`` is lower for ARQ almost everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from repro.experiments.common import make_collocation, run_strategy
+from repro.experiments.reporting import ascii_heatmap
+
+
+@dataclass(frozen=True)
+class Fig10Result:
+    """Per-strategy grids: (xapian load, img-dnn load) → entropy."""
+
+    e_lc: Dict[str, Dict[Tuple[float, float], float]]
+    e_be: Dict[str, Dict[Tuple[float, float], float]]
+    e_s: Dict[str, Dict[Tuple[float, float], float]]
+
+
+def run_fig10(
+    strategies: Sequence[str] = ("parties", "arq"),
+    loads: Sequence[float] = (0.1, 0.3, 0.5, 0.7, 0.9),
+    moses_load: float = 0.2,
+    be_name: str = "stream",
+    duration_s: float = 90.0,
+    warmup_s: float = 45.0,
+    seed: int = 2023,
+) -> Fig10Result:
+    """Measure the three entropy grids for each strategy."""
+    e_lc: Dict[str, Dict[Tuple[float, float], float]] = {s: {} for s in strategies}
+    e_be: Dict[str, Dict[Tuple[float, float], float]] = {s: {} for s in strategies}
+    e_s: Dict[str, Dict[Tuple[float, float], float]] = {s: {} for s in strategies}
+    for xapian_load in loads:
+        for imgdnn_load in loads:
+            collocation = make_collocation(
+                {
+                    "xapian": xapian_load,
+                    "moses": moses_load,
+                    "img-dnn": imgdnn_load,
+                },
+                [be_name],
+                seed=seed,
+            )
+            for strategy in strategies:
+                result = run_strategy(collocation, strategy, duration_s, warmup_s)
+                key = (xapian_load, imgdnn_load)
+                e_lc[strategy][key] = result.mean_e_lc()
+                e_be[strategy][key] = result.mean_e_be()
+                e_s[strategy][key] = result.mean_e_s()
+    return Fig10Result(e_lc=e_lc, e_be=e_be, e_s=e_s)
+
+
+def advantage_grid(
+    result: Fig10Result, metric: str = "e_s"
+) -> Dict[Tuple[float, float], float]:
+    """ARQ's entropy advantage over PARTIES per cell (positive = ARQ lower)."""
+    grids = getattr(result, metric)
+    parties, arq = grids["parties"], grids["arq"]
+    return {key: parties[key] - arq[key] for key in parties if key in arq}
+
+
+def render(result: Fig10Result) -> str:
+    """Render all six heatmaps as ASCII."""
+    parts = []
+    for metric, label in (("e_lc", "E_LC"), ("e_be", "E_BE"), ("e_s", "E_S")):
+        grids = getattr(result, metric)
+        for strategy in sorted(grids):
+            parts.append(
+                ascii_heatmap(
+                    grids[strategy],
+                    title=f"Fig. 10 — {label} under {strategy}",
+                    x_label="xapian load",
+                    y_label="img-dnn load",
+                )
+            )
+    return "\n\n".join(parts)
+
+
+def main() -> None:
+    """CLI entry point."""
+    print(render(run_fig10()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Fig. 11: Img-dnn/Moses/Sphinx collocated with Stream.
+
+The second application combination of §VI-A: Img-dnn's load sweeps
+10%–90% while Moses and Sphinx sit at 20% (left panel) or 40% (right
+panel). Expected shape: at low load ARQ matches PARTIES; at high load
+ARQ keeps the QoS targets satisfied and cuts ``E_S`` substantially (the
+paper reports 40.93% on average at high load).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.experiments.reporting import percent_change
+from repro.experiments.sweeps import SweepResult, render_sweep, run_load_sweep
+
+
+def run_fig11(
+    moses_sphinx_load: float = 0.2,
+    imgdnn_loads: Sequence[float] = (0.1, 0.3, 0.5, 0.7, 0.9),
+    duration_s: float = 120.0,
+    warmup_s: float = 60.0,
+    seed: int = 2023,
+) -> SweepResult:
+    """One panel of Fig. 11 (fixed loads 20%/40% in the paper)."""
+    return run_load_sweep(
+        swept_application="img-dnn",
+        swept_loads=imgdnn_loads,
+        fixed_loads={"moses": moses_sphinx_load, "sphinx": moses_sphinx_load},
+        be_names=["stream"],
+        duration_s=duration_s,
+        warmup_s=warmup_s,
+        seed=seed,
+    )
+
+
+def high_load_reduction(result: SweepResult) -> Dict[str, float]:
+    """ARQ's E_S reduction vs PARTIES over the high-load points (≥ 70%)."""
+    high = [p for p in result.points if p.swept_load >= 0.7]
+    reductions = {}
+    for rival in ("parties", "clite", "unmanaged"):
+        values = [
+            percent_change(point.e_s["arq"], point.e_s[rival]) for point in high
+        ]
+        reductions[f"e_s_reduction_vs_{rival}"] = sum(values) / len(values)
+    return reductions
+
+
+def render(result: SweepResult) -> str:
+    """Render the sweep plus the high-load aggregates."""
+    fixed = result.fixed_loads.get("moses", 0.0)
+    body = render_sweep(
+        result, f"Fig. 11 — Sphinx mix (Moses/Sphinx at {fixed:.0%})"
+    )
+    lines = [body, "", "High-load aggregates (paper: ARQ −40.93% E_S vs PARTIES):"]
+    for key, value in sorted(high_load_reduction(result).items()):
+        lines.append(f"  {key}: {value:+.1f}%")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    """CLI entry point."""
+    for fixed in (0.2, 0.4):
+        print(render(run_fig11(moses_sphinx_load=fixed)))
+        print()
+
+
+if __name__ == "__main__":
+    main()

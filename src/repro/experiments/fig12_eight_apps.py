@@ -1,0 +1,109 @@
+"""Fig. 12: six LC applications + two BE applications at 20% load.
+
+The scalability experiment: Moses, Xapian, Img-dnn, Sphinx, Masstree and
+Silo (all at 20% of max load) collocated with Fluidanimate and
+Streamcluster. The paper compares PARTIES and ARQ: PARTIES lets Moses and
+Sphinx blow up (29.88 ms, 7904 ms) while ARQ pulls them back (5.75 ms,
+2514 ms) at the cost of a slight Xapian increase, reducing ``E_S`` by
+36.4% (0.33 → 0.21).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.experiments.common import make_collocation, run_strategy
+from repro.experiments.reporting import ascii_table, percent_change
+
+SIX_LC = ("moses", "xapian", "img-dnn", "sphinx", "masstree", "silo")
+TWO_BE = ("fluidanimate", "streamcluster")
+
+
+@dataclass(frozen=True)
+class Fig12Result:
+    tails_ms: Dict[str, Dict[str, float]]  # strategy -> app -> tail
+    ipcs: Dict[str, Dict[str, float]]  # strategy -> app -> IPC
+    e_lc: Dict[str, float]
+    e_be: Dict[str, float]
+    e_s: Dict[str, float]
+    yields: Dict[str, float]
+
+
+def run_fig12(
+    strategies: Sequence[str] = ("parties", "arq"),
+    load: float = 0.2,
+    duration_s: float = 150.0,
+    warmup_s: float = 75.0,
+    seed: int = 2023,
+) -> Fig12Result:
+    """Run the 6-LC + 2-BE collocation under each strategy."""
+    collocation = make_collocation(
+        {name: load for name in SIX_LC}, list(TWO_BE), seed=seed
+    )
+    tails: Dict[str, Dict[str, float]] = {}
+    ipcs: Dict[str, Dict[str, float]] = {}
+    e_lc: Dict[str, float] = {}
+    e_be: Dict[str, float] = {}
+    e_s: Dict[str, float] = {}
+    yields: Dict[str, float] = {}
+    for strategy in strategies:
+        result = run_strategy(collocation, strategy, duration_s, warmup_s)
+        tails[strategy] = result.mean_tail_latencies_ms()
+        ipcs[strategy] = result.mean_ipcs()
+        e_lc[strategy] = result.mean_e_lc()
+        e_be[strategy] = result.mean_e_be()
+        e_s[strategy] = result.mean_e_s()
+        yields[strategy] = result.yield_fraction()
+    return Fig12Result(
+        tails_ms=tails, ipcs=ipcs, e_lc=e_lc, e_be=e_be, e_s=e_s, yields=yields
+    )
+
+
+def render(result: Fig12Result) -> str:
+    """Render tail latencies, IPCs and aggregates."""
+    strategies = sorted(result.e_s)
+    tail_rows = [
+        [app] + [result.tails_ms[s].get(app, "-") for s in strategies]
+        for app in SIX_LC
+    ]
+    ipc_rows = [
+        [app] + [result.ipcs[s].get(app, "-") for s in strategies] for app in TWO_BE
+    ]
+    summary_rows = [
+        ["E_LC"] + [result.e_lc[s] for s in strategies],
+        ["E_BE"] + [result.e_be[s] for s in strategies],
+        ["E_S"] + [result.e_s[s] for s in strategies],
+        ["yield"] + [result.yields[s] for s in strategies],
+    ]
+    parts = [
+        ascii_table(
+            ["application"] + list(strategies),
+            tail_rows,
+            precision=2,
+            title="Fig. 12 — tail latency (ms), 6 LC + 2 BE at 20% load",
+        ),
+        ascii_table(
+            ["application"] + list(strategies),
+            ipc_rows,
+            precision=2,
+            title="Fig. 12 — IPC of the BE applications",
+        ),
+        ascii_table(
+            ["metric"] + list(strategies), summary_rows, precision=3,
+            title="Fig. 12 — aggregates",
+        ),
+    ]
+    if {"arq", "parties"} <= set(strategies):
+        reduction = percent_change(result.e_s["arq"], result.e_s["parties"])
+        parts.append(f"ARQ vs PARTIES E_S change: {reduction:+.1f}% (paper: −36.4%)")
+    return "\n\n".join(parts)
+
+
+def main() -> None:
+    """CLI entry point."""
+    print(render(run_fig12()))
+
+
+if __name__ == "__main__":
+    main()

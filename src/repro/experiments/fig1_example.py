@@ -1,0 +1,129 @@
+"""Fig. 1: the motivating strategy-A-vs-B example, through the entropy lens.
+
+The paper opens with two hand-picked allocations for three LC
+applications plus Fluidanimate:
+
+* **Strategy A** shares everything with the BE application; one LC
+  application violates its QoS target *slightly* (4.4% in the paper,
+  inside the 5% threshold elasticity) while the BE application's IPC is
+  high.
+* **Strategy B** protects every LC application with generous private
+  partitions; all QoS targets are met but the BE application's IPC
+  collapses (1.15 vs 2.63 in the paper).
+
+Raw tail-latency/IPC numbers make the comparison ambiguous (2N+M values
+to stare at); ``E_S`` resolves it — strategy A's aggregate entropy is
+lower because the tiny, elasticity-covered QoS violation costs less than
+the BE collapse. In our calibrated substrate the slightly-violating
+application is Xapian (at 75% load) rather than the paper's Img-dnn; the
+structure of the comparison is identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.cluster.run import RunResult, run_collocation
+from repro.experiments.common import make_collocation
+from repro.experiments.reporting import ascii_table
+from repro.schedulers.base import RegionPlan
+from repro.schedulers.static import StaticScheduler
+from repro.server.cores import CorePolicy
+from repro.server.resources import ResourceVector
+
+#: Xapian at 72% produces a small violation under full sharing — inside
+#: the 5% elasticity, as the paper's strategy A intends.
+LOADS = {"xapian": 0.72, "moses": 0.2, "img-dnn": 0.2}
+
+
+def strategy_a_plan() -> RegionPlan:
+    """Everything shared, completely fair (the sharing-friendly choice)."""
+    return RegionPlan(
+        isolated={},
+        shared=ResourceVector(cores=10.0, llc_ways=20.0, membw_gbps=61.44),
+        shared_members=frozenset({"xapian", "moses", "img-dnn", "fluidanimate"}),
+        shared_policy=CorePolicy.FAIR,
+    )
+
+
+def strategy_b_plan() -> RegionPlan:
+    """Isolation-heavy: generous LC partitions, BE gets a sliver."""
+    return RegionPlan(
+        isolated={
+            "xapian": ResourceVector(cores=4.0, llc_ways=8.0, membw_gbps=15.36),
+            "moses": ResourceVector(cores=2.0, llc_ways=5.0, membw_gbps=15.36),
+            "img-dnn": ResourceVector(cores=3.0, llc_ways=5.0, membw_gbps=23.04),
+            "fluidanimate": ResourceVector(
+                cores=1.0, llc_ways=2.0, membw_gbps=7.68
+            ),
+        },
+        shared=ResourceVector(),
+        shared_members=frozenset(),
+        shared_policy=CorePolicy.LC_PRIORITY,
+    )
+
+
+@dataclass(frozen=True)
+class Fig1Result:
+    runs: Dict[str, RunResult]
+
+    def winner(self) -> str:
+        """The strategy with the lower mean ``E_S``."""
+        return min(self.runs, key=lambda name: self.runs[name].mean_e_s())
+
+
+def run_fig1(duration_s: float = 60.0, seed: int = 2023) -> Fig1Result:
+    """Evaluate strategies A and B on the Fig. 1 mix."""
+    collocation = make_collocation(LOADS, ["fluidanimate"], seed=seed)
+    runs = {}
+    for name, plan in (("A", strategy_a_plan()), ("B", strategy_b_plan())):
+        scheduler = StaticScheduler(plan, name=f"strategy-{name}")
+        runs[name] = run_collocation(
+            collocation, scheduler, duration_s, warmup_s=duration_s * 0.25
+        )
+    return Fig1Result(runs=runs)
+
+
+def render(result: Fig1Result) -> str:
+    """Render the Fig. 1 comparison table."""
+    rows = []
+    for name in sorted(result.runs):
+        run = result.runs[name]
+        tails = run.mean_tail_latencies_ms()
+        ipcs = run.mean_ipcs()
+        rows.append(
+            [
+                name,
+                *(tails[app] for app in ("xapian", "moses", "img-dnn")),
+                ipcs["fluidanimate"],
+                run.mean_e_lc(),
+                run.mean_e_be(),
+                run.mean_e_s(),
+            ]
+        )
+    table = ascii_table(
+        [
+            "strategy",
+            "xapian TL",
+            "moses TL",
+            "img-dnn TL",
+            "fluid IPC",
+            "E_LC",
+            "E_BE",
+            "E_S",
+        ],
+        rows,
+        precision=2,
+        title="Fig. 1 — strategy A vs B (thresholds: 4.22 / 10.53 / 3.98 ms)",
+    )
+    return f"{table}\n\nLower E_S → preferred strategy: {result.winner()}"
+
+
+def main() -> None:
+    """CLI entry point."""
+    print(render(run_fig1()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Fig. 2: impact of the amount of available resources on ``E_S``.
+
+The paper sweeps the machine from 4 to 10 processing units (at 20 LLC
+ways) and from 4 to 20 LLC ways (at 10 processing units) under the
+Unmanaged and ARQ strategies, running Xapian/Moses/Img-dnn at 20% load
+plus Fluidanimate. Expected shape (§III-A): ``E_S`` is non-increasing in
+resources for both strategies (property ②), near zero on the full machine
+(paper: 0.006 for Unmanaged), large under scarcity (paper: 0.53 at 6
+cores for Unmanaged, 0.15 for ARQ).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.experiments.common import canonical_mix, run_strategy
+from repro.experiments.reporting import ascii_series
+from repro.server.spec import PAPER_NODE
+
+
+@dataclass(frozen=True)
+class Fig2Result:
+    """Mean ``E_S`` per strategy along the two resource axes."""
+
+    by_cores: Dict[str, Dict[float, float]]  # strategy -> cores -> E_S
+    by_ways: Dict[str, Dict[float, float]]  # strategy -> ways -> E_S
+
+
+def run_fig2(
+    strategies: Sequence[str] = ("unmanaged", "arq"),
+    core_counts: Sequence[int] = (4, 5, 6, 7, 8, 9, 10),
+    way_counts: Sequence[int] = (4, 6, 8, 10, 12, 16, 20),
+    duration_s: float = 60.0,
+    warmup_s: float = 30.0,
+    seed: int = 2023,
+) -> Fig2Result:
+    """Measure ``E_S`` along the cores axis and the ways axis."""
+    by_cores: Dict[str, Dict[float, float]] = {s: {} for s in strategies}
+    by_ways: Dict[str, Dict[float, float]] = {s: {} for s in strategies}
+    for strategy in strategies:
+        for cores in core_counts:
+            spec = PAPER_NODE.shrunk(cores=cores)
+            collocation = canonical_mix(0.2, 0.2, 0.2, spec=spec, seed=seed)
+            result = run_strategy(collocation, strategy, duration_s, warmup_s)
+            by_cores[strategy][float(cores)] = result.mean_e_s()
+        for ways in way_counts:
+            spec = PAPER_NODE.shrunk(llc_ways=ways)
+            collocation = canonical_mix(0.2, 0.2, 0.2, spec=spec, seed=seed)
+            result = run_strategy(collocation, strategy, duration_s, warmup_s)
+            by_ways[strategy][float(ways)] = result.mean_e_s()
+    return Fig2Result(by_cores=by_cores, by_ways=by_ways)
+
+
+def render(result: Fig2Result) -> str:
+    """Render both resource-axis series."""
+    cores_series = {
+        name: sorted(curve.items()) for name, curve in result.by_cores.items()
+    }
+    ways_series = {
+        name: sorted(curve.items()) for name, curve in result.by_ways.items()
+    }
+    return "\n\n".join(
+        [
+            ascii_series(
+                cores_series,
+                title="Fig. 2 (left) — E_S vs processing units (20 LLC ways)",
+                x_header="cores",
+            ),
+            ascii_series(
+                ways_series,
+                title="Fig. 2 (right) — E_S vs LLC ways (10 processing units)",
+                x_header="ways",
+            ),
+        ]
+    )
+
+
+def main() -> None:
+    """CLI entry point."""
+    print(render(run_fig2()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,150 @@
+"""Fig. 3: resource equivalence and isentropic lines.
+
+Panel (a): ``E_S`` as a function of available processing units for the
+Unmanaged and ARQ strategies, and the resource equivalence ΔR at target
+entropies 0.25 and 0.4 (the paper reads 2.0 and 1.83 cores saved by ARQ).
+
+Panel (b): isentropic lines at ``E_S = 0.3`` — for each LLC-way budget,
+the number of cores each strategy needs to reach the target entropy.
+The paper's shape: above ~10 ways the strategies converge; below, ARQ
+needs noticeably fewer cores (≈1 core vs PARTIES/CLITE, ≈2 vs Unmanaged
+at 8 ways).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.entropy.equivalence import (
+    EquivalencePoint,
+    IsentropicLine,
+    isentropic_line,
+    resource_equivalence,
+)
+from repro.experiments.common import canonical_mix, run_strategy
+from repro.experiments.reporting import ascii_series, ascii_table
+from repro.server.spec import PAPER_NODE
+
+
+@dataclass(frozen=True)
+class Fig3aResult:
+    curves: Dict[str, Dict[float, float]]  # strategy -> cores -> E_S
+    equivalences: Dict[float, Optional[EquivalencePoint]]
+
+
+@dataclass(frozen=True)
+class Fig3bResult:
+    surfaces: Dict[str, Dict[Tuple[float, float], float]]
+    lines: Dict[str, IsentropicLine]
+    target_entropy: float
+
+
+def run_fig3a(
+    core_counts: Sequence[int] = (4, 5, 6, 7, 8, 9, 10),
+    targets: Sequence[float] = (0.25, 0.4),
+    duration_s: float = 60.0,
+    warmup_s: float = 30.0,
+    seed: int = 2023,
+) -> Fig3aResult:
+    """Panel (a): E_S-vs-cores curves and the derived ΔR."""
+    curves: Dict[str, Dict[float, float]] = {"unmanaged": {}, "arq": {}}
+    for strategy in curves:
+        for cores in core_counts:
+            spec = PAPER_NODE.shrunk(cores=cores)
+            collocation = canonical_mix(0.2, 0.2, 0.2, spec=spec, seed=seed)
+            result = run_strategy(collocation, strategy, duration_s, warmup_s)
+            curves[strategy][float(cores)] = result.mean_e_s()
+    equivalences = {
+        target: resource_equivalence(curves["unmanaged"], curves["arq"], target)
+        for target in targets
+    }
+    return Fig3aResult(curves=curves, equivalences=equivalences)
+
+
+def run_fig3b(
+    strategies: Sequence[str] = ("unmanaged", "parties", "clite", "arq"),
+    core_counts: Sequence[int] = (4, 6, 8, 10),
+    way_counts: Sequence[int] = (4, 6, 8, 10, 14, 20),
+    target_entropy: float = 0.3,
+    duration_s: float = 60.0,
+    warmup_s: float = 30.0,
+    seed: int = 2023,
+) -> Fig3bResult:
+    """Panel (b): isentropic lines over the (ways, cores) grid."""
+    surfaces: Dict[str, Dict[Tuple[float, float], float]] = {}
+    for strategy in strategies:
+        surface: Dict[Tuple[float, float], float] = {}
+        for ways in way_counts:
+            for cores in core_counts:
+                spec = PAPER_NODE.shrunk(cores=cores, llc_ways=ways)
+                collocation = canonical_mix(0.2, 0.2, 0.2, spec=spec, seed=seed)
+                result = run_strategy(collocation, strategy, duration_s, warmup_s)
+                surface[(float(ways), float(cores))] = result.mean_e_s()
+        surfaces[strategy] = surface
+    lines = {
+        strategy: isentropic_line(surface, target_entropy)
+        for strategy, surface in surfaces.items()
+    }
+    return Fig3bResult(surfaces=surfaces, lines=lines, target_entropy=target_entropy)
+
+
+def render_fig3a(result: Fig3aResult) -> str:
+    """Render panel (a): curves plus the ΔR table."""
+    series = {name: sorted(curve.items()) for name, curve in result.curves.items()}
+    parts = [
+        ascii_series(
+            series,
+            title="Fig. 3(a) — E_S vs processing units",
+            x_header="cores",
+        )
+    ]
+    rows: List[List] = []
+    for target, point in sorted(result.equivalences.items()):
+        if point is None:
+            rows.append([target, "-", "-", "unreachable"])
+        else:
+            rows.append(
+                [
+                    target,
+                    point.resources_worse,
+                    point.resources_better,
+                    point.saved,
+                ]
+            )
+    parts.append(
+        ascii_table(
+            ["target E_S", "unmanaged cores", "arq cores", "ΔR (saved)"],
+            rows,
+            precision=2,
+            title="Resource equivalence of ARQ over Unmanaged",
+        )
+    )
+    return "\n\n".join(parts)
+
+
+def render_fig3b(result: Fig3bResult) -> str:
+    """Render panel (b): the isentropic lines."""
+    series = {
+        name: list(line.points) for name, line in result.lines.items() if line.points
+    }
+    return ascii_series(
+        series,
+        title=(
+            f"Fig. 3(b) — cores needed to reach E_S={result.target_entropy} "
+            "per LLC-way budget"
+        ),
+        x_header="ways",
+        precision=2,
+    )
+
+
+def main() -> None:
+    """CLI entry point."""
+    print(render_fig3a(run_fig3a()))
+    print()
+    print(render_fig3b(run_fig3b()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,161 @@
+"""Figs. 5 and 6: allocation snapshots of PARTIES vs ARQ.
+
+The paper shows where each strategy's allocation settles for the mix
+Xapian + Moses + Img-dnn + Stream at Xapian loads of 30% (Fig. 5) and
+90% (Fig. 6).
+
+Expected shape:
+
+* **30% (Fig. 5)** — PARTIES gives every application a private partition
+  and leaves the BE application only a sliver; ARQ keeps most resources
+  in the shared region (which the BE application can use whenever the LC
+  applications do not need it), isolating only the application that
+  needs protection.
+* **90% (Fig. 6)** — ARQ isolates a large region for Xapian (the paper:
+  70% cores / 65% ways vs PARTIES' 50% / 40%) because the other LC
+  applications can live off the shared region; PARTIES must give every
+  LC application private resources and cannot free enough for Xapian.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.experiments.common import make_collocation, run_strategy
+from repro.experiments.reporting import ascii_table
+from repro.schedulers.base import RegionPlan
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """Steady-state allocation of one strategy at one load point."""
+
+    strategy: str
+    xapian_load: float
+    core_share: Dict[str, float]  # region -> fraction of node cores
+    way_share: Dict[str, float]  # region -> fraction of node ways
+    effective_cores: Dict[str, float]  # app -> mean effective cores
+    effective_ways: Dict[str, float]  # app -> mean effective ways
+
+
+def _plan_shares(plan: RegionPlan, total_cores: float, total_ways: float):
+    core_share = {
+        name: vector.cores / total_cores for name, vector in plan.isolated.items()
+    }
+    way_share = {
+        name: vector.llc_ways / total_ways for name, vector in plan.isolated.items()
+    }
+    core_share["shared"] = plan.shared.cores / total_cores
+    way_share["shared"] = plan.shared.llc_ways / total_ways
+    return core_share, way_share
+
+
+def run_snapshot(
+    strategy: str,
+    xapian_load: float,
+    duration_s: float = 120.0,
+    seed: int = 2023,
+) -> Snapshot:
+    """Run one strategy at one Xapian load and snapshot its allocation."""
+    collocation = make_collocation(
+        {"xapian": xapian_load, "moses": 0.2, "img-dnn": 0.2},
+        ["stream"],
+        seed=seed,
+    )
+    result = run_strategy(collocation, strategy, duration_s, duration_s * 0.75)
+    records = result.measured_records()
+    final_plan = records[-1].plan
+    spec = collocation.spec
+    core_share, way_share = _plan_shares(
+        final_plan, float(spec.cores), float(spec.llc_ways)
+    )
+    names = list(collocation.lc_profiles) + list(collocation.be_profiles)
+    effective_cores = {
+        name: sum(r.resources[name].cores for r in records) / len(records)
+        for name in names
+    }
+    effective_ways = {
+        name: sum(r.resources[name].ways for r in records) / len(records)
+        for name in names
+    }
+    return Snapshot(
+        strategy=strategy,
+        xapian_load=xapian_load,
+        core_share=core_share,
+        way_share=way_share,
+        effective_cores=effective_cores,
+        effective_ways=effective_ways,
+    )
+
+
+def run_fig5_fig6(
+    strategies: Sequence[str] = ("parties", "arq"),
+    xapian_loads: Sequence[float] = (0.3, 0.9),
+    duration_s: float = 120.0,
+    seed: int = 2023,
+) -> Dict[float, Dict[str, Snapshot]]:
+    """Snapshots per load point per strategy (Fig. 5 = 0.3, Fig. 6 = 0.9)."""
+    return {
+        load: {
+            strategy: run_snapshot(strategy, load, duration_s, seed)
+            for strategy in strategies
+        }
+        for load in xapian_loads
+    }
+
+
+def render(snapshots: Dict[float, Dict[str, Snapshot]]) -> str:
+    """Render the allocation and effective-resource tables."""
+    parts = []
+    for load in sorted(snapshots):
+        figure = "Fig. 5" if load < 0.5 else "Fig. 6"
+        for strategy, snap in sorted(snapshots[load].items()):
+            regions = sorted(
+                set(snap.core_share) | set(snap.way_share), key=str
+            )
+            rows = [
+                [
+                    region,
+                    snap.core_share.get(region, 0.0) * 100,
+                    snap.way_share.get(region, 0.0) * 100,
+                ]
+                for region in regions
+            ]
+            parts.append(
+                ascii_table(
+                    ["region", "% cores", "% LLC ways"],
+                    rows,
+                    precision=0,
+                    title=(
+                        f"{figure} — {strategy} allocation at Xapian "
+                        f"{load:.0%}"
+                    ),
+                )
+            )
+            effective_rows = [
+                [
+                    name,
+                    snap.effective_cores[name],
+                    snap.effective_ways[name],
+                ]
+                for name in sorted(snap.effective_cores)
+            ]
+            parts.append(
+                ascii_table(
+                    ["application", "effective cores", "effective ways"],
+                    effective_rows,
+                    precision=2,
+                    title=f"{figure} — {strategy} effective resources",
+                )
+            )
+    return "\n\n".join(parts)
+
+
+def main() -> None:
+    """CLI entry point."""
+    print(render(run_fig5_fig6()))
+
+
+if __name__ == "__main__":
+    main()

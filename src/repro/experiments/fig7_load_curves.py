@@ -1,0 +1,184 @@
+"""Fig. 7 + Table IV: tail latency vs arrival rate for 1/2/4/8 cores.
+
+For each LC application, sweep the request arrival rate and record the
+p95 tail latency at several core counts, from two independent sources:
+
+* the analytic queue model backing the substrate, and
+* the request-level discrete-event simulator (ground truth).
+
+Expected shape (the paper's Fig. 7): flat latency at low load, an
+exponential blow-up past a per-core-count knee, and knees spaced
+proportionally to the core count. The load at which the latency crosses
+the application's threshold at full parallelism recovers Table IV's
+"max load" by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.reporting import ascii_series, ascii_table
+from repro.sim.request_sim import simulate_queue
+from repro.workloads.catalog import lc_profile
+from repro.workloads.lc_app import LCProfile
+
+
+@dataclass(frozen=True)
+class LoadCurve:
+    """One application's latency-vs-load curve at one core count."""
+
+    application: str
+    cores: int
+    points: Tuple[Tuple[float, float], ...]  # (arrival fraction of max, p95 ms)
+    knee_fraction: Optional[float]  # load fraction where TL crosses M_i
+
+
+@dataclass(frozen=True)
+class Fig7Result:
+    curves: List[LoadCurve]
+    des_checkpoints: List[Tuple[str, int, float, float, float]]
+    # (application, cores, load fraction, model p95, DES p95)
+
+
+def _curve_for(
+    profile: LCProfile,
+    cores: int,
+    load_fractions: Sequence[float],
+) -> LoadCurve:
+    points = []
+    knee = None
+    for fraction in load_fractions:
+        tail = profile.tail_latency_ms(
+            fraction,
+            cores=float(cores),
+            effective_ways=profile.reference_ways,
+            parallelism=cores,
+        )
+        points.append((fraction, tail))
+        if knee is None and tail > profile.threshold_ms:
+            knee = fraction
+    return LoadCurve(
+        application=profile.name,
+        cores=cores,
+        points=tuple(points),
+        knee_fraction=knee,
+    )
+
+
+def run_fig7(
+    applications: Sequence[str] = ("xapian", "moses", "img-dnn", "sphinx"),
+    core_counts: Sequence[int] = (1, 2, 4, 8),
+    load_fractions: Sequence[float] = (
+        0.05,
+        0.1,
+        0.2,
+        0.3,
+        0.4,
+        0.5,
+        0.6,
+        0.7,
+        0.8,
+        0.9,
+        1.0,
+        1.1,
+        1.2,
+    ),
+    des_duration_s: float = 60.0,
+    des_checks: bool = True,
+    seed: int = 7,
+) -> Fig7Result:
+    """Compute all load curves and (optionally) DES validation points."""
+    curves: List[LoadCurve] = []
+    checkpoints: List[Tuple[str, int, float, float, float]] = []
+    for name in applications:
+        profile = lc_profile(name)
+        for cores in core_counts:
+            curves.append(_curve_for(profile, cores, load_fractions))
+        if des_checks:
+            # Validate the 4-core (reference-parallelism) curve at a low
+            # and a mid load point against the request-level simulator.
+            for fraction in (0.2, 0.6):
+                arrival = profile.arrival_rps(fraction)
+                model_p95 = profile.tail_latency_ms(
+                    fraction,
+                    cores=float(profile.threads),
+                    effective_ways=profile.reference_ways,
+                )
+                # The DES needs the same latency/throughput decoupling: use
+                # the profile's service time and enough virtual servers to
+                # express the capacity wall.
+                virtual_servers = max(
+                    1,
+                    round(profile.wall_rps * profile.service_time_ms / 1e3),
+                )
+                des = simulate_queue(
+                    arrival_rps=arrival,
+                    service_time_ms=profile.service_time_ms,
+                    servers=virtual_servers,
+                    duration_s=des_duration_s,
+                    service_cv=profile.service_cv,
+                    seed=seed,
+                )
+                checkpoints.append(
+                    (name, profile.threads, fraction, model_p95, des.percentile_ms())
+                )
+    return Fig7Result(curves=curves, des_checkpoints=checkpoints)
+
+
+def knee_table(result: Fig7Result) -> List[Tuple[str, int, Optional[float]]]:
+    """Per-application knee positions (fraction of Table IV max load)."""
+    return [
+        (curve.application, curve.cores, curve.knee_fraction)
+        for curve in result.curves
+    ]
+
+
+def render(result: Fig7Result) -> str:
+    """Render per-application curves, DES checkpoints and knees."""
+    parts = []
+    by_app: Dict[str, Dict[str, List[Tuple[float, float]]]] = {}
+    for curve in result.curves:
+        by_app.setdefault(curve.application, {})[f"{curve.cores}c"] = list(
+            curve.points
+        )
+    for application in sorted(by_app):
+        parts.append(
+            ascii_series(
+                by_app[application],
+                title=f"Fig. 7 — {application}: p95 (ms) vs load fraction",
+                x_header="load",
+                precision=2,
+            )
+        )
+    if result.des_checkpoints:
+        parts.append(
+            ascii_table(
+                ["application", "threads", "load", "model p95", "DES p95"],
+                result.des_checkpoints,
+                precision=2,
+                title="Model vs request-level DES validation",
+            )
+        )
+    knee_rows = [
+        (app, cores, "-" if knee is None else knee)
+        for app, cores, knee in knee_table(result)
+    ]
+    parts.append(
+        ascii_table(
+            ["application", "cores", "knee load fraction"],
+            knee_rows,
+            precision=2,
+            title="Knee positions (Table IV max load ⇔ knee at 1.0 with full threads)",
+        )
+    )
+    return "\n\n".join(parts)
+
+
+def main() -> None:
+    """CLI entry point."""
+    print(render(run_fig7()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""Fig. 8: Xapian/Moses/Img-dnn collocated with Fluidanimate.
+
+Two panels: Moses and Img-dnn at 20% (left) and 40% (right) of max load;
+Xapian sweeps 10%–90%; all five strategies run at every point.
+
+Expected shape (§VI-A):
+
+* at low load the Unmanaged strategy achieves the lowest ``E_S``
+  (sharing wins when interference is mild);
+* LC-first trades a lower ``E_LC`` for substantially higher ``E_BE``;
+* PARTIES/CLITE keep ``E_LC`` low until the load gets high, at which
+  point their strict isolation starves the BE application (high
+  ``E_BE``) or fails to find a feasible allocation (high ``E_LC``);
+* ARQ achieves the lowest ``E_S`` across most of the sweep; at extreme
+  load it deliberately sacrifices ``E_BE`` to protect QoS.
+
+Fig. 8(b)'s detail (tail latency reduction vs Unmanaged, ARQ's IPC gain
+over PARTIES/CLITE at low load) is derived from the same sweep via
+:func:`headline_numbers`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.experiments.reporting import percent_change
+from repro.experiments.sweeps import SweepResult, render_sweep, run_load_sweep
+
+
+def run_fig8(
+    moses_imgdnn_load: float = 0.2,
+    xapian_loads: Sequence[float] = (0.1, 0.3, 0.5, 0.7, 0.9),
+    duration_s: float = 120.0,
+    warmup_s: float = 60.0,
+    seed: int = 2023,
+) -> SweepResult:
+    """One panel of Fig. 8 (the paper shows 20% and 40% fixed loads)."""
+    return run_load_sweep(
+        swept_application="xapian",
+        swept_loads=xapian_loads,
+        fixed_loads={"moses": moses_imgdnn_load, "img-dnn": moses_imgdnn_load},
+        be_names=["fluidanimate"],
+        duration_s=duration_s,
+        warmup_s=warmup_s,
+        seed=seed,
+    )
+
+
+def headline_numbers(result: SweepResult) -> Dict[str, float]:
+    """Fig. 8(b)-style aggregates.
+
+    * ``tail_reduction_*``: mean tail-latency change vs Unmanaged (%);
+    * ``ipc_gain_vs_*``: ARQ's mean BE IPC gain at low load (≤ 50%) vs
+      PARTIES and CLITE (%).
+    """
+    aggregates: Dict[str, float] = {}
+    for strategy in ("arq", "parties", "clite"):
+        changes = []
+        for point in result.points:
+            for app, tail in point.tails_ms[strategy].items():
+                baseline = point.tails_ms["unmanaged"][app]
+                changes.append(percent_change(tail, baseline))
+        aggregates[f"tail_reduction_{strategy}"] = sum(changes) / len(changes)
+
+    low_points = [p for p in result.points if p.swept_load <= 0.5]
+    for rival in ("parties", "clite"):
+        gains = []
+        for point in low_points:
+            for app, ipc in point.ipcs["arq"].items():
+                gains.append(percent_change(ipc, point.ipcs[rival][app]))
+        aggregates[f"ipc_gain_vs_{rival}"] = sum(gains) / len(gains)
+    return aggregates
+
+
+def render(result: SweepResult) -> str:
+    """Render the sweep plus the headline aggregates."""
+    fixed = result.fixed_loads.get("moses", 0.0)
+    body = render_sweep(
+        result, f"Fig. 8 — Fluidanimate mix (Moses/Img-dnn at {fixed:.0%})"
+    )
+    headlines = headline_numbers(result)
+    lines = [body, "", "Headline aggregates (paper: Fig. 8(b) discussion):"]
+    for key, value in sorted(headlines.items()):
+        lines.append(f"  {key}: {value:+.1f}%")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    """CLI entry point."""
+    for fixed in (0.2, 0.4):
+        print(render(run_fig8(moses_imgdnn_load=fixed)))
+        print()
+
+
+if __name__ == "__main__":
+    main()

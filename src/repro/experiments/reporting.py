@@ -1,0 +1,125 @@
+"""ASCII rendering helpers for experiment outputs.
+
+The harness prints the same rows/series the paper's tables and figures
+report; these helpers keep that output aligned and readable in a terminal
+or a CI log.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Glyph ramp for heatmaps, light to dark.
+HEAT_RAMP = " .:-=+*#%@"
+
+
+def format_cell(value, precision: int = 3) -> str:
+    """Format one table cell (floats at the given precision)."""
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    precision: int = 3,
+    title: str = "",
+) -> str:
+    """Render rows as an aligned ASCII table."""
+    if not headers:
+        raise ConfigurationError("a table needs headers")
+    rendered = [[format_cell(cell, precision) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row width {len(row)} does not match header width {len(headers)}"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append(" | ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def ascii_heatmap(
+    grid: Mapping[Tuple[float, float], float],
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+    value_range: Tuple[float, float] = (0.0, 1.0),
+) -> str:
+    """Render a (x, y) → value mapping as a character heatmap.
+
+    Rows are y values (descending, like a plot's vertical axis); columns
+    are x values ascending. Values are clamped into ``value_range``.
+    """
+    if not grid:
+        raise ConfigurationError("a heatmap needs at least one cell")
+    lo, hi = value_range
+    if hi <= lo:
+        raise ConfigurationError("value_range must be increasing")
+    xs = sorted({x for x, _ in grid})
+    ys = sorted({y for _, y in grid}, reverse=True)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"rows: {y_label} (descending), cols: {x_label} (ascending)")
+    header = "      " + " ".join(f"{x:>5g}" for x in xs)
+    lines.append(header)
+    for y in ys:
+        cells = []
+        for x in xs:
+            value = grid.get((x, y))
+            if value is None:
+                cells.append("    ·")
+                continue
+            clamped = min(max(value, lo), hi)
+            level = int((clamped - lo) / (hi - lo) * (len(HEAT_RAMP) - 1))
+            cells.append(f"{value:4.2f}{HEAT_RAMP[level]}")
+        lines.append(f"{y:>5g} " + " ".join(cells))
+    return "\n".join(lines)
+
+
+def ascii_series(
+    series: Mapping[str, Sequence[Tuple[float, float]]],
+    title: str = "",
+    precision: int = 3,
+    x_header: str = "x",
+) -> str:
+    """Render several named (x, y) series as one aligned table.
+
+    All series are re-keyed on the union of x values; missing points show
+    as '-'.
+    """
+    if not series:
+        raise ConfigurationError("need at least one series")
+    xs: List[float] = sorted({x for points in series.values() for x, _ in points})
+    names = sorted(series)
+    by_name: Dict[str, Dict[float, float]] = {
+        name: dict(points) for name, points in series.items()
+    }
+    rows = []
+    for x in xs:
+        row: List = [x]
+        for name in names:
+            value = by_name[name].get(x)
+            row.append("-" if value is None else value)
+        rows.append(row)
+    return ascii_table([x_header] + names, rows, precision=precision, title=title)
+
+
+def percent_change(new: float, old: float) -> float:
+    """Relative change of ``new`` vs ``old`` in percent (negative = lower)."""
+    if old == 0:
+        raise ConfigurationError("cannot compute percent change from zero")
+    return (new - old) / old * 100.0

@@ -1,0 +1,147 @@
+"""Generic load-sweep machinery shared by Figs. 8, 9 and 11."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.cluster.collocation import Collocation
+from repro.experiments.common import (
+    DEFAULT_DURATION_S,
+    DEFAULT_WARMUP_S,
+    STRATEGY_ORDER,
+    make_collocation,
+    run_strategy,
+)
+from repro.experiments.reporting import ascii_series, ascii_table
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """All strategies' summary at one load level."""
+
+    swept_load: float
+    e_lc: Dict[str, float]
+    e_be: Dict[str, float]
+    e_s: Dict[str, float]
+    yields: Dict[str, float]
+    tails_ms: Dict[str, Dict[str, float]]  # strategy -> app -> mean tail
+    ipcs: Dict[str, Dict[str, float]]  # strategy -> app -> mean IPC
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """A full sweep of one application's load under several strategies."""
+
+    swept_application: str
+    fixed_loads: Dict[str, float]
+    be_names: Tuple[str, ...]
+    points: List[SweepPoint]
+
+    def series(self, metric: str) -> Dict[str, List[Tuple[float, float]]]:
+        """Per-strategy (load, value) series for e_lc / e_be / e_s / yield."""
+        attr = {"e_lc": "e_lc", "e_be": "e_be", "e_s": "e_s", "yield": "yields"}[
+            metric
+        ]
+        result: Dict[str, List[Tuple[float, float]]] = {}
+        for point in self.points:
+            for strategy, value in getattr(point, attr).items():
+                result.setdefault(strategy, []).append((point.swept_load, value))
+        return result
+
+    def mean_over_loads(self, metric: str) -> Dict[str, float]:
+        """Each strategy's metric averaged over the swept loads."""
+        series = self.series(metric)
+        return {
+            strategy: sum(v for _, v in points) / len(points)
+            for strategy, points in series.items()
+        }
+
+
+def run_load_sweep(
+    swept_application: str,
+    swept_loads: Sequence[float],
+    fixed_loads: Dict[str, float],
+    be_names: Sequence[str],
+    strategies: Sequence[str] = STRATEGY_ORDER,
+    duration_s: float = DEFAULT_DURATION_S,
+    warmup_s: float = DEFAULT_WARMUP_S,
+    seed: int = 2023,
+) -> SweepResult:
+    """Sweep one LC application's load; run every strategy at every level."""
+    points: List[SweepPoint] = []
+    for load in swept_loads:
+        lc_loads = dict(fixed_loads)
+        lc_loads[swept_application] = load
+        collocation: Collocation = make_collocation(lc_loads, be_names, seed=seed)
+        e_lc: Dict[str, float] = {}
+        e_be: Dict[str, float] = {}
+        e_s: Dict[str, float] = {}
+        yields: Dict[str, float] = {}
+        tails: Dict[str, Dict[str, float]] = {}
+        ipcs: Dict[str, Dict[str, float]] = {}
+        for strategy in strategies:
+            result = run_strategy(collocation, strategy, duration_s, warmup_s)
+            e_lc[strategy] = result.mean_e_lc()
+            e_be[strategy] = result.mean_e_be()
+            e_s[strategy] = result.mean_e_s()
+            yields[strategy] = result.yield_fraction()
+            tails[strategy] = result.mean_tail_latencies_ms()
+            ipcs[strategy] = result.mean_ipcs()
+        points.append(
+            SweepPoint(
+                swept_load=load,
+                e_lc=e_lc,
+                e_be=e_be,
+                e_s=e_s,
+                yields=yields,
+                tails_ms=tails,
+                ipcs=ipcs,
+            )
+        )
+    return SweepResult(
+        swept_application=swept_application,
+        fixed_loads=dict(fixed_loads),
+        be_names=tuple(be_names),
+        points=points,
+    )
+
+
+def render_sweep(result: SweepResult, title: str) -> str:
+    """Render E_LC / E_BE / E_S series plus a per-load detail table."""
+    parts = []
+    for metric, label in (("e_lc", "E_LC"), ("e_be", "E_BE"), ("e_s", "E_S")):
+        parts.append(
+            ascii_series(
+                result.series(metric),
+                title=f"{title} — {label} vs {result.swept_application} load",
+                x_header="load",
+            )
+        )
+    detail_rows = []
+    for point in result.points:
+        for strategy in sorted(point.e_s):
+            tail_text = ", ".join(
+                f"{app}={value:.2f}" for app, value in point.tails_ms[strategy].items()
+            )
+            ipc_text = ", ".join(
+                f"{app}={value:.2f}" for app, value in point.ipcs[strategy].items()
+            )
+            detail_rows.append(
+                [
+                    point.swept_load,
+                    strategy,
+                    point.yields[strategy],
+                    tail_text,
+                    ipc_text,
+                ]
+            )
+    parts.append(
+        ascii_table(
+            ["load", "strategy", "yield", "tail latency (ms)", "IPC"],
+            detail_rows,
+            precision=2,
+            title=f"{title} — per-application detail",
+        )
+    )
+    return "\n\n".join(parts)

@@ -1,0 +1,152 @@
+"""Table II: entropy details under Unmanaged with 6/7/8 processing units.
+
+The paper runs Xapian, Moses and Img-dnn at 20% load plus Fluidanimate
+under the Unmanaged strategy while shrinking the machine from 8 to 6
+cores, and reports the full per-application breakdown (``TL_i0``,
+``TL_i1``, ``M_i``, ``A_i``, ``R_i``, ``ReT_i``, ``Q_i``) plus the
+aggregate entropies. The expected shape: at 8 cores everything is
+(barely) satisfied and ``E_LC = 0``; at 7 cores ``E_LC`` is substantial;
+at 6 cores tail latencies blow up and ``E_S`` is large.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.cluster.run import RunResult
+from repro.entropy.records import BEObservation, LCObservation, SystemObservation
+from repro.experiments.common import canonical_mix, run_strategy
+from repro.experiments.reporting import ascii_table
+from repro.server.spec import PAPER_NODE
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One application (or the System aggregate) at one core count."""
+
+    cores: int
+    application: str
+    values: Dict[str, float]
+
+
+def run_table2(
+    core_counts: Sequence[int] = (6, 7, 8),
+    duration_s: float = 60.0,
+    warmup_s: float = 30.0,
+    seed: int = 2023,
+) -> List[Table2Row]:
+    """Reproduce Table II. Returns one row per application per core count."""
+    rows: List[Table2Row] = []
+    for cores in core_counts:
+        spec = PAPER_NODE.shrunk(cores=cores)
+        collocation = canonical_mix(0.2, 0.2, 0.2, spec=spec, seed=seed)
+        result = run_strategy(collocation, "unmanaged", duration_s, warmup_s)
+        observation = _mean_observation(result)
+        for lc in observation.lc:
+            rows.append(
+                Table2Row(
+                    cores=cores,
+                    application=lc.name,
+                    values={
+                        "TL_i0": lc.ideal_ms,
+                        "TL_i1": lc.measured_ms,
+                        "M_i": lc.threshold_ms,
+                        "A_i": lc.tolerance,
+                        "R_i": lc.suffered,
+                        "ReT_i": lc.remaining,
+                        "Q_i": lc.intolerable,
+                    },
+                )
+            )
+        summary = observation.breakdown()
+        rows.append(
+            Table2Row(
+                cores=cores,
+                application="System",
+                values={
+                    "A_i": summary.mean_tolerance,
+                    "R_i": summary.mean_suffered,
+                    "ReT_i": summary.mean_remaining,
+                    "E_LC": summary.e_lc,
+                    "E_BE": summary.e_be,
+                    "E_S": summary.e_s,
+                },
+            )
+        )
+    return rows
+
+
+def _mean_observation(result: RunResult) -> SystemObservation:
+    """Average the post-warm-up epochs into one representative observation."""
+    records = result.measured_records()
+    lc_names = list(result.collocation.lc_profiles)
+    lc_observations = []
+    for name in lc_names:
+        samples = [r.lc[name] for r in records]
+        lc_observations.append(
+            LCObservation(
+                name=name,
+                ideal_ms=sum(s.ideal_ms for s in samples) / len(samples),
+                measured_ms=sum(s.tail_ms for s in samples) / len(samples),
+                threshold_ms=samples[0].threshold_ms,
+            )
+        )
+    be_named: Dict[str, List[float]] = {}
+    for record in records:
+        for obs in record.observation.be:
+            be_named.setdefault(obs.name, []).append(obs.ipc_real)
+    be_observations = tuple(
+        BEObservation(
+            name=name,
+            ipc_solo=result.collocation.be_profiles[name].ipc_solo,
+            ipc_real=sum(values) / len(values),
+        )
+        for name, values in be_named.items()
+    )
+    return SystemObservation(lc=tuple(lc_observations), be=be_observations)
+
+
+def render(rows: Sequence[Table2Row]) -> str:
+    """Render the Table II layout."""
+    headers = [
+        "Cores",
+        "Application",
+        "TL_i0",
+        "TL_i1",
+        "M_i",
+        "A_i",
+        "R_i",
+        "ReT_i",
+        "Q_i",
+        "E_LC",
+        "E_BE",
+        "E_S",
+    ]
+    table_rows = []
+    for row in rows:
+        table_rows.append(
+            [
+                row.cores,
+                row.application,
+                *(
+                    row.values.get(key, "-")
+                    for key in headers[2:]
+                ),
+            ]
+        )
+    return ascii_table(
+        headers,
+        table_rows,
+        precision=2,
+        title="Table II — Unmanaged, Xapian/Moses/Img-dnn @20% + Fluidanimate",
+    )
+
+
+def main() -> None:
+    """CLI entry point."""
+    print(render(run_table2()))
+
+
+if __name__ == "__main__":
+    main()

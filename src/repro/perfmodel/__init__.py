@@ -1,0 +1,39 @@
+"""Analytic performance models backing the simulated substrate.
+
+* :mod:`repro.perfmodel.queueing` — queueing models: the exact M/M/c
+  ground truth, the G/G/c-with-capacity approximation used by the LC
+  application profiles, and the overload backlog state (produces the
+  Fig. 7 hockey-stick and the queue build-up dynamics the schedulers
+  react to);
+* :mod:`repro.perfmodel.missratio` — LLC miss-ratio curve and fitting;
+* :mod:`repro.perfmodel.slowdown` — composition of core/cache/bandwidth
+  effects into service rates and instruction throughput.
+"""
+
+from repro.perfmodel.queueing import (
+    MMcQueue,
+    OverloadState,
+    QueueModel,
+    erlang_c,
+    percentile_sojourn_ms,
+    service_quantile_ms,
+    waiting_probability,
+)
+from repro.perfmodel.slowdown import (
+    instruction_rate,
+    memory_time_stretch,
+    service_rate_per_core,
+)
+
+__all__ = [
+    "MMcQueue",
+    "OverloadState",
+    "QueueModel",
+    "erlang_c",
+    "instruction_rate",
+    "memory_time_stretch",
+    "percentile_sojourn_ms",
+    "service_quantile_ms",
+    "service_rate_per_core",
+    "waiting_probability",
+]

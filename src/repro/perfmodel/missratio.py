@@ -1,0 +1,57 @@
+"""Miss-ratio curve re-export plus fitting helpers.
+
+The curve type itself lives with the LLC model in
+:mod:`repro.server.llc`; this module adds the calibration helper used by
+the workload catalog to derive curve parameters from a target "cache
+sensitivity" description.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+from repro.server.llc import MissRatioCurve
+
+__all__ = ["MissRatioCurve", "curve_from_sensitivity"]
+
+
+def curve_from_sensitivity(
+    miss_at_full: float,
+    miss_at_one_way: float,
+    full_ways: float,
+) -> MissRatioCurve:
+    """Fit an exponential miss-ratio curve through two anchor points.
+
+    Parameters
+    ----------
+    miss_at_full:
+        Miss ratio with the entire LLC (``full_ways`` ways).
+    miss_at_one_way:
+        Miss ratio when squeezed to a single way.
+    full_ways:
+        The way count at which ``miss_at_full`` was observed.
+
+    The fitted curve satisfies ``mr(1) = miss_at_one_way`` approximately and
+    ``mr(full_ways) ≈ miss_at_full`` (the floor is placed slightly below
+    ``miss_at_full`` so the curve still improves marginally past the
+    calibration point, as real MRCs do).
+    """
+    if not 0 < miss_at_full <= miss_at_one_way <= 1:
+        raise ConfigurationError(
+            "need 0 < miss_at_full <= miss_at_one_way <= 1, got "
+            f"{miss_at_full} and {miss_at_one_way}"
+        )
+    if full_ways <= 1:
+        raise ConfigurationError(f"full_ways must exceed 1, got {full_ways}")
+    floor = miss_at_full * 0.9
+    ceiling_minus_floor = miss_at_one_way - floor
+    if ceiling_minus_floor <= 0:
+        return MissRatioCurve.insensitive(miss_at_full)
+    # Solve mr(full_ways) = miss_at_full for the decay constant.
+    ratio = (miss_at_full - floor) / ceiling_minus_floor
+    scale = (full_ways - 1.0) / max(1e-9, -math.log(max(1e-12, ratio)))
+    ceiling = floor + ceiling_minus_floor * math.exp(1.0 / scale)
+    return MissRatioCurve(
+        ceiling=min(1.0, ceiling), floor=floor, scale_ways=scale
+    )

@@ -1,0 +1,433 @@
+"""ARQ: the paper's scheduling strategy (§IV, Algorithm 1).
+
+ARQ divides the node into per-LC-application **isolated regions** plus one
+**shared region**. LC applications may use their own isolated region *and*
+the shared region; BE applications live only in the shared region (where
+LC applications take precedence). Every monitoring interval ARQ:
+
+1. computes ``E_S`` and the remaining-tolerance array ``ReT``;
+2. if the previous adjustment *increased* ``E_S``, rolls it back and
+   forbids penalising the previous victim region for 60 s (escaping local
+   optima);
+3. otherwise moves **one unit** of one resource type from a victim region
+   (an application with ``ReT > 0.1`` that still owns isolated resources,
+   else the shared region) to a beneficiary region (the application with
+   the smallest ``ReT`` if it is below 0.05, else the shared region),
+   cycling resource types with the same FSM as PARTIES;
+4. when victim and beneficiary are both the shared region, the system is
+   at equilibrium and nothing moves.
+
+Constructor flags expose the ablations benchmarked in this repository:
+``entropy_rollback=False`` removes step 2's feedback, ``cooldown_s=0``
+removes the 60 s penalty window, and setting ``shared_region=False``
+degenerates ARQ into a strict partitioner for comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.entropy.records import SystemObservation
+from repro.schedulers.base import (
+    SHARED,
+    RegionPlan,
+    Scheduler,
+    SchedulerContext,
+    everything_shared_plan,
+)
+from repro.schedulers.fsm import ResourceTypeFSM
+from repro.server.cores import CorePolicy
+from repro.server.resources import DEFAULT_UNIT_SIZES, ResourceVector
+from repro.types import ResourceKind
+
+#: ``findVictimRegion``'s threshold: applications this tolerant may donate.
+RET_VICTIM_THRESHOLD = 0.1
+#: ``findBeneficiaryRegion``'s threshold: applications this squeezed receive.
+RET_BENEFICIARY_THRESHOLD = 0.05
+#: How long a rolled-back victim region is protected (Algorithm 1, line 10).
+PENALTY_COOLDOWN_S = 60.0
+#: Units moved per epoch while the beneficiary is outright violating QoS.
+#: §VI-B: ARQ's adjustment "is more aggressive than that of PARTIES" — when
+#: the tail latency has already crossed the threshold, single-unit steps
+#: would let the violation persist for many monitoring intervals.
+URGENT_UNITS = 3.0
+
+#: The shared region always keeps at least this much, so BE applications
+#: are never formally evicted from the machine (the bandwidth floor keeps
+#: the BE members' aggregate MBA cap above zero — a zero cap would stall
+#: them outright rather than throttle them).
+SHARED_FLOOR = {
+    ResourceKind.CORES: 1.0,
+    ResourceKind.LLC_WAYS: 1.0,
+    ResourceKind.MEMBW: DEFAULT_UNIT_SIZES[ResourceKind.MEMBW],
+}
+
+#: An LC application's isolated bandwidth reservation is pointless beyond
+#: its own maximum appetite.
+MEMBW_RESERVATION_HEADROOM = 1.5
+
+
+@dataclass(frozen=True)
+class _Move:
+    """One recorded resource adjustment (for rollback)."""
+
+    kind: ResourceKind
+    source: str
+    destination: str
+    amount: float
+
+
+class ARQScheduler(Scheduler):
+    """The ARQ strategy of Algorithm 1."""
+
+    name = "arq"
+
+    def __init__(
+        self,
+        entropy_rollback: bool = True,
+        cooldown_s: float = PENALTY_COOLDOWN_S,
+        shared_region: bool = True,
+        victim_threshold: float = RET_VICTIM_THRESHOLD,
+        beneficiary_threshold: float = RET_BENEFICIARY_THRESHOLD,
+        rollback_epsilon: float = 0.01,
+        victim_patience: int = 4,
+    ) -> None:
+        if cooldown_s < 0:
+            raise ValueError("cooldown cannot be negative")
+        if rollback_epsilon < 0:
+            raise ValueError("rollback_epsilon cannot be negative")
+        if victim_patience < 1:
+            raise ValueError("victim_patience must be at least 1")
+        if not 0 <= beneficiary_threshold <= victim_threshold:
+            raise ValueError(
+                "need 0 <= beneficiary_threshold <= victim_threshold"
+            )
+        self._entropy_rollback = entropy_rollback
+        self._cooldown_s = cooldown_s
+        self._shared_region = shared_region
+        self._victim_threshold = victim_threshold
+        self._beneficiary_threshold = beneficiary_threshold
+        self._rollback_epsilon = rollback_epsilon
+        self._victim_patience = victim_patience
+        self._fsm = ResourceTypeFSM()
+        self._previous_entropy = 1.0
+        self._is_adjust = False
+        self._last_move: Optional[_Move] = None
+        self._cooldown_until: Dict[str, float] = {}
+        self._tolerant_streak: Dict[str, int] = {}
+
+    def reset(self) -> None:
+        self._fsm = ResourceTypeFSM()
+        self._previous_entropy = 1.0
+        self._is_adjust = False
+        self._last_move = None
+        self._cooldown_until = {}
+        self._tolerant_streak = {}
+
+    # -- plan construction ----------------------------------------------------
+
+    def initial_plan(self, context: SchedulerContext) -> RegionPlan:
+        """Start with everything shared; isolation grows on demand.
+
+        With ``shared_region=False`` (ablation) the start is instead a
+        thread-weighted strict partition with a minimal shared remainder.
+        """
+        plan = everything_shared_plan(context, CorePolicy.LC_PRIORITY)
+        if self._shared_region:
+            # Empty isolated regions exist from the start so that moves
+            # toward any LC application are well-defined.
+            isolated = {name: ResourceVector() for name in context.lc_profiles}
+            plan = RegionPlan(
+                isolated=isolated,
+                shared=plan.shared,
+                shared_members=plan.shared_members,
+                shared_policy=plan.shared_policy,
+            )
+            return plan
+
+        # Ablation: no (meaningful) shared region — give each LC
+        # application a thread-weighted partition of roughly half the
+        # machine up front; the minimal shared remainder hosts the BE
+        # applications.
+        lc_names = list(context.lc_profiles)
+        capacity = context.node.capacity
+        weights = {n: float(context.threads_of(n)) for n in lc_names}
+        total_weight = sum(weights.values())
+        isolated = {}
+        cores_left = int(capacity.cores) - int(SHARED_FLOOR[ResourceKind.CORES])
+        ways_left = int(capacity.llc_ways) - int(SHARED_FLOOR[ResourceKind.LLC_WAYS])
+        for name in lc_names:
+            share = weights[name] / total_weight
+            cores = min(cores_left, max(1, round(capacity.cores * share / 2)))
+            ways = min(ways_left, max(1, round(capacity.llc_ways * share / 2)))
+            cores_left -= cores
+            ways_left -= ways
+            isolated[name] = ResourceVector(cores=float(cores), llc_ways=float(ways))
+        used = ResourceVector(
+            cores=sum(v.cores for v in isolated.values()),
+            llc_ways=sum(v.llc_ways for v in isolated.values()),
+        )
+        shared = capacity.minus(used)
+        # Without a shared region, LC applications live strictly off their
+        # isolated partitions; the remainder pool hosts only the BE
+        # applications — i.e. ARQ degenerates into a strict partitioner.
+        return RegionPlan(
+            isolated=isolated,
+            shared=shared,
+            shared_members=frozenset(context.be_profiles),
+            shared_policy=CorePolicy.LC_PRIORITY,
+        )
+
+    # -- Algorithm 1 ------------------------------------------------------------
+
+    def decide(
+        self,
+        context: SchedulerContext,
+        observation: SystemObservation,
+        current_plan: RegionPlan,
+        time_s: float,
+    ) -> RegionPlan:
+        entropy = observation.system_entropy(context.relative_importance)
+        previous_entropy = self._previous_entropy
+        self._previous_entropy = entropy
+
+        if (
+            self._entropy_rollback
+            and self._is_adjust
+            and entropy > previous_entropy + self._rollback_epsilon
+            and self._last_move is not None
+        ):
+            # Cancel the last adjustment; protect the old victim region.
+            move = self._last_move
+            self._is_adjust = False
+            self._last_move = None
+            self._cooldown_until[move.source] = time_s + self._cooldown_s
+            if current_plan.region_amount(move.destination, move.kind) >= move.amount:
+                return current_plan.move(
+                    move.kind, move.destination, move.source, move.amount
+                )
+            return current_plan
+
+        adjusted = self._adjust_resource(context, observation, current_plan, time_s)
+        if adjusted is None:
+            self._is_adjust = False
+            self._last_move = None
+            return current_plan
+        return adjusted
+
+    # -- AdjustResource -----------------------------------------------------------
+
+    def _adjust_resource(
+        self,
+        context: SchedulerContext,
+        observation: SystemObservation,
+        plan: RegionPlan,
+        time_s: float,
+    ) -> Optional[RegionPlan]:
+        tolerances = observation.remaining_tolerances()
+        if not tolerances:
+            return None
+
+        # Donating requires *sustained* comfort: an application hovering at
+        # the victim threshold would otherwise cycle between donating its
+        # isolation and violating, every few epochs (measurement noise is
+        # larger than the gap between the victim and beneficiary
+        # thresholds).
+        for name, tolerance in tolerances.items():
+            if tolerance > self._victim_threshold:
+                self._tolerant_streak[name] = self._tolerant_streak.get(name, 0) + 1
+            else:
+                self._tolerant_streak[name] = 0
+
+        victim = self._find_victim_region(plan, tolerances, time_s)
+        beneficiary = self._find_beneficiary_region(observation, tolerances)
+        if victim == beneficiary:
+            # Equilibrium: nobody needs more and nobody can donate.
+            return None
+
+        kind = self._find_victim_resource(context, plan, victim, beneficiary)
+        if kind is None:
+            # The chosen victim has nothing movable (e.g. the shared region
+            # is at its floor). Fall back to the clearly better-off holder
+            # of a kind the beneficiary can still use — without this, a
+            # lopsided isolated region (many cores, no cache) can freeze
+            # the whole controller in a local optimum.
+            victim, kind = self._find_secondary_victim(
+                context, plan, observation, tolerances, beneficiary, time_s
+            )
+            if kind is None:
+                return None
+        amount = DEFAULT_UNIT_SIZES[kind]
+        if self._beneficiary_is_violating(observation, beneficiary):
+            amount *= URGENT_UNITS
+            amount = self._clamp_move(context, plan, kind, victim, beneficiary, amount)
+            if amount <= 0:
+                return None
+        self._fsm.advance()
+        self._is_adjust = True
+        self._last_move = _Move(
+            kind=kind, source=victim, destination=beneficiary, amount=amount
+        )
+        return plan.move(kind, victim, beneficiary, amount)
+
+    @staticmethod
+    def _beneficiary_is_violating(
+        observation: SystemObservation, beneficiary: str
+    ) -> bool:
+        if beneficiary == SHARED:
+            return False
+        for lc in observation.lc:
+            if lc.name == beneficiary:
+                return lc.intolerable > 0.0
+        return False
+
+    def _clamp_move(
+        self,
+        context: SchedulerContext,
+        plan: RegionPlan,
+        kind: ResourceKind,
+        victim: str,
+        beneficiary: str,
+        amount: float,
+    ) -> float:
+        """Largest movable amount ≤ ``amount`` honouring floors and caps."""
+        floor = SHARED_FLOOR[kind] if victim == SHARED else 0.0
+        available = plan.region_amount(victim, kind) - floor
+        amount = min(amount, max(0.0, available))
+        if beneficiary != SHARED and kind is ResourceKind.CORES:
+            room = context.threads_of(beneficiary) - plan.region_amount(
+                beneficiary, kind
+            )
+            amount = min(amount, max(0.0, room))
+        return amount
+
+    def _find_victim_region(
+        self,
+        plan: RegionPlan,
+        tolerances: Dict[str, float],
+        time_s: float,
+    ) -> str:
+        """``findVictimRegion``: most-tolerant app with isolated resources."""
+        for name in sorted(tolerances, key=tolerances.get, reverse=True):
+            if tolerances[name] <= self._victim_threshold:
+                break
+            if self._tolerant_streak.get(name, 0) < self._victim_patience:
+                continue
+            if self._cooldown_until.get(name, 0.0) > time_s:
+                continue
+            if not plan.isolated_of(name).is_zero:
+                return name
+        return SHARED
+
+    def _find_beneficiary_region(
+        self, observation: SystemObservation, tolerances: Dict[str, float]
+    ) -> str:
+        """``findBeneficiaryRegion``: the most-squeezed app, if squeezed.
+
+        Ties on remaining tolerance (several applications at 0) are
+        broken by the intolerable interference ``Q_i`` — the deepest
+        violator is the most valuable recipient for ``E_LC``.
+        """
+        intolerables = {o.name: o.intolerable for o in observation.lc}
+        poorest = min(
+            tolerances,
+            key=lambda name: (tolerances[name], -intolerables.get(name, 0.0)),
+        )
+        if tolerances[poorest] < self._beneficiary_threshold:
+            return poorest
+        return SHARED
+
+    def _beneficiary_can_use(
+        self,
+        context: SchedulerContext,
+        plan: RegionPlan,
+        beneficiary: str,
+        kind: ResourceKind,
+    ) -> bool:
+        """Whether one more unit of ``kind`` is useful to the beneficiary.
+
+        Isolating more cores than an application has threads, or more
+        bandwidth than its maximum appetite, would just strand the
+        resource.
+        """
+        if beneficiary == SHARED:
+            return True
+        held = plan.region_amount(beneficiary, kind)
+        unit = DEFAULT_UNIT_SIZES[kind]
+        if kind is ResourceKind.CORES:
+            return held + unit <= context.threads_of(beneficiary) + 1e-9
+        if kind is ResourceKind.LLC_WAYS:
+            return held + unit <= context.node.capacity.llc_ways + 1e-9
+        profile = context.lc_profiles.get(beneficiary)
+        appetite = (
+            profile.membw_ref_gbps * MEMBW_RESERVATION_HEADROOM
+            if profile is not None
+            else context.node.capacity.membw_gbps
+        )
+        return held + unit <= appetite + 1e-9
+
+    def _find_victim_resource(
+        self,
+        context: SchedulerContext,
+        plan: RegionPlan,
+        victim: str,
+        beneficiary: str,
+    ) -> Optional[ResourceKind]:
+        """``findVictimResource``: FSM-ordered first penalisable kind."""
+
+        def feasible(kind: ResourceKind) -> bool:
+            unit = DEFAULT_UNIT_SIZES[kind]
+            available = plan.region_amount(victim, kind)
+            floor = SHARED_FLOOR[kind] if victim == SHARED else 0.0
+            return available - unit >= floor - 1e-9 and self._beneficiary_can_use(
+                context, plan, beneficiary, kind
+            )
+
+        return self._fsm.pick(feasible)
+
+    def _find_secondary_victim(
+        self,
+        context: SchedulerContext,
+        plan: RegionPlan,
+        observation: SystemObservation,
+        tolerances: Dict[str, float],
+        beneficiary: str,
+        time_s: float,
+    ) -> tuple:
+        """A clearly better-off isolated-region holder to take from.
+
+        Considered only when neither the nominal victim nor the shared
+        region can donate. An application is *clearly better-off* when its
+        remaining tolerance exceeds the beneficiary's by 0.02 — or, when
+        every tolerance is zero (the machine is saturated and everyone
+        violates), when its intolerable interference ``Q_i`` is at least
+        0.2 below the beneficiary's: shifting resources from mild to
+        severe violators is the direct descent direction of ``E_LC``,
+        with the entropy rollback as the safety net.
+        """
+        beneficiary_tolerance = tolerances.get(beneficiary, 0.0)
+        intolerables = {o.name: o.intolerable for o in observation.lc}
+        beneficiary_q = intolerables.get(beneficiary, 0.0)
+        best = (None, None, 0.0)
+        for name, tolerance in tolerances.items():
+            if name == beneficiary:
+                continue
+            better_by_tolerance = tolerance >= beneficiary_tolerance + 0.02
+            better_by_violation = (
+                intolerables.get(name, 0.0) <= beneficiary_q - 0.2
+            )
+            if not (better_by_tolerance or better_by_violation):
+                continue
+            if self._cooldown_until.get(name, 0.0) > time_s:
+                continue
+            for kind in ResourceKind:
+                held = plan.region_amount(name, kind)
+                unit = DEFAULT_UNIT_SIZES[kind]
+                if held < unit - 1e-9:
+                    continue
+                if not self._beneficiary_can_use(context, plan, beneficiary, kind):
+                    continue
+                if held > best[2]:
+                    best = (name, kind, held)
+        return best[0], best[1]

@@ -1,0 +1,213 @@
+"""Scheduler interface and the region-plan data model.
+
+A *region plan* is the complete actuation state of one node (§IV-B):
+per-application **isolated regions** (resources only the owner may use) and
+one **shared region** whose members compete for its resources under a core
+policy. Strict-partitioning strategies (PARTIES, CLITE) use an empty shared
+region; the sharing baselines (Unmanaged, LC-first) put everything in the
+shared region; ARQ mixes both.
+
+Memory-bandwidth semantics: a non-zero ``membw_gbps`` component in an
+isolated region acts as an MBA-style *cap* for the owner; applications in
+the shared region contend for the remaining channel bandwidth unthrottled.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, Mapping, Optional, Tuple
+
+from repro.entropy.records import SystemObservation
+from repro.errors import SchedulingError
+from repro.server.cores import CorePolicy
+from repro.server.node import ServerNode
+from repro.server.resources import ResourceVector, total_of
+from repro.sim.rng import RngStreams
+from repro.types import ResourceKind
+from repro.workloads.be_app import BEProfile
+from repro.workloads.lc_app import LCProfile
+
+#: Region key denoting the shared region in move operations.
+SHARED = "__shared__"
+
+
+@dataclass(frozen=True)
+class RegionPlan:
+    """One node's complete resource actuation state."""
+
+    isolated: Mapping[str, ResourceVector] = field(default_factory=dict)
+    shared: ResourceVector = ResourceVector()
+    shared_members: FrozenSet[str] = frozenset()
+    shared_policy: CorePolicy = CorePolicy.LC_PRIORITY
+
+    def isolated_of(self, name: str) -> ResourceVector:
+        return self.isolated.get(name, ResourceVector())
+
+    def total_allocated(self) -> ResourceVector:
+        return total_of(self.isolated.values()).plus(self.shared)
+
+    def validate(self, node: ServerNode) -> None:
+        node.validate_partition(self.isolated, self.shared)
+
+    def region_amount(self, region: str, kind: ResourceKind) -> float:
+        """Resource amount of ``kind`` held by a region (app name or SHARED)."""
+        if region == SHARED:
+            return self.shared.get(kind)
+        return self.isolated_of(region).get(kind)
+
+    def move(
+        self, kind: ResourceKind, source: str, destination: str, amount: float = 1.0
+    ) -> "RegionPlan":
+        """A new plan with ``amount`` of ``kind`` moved between regions.
+
+        Raises :class:`SchedulingError` when the source region does not
+        hold enough of the resource.
+        """
+        if amount <= 0:
+            raise SchedulingError(f"move amount must be positive, got {amount}")
+        if source == destination:
+            raise SchedulingError("source and destination regions are identical")
+        if self.region_amount(source, kind) < amount - 1e-9:
+            raise SchedulingError(
+                f"region {source!r} holds only "
+                f"{self.region_amount(source, kind):g} of {kind.value}, cannot "
+                f"move {amount:g}"
+            )
+        delta = ResourceVector.of(kind, amount)
+        isolated = dict(self.isolated)
+        shared = self.shared
+        if source == SHARED:
+            shared = shared.minus(delta)
+        else:
+            isolated[source] = self.isolated_of(source).minus(delta)
+        if destination == SHARED:
+            shared = shared.plus(delta)
+        else:
+            isolated[destination] = self.isolated_of(destination).plus(delta)
+        return replace(self, isolated=isolated, shared=shared)
+
+    def with_isolated(self, name: str, vector: ResourceVector) -> "RegionPlan":
+        isolated = dict(self.isolated)
+        isolated[name] = vector
+        return replace(self, isolated=isolated)
+
+    def describe(self) -> str:
+        parts = [
+            f"{name}: [{vector}]"
+            for name, vector in sorted(self.isolated.items())
+            if not vector.is_zero
+        ]
+        parts.append(f"shared: [{self.shared}] members={sorted(self.shared_members)}")
+        return "; ".join(parts)
+
+
+@dataclass(frozen=True)
+class SchedulerContext:
+    """Everything a scheduler may consult when deciding.
+
+    Attributes
+    ----------
+    node:
+        The machine being scheduled.
+    lc_profiles / be_profiles:
+        Application profiles by name (static knowledge: thread counts,
+        QoS targets — the same facts PARTIES/CLITE assume).
+    epoch_s:
+        Monitoring interval (0.5 s in the paper).
+    relative_importance:
+        The ``RI`` used when strategies evaluate ``E_S`` internally.
+    rng:
+        Named random streams (CLITE's optimiser draws from these).
+    """
+
+    node: ServerNode
+    lc_profiles: Mapping[str, LCProfile]
+    be_profiles: Mapping[str, BEProfile]
+    epoch_s: float = 0.5
+    relative_importance: float = 0.8
+    rng: Optional[RngStreams] = None
+
+    @property
+    def app_names(self) -> Tuple[str, ...]:
+        return tuple(list(self.lc_profiles) + list(self.be_profiles))
+
+    def threads_of(self, name: str) -> int:
+        if name in self.lc_profiles:
+            return self.lc_profiles[name].threads
+        if name in self.be_profiles:
+            return self.be_profiles[name].threads
+        raise SchedulingError(f"unknown application {name!r}")
+
+
+class Scheduler(abc.ABC):
+    """A resource scheduling strategy.
+
+    The cluster simulator calls :meth:`initial_plan` once, then after every
+    monitoring epoch calls :meth:`decide` with the (noisy) observation
+    measured under the current plan. ``decide`` returns the plan for the
+    next epoch — returning the current plan unchanged is the no-op.
+    """
+
+    #: Human-readable strategy name (used in reports).
+    name: str = "scheduler"
+
+    @abc.abstractmethod
+    def initial_plan(self, context: SchedulerContext) -> RegionPlan:
+        """The plan to apply before the first measurement."""
+
+    @abc.abstractmethod
+    def decide(
+        self,
+        context: SchedulerContext,
+        observation: SystemObservation,
+        current_plan: RegionPlan,
+        time_s: float,
+    ) -> RegionPlan:
+        """The plan for the next epoch given this epoch's measurements."""
+
+    def reset(self) -> None:
+        """Clear any cross-run internal state (default: stateless)."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+def everything_shared_plan(
+    context: SchedulerContext, policy: CorePolicy
+) -> RegionPlan:
+    """A plan placing the entire node in the shared region."""
+    return RegionPlan(
+        isolated={},
+        shared=context.node.capacity,
+        shared_members=frozenset(context.app_names),
+        shared_policy=policy,
+    )
+
+
+def even_partition_plan(context: SchedulerContext) -> RegionPlan:
+    """A strict partition giving every application an even share.
+
+    Cores and ways are split as evenly as integer units allow (remainders
+    go to the earliest applications in catalog order); bandwidth is left
+    uncapped. Used as the starting point of PARTIES-style searches.
+    """
+    names = list(context.app_names)
+    if not names:
+        raise SchedulingError("cannot partition a node with no applications")
+    capacity = context.node.capacity
+    cores_each, cores_extra = divmod(int(capacity.cores), len(names))
+    ways_each, ways_extra = divmod(int(capacity.llc_ways), len(names))
+    isolated: Dict[str, ResourceVector] = {}
+    for index, name in enumerate(names):
+        cores = cores_each + (1 if index < cores_extra else 0)
+        ways = ways_each + (1 if index < ways_extra else 0)
+        isolated[name] = ResourceVector(cores=float(cores), llc_ways=float(ways))
+    plan = RegionPlan(
+        isolated=isolated,
+        shared=ResourceVector(),
+        shared_members=frozenset(),
+        shared_policy=CorePolicy.LC_PRIORITY,
+    )
+    plan.validate(context.node)
+    return plan

@@ -1,0 +1,61 @@
+"""The resource-type finite state machine (§IV-B, ``findVictimResource``).
+
+PARTIES (and ARQ, which reuses the same machine) adjusts one resource type
+at a time, cycling through the types in a fixed order when the current type
+cannot be adjusted. Each state is a resource kind; :meth:`pick` returns the
+first kind — starting from the current state — that the caller's
+feasibility predicate accepts, advancing the machine as it goes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.errors import SchedulingError
+from repro.types import ResourceKind
+
+#: The adjustment order used throughout: cores, then LLC ways, then
+#: memory bandwidth.
+DEFAULT_ORDER = (ResourceKind.CORES, ResourceKind.LLC_WAYS, ResourceKind.MEMBW)
+
+
+class ResourceTypeFSM:
+    """Cyclic resource-type selector with a feasibility predicate."""
+
+    def __init__(self, order: Sequence[ResourceKind] = DEFAULT_ORDER) -> None:
+        if not order:
+            raise SchedulingError("the FSM needs at least one resource kind")
+        if len(set(order)) != len(order):
+            raise SchedulingError(f"duplicate resource kinds in order: {order}")
+        self._order = tuple(order)
+        self._index = 0
+
+    @property
+    def current(self) -> ResourceKind:
+        return self._order[self._index]
+
+    def advance(self) -> ResourceKind:
+        """Move to the next resource kind and return it."""
+        self._index = (self._index + 1) % len(self._order)
+        return self.current
+
+    def pick(
+        self, feasible: Callable[[ResourceKind], bool]
+    ) -> Optional[ResourceKind]:
+        """First feasible kind starting from the current state.
+
+        Tries the current kind, then advances through the cycle; returns
+        ``None`` when no kind is feasible (the machine is left where it
+        started in that case).
+        """
+        start = self._index
+        for offset in range(len(self._order)):
+            kind = self._order[(start + offset) % len(self._order)]
+            if feasible(kind):
+                self._index = (start + offset) % len(self._order)
+                return kind
+        self._index = start
+        return None
+
+    def reset(self) -> None:
+        self._index = 0

@@ -1,0 +1,127 @@
+"""Heracles-style threshold controller (Lo et al., ISCA'15 — §VII).
+
+Heracles collocates one (or few) latency-critical application(s) with
+best-effort work using simple threshold rules on measured *slack*: when
+the LC slack is healthy, best-effort growth is allowed; when slack gets
+thin, best-effort resources are clawed back; when QoS is violated,
+best-effort work is throttled hard.
+
+This reproduction generalises the controller to several LC applications
+the obvious way (act on the minimum slack) and actuates the same knobs as
+the other strategies: the LC applications share one protected region, the
+BE applications one bounded region. It sits between the paper's
+baselines — more careful than LC-first, far simpler than PARTIES — and is
+included for the related-work comparison experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.entropy.records import SystemObservation
+from repro.schedulers.base import RegionPlan, Scheduler, SchedulerContext
+from repro.server.cores import CorePolicy
+from repro.server.resources import DEFAULT_UNIT_SIZES, ResourceVector
+from repro.types import ResourceKind
+
+#: Slack above which best-effort work may grow.
+GROW_THRESHOLD = 0.20
+#: Slack below which best-effort work is shrunk.
+SHRINK_THRESHOLD = 0.10
+#: Fraction of BE resources removed on an outright QoS violation.
+PANIC_FACTOR = 0.5
+
+
+class HeraclesScheduler(Scheduler):
+    """Threshold-based LC protection with a bounded BE region."""
+
+    name = "heracles"
+
+    def initial_plan(self, context: SchedulerContext) -> RegionPlan:
+        """Start with a modest BE region; the controller grows/shrinks it."""
+        capacity = context.node.capacity
+        be_cores = max(1.0, capacity.cores * 0.2 // 1)
+        be_ways = max(1.0, capacity.llc_ways * 0.2 // 1)
+        isolated: Dict[str, ResourceVector] = {}
+        be_names = list(context.be_profiles)
+        for index, name in enumerate(be_names):
+            share = 1.0 / len(be_names)
+            isolated[name] = ResourceVector(
+                cores=max(1.0, be_cores * share // 1),
+                llc_ways=max(1.0, be_ways * share // 1),
+                membw_gbps=DEFAULT_UNIT_SIZES[ResourceKind.MEMBW],
+            )
+        used_cores = sum(v.cores for v in isolated.values())
+        used_ways = sum(v.llc_ways for v in isolated.values())
+        plan = RegionPlan(
+            isolated=isolated,
+            shared=ResourceVector(
+                cores=capacity.cores - used_cores,
+                llc_ways=capacity.llc_ways - used_ways,
+                membw_gbps=capacity.membw_gbps
+                - sum(v.membw_gbps for v in isolated.values()),
+            ),
+            shared_members=frozenset(context.lc_profiles),
+            shared_policy=CorePolicy.LC_PRIORITY,
+        )
+        plan.validate(context.node)
+        return plan
+
+    def decide(
+        self,
+        context: SchedulerContext,
+        observation: SystemObservation,
+        current_plan: RegionPlan,
+        time_s: float,
+    ) -> RegionPlan:
+        if not observation.lc or not context.be_profiles:
+            return current_plan
+        min_slack = min(o.remaining for o in observation.lc)
+        violated = any(not o.satisfied for o in observation.lc)
+
+        if violated:
+            return self._panic(context, current_plan)
+        if min_slack < SHRINK_THRESHOLD:
+            return self._step_be(context, current_plan, grow=False)
+        if min_slack > GROW_THRESHOLD:
+            return self._step_be(context, current_plan, grow=True)
+        return current_plan
+
+    # -- actuation -------------------------------------------------------------
+
+    def _step_be(
+        self, context: SchedulerContext, plan: RegionPlan, grow: bool
+    ) -> RegionPlan:
+        """Move one core (or way) between the BE partitions and the pool."""
+        for kind in (ResourceKind.CORES, ResourceKind.LLC_WAYS):
+            unit = DEFAULT_UNIT_SIZES[kind]
+            for name in sorted(context.be_profiles):
+                if grow:
+                    source, destination = "__shared__", name
+                    available = plan.shared.get(kind)
+                    room = (
+                        context.threads_of(name) - plan.region_amount(name, kind)
+                        if kind is ResourceKind.CORES
+                        else context.node.capacity.llc_ways
+                        - plan.region_amount(name, kind)
+                    )
+                    if available - unit >= 1.0 and room >= unit:
+                        return plan.move(kind, source, destination, unit)
+                else:
+                    if plan.region_amount(name, kind) - unit >= 1.0:
+                        return plan.move(kind, name, "__shared__", unit)
+        return plan
+
+    def _panic(self, context: SchedulerContext, plan: RegionPlan) -> RegionPlan:
+        """QoS violated: halve every BE partition back into the pool."""
+        adjusted = plan
+        for name in context.be_profiles:
+            for kind in (ResourceKind.CORES, ResourceKind.LLC_WAYS):
+                held = adjusted.region_amount(name, kind)
+                give_back = (held - 1.0) * PANIC_FACTOR
+                units = int(give_back // DEFAULT_UNIT_SIZES[kind])
+                if units >= 1:
+                    adjusted = adjusted.move(
+                        kind, name, "__shared__", units * DEFAULT_UNIT_SIZES[kind]
+                    )
+        return adjusted

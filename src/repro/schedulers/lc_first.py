@@ -1,0 +1,38 @@
+"""The LC-first baseline: real-time priority preemption (§V).
+
+Latency-critical applications run at real-time priority: whenever an LC
+thread is runnable it preempts best-effort threads immediately. Everything
+remains shared (no cache or bandwidth isolation), so LC applications still
+suffer cache and memory-channel interference — which is exactly the
+weakness the paper's evaluation exposes (high ``E_BE``, and high ``E_LC``
+when collocated with Stream).
+"""
+
+from __future__ import annotations
+
+from repro.entropy.records import SystemObservation
+from repro.schedulers.base import (
+    RegionPlan,
+    Scheduler,
+    SchedulerContext,
+    everything_shared_plan,
+)
+from repro.server.cores import CorePolicy
+
+
+class LCFirstScheduler(Scheduler):
+    """Real-time priority for LC applications, everything shared."""
+
+    name = "lc-first"
+
+    def initial_plan(self, context: SchedulerContext) -> RegionPlan:
+        return everything_shared_plan(context, CorePolicy.LC_PRIORITY)
+
+    def decide(
+        self,
+        context: SchedulerContext,
+        observation: SystemObservation,
+        current_plan: RegionPlan,
+        time_s: float,
+    ) -> RegionPlan:
+        return current_plan

@@ -1,0 +1,261 @@
+"""PARTIES: QoS-aware strict resource partitioning (Chen et al., ASPLOS'19).
+
+The baseline the paper compares against most closely. Every application —
+including the best-effort ones — owns a private partition of cores, LLC
+ways and a memory-bandwidth cap; nothing is shared. A feedback loop runs
+every monitoring interval:
+
+* compute each LC application's *slack* ``(M_i − TL_i)/M_i``;
+* if some application's slack is below a lower threshold, **upsize** it by
+  one unit of its current FSM resource type, taken from a donor (the
+  best-effort partitions first, then the LC application with the most
+  slack);
+* if every application has ample slack, tentatively **downsize** the most
+  relaxed LC application and donate the unit to the best-effort
+  partitions — reverting next epoch if the victim's slack collapses
+  (these tentative downsizes are what produce PARTIES' characteristic
+  latency spikes in the paper's Fig. 13).
+
+Each LC application cycles through resource types with its own
+finite-state machine, exactly as in §4 of the PARTIES paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.entropy.records import SystemObservation
+from repro.schedulers.base import RegionPlan, Scheduler, SchedulerContext
+from repro.schedulers.fsm import ResourceTypeFSM
+from repro.server.cores import CorePolicy
+from repro.server.resources import DEFAULT_UNIT_SIZES, ResourceVector
+from repro.types import ResourceKind
+
+#: Slack below which an application is considered starving (upsize).
+SLACK_LOWER = 0.05
+#: Slack above which an application is considered over-provisioned
+#: (candidate donor / downsize target).
+SLACK_UPPER = 0.20
+
+#: Per-partition floors: nobody is squeezed to zero.
+MIN_UNITS = {
+    ResourceKind.CORES: 1.0,
+    ResourceKind.LLC_WAYS: 1.0,
+    ResourceKind.MEMBW: DEFAULT_UNIT_SIZES[ResourceKind.MEMBW],
+}
+
+
+class PartiesScheduler(Scheduler):
+    """Strict partitioning with slack-driven upsize/downsize."""
+
+    name = "parties"
+
+    def __init__(
+        self,
+        slack_lower: float = SLACK_LOWER,
+        slack_upper: float = SLACK_UPPER,
+        downsize_patience: int = 3,
+        revert_cooldown_s: float = 30.0,
+    ) -> None:
+        if not 0 <= slack_lower < slack_upper:
+            raise ValueError("need 0 <= slack_lower < slack_upper")
+        if downsize_patience < 1:
+            raise ValueError("downsize_patience must be at least 1")
+        if revert_cooldown_s < 0:
+            raise ValueError("revert_cooldown_s cannot be negative")
+        self._slack_lower = slack_lower
+        self._slack_upper = slack_upper
+        self._downsize_patience = downsize_patience
+        self._revert_cooldown_s = revert_cooldown_s
+        self._fsms: Dict[str, ResourceTypeFSM] = {}
+        self._pending_downsize: Optional[Tuple[str, ResourceKind, str]] = None
+        self._relaxed_streak: Dict[str, int] = {}
+        self._downsize_cooldown: Dict[str, float] = {}
+
+    def reset(self) -> None:
+        self._fsms = {}
+        self._pending_downsize = None
+        self._relaxed_streak = {}
+        self._downsize_cooldown = {}
+
+    # -- plan construction --------------------------------------------------
+
+    def initial_plan(self, context: SchedulerContext) -> RegionPlan:
+        """Thread-weighted strict partition of every resource."""
+        names = list(context.app_names)
+        weights = {name: float(context.threads_of(name)) for name in names}
+        total_weight = sum(weights.values())
+        capacity = context.node.capacity
+        isolated: Dict[str, ResourceVector] = {}
+        remaining = {
+            ResourceKind.CORES: int(capacity.cores),
+            ResourceKind.LLC_WAYS: int(capacity.llc_ways),
+        }
+        for index, name in enumerate(names):
+            last = index == len(names) - 1
+            cores = (
+                remaining[ResourceKind.CORES]
+                if last
+                else max(1, round(capacity.cores * weights[name] / total_weight))
+            )
+            cores = min(cores, remaining[ResourceKind.CORES] - (len(names) - index - 1))
+            ways = (
+                remaining[ResourceKind.LLC_WAYS]
+                if last
+                else max(1, round(capacity.llc_ways * weights[name] / total_weight))
+            )
+            ways = min(ways, remaining[ResourceKind.LLC_WAYS] - (len(names) - index - 1))
+            remaining[ResourceKind.CORES] -= cores
+            remaining[ResourceKind.LLC_WAYS] -= ways
+            isolated[name] = ResourceVector(
+                cores=float(cores),
+                llc_ways=float(ways),
+                membw_gbps=capacity.membw_gbps * weights[name] / total_weight,
+            )
+        plan = RegionPlan(
+            isolated=isolated,
+            shared=ResourceVector(),
+            shared_members=frozenset(),
+            shared_policy=CorePolicy.LC_PRIORITY,
+        )
+        plan.validate(context.node)
+        self._fsms = {name: ResourceTypeFSM() for name in context.lc_profiles}
+        return plan
+
+    # -- decision loop --------------------------------------------------------
+
+    def decide(
+        self,
+        context: SchedulerContext,
+        observation: SystemObservation,
+        current_plan: RegionPlan,
+        time_s: float,
+    ) -> RegionPlan:
+        slacks = {
+            o.name: (o.threshold_ms - o.measured_ms) / o.threshold_ms
+            for o in observation.lc
+        }
+        if not slacks:
+            return current_plan
+
+        # Revert a tentative downsize that backfired, and back off from
+        # downsizing that application again for a while (PARTIES' recovery
+        # from "incorrect downsize actions", §VI-B of the Ah-Q paper).
+        if self._pending_downsize is not None:
+            victim, kind, donor_target = self._pending_downsize
+            self._pending_downsize = None
+            if slacks.get(victim, 1.0) < self._slack_lower:
+                self._downsize_cooldown[victim] = time_s + self._revert_cooldown_s
+                unit = DEFAULT_UNIT_SIZES[kind]
+                if current_plan.region_amount(donor_target, kind) >= unit:
+                    return current_plan.move(kind, donor_target, victim, unit)
+
+        # Track how long each application has stayed relaxed; tentative
+        # downsizes require a sustained streak, not one noisy sample.
+        for name, slack in slacks.items():
+            if slack > self._slack_upper:
+                self._relaxed_streak[name] = self._relaxed_streak.get(name, 0) + 1
+            else:
+                self._relaxed_streak[name] = 0
+
+        starving = min(slacks, key=slacks.get)
+        if slacks[starving] < self._slack_lower:
+            adjusted = self._upsize(context, current_plan, starving, slacks)
+            if adjusted is not None:
+                return adjusted
+            return current_plan
+
+        relaxed = max(slacks, key=slacks.get)
+        if (
+            slacks[relaxed] > self._slack_upper
+            and self._relaxed_streak.get(relaxed, 0) >= self._downsize_patience
+            and self._downsize_cooldown.get(relaxed, 0.0) <= time_s
+        ):
+            adjusted = self._downsize(context, current_plan, relaxed)
+            if adjusted is not None:
+                return adjusted
+        return current_plan
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _donors(
+        self,
+        context: SchedulerContext,
+        plan: RegionPlan,
+        kind: ResourceKind,
+        slacks: Dict[str, float],
+        exclude: str,
+    ) -> List[str]:
+        """Donor order for an upsize: BE partitions first, then relaxed LC."""
+        unit = DEFAULT_UNIT_SIZES[kind]
+        floor = MIN_UNITS[kind]
+        candidates = []
+        for name in context.be_profiles:
+            if plan.region_amount(name, kind) - unit >= floor - 1e-9:
+                candidates.append((0, -plan.region_amount(name, kind), name))
+        for name, slack in slacks.items():
+            if name == exclude or slack <= self._slack_upper:
+                continue
+            if plan.region_amount(name, kind) - unit >= floor - 1e-9:
+                candidates.append((1, -slack, name))
+        return [name for _, _, name in sorted(candidates)]
+
+    def _upsize(
+        self,
+        context: SchedulerContext,
+        plan: RegionPlan,
+        starving: str,
+        slacks: Dict[str, float],
+    ) -> Optional[RegionPlan]:
+        fsm = self._fsms.setdefault(starving, ResourceTypeFSM())
+
+        def can_use(kind: ResourceKind) -> bool:
+            held = plan.region_amount(starving, kind)
+            unit = DEFAULT_UNIT_SIZES[kind]
+            if kind is ResourceKind.CORES:
+                # taskset cannot usefully pin more cores than threads.
+                return held + unit <= context.threads_of(starving) + 1e-9
+            if kind is ResourceKind.LLC_WAYS:
+                return held + unit <= context.node.capacity.llc_ways + 1e-9
+            return held + unit <= context.node.capacity.membw_gbps + 1e-9
+
+        def feasible(kind: ResourceKind) -> bool:
+            return can_use(kind) and bool(
+                self._donors(context, plan, kind, slacks, starving)
+            )
+
+        kind = fsm.pick(feasible)
+        if kind is None:
+            return None
+        donor = self._donors(context, plan, kind, slacks, starving)[0]
+        unit = DEFAULT_UNIT_SIZES[kind]
+        fsm.advance()
+        return plan.move(kind, donor, starving, unit)
+
+    def _downsize(
+        self,
+        context: SchedulerContext,
+        plan: RegionPlan,
+        relaxed: str,
+    ) -> Optional[RegionPlan]:
+        if not context.be_profiles:
+            return None
+        fsm = self._fsms.setdefault(relaxed, ResourceTypeFSM())
+
+        def feasible(kind: ResourceKind) -> bool:
+            unit = DEFAULT_UNIT_SIZES[kind]
+            return plan.region_amount(relaxed, kind) - unit >= MIN_UNITS[kind] - 1e-9
+
+        kind = fsm.pick(feasible)
+        if kind is None:
+            return None
+        unit = DEFAULT_UNIT_SIZES[kind]
+        # Donate to the most thread-starved BE partition.
+        recipient = min(
+            context.be_profiles,
+            key=lambda name: plan.region_amount(name, ResourceKind.CORES)
+            / context.threads_of(name),
+        )
+        fsm.advance()
+        self._pending_downsize = (relaxed, kind, recipient)
+        return plan.move(kind, relaxed, recipient, unit)

@@ -1,0 +1,35 @@
+"""A scheduler that applies one fixed plan forever.
+
+Used for what-if studies such as the paper's Fig. 1 (comparing two
+hand-written allocations A and B through the entropy lens) and for
+snapshot rendering.
+"""
+
+from __future__ import annotations
+
+from repro.entropy.records import SystemObservation
+from repro.errors import SchedulingError
+from repro.schedulers.base import RegionPlan, Scheduler, SchedulerContext
+
+
+class StaticScheduler(Scheduler):
+    """Apply ``plan`` at the start and never change it."""
+
+    def __init__(self, plan: RegionPlan, name: str = "static") -> None:
+        if plan is None:
+            raise SchedulingError("StaticScheduler needs a plan")
+        self._plan = plan
+        self.name = name
+
+    def initial_plan(self, context: SchedulerContext) -> RegionPlan:
+        self._plan.validate(context.node)
+        return self._plan
+
+    def decide(
+        self,
+        context: SchedulerContext,
+        observation: SystemObservation,
+        current_plan: RegionPlan,
+        time_s: float,
+    ) -> RegionPlan:
+        return current_plan

@@ -1,0 +1,35 @@
+"""The Unmanaged baseline: Linux CFS, no isolation (§V).
+
+Every resource lives in the shared region; core time is divided fairly by
+thread weight (water-filling); the LLC and memory bandwidth are contended
+freely. The strategy never reacts to measurements.
+"""
+
+from __future__ import annotations
+
+from repro.entropy.records import SystemObservation
+from repro.schedulers.base import (
+    RegionPlan,
+    Scheduler,
+    SchedulerContext,
+    everything_shared_plan,
+)
+from repro.server.cores import CorePolicy
+
+
+class UnmanagedScheduler(Scheduler):
+    """Default OS scheduling: everything shared, completely fair."""
+
+    name = "unmanaged"
+
+    def initial_plan(self, context: SchedulerContext) -> RegionPlan:
+        return everything_shared_plan(context, CorePolicy.FAIR)
+
+    def decide(
+        self,
+        context: SchedulerContext,
+        observation: SystemObservation,
+        current_plan: RegionPlan,
+        time_s: float,
+    ) -> RegionPlan:
+        return current_plan

@@ -1,0 +1,33 @@
+"""Simulated server-node substrate.
+
+The paper runs on a 10-core Xeon E5-2630 v4 with a 20-way 25 MB LLC and
+DDR4-2400 memory (Table III), actuated through ``taskset`` and Intel CAT.
+This package models the same control surface:
+
+* :mod:`repro.server.resources` — the :class:`ResourceVector` value type
+  (cores, LLC ways, memory bandwidth) with exact arithmetic;
+* :mod:`repro.server.spec` — :class:`NodeSpec`, the platform description;
+* :mod:`repro.server.llc` — miss-ratio curves and shared-cache occupancy;
+* :mod:`repro.server.membw` — memory-bandwidth contention;
+* :mod:`repro.server.cores` — core-pool water-filling (CFS- and RT-style);
+* :mod:`repro.server.node` — :class:`ServerNode` tying it all together.
+"""
+
+from repro.server.cores import CorePolicy, share_cores
+from repro.server.llc import MissRatioCurve, shared_way_occupancy
+from repro.server.membw import bandwidth_stretch
+from repro.server.node import ServerNode
+from repro.server.resources import ResourceVector
+from repro.server.spec import NodeSpec, PAPER_NODE
+
+__all__ = [
+    "CorePolicy",
+    "MissRatioCurve",
+    "NodeSpec",
+    "PAPER_NODE",
+    "ResourceVector",
+    "ServerNode",
+    "bandwidth_stretch",
+    "share_cores",
+    "shared_way_occupancy",
+]

@@ -1,0 +1,124 @@
+"""Last-level cache model: miss-ratio curves and shared occupancy.
+
+Two ingredients:
+
+* :class:`MissRatioCurve` — a concave-decreasing miss ratio as a function of
+  allocated ways. We use the exponential family
+  ``mr(w) = floor + (ceiling − floor) · exp(−w / scale)``, which matches the
+  qualitative shape of measured MRCs (steep benefit for the first few ways,
+  diminishing returns after the working set fits).
+* :func:`shared_way_occupancy` — when several applications *share* a set of
+  ways (the Unmanaged/LC-first case, or ARQ's shared region), natural
+  occupancy is proportional to each application's cache pressure, discounted
+  by a conflict factor because co-resident applications evict each other's
+  lines (sharing W ways is slightly worse than owning W/n ways scaled by
+  pressure).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from repro.errors import ConfigurationError, ModelError
+
+#: Fraction of proportionally-shared capacity an application effectively
+#: retains when co-resident with others (mutual eviction overhead).
+SHARING_CONFLICT_DISCOUNT = 0.95
+
+
+@dataclass(frozen=True)
+class MissRatioCurve:
+    """Exponential-family miss-ratio curve ``mr(w)``.
+
+    Attributes
+    ----------
+    ceiling:
+        Miss ratio with (nearly) no cache — ``mr(0)``.
+    floor:
+        Compulsory miss ratio once the working set fits.
+    scale_ways:
+        Decay constant: how many ways it takes to capture ~63% of the
+        cacheable working set.
+    """
+
+    ceiling: float
+    floor: float
+    scale_ways: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.floor <= self.ceiling <= 1.0:
+            raise ConfigurationError(
+                f"need 0 <= floor <= ceiling <= 1, got floor={self.floor} "
+                f"ceiling={self.ceiling}"
+            )
+        if self.scale_ways <= 0:
+            raise ConfigurationError("scale_ways must be positive")
+
+    def miss_ratio(self, ways: float) -> float:
+        """Miss ratio with ``ways`` effective ways of LLC."""
+        if ways < 0:
+            raise ModelError(f"ways cannot be negative: {ways}")
+        return self.floor + (self.ceiling - self.floor) * math.exp(
+            -ways / self.scale_ways
+        )
+
+    def hit_ratio(self, ways: float) -> float:
+        return 1.0 - self.miss_ratio(ways)
+
+    @classmethod
+    def insensitive(cls, miss_ratio: float = 0.02) -> "MissRatioCurve":
+        """A curve for cache-insensitive (compute-bound) applications."""
+        return cls(ceiling=miss_ratio, floor=miss_ratio, scale_ways=1.0)
+
+    @classmethod
+    def streaming(cls, miss_ratio: float = 0.95) -> "MissRatioCurve":
+        """A curve for streaming applications that never fit in cache."""
+        return cls(ceiling=miss_ratio, floor=miss_ratio * 0.98, scale_ways=50.0)
+
+
+def shared_way_occupancy(
+    shared_ways: float,
+    pressures: Mapping[str, float],
+    conflict_discount: float = SHARING_CONFLICT_DISCOUNT,
+) -> Dict[str, float]:
+    """Split ``shared_ways`` among co-resident applications.
+
+    Parameters
+    ----------
+    shared_ways:
+        Number of ways in the shared pool.
+    pressures:
+        Application name → cache pressure (a non-negative weight combining
+        access rate and footprint; zero-pressure applications occupy
+        nothing).
+    conflict_discount:
+        Effectiveness multiplier applied when more than one application
+        occupies the pool.
+
+    Returns
+    -------
+    dict
+        Application name → *effective* ways. The sum of effective ways is
+        ``shared_ways`` when one application occupies the pool and
+        ``conflict_discount × shared_ways`` when several do.
+    """
+    if shared_ways < 0:
+        raise ModelError(f"shared_ways cannot be negative: {shared_ways}")
+    if not 0 < conflict_discount <= 1:
+        raise ModelError("conflict_discount must be in (0, 1]")
+    for name, pressure in pressures.items():
+        if pressure < 0:
+            raise ModelError(f"pressure of {name!r} cannot be negative: {pressure}")
+
+    active = {name: p for name, p in pressures.items() if p > 0}
+    occupancy = {name: 0.0 for name in pressures}
+    if not active or shared_ways == 0:
+        return occupancy
+
+    total_pressure = sum(active.values())
+    discount = conflict_discount if len(active) > 1 else 1.0
+    for name, pressure in active.items():
+        occupancy[name] = shared_ways * discount * (pressure / total_pressure)
+    return occupancy

@@ -1,0 +1,93 @@
+"""Memory-bandwidth contention model.
+
+Memory bandwidth on the paper's platform is a node-wide shared resource
+(Intel CAT partitions the LLC, not the memory channels; per-application
+caps correspond to Intel MBA throttling). We model contention as a *stretch
+factor*: when aggregate demand exceeds the sustainable bandwidth, every
+memory access takes proportionally longer, which lengthens the memory-bound
+fraction of each application's work.
+
+A mild queueing-delay knee is applied below saturation as well — measured
+DRAM latency already climbs when channel utilisation passes ~80%, which is
+exactly the regime STREAM (10 threads) drags collocated applications into
+(§VI "Collocated with Stream").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.errors import ModelError
+
+#: Channel utilisation above which queueing delay starts to build.
+QUEUEING_KNEE = 0.8
+#: Slope of the latency climb between the knee and full saturation.
+QUEUEING_SLOPE = 0.6
+
+
+def bandwidth_stretch(
+    demand_gbps: float,
+    capacity_gbps: float,
+    knee: float = QUEUEING_KNEE,
+    slope: float = QUEUEING_SLOPE,
+) -> float:
+    """Memory-access latency multiplier at a given aggregate demand.
+
+    Returns 1.0 while utilisation stays under the queueing knee, rises
+    linearly to ``1 + slope`` at full saturation, and grows proportionally
+    to over-subscription beyond it (a fluid model: requested bytes simply
+    take ``demand/capacity`` times longer to transfer).
+    """
+    if capacity_gbps <= 0:
+        raise ModelError(f"bandwidth capacity must be positive: {capacity_gbps}")
+    if demand_gbps < 0:
+        raise ModelError(f"bandwidth demand cannot be negative: {demand_gbps}")
+    utilisation = demand_gbps / capacity_gbps
+    if utilisation <= knee:
+        return 1.0
+    if utilisation <= 1.0:
+        return 1.0 + slope * (utilisation - knee) / (1.0 - knee)
+    return (1.0 + slope) * utilisation
+
+
+def capped_demands(
+    demands_gbps: Mapping[str, float],
+    caps_gbps: Mapping[str, float],
+) -> Dict[str, float]:
+    """Apply per-application bandwidth caps (MBA-style throttling).
+
+    An application's demand is clipped at its cap; applications without a
+    cap keep their full demand. The *clipped* demand is what contends for
+    the shared channels.
+    """
+    result: Dict[str, float] = {}
+    for name, demand in demands_gbps.items():
+        if demand < 0:
+            raise ModelError(f"demand of {name!r} cannot be negative: {demand}")
+        cap = caps_gbps.get(name)
+        if cap is not None and cap < 0:
+            raise ModelError(f"cap of {name!r} cannot be negative: {cap}")
+        result[name] = demand if cap is None else min(demand, cap)
+    return result
+
+
+def throttle_factors(
+    demands_gbps: Mapping[str, float],
+    caps_gbps: Mapping[str, float],
+) -> Dict[str, float]:
+    """Per-application slowdown from the cap alone (before contention).
+
+    An application whose demand exceeds its cap is slowed by
+    ``demand / cap`` on its memory-bound fraction.
+    """
+    factors: Dict[str, float] = {}
+    clipped = capped_demands(demands_gbps, caps_gbps)
+    for name, demand in demands_gbps.items():
+        allowed = clipped[name]
+        factors[name] = 1.0 if demand <= allowed or allowed == 0 else demand / allowed
+        if allowed == 0 and demand > 0:
+            # A zero cap would stall the application entirely; model it as a
+            # very strong (but finite) throttle so the simulation stays
+            # numerically sane.
+            factors[name] = 100.0
+    return factors

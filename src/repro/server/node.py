@@ -1,0 +1,63 @@
+"""The :class:`ServerNode`: capacity bookkeeping for one machine.
+
+A node validates that region plans fit within its capacity. It is pure
+bookkeeping — the behavioural models (queueing, cache, bandwidth) live in
+:mod:`repro.perfmodel` and are composed by :mod:`repro.cluster`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.errors import AllocationError
+from repro.server.resources import ResourceVector, total_of
+from repro.server.spec import NodeSpec
+
+
+@dataclass(frozen=True)
+class ServerNode:
+    """One server machine described by a :class:`NodeSpec`."""
+
+    spec: NodeSpec
+
+    @property
+    def capacity(self) -> ResourceVector:
+        return self.spec.capacity
+
+    def validate_partition(
+        self,
+        isolated: Mapping[str, ResourceVector],
+        shared: ResourceVector = ResourceVector(),
+    ) -> None:
+        """Check that isolated regions plus the shared region fit.
+
+        Raises
+        ------
+        AllocationError
+            If the plan over-subscribes any resource component, with a
+            message naming the offending component.
+        """
+        used = total_of(isolated.values()).plus(shared)
+        capacity = self.capacity
+        for kind, amount in used.items():
+            if amount > capacity.get(kind) + 1e-9:
+                raise AllocationError(
+                    f"plan over-subscribes {kind.value}: {amount:g} > "
+                    f"{capacity.get(kind):g} "
+                    f"(isolated={ {n: str(v) for n, v in isolated.items()} }, "
+                    f"shared={shared})"
+                )
+
+    def leftover(
+        self,
+        isolated: Mapping[str, ResourceVector],
+        shared: ResourceVector = ResourceVector(),
+    ) -> ResourceVector:
+        """Capacity not claimed by any region."""
+        used = total_of(isolated.values()).plus(shared)
+        return self.capacity.minus(used)
+
+    def fits(self, vectors: Iterable[ResourceVector]) -> bool:
+        """True when the sum of ``vectors`` fits within capacity."""
+        return self.capacity.covers(total_of(vectors))

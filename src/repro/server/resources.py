@@ -1,0 +1,151 @@
+"""The :class:`ResourceVector` value type.
+
+A resource vector bundles the three resource kinds the paper's schedulers
+actuate — processing units, LLC ways and memory bandwidth — into a single
+immutable value with component-wise arithmetic. Schedulers move *units* of
+one kind at a time (one core, one way, one bandwidth step), which
+:meth:`ResourceVector.unit_of` supports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from repro.errors import AllocationError
+from repro.types import ResourceKind
+
+#: Granularity of one scheduler adjustment step per resource kind. Cores and
+#: LLC ways move in whole units (taskset / CAT granularity); memory bandwidth
+#: moves in GB/s steps comparable to Intel MBA's ~10% throttle levels.
+DEFAULT_UNIT_SIZES = {
+    ResourceKind.CORES: 1.0,
+    ResourceKind.LLC_WAYS: 1.0,
+    ResourceKind.MEMBW: 7.68,
+}
+
+
+@dataclass(frozen=True, order=False)
+class ResourceVector:
+    """An amount of (cores, LLC ways, memory bandwidth GB/s).
+
+    Negative components are rejected everywhere except as the *result* of
+    :meth:`minus`, which raises instead of going negative — resource
+    accounting bugs surface immediately rather than as nonsense entropy.
+    """
+
+    cores: float = 0.0
+    llc_ways: float = 0.0
+    membw_gbps: float = 0.0
+
+    def __post_init__(self) -> None:
+        for kind, value in self.items():
+            if value < 0:
+                raise AllocationError(
+                    f"resource component {kind.value} cannot be negative: {value}"
+                )
+
+    # -- accessors ---------------------------------------------------------
+
+    def get(self, kind: ResourceKind) -> float:
+        """The amount of one resource kind."""
+        if kind is ResourceKind.CORES:
+            return self.cores
+        if kind is ResourceKind.LLC_WAYS:
+            return self.llc_ways
+        return self.membw_gbps
+
+    def items(self) -> Iterator[Tuple[ResourceKind, float]]:
+        yield ResourceKind.CORES, self.cores
+        yield ResourceKind.LLC_WAYS, self.llc_ways
+        yield ResourceKind.MEMBW, self.membw_gbps
+
+    @property
+    def is_zero(self) -> bool:
+        return self.cores == 0 and self.llc_ways == 0 and self.membw_gbps == 0
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def of(cls, kind: ResourceKind, amount: float) -> "ResourceVector":
+        """A vector holding ``amount`` of a single resource kind."""
+        if kind is ResourceKind.CORES:
+            return cls(cores=amount)
+        if kind is ResourceKind.LLC_WAYS:
+            return cls(llc_ways=amount)
+        return cls(membw_gbps=amount)
+
+    @classmethod
+    def unit_of(cls, kind: ResourceKind) -> "ResourceVector":
+        """One scheduler adjustment step of ``kind``."""
+        return cls.of(kind, DEFAULT_UNIT_SIZES[kind])
+
+    # -- arithmetic --------------------------------------------------------
+
+    def plus(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(
+            cores=self.cores + other.cores,
+            llc_ways=self.llc_ways + other.llc_ways,
+            membw_gbps=self.membw_gbps + other.membw_gbps,
+        )
+
+    def minus(self, other: "ResourceVector") -> "ResourceVector":
+        """Component-wise subtraction; raises if any component went negative."""
+        result = (
+            self.cores - other.cores,
+            self.llc_ways - other.llc_ways,
+            self.membw_gbps - other.membw_gbps,
+        )
+        if min(result) < -1e-9:
+            raise AllocationError(f"cannot subtract {other} from {self}")
+        return ResourceVector(*(max(0.0, component) for component in result))
+
+    def scaled(self, factor: float) -> "ResourceVector":
+        if factor < 0:
+            raise AllocationError(f"scale factor cannot be negative: {factor}")
+        return ResourceVector(
+            cores=self.cores * factor,
+            llc_ways=self.llc_ways * factor,
+            membw_gbps=self.membw_gbps * factor,
+        )
+
+    def with_component(self, kind: ResourceKind, amount: float) -> "ResourceVector":
+        """A copy with one component replaced."""
+        values = {k: v for k, v in self.items()}
+        values[kind] = amount
+        return ResourceVector(
+            cores=values[ResourceKind.CORES],
+            llc_ways=values[ResourceKind.LLC_WAYS],
+            membw_gbps=values[ResourceKind.MEMBW],
+        )
+
+    # -- comparisons -------------------------------------------------------
+
+    def covers(self, other: "ResourceVector", slack: float = 1e-9) -> bool:
+        """True when every component is ≥ the other's (within ``slack``)."""
+        return (
+            self.cores + slack >= other.cores
+            and self.llc_ways + slack >= other.llc_ways
+            and self.membw_gbps + slack >= other.membw_gbps
+        )
+
+    def approx_equals(self, other: "ResourceVector", tolerance: float = 1e-9) -> bool:
+        return (
+            abs(self.cores - other.cores) <= tolerance
+            and abs(self.llc_ways - other.llc_ways) <= tolerance
+            and abs(self.membw_gbps - other.membw_gbps) <= tolerance
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"{self.cores:g} cores / {self.llc_ways:g} ways / "
+            f"{self.membw_gbps:g} GB/s"
+        )
+
+
+def total_of(vectors) -> ResourceVector:
+    """Sum an iterable of resource vectors."""
+    total = ResourceVector()
+    for vector in vectors:
+        total = total.plus(vector)
+    return total

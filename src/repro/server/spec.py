@@ -1,0 +1,96 @@
+"""Node specifications (the paper's Table III platform).
+
+:data:`PAPER_NODE` mirrors the evaluation server: an Intel Xeon E5-2630 v4
+with 10 physical cores at 2.2 GHz (Hyper-Threading disabled, as in §V), a
+20-way 25 MB shared LLC, and DDR4-2400 main memory. The memory-bandwidth
+figure is the practical STREAM-measurable bandwidth of that platform rather
+than the theoretical channel peak.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.server.resources import ResourceVector
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Static description of a server node.
+
+    Attributes
+    ----------
+    cores:
+        Number of physical processing units schedulers may allocate.
+    frequency_ghz:
+        Core clock, used to convert instruction rates to IPC.
+    llc_ways:
+        Associativity of the shared last-level cache (CAT allocates in
+        way granularity).
+    llc_mb:
+        Total LLC capacity in MiB.
+    membw_gbps:
+        Sustainable memory bandwidth in GB/s.
+    """
+
+    cores: int = 10
+    frequency_ghz: float = 2.2
+    llc_ways: int = 20
+    llc_mb: float = 25.0
+    membw_gbps: float = 61.44
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ConfigurationError("a node needs at least one core")
+        if self.llc_ways <= 0:
+            raise ConfigurationError("a node needs at least one LLC way")
+        if self.llc_mb <= 0:
+            raise ConfigurationError("LLC capacity must be positive")
+        if self.frequency_ghz <= 0:
+            raise ConfigurationError("core frequency must be positive")
+        if self.membw_gbps <= 0:
+            raise ConfigurationError("memory bandwidth must be positive")
+
+    @property
+    def mb_per_way(self) -> float:
+        """LLC capacity of a single way."""
+        return self.llc_mb / self.llc_ways
+
+    @property
+    def capacity(self) -> ResourceVector:
+        """The node's total resources as a vector."""
+        return ResourceVector(
+            cores=float(self.cores),
+            llc_ways=float(self.llc_ways),
+            membw_gbps=self.membw_gbps,
+        )
+
+    def shrunk(self, cores: int = None, llc_ways: int = None) -> "NodeSpec":
+        """A copy with fewer cores and/or ways (resource-sweep experiments).
+
+        The paper's Fig. 2 sweeps available processing units from 4 to 10
+        and LLC ways from 4 to 20 on the same physical box; this helper
+        produces the corresponding restricted platforms.
+        """
+        new_cores = self.cores if cores is None else cores
+        new_ways = self.llc_ways if llc_ways is None else llc_ways
+        if new_cores > self.cores:
+            raise ConfigurationError(
+                f"cannot grow cores from {self.cores} to {new_cores}"
+            )
+        if new_ways > self.llc_ways:
+            raise ConfigurationError(
+                f"cannot grow LLC ways from {self.llc_ways} to {new_ways}"
+            )
+        return NodeSpec(
+            cores=new_cores,
+            frequency_ghz=self.frequency_ghz,
+            llc_ways=new_ways,
+            llc_mb=self.mb_per_way * new_ways,
+            membw_gbps=self.membw_gbps,
+        )
+
+
+#: The evaluation platform of the paper (Table III).
+PAPER_NODE = NodeSpec()

@@ -1,0 +1,25 @@
+"""Discrete-event simulation machinery.
+
+* :mod:`repro.sim.engine` — a generic event-heap simulator;
+* :mod:`repro.sim.events` — the event record type;
+* :mod:`repro.sim.rng` — named, reproducible random streams;
+* :mod:`repro.sim.telemetry` — time-series and percentile tracking;
+* :mod:`repro.sim.request_sim` — a request-level queue simulator used to
+  validate the analytic queueing models and to regenerate Fig. 7.
+"""
+
+from repro.sim.engine import Engine
+from repro.sim.events import Event
+from repro.sim.rng import RngStreams
+from repro.sim.request_sim import RequestSimResult, simulate_queue
+from repro.sim.telemetry import PercentileTracker, TimeSeries
+
+__all__ = [
+    "Engine",
+    "Event",
+    "PercentileTracker",
+    "RequestSimResult",
+    "RngStreams",
+    "TimeSeries",
+    "simulate_queue",
+]

@@ -1,0 +1,102 @@
+"""A small deterministic discrete-event simulation engine."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+
+
+class Engine:
+    """Event-heap simulator with a monotonic clock.
+
+    Callbacks may schedule further events. Determinism is guaranteed by a
+    monotonically increasing sequence number that breaks simultaneous-event
+    ties in scheduling order.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._now = 0.0
+        self._sequence = 0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._heap)
+
+    @property
+    def processed(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    def schedule_at(
+        self, time_s: float, callback: Callable[[], Any], label: str = ""
+    ) -> Event:
+        """Schedule ``callback`` at absolute time ``time_s``."""
+        if time_s < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past: {time_s} < now={self._now}"
+            )
+        event = Event(
+            time_s=time_s, sequence=self._sequence, callback=callback, label=label
+        )
+        self._sequence += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_after(
+        self, delay_s: float, callback: Callable[[], Any], label: str = ""
+    ) -> Event:
+        """Schedule ``callback`` after a relative delay."""
+        if delay_s < 0:
+            raise SimulationError(f"delay cannot be negative: {delay_s}")
+        return self.schedule_at(self._now + delay_s, callback, label)
+
+    def run_until(self, end_s: float, max_events: Optional[int] = None) -> int:
+        """Run events until the clock passes ``end_s``.
+
+        Returns the number of events executed. Events scheduled exactly at
+        ``end_s`` are executed. ``max_events`` guards against runaway event
+        cascades.
+        """
+        if end_s < self._now:
+            raise SimulationError(f"cannot run backwards: {end_s} < now={self._now}")
+        executed = 0
+        while self._heap and self._heap[0].time_s <= end_s:
+            if max_events is not None and executed >= max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events} before reaching {end_s}s"
+                )
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time_s
+            event.callback()
+            executed += 1
+            self._processed += 1
+        self._now = max(self._now, end_s)
+        return executed
+
+    def run_all(self, max_events: int = 10_000_000) -> int:
+        """Run until the event heap drains (bounded by ``max_events``)."""
+        executed = 0
+        while self._heap:
+            if executed >= max_events:
+                raise SimulationError(f"exceeded max_events={max_events}")
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time_s
+            event.callback()
+            executed += 1
+            self._processed += 1
+        return executed

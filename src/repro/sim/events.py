@@ -1,0 +1,32 @@
+"""The event record used by the discrete-event engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events order by ``(time_s, sequence)``; the sequence number breaks ties
+    deterministically in insertion order, which keeps simulations
+    reproducible regardless of heap internals.
+    """
+
+    time_s: float
+    sequence: int
+    callback: Callable[[], Any] = field(compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.time_s < 0:
+            raise SimulationError(f"event time cannot be negative: {self.time_s}")
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; the engine will skip it."""
+        self.cancelled = True

@@ -1,0 +1,186 @@
+"""Request-level discrete-event queue simulator.
+
+Ground truth for the analytic queueing models and the engine behind the
+Fig. 7 reproduction: Poisson request arrivals, ``c`` servers, FIFO
+dispatch, gamma-distributed service times, optionally modulated by a
+Zipfian popularity distribution (popular requests are cache-warm and
+fast — §V drives Xapian with Zipfian query terms).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sim.engine import Engine
+from repro.sim.rng import RngStreams
+from repro.workloads.zipf import ZipfSampler, service_time_multipliers
+
+
+@dataclass(frozen=True)
+class RequestSimResult:
+    """Outcome of a request-level simulation."""
+
+    latencies_ms: np.ndarray
+    duration_s: float
+    arrivals: int
+    completions: int
+
+    def percentile_ms(self, percentile: float = 95.0) -> float:
+        if self.latencies_ms.size == 0:
+            raise ConfigurationError("no completed requests to take percentiles of")
+        return float(np.percentile(self.latencies_ms, percentile))
+
+    def mean_ms(self) -> float:
+        if self.latencies_ms.size == 0:
+            raise ConfigurationError("no completed requests to average")
+        return float(np.mean(self.latencies_ms))
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.completions / self.duration_s
+
+
+class _QueueSystem:
+    """Internal mutable state of the simulated multi-server queue."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        servers: int,
+        service_sampler,
+        warmup_s: float,
+    ) -> None:
+        self.engine = engine
+        self.idle_servers = servers
+        self.queue: Deque[float] = deque()
+        self.service_sampler = service_sampler
+        self.warmup_s = warmup_s
+        self.latencies_ms: List[float] = []
+        self.arrivals = 0
+        self.completions = 0
+
+    def on_arrival(self) -> None:
+        self.arrivals += 1
+        arrival_time = self.engine.now
+        if self.idle_servers > 0:
+            self.idle_servers -= 1
+            self._start_service(arrival_time)
+        else:
+            self.queue.append(arrival_time)
+
+    def _start_service(self, arrival_time: float) -> None:
+        service_s = self.service_sampler()
+        self.engine.schedule_after(
+            service_s, lambda t=arrival_time: self._on_departure(t), label="departure"
+        )
+
+    def _on_departure(self, arrival_time: float) -> None:
+        self.completions += 1
+        if arrival_time >= self.warmup_s:
+            self.latencies_ms.append((self.engine.now - arrival_time) * 1e3)
+        if self.queue:
+            next_arrival = self.queue.popleft()
+            self._start_service(next_arrival)
+        else:
+            self.idle_servers += 1
+
+
+def simulate_queue(
+    arrival_rps: float,
+    service_time_ms: float,
+    servers: int,
+    duration_s: float,
+    service_cv: float = 1.0,
+    seed: int = 0,
+    warmup_s: Optional[float] = None,
+    zipf_items: int = 0,
+    zipf_exponent: float = 1.0,
+    zipf_tail_factor: float = 4.0,
+) -> RequestSimResult:
+    """Simulate an open-loop multi-server queue at the request level.
+
+    Parameters
+    ----------
+    arrival_rps:
+        Poisson arrival rate.
+    service_time_ms:
+        Mean service time. With ``zipf_items > 0`` this is the mean over
+        the popularity distribution (per-item multipliers are normalised).
+    servers:
+        Number of parallel servers.
+    duration_s:
+        Simulated wall-clock; requests arriving before ``warmup_s``
+        (default: 10% of the duration) are excluded from latency stats.
+    service_cv:
+        Gamma service-time coefficient of variation (1.0 = exponential,
+        0.0 = deterministic).
+    zipf_items / zipf_exponent / zipf_tail_factor:
+        When ``zipf_items > 0``, each request belongs to a Zipf-popular
+        item whose service time is scaled by a per-rank multiplier
+        (popular = fast), reproducing the heavy tails of search workloads.
+    """
+    if arrival_rps <= 0:
+        raise ConfigurationError(f"arrival rate must be positive, got {arrival_rps}")
+    if service_time_ms <= 0:
+        raise ConfigurationError(f"service time must be positive, got {service_time_ms}")
+    if servers < 1:
+        raise ConfigurationError(f"need at least one server, got {servers}")
+    if duration_s <= 0:
+        raise ConfigurationError(f"duration must be positive, got {duration_s}")
+    if service_cv < 0:
+        raise ConfigurationError(f"service CV cannot be negative, got {service_cv}")
+
+    streams = RngStreams(seed)
+    arrival_rng = streams.stream("arrivals")
+    service_rng = streams.stream("service")
+    warmup = duration_s * 0.1 if warmup_s is None else warmup_s
+
+    mean_service_s = service_time_ms / 1e3
+    multipliers: Optional[np.ndarray] = None
+    sampler: Optional[ZipfSampler] = None
+    if zipf_items > 0:
+        sampler = ZipfSampler(zipf_items, zipf_exponent)
+        raw = service_time_multipliers(zipf_items, zipf_tail_factor)
+        # Normalise so the popularity-weighted mean service time stays at
+        # ``service_time_ms``.
+        weighted_mean = float(np.dot(raw, sampler.probabilities))
+        multipliers = raw / weighted_mean
+
+    def draw_service_s() -> float:
+        scale_factor = 1.0
+        if multipliers is not None and sampler is not None:
+            rank = sampler.sample(service_rng, 1)[0]
+            scale_factor = float(multipliers[rank - 1])
+        base = mean_service_s * scale_factor
+        if service_cv < 1e-6:
+            return base
+        shape = 1.0 / (service_cv * service_cv)
+        return float(service_rng.gamma(shape, base / shape))
+
+    engine = Engine()
+    system = _QueueSystem(engine, servers, draw_service_s, warmup)
+
+    def schedule_next_arrival() -> None:
+        gap = float(arrival_rng.exponential(1.0 / arrival_rps))
+        next_time = engine.now + gap
+        if next_time <= duration_s:
+            engine.schedule_at(next_time, on_arrival, label="arrival")
+
+    def on_arrival() -> None:
+        system.on_arrival()
+        schedule_next_arrival()
+
+    schedule_next_arrival()
+    engine.run_all()
+
+    return RequestSimResult(
+        latencies_ms=np.asarray(system.latencies_ms),
+        duration_s=duration_s,
+        arrivals=system.arrivals,
+        completions=system.completions,
+    )

@@ -1,0 +1,124 @@
+"""Telemetry primitives: time series and percentile tracking."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import MeasurementError
+
+
+@dataclass
+class TimeSeries:
+    """An append-only series of (time, value) samples."""
+
+    name: str
+    times: List[float] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+
+    def record(self, time_s: float, value: float) -> None:
+        if self.times and time_s < self.times[-1]:
+            raise MeasurementError(
+                f"{self.name}: samples must arrive in time order "
+                f"({time_s} < {self.times[-1]})"
+            )
+        self.times.append(time_s)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def mean(self) -> float:
+        if not self.values:
+            raise MeasurementError(f"{self.name}: no samples recorded")
+        return float(np.mean(self.values))
+
+    def last(self) -> float:
+        if not self.values:
+            raise MeasurementError(f"{self.name}: no samples recorded")
+        return self.values[-1]
+
+    def window_mean(self, start_s: float, end_s: float) -> float:
+        """Mean of samples with ``start_s <= t <= end_s``."""
+        selected = [
+            v for t, v in zip(self.times, self.values) if start_s <= t <= end_s
+        ]
+        if not selected:
+            raise MeasurementError(
+                f"{self.name}: no samples in window [{start_s}, {end_s}]"
+            )
+        return float(np.mean(selected))
+
+    def as_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        return np.asarray(self.times), np.asarray(self.values)
+
+
+class PercentileTracker:
+    """Streaming percentile estimation over a bounded window.
+
+    Keeps the most recent ``window`` samples; percentile queries are exact
+    over that window. Used by the request-level simulator to report p95
+    latencies the way a real monitoring agent would (over the recent past).
+    """
+
+    def __init__(self, window: int = 100_000) -> None:
+        if window < 1:
+            raise MeasurementError(f"window must be positive, got {window}")
+        self._window = window
+        self._samples: List[float] = []
+        self._total = 0
+
+    @property
+    def count(self) -> int:
+        """Total samples ever recorded (including evicted ones)."""
+        return self._total
+
+    def record(self, value: float) -> None:
+        if not math.isfinite(value):
+            raise MeasurementError(f"cannot record non-finite sample: {value}")
+        self._samples.append(value)
+        self._total += 1
+        if len(self._samples) > self._window:
+            del self._samples[: len(self._samples) - self._window]
+
+    def record_many(self, values: Sequence[float]) -> None:
+        for value in values:
+            self.record(value)
+
+    def percentile(self, percentile: float) -> float:
+        if not self._samples:
+            raise MeasurementError("no samples recorded")
+        if not 0 < percentile < 100:
+            raise MeasurementError(f"percentile must be in (0, 100): {percentile}")
+        return float(np.percentile(self._samples, percentile))
+
+    def mean(self) -> float:
+        if not self._samples:
+            raise MeasurementError("no samples recorded")
+        return float(np.mean(self._samples))
+
+
+@dataclass
+class SeriesBundle:
+    """A named collection of time series sharing a clock."""
+
+    series: Dict[str, TimeSeries] = field(default_factory=dict)
+
+    def record(self, name: str, time_s: float, value: float) -> None:
+        if name not in self.series:
+            self.series[name] = TimeSeries(name=name)
+        self.series[name].record(time_s, value)
+
+    def __getitem__(self, name: str) -> TimeSeries:
+        if name not in self.series:
+            raise MeasurementError(f"no series named {name!r}")
+        return self.series[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.series
+
+    def names(self) -> List[str]:
+        return sorted(self.series)

@@ -1,0 +1,100 @@
+"""Shared primitive types used across the Ah-Q reproduction.
+
+These are deliberately small, dependency-free value objects so that the
+entropy theory (:mod:`repro.entropy`), the simulated server substrate
+(:mod:`repro.server`) and the schedulers (:mod:`repro.schedulers`) can all
+talk about the same things without importing each other.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+class AppKind(enum.Enum):
+    """The two application classes the paper distinguishes (§I)."""
+
+    LATENCY_CRITICAL = "lc"
+    BEST_EFFORT = "be"
+
+    @property
+    def is_lc(self) -> bool:
+        return self is AppKind.LATENCY_CRITICAL
+
+    @property
+    def is_be(self) -> bool:
+        return self is AppKind.BEST_EFFORT
+
+
+class ResourceKind(enum.Enum):
+    """Resource types the schedulers actuate (cores, LLC ways, memory BW).
+
+    The order mirrors the finite state machine PARTIES (and ARQ's
+    ``findVictimResource``) cycles through: cores first, then LLC capacity,
+    then memory bandwidth.
+    """
+
+    CORES = "cores"
+    LLC_WAYS = "llc_ways"
+    MEMBW = "membw"
+
+    def next_kind(self) -> "ResourceKind":
+        """Return the next resource type in FSM order (cyclic)."""
+        order = list(ResourceKind)
+        return order[(order.index(self) + 1) % len(order)]
+
+
+@dataclass(frozen=True)
+class QoSTarget:
+    """QoS target of a latency-critical application.
+
+    Attributes
+    ----------
+    tail_latency_ms:
+        Maximum tail latency the user tolerates (``M_i`` in the paper,
+        Table IV's "Tail Latency Threshold").
+    percentile:
+        The latency percentile the target refers to. The paper uses the
+        95th percentile throughout (§V).
+    elasticity:
+        Relative elasticity of the threshold. The paper assumes 5%
+        (§II-B): violations smaller than this are considered tolerable
+        when comparing strategies.
+    """
+
+    tail_latency_ms: float
+    percentile: float = 95.0
+    elasticity: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.tail_latency_ms <= 0:
+            raise ConfigurationError("tail_latency_ms must be positive")
+        if not 0 < self.percentile < 100:
+            raise ConfigurationError("percentile must be in (0, 100)")
+        if not 0 <= self.elasticity < 1:
+            raise ConfigurationError("elasticity must be in [0, 1)")
+
+    @property
+    def elastic_bound_ms(self) -> float:
+        """The threshold inflated by the user's elasticity."""
+        return self.tail_latency_ms * (1.0 + self.elasticity)
+
+
+@dataclass(frozen=True)
+class LoadPoint:
+    """A load level for an LC application, as a fraction of its max load."""
+
+    fraction: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fraction <= 1.0:
+            raise ConfigurationError(
+                f"load fraction must be within [0, 1], got {self.fraction}"
+            )
+
+    def qps(self, max_load_qps: float) -> float:
+        """Absolute request rate at this load level."""
+        return self.fraction * max_load_qps

@@ -1,0 +1,49 @@
+"""Application models: the paper's LC and BE workloads.
+
+* :mod:`repro.workloads.base` — shared profile fields (threads, miss-ratio
+  curve, memory-bandwidth appetite);
+* :mod:`repro.workloads.lc_app` — latency-critical applications as
+  calibrated queueing systems (Tailbench: Xapian, Moses, Img-dnn, Masstree,
+  Sphinx, Silo);
+* :mod:`repro.workloads.be_app` — best-effort applications with
+  IPC-vs-resources models (PARSEC Fluidanimate/Streamcluster, STREAM);
+* :mod:`repro.workloads.catalog` — the concrete paper workloads with
+  Table IV parameters;
+* :mod:`repro.workloads.loadgen` — load traces (constant, step,
+  fluctuating — Fig. 13);
+* :mod:`repro.workloads.zipf` — Zipfian popularity sampling (§V's Xapian
+  query distribution), used by the request-level simulator.
+"""
+
+from repro.workloads.base import ApplicationProfile
+from repro.workloads.be_app import BEProfile
+from repro.workloads.catalog import (
+    BE_APPLICATIONS,
+    LC_APPLICATIONS,
+    be_profile,
+    lc_profile,
+)
+from repro.workloads.lc_app import LCProfile, calibrate_lc_profile
+from repro.workloads.loadgen import (
+    ConstantLoad,
+    FluctuatingLoad,
+    LoadTrace,
+    PiecewiseLoad,
+    StepLoad,
+)
+
+__all__ = [
+    "ApplicationProfile",
+    "BEProfile",
+    "BE_APPLICATIONS",
+    "ConstantLoad",
+    "FluctuatingLoad",
+    "LCProfile",
+    "LC_APPLICATIONS",
+    "LoadTrace",
+    "PiecewiseLoad",
+    "StepLoad",
+    "be_profile",
+    "calibrate_lc_profile",
+    "lc_profile",
+]

@@ -1,0 +1,155 @@
+"""The paper's concrete workloads (§V, Tables II and IV).
+
+Latency-critical applications come from Tailbench, best-effort ones from
+PARSEC and STREAM. QoS thresholds and max loads are Table IV's values; the
+ideal tail latencies anchor to Table II (Xapian 2.77 ms, Moses 2.80 ms,
+Img-dnn 1.41 ms at 20% load). Cache sensitivity, memory-boundedness and
+bandwidth appetite are not published per-application, so they are set to
+values characteristic of each application class:
+
+* **Xapian** (search) — index walks: moderately memory-bound, sizeable
+  cache benefit.
+* **Moses** (statistical MT) — phrase-table lookups dominated by compute:
+  mildly memory-bound.
+* **Img-dnn** (handwriting DNN) — dense compute, small working set.
+* **Masstree** (in-memory KV) — pointer chasing: strongly cache-sensitive.
+* **Sphinx** (speech) — long compute-heavy requests, tiny bandwidth.
+* **Silo** (in-memory OLTP) — cache-sensitive transactions.
+* **Fluidanimate** (PARSEC) — stencil-style compute, moderate bandwidth.
+* **Streamcluster** (PARSEC) — clustering over streamed points: bandwidth-
+  and cache-hungry.
+* **Stream** — 10-thread bandwidth hog; by design it never fits in cache
+  and saturates the memory channels (§V instantiates it with 10 threads to
+  "generate severe interference").
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import UnknownApplicationError
+from repro.perfmodel.missratio import curve_from_sensitivity
+from repro.server.llc import MissRatioCurve
+from repro.types import AppKind
+from repro.workloads.be_app import BEProfile
+from repro.workloads.lc_app import LCProfile, calibrate_lc_profile
+
+#: Ways of the full LLC on the paper platform — the calibration reference.
+_FULL_WAYS = 20.0
+
+
+def _build_lc_catalog() -> Dict[str, LCProfile]:
+    return {
+        "xapian": calibrate_lc_profile(
+            name="xapian",
+            threshold_ms=4.22,
+            max_load_qps=3400.0,
+            ideal_at_20pct_ms=2.77,
+            curve=curve_from_sensitivity(0.08, 0.28, _FULL_WAYS),
+            memory_fraction=0.20,
+            membw_ref_gbps=6.0,
+        ),
+        "moses": calibrate_lc_profile(
+            name="moses",
+            threshold_ms=10.53,
+            max_load_qps=1800.0,
+            ideal_at_20pct_ms=2.80,
+            curve=curve_from_sensitivity(0.05, 0.16, _FULL_WAYS),
+            memory_fraction=0.15,
+            membw_ref_gbps=4.0,
+        ),
+        "img-dnn": calibrate_lc_profile(
+            name="img-dnn",
+            threshold_ms=3.98,
+            max_load_qps=5300.0,
+            ideal_at_20pct_ms=1.41,
+            curve=curve_from_sensitivity(0.10, 0.24, _FULL_WAYS),
+            memory_fraction=0.12,
+            membw_ref_gbps=5.0,
+        ),
+        "masstree": calibrate_lc_profile(
+            name="masstree",
+            threshold_ms=1.05,
+            max_load_qps=4420.0,
+            ideal_at_20pct_ms=0.55,
+            curve=curve_from_sensitivity(0.15, 0.48, _FULL_WAYS),
+            memory_fraction=0.30,
+            membw_ref_gbps=8.0,
+        ),
+        "sphinx": calibrate_lc_profile(
+            name="sphinx",
+            threshold_ms=2682.0,
+            max_load_qps=4.8,
+            ideal_at_20pct_ms=1510.0,
+            curve=curve_from_sensitivity(0.04, 0.10, _FULL_WAYS),
+            memory_fraction=0.08,
+            membw_ref_gbps=2.0,
+        ),
+        "silo": calibrate_lc_profile(
+            name="silo",
+            threshold_ms=1.27,
+            max_load_qps=220.0,
+            ideal_at_20pct_ms=0.60,
+            curve=curve_from_sensitivity(0.12, 0.38, _FULL_WAYS),
+            memory_fraction=0.25,
+            membw_ref_gbps=3.0,
+        ),
+    }
+
+
+def _build_be_catalog() -> Dict[str, BEProfile]:
+    return {
+        "fluidanimate": BEProfile(
+            name="fluidanimate",
+            kind=AppKind.BEST_EFFORT,
+            threads=4,
+            curve=curve_from_sensitivity(0.10, 0.35, _FULL_WAYS),
+            reference_ways=_FULL_WAYS,
+            memory_fraction=0.25,
+            membw_ref_gbps=8.0,
+            base_ipc=2.8,
+        ),
+        "streamcluster": BEProfile(
+            name="streamcluster",
+            kind=AppKind.BEST_EFFORT,
+            threads=4,
+            curve=curve_from_sensitivity(0.25, 0.60, _FULL_WAYS),
+            reference_ways=_FULL_WAYS,
+            memory_fraction=0.45,
+            membw_ref_gbps=15.0,
+            base_ipc=1.4,
+        ),
+        "stream": BEProfile(
+            name="stream",
+            kind=AppKind.BEST_EFFORT,
+            threads=10,
+            curve=MissRatioCurve.streaming(),
+            reference_ways=_FULL_WAYS,
+            memory_fraction=0.90,
+            membw_ref_gbps=55.0,
+            base_ipc=0.6,
+        ),
+    }
+
+
+#: All latency-critical application profiles, keyed by name.
+LC_APPLICATIONS: Dict[str, LCProfile] = _build_lc_catalog()
+
+#: All best-effort application profiles, keyed by name.
+BE_APPLICATIONS: Dict[str, BEProfile] = _build_be_catalog()
+
+
+def lc_profile(name: str) -> LCProfile:
+    """Look up a latency-critical profile by (case-insensitive) name."""
+    key = name.lower()
+    if key not in LC_APPLICATIONS:
+        raise UnknownApplicationError(name, list(LC_APPLICATIONS))
+    return LC_APPLICATIONS[key]
+
+
+def be_profile(name: str) -> BEProfile:
+    """Look up a best-effort profile by (case-insensitive) name."""
+    key = name.lower()
+    if key not in BE_APPLICATIONS:
+        raise UnknownApplicationError(name, list(BE_APPLICATIONS))
+    return BE_APPLICATIONS[key]

@@ -1,0 +1,71 @@
+"""Zipfian popularity sampling.
+
+§V of the paper drives Xapian with query terms "chosen randomly, following
+a Zipfian distribution". The request-level simulator uses this sampler to
+draw per-request service-time classes: popular (cache-warm) queries are
+fast, unpopular ones slow — which is what gives real tail latencies their
+heavy upper tail.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class ZipfSampler:
+    """Draw ranks 1..n with probability proportional to ``1 / rank^s``."""
+
+    def __init__(self, n_items: int, exponent: float = 1.0) -> None:
+        if n_items < 1:
+            raise ConfigurationError(f"need at least one item, got {n_items}")
+        if exponent < 0:
+            raise ConfigurationError(f"exponent cannot be negative: {exponent}")
+        self.n_items = n_items
+        self.exponent = exponent
+        weights = 1.0 / np.arange(1, n_items + 1, dtype=float) ** exponent
+        self._probabilities = weights / weights.sum()
+        self._cumulative = np.cumsum(self._probabilities)
+
+    @property
+    def probabilities(self) -> Sequence[float]:
+        return self._probabilities.tolist()
+
+    def sample(self, rng: np.random.Generator, size: int = 1) -> List[int]:
+        """Draw ``size`` ranks (1-based)."""
+        if size < 1:
+            raise ConfigurationError(f"sample size must be positive, got {size}")
+        uniforms = rng.random(size)
+        ranks = np.searchsorted(self._cumulative, uniforms) + 1
+        return ranks.tolist()
+
+    def head_mass(self, top_k: int) -> float:
+        """Probability mass of the ``top_k`` most popular items."""
+        if not 1 <= top_k <= self.n_items:
+            raise ConfigurationError(
+                f"top_k must be in [1, {self.n_items}], got {top_k}"
+            )
+        return float(self._cumulative[top_k - 1])
+
+
+def service_time_multipliers(
+    n_items: int, slow_tail_factor: float = 4.0
+) -> np.ndarray:
+    """Per-rank service-time multipliers for Zipf-popular items.
+
+    Rank 1 (most popular) costs 1×; the least popular costs
+    ``slow_tail_factor``×, interpolated logarithmically — approximating
+    index/cache locality effects in a search engine.
+    """
+    if n_items < 1:
+        raise ConfigurationError(f"need at least one item, got {n_items}")
+    if slow_tail_factor < 1.0:
+        raise ConfigurationError("slow_tail_factor must be ≥ 1")
+    if n_items == 1:
+        return np.ones(1)
+    ranks = np.arange(1, n_items + 1, dtype=float)
+    scaled = np.log(ranks) / np.log(float(n_items))
+    return 1.0 + (slow_tail_factor - 1.0) * scaled

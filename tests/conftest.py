@@ -1,0 +1,77 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.collocation import BEMember, Collocation, LCMember
+from repro.schedulers.base import SchedulerContext
+from repro.server.node import ServerNode
+from repro.server.spec import PAPER_NODE
+from repro.sim.rng import RngStreams
+from repro.workloads.catalog import be_profile, lc_profile
+
+
+@pytest.fixture
+def node() -> ServerNode:
+    """The paper's Table III machine."""
+    return ServerNode(spec=PAPER_NODE)
+
+
+@pytest.fixture
+def canonical_collocation() -> Collocation:
+    """Xapian/Moses/Img-dnn at 20% + Fluidanimate (the paper's mix)."""
+    return Collocation(
+        lc=[
+            LCMember.of("xapian", 0.2),
+            LCMember.of("moses", 0.2),
+            LCMember.of("img-dnn", 0.2),
+        ],
+        be=[BEMember.of("fluidanimate")],
+        seed=42,
+    )
+
+
+@pytest.fixture
+def stream_collocation() -> Collocation:
+    """The severe-interference mix with STREAM."""
+    return Collocation(
+        lc=[
+            LCMember.of("xapian", 0.5),
+            LCMember.of("moses", 0.2),
+            LCMember.of("img-dnn", 0.2),
+        ],
+        be=[BEMember.of("stream")],
+        seed=42,
+    )
+
+
+@pytest.fixture
+def context(canonical_collocation: Collocation) -> SchedulerContext:
+    """A scheduler context for the canonical mix."""
+    return SchedulerContext(
+        node=canonical_collocation.node,
+        lc_profiles=canonical_collocation.lc_profiles,
+        be_profiles=canonical_collocation.be_profiles,
+        rng=RngStreams(7),
+    )
+
+
+@pytest.fixture
+def xapian():
+    return lc_profile("xapian")
+
+
+@pytest.fixture
+def moses():
+    return lc_profile("moses")
+
+
+@pytest.fixture
+def fluidanimate():
+    return be_profile("fluidanimate")
+
+
+@pytest.fixture
+def stream():
+    return be_profile("stream")

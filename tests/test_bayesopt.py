@@ -1,0 +1,196 @@
+"""The from-scratch Bayesian-optimisation stack (CLITE's engine)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bayesopt.acquisition import expected_improvement, upper_confidence_bound
+from repro.bayesopt.gp import GaussianProcess
+from repro.bayesopt.kernels import Matern52Kernel, RBFKernel
+from repro.bayesopt.optimizer import BayesianOptimizer
+from repro.errors import ConfigurationError, ModelError
+
+
+class TestKernels:
+    @pytest.mark.parametrize("kernel_cls", [RBFKernel, Matern52Kernel])
+    def test_diagonal_is_variance(self, kernel_cls):
+        kernel = kernel_cls(length_scale=0.7, variance=2.0)
+        x = np.array([[0.0], [1.0], [2.0]])
+        gram = kernel(x, x)
+        assert np.allclose(np.diag(gram), 2.0)
+
+    @pytest.mark.parametrize("kernel_cls", [RBFKernel, Matern52Kernel])
+    def test_symmetry_and_decay(self, kernel_cls):
+        kernel = kernel_cls()
+        x = np.array([[0.0], [0.5], [3.0]])
+        gram = kernel(x, x)
+        assert np.allclose(gram, gram.T)
+        assert gram[0, 1] > gram[0, 2]  # closer points correlate more
+
+    @pytest.mark.parametrize("kernel_cls", [RBFKernel, Matern52Kernel])
+    def test_positive_semidefinite(self, kernel_cls):
+        rng = np.random.default_rng(0)
+        x = rng.random((12, 3))
+        gram = kernel_cls(length_scale=0.5)(x, x)
+        eigenvalues = np.linalg.eigvalsh(gram)
+        assert eigenvalues.min() > -1e-8
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            RBFKernel(length_scale=0.0)
+        with pytest.raises(ConfigurationError):
+            Matern52Kernel(variance=-1.0)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            RBFKernel()(np.zeros((2, 2)), np.zeros((2, 3)))
+
+
+class TestGaussianProcess:
+    def test_interpolates_training_points(self):
+        x = np.array([[0.0], [0.25], [0.5], [0.75], [1.0]])
+        y = np.sin(3 * x).ravel()
+        gp = GaussianProcess(noise=1e-8).fit(x, y)
+        mean, std = gp.predict(x)
+        assert np.allclose(mean, y, atol=1e-3)
+        assert np.all(std < 0.05)
+
+    def test_uncertainty_grows_away_from_data(self):
+        x = np.array([[0.0], [1.0]])
+        gp = GaussianProcess().fit(x, np.array([0.0, 1.0]))
+        _, std_near = gp.predict(np.array([[0.01]]))
+        _, std_far = gp.predict(np.array([[5.0]]))
+        assert std_far[0] > std_near[0]
+
+    def test_standardisation_handles_large_targets(self):
+        x = np.linspace(0, 1, 8).reshape(-1, 1)
+        y = 1e6 + 1e4 * np.sin(4 * x).ravel()
+        gp = GaussianProcess(noise=1e-6).fit(x, y)
+        mean, _ = gp.predict(x)
+        assert np.allclose(mean, y, rtol=1e-3)
+
+    def test_log_marginal_likelihood_prefers_right_scale(self):
+        rng = np.random.default_rng(1)
+        x = rng.random((30, 1))
+        y = np.sin(6 * x).ravel()
+        good = GaussianProcess(kernel=Matern52Kernel(length_scale=0.3)).fit(x, y)
+        bad = GaussianProcess(kernel=Matern52Kernel(length_scale=30.0)).fit(x, y)
+        assert good.log_marginal_likelihood() > bad.log_marginal_likelihood()
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(ModelError):
+            GaussianProcess().predict(np.zeros((1, 1)))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ModelError):
+            GaussianProcess().fit(np.zeros((3, 1)), np.zeros(2))
+
+
+class TestAcquisition:
+    def test_ei_zero_without_improvement_potential(self):
+        ei = expected_improvement(
+            mean=np.array([0.0]), std=np.array([0.0]), best_observed=1.0
+        )
+        assert ei[0] == 0.0
+
+    def test_ei_prefers_high_mean_and_high_std(self):
+        ei = expected_improvement(
+            mean=np.array([0.5, 0.9, 0.5]),
+            std=np.array([0.1, 0.1, 0.5]),
+            best_observed=0.8,
+        )
+        assert ei[1] > ei[0]
+        assert ei[2] > ei[0]
+
+    def test_ei_nonnegative(self):
+        rng = np.random.default_rng(2)
+        ei = expected_improvement(
+            mean=rng.normal(size=50), std=np.abs(rng.normal(size=50)), best_observed=0.5
+        )
+        assert np.all(ei >= 0)
+
+    def test_ucb(self):
+        ucb = upper_confidence_bound(np.array([1.0]), np.array([0.5]), beta=2.0)
+        assert ucb[0] == pytest.approx(2.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ModelError):
+            expected_improvement(np.zeros(2), np.zeros(3), 0.0)
+
+
+class TestBayesianOptimizer:
+    @staticmethod
+    def objective(candidate):
+        x, y = candidate
+        return -((x - 3.0) ** 2) - (y - 5.0) ** 2
+
+    def make_optimizer(self, seed=0):
+        candidates = [(float(x), float(y)) for x in range(8) for y in range(8)]
+        return BayesianOptimizer(
+            candidates, np.random.default_rng(seed), initial_samples=6
+        )
+
+    def test_finds_optimum_quickly(self):
+        optimizer = self.make_optimizer()
+        for _ in range(25):
+            candidate = optimizer.suggest()
+            optimizer.observe(candidate, self.objective(candidate))
+        best_candidate, best_value = optimizer.best()
+        assert best_value >= -2.0  # optimum is 0 at (3, 5)
+        assert abs(best_candidate[0] - 3.0) <= 1.0
+        assert abs(best_candidate[1] - 5.0) <= 1.0
+
+    def test_never_suggests_duplicates_during_search(self):
+        optimizer = self.make_optimizer()
+        seen = set()
+        for _ in range(30):
+            candidate = optimizer.suggest()
+            assert candidate not in seen
+            seen.add(candidate)
+            optimizer.observe(candidate, self.objective(candidate))
+
+    def test_exhausted_space_returns_best(self):
+        candidates = [(0.0,), (1.0,)]
+        optimizer = BayesianOptimizer(
+            candidates, np.random.default_rng(0), initial_samples=1
+        )
+        optimizer.observe((0.0,), 0.1)
+        optimizer.observe((1.0,), 0.9)
+        assert optimizer.suggest() == (1.0,)
+
+    def test_repeat_observations_average(self):
+        optimizer = self.make_optimizer()
+        optimizer.observe((0.0, 0.0), 0.0)
+        optimizer.observe((0.0, 0.0), 1.0)
+        assert optimizer.best()[1] == pytest.approx(0.5)
+
+    def test_restart_forgets(self):
+        optimizer = self.make_optimizer()
+        optimizer.observe((0.0, 0.0), 1.0)
+        optimizer.restart()
+        assert optimizer.observed_points == 0
+        with pytest.raises(ModelError):
+            optimizer.best()
+
+    def test_rejects_foreign_candidates(self):
+        optimizer = self.make_optimizer()
+        with pytest.raises(ModelError):
+            optimizer.observe((99.0, 99.0), 1.0)
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ConfigurationError):
+            BayesianOptimizer([], np.random.default_rng(0))
+        with pytest.raises(ConfigurationError):
+            BayesianOptimizer([(1.0,), (1.0, 2.0)], np.random.default_rng(0))
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_any_seed_converges_reasonably(self, seed):
+        optimizer = self.make_optimizer(seed)
+        for _ in range(30):
+            candidate = optimizer.suggest()
+            optimizer.observe(candidate, self.objective(candidate))
+        _, best_value = optimizer.best()
+        assert best_value >= -8.0

@@ -1,0 +1,108 @@
+"""Run post-processing: episodes, durations, adjustment activity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.analysis import (
+    adjustment_activity,
+    entropy_timeline,
+    interference_durations,
+    violation_episodes,
+    worst_episode,
+)
+from repro.cluster.run import run_collocation
+from repro.errors import MeasurementError
+from repro.experiments.common import canonical_mix
+from repro.schedulers import ARQScheduler, UnmanagedScheduler
+
+
+@pytest.fixture(scope="module")
+def contended_run():
+    collocation = canonical_mix(0.9, 0.4, 0.4, be_name="stream")
+    return run_collocation(collocation, UnmanagedScheduler(), 30.0, 0.0)
+
+
+@pytest.fixture(scope="module")
+def managed_run():
+    collocation = canonical_mix(0.9, 0.4, 0.4, be_name="stream")
+    return run_collocation(collocation, ARQScheduler(), 30.0, 0.0)
+
+
+class TestViolationEpisodes:
+    def test_episodes_cover_all_violations(self, contended_run):
+        episodes = violation_episodes(contended_run)
+        assert episodes, "the contended run must violate"
+        epochs_in_episodes = sum(e.epochs for e in episodes)
+        assert epochs_in_episodes == contended_run.violation_count()
+
+    def test_episode_fields_consistent(self, contended_run):
+        for episode in violation_episodes(contended_run):
+            assert episode.end_s > episode.start_s
+            assert episode.worst_ratio > 1.0
+            assert episode.duration_s == pytest.approx(
+                episode.end_s - episode.start_s
+            )
+
+    def test_time_ordering(self, contended_run):
+        episodes = violation_episodes(contended_run)
+        starts = [e.start_s for e in episodes]
+        assert starts == sorted(starts)
+
+    def test_worst_episode(self, contended_run):
+        worst = worst_episode(contended_run)
+        assert worst.worst_ratio == max(
+            e.worst_ratio for e in violation_episodes(contended_run)
+        )
+
+    def test_clean_run_has_no_episodes(self):
+        collocation = canonical_mix(0.1, 0.1, 0.1)
+        result = run_collocation(collocation, ARQScheduler(), 20.0, 10.0)
+        if result.violation_count() == 0:
+            assert violation_episodes(result) == []
+            with pytest.raises(MeasurementError):
+                worst_episode(result)
+
+
+class TestDurations:
+    def test_duration_matches_violation_rate(self, contended_run):
+        durations = interference_durations(contended_run)
+        assert set(durations) == set(contended_run.collocation.lc_profiles)
+        total = sum(durations.values()) * len(contended_run.records)
+        assert total == pytest.approx(contended_run.violation_count(), abs=1e-6)
+
+    def test_managed_run_has_shorter_durations(self, contended_run, managed_run):
+        unmanaged = interference_durations(contended_run)
+        managed = interference_durations(managed_run)
+        assert sum(managed.values()) < sum(unmanaged.values())
+
+
+class TestAdjustmentActivity:
+    def test_static_strategy_never_adjusts(self, contended_run):
+        activity = adjustment_activity(contended_run)
+        assert activity.plan_changes == 0
+        assert activity.cores_moved == 0.0
+
+    def test_arq_moves_resources(self, managed_run):
+        activity = adjustment_activity(managed_run)
+        assert activity.plan_changes > 0
+        assert activity.cores_moved + activity.ways_moved > 0
+        assert 0 < activity.change_rate <= 1.0
+
+
+class TestTimeline:
+    def test_smoothing_preserves_length_and_bounds(self, contended_run):
+        raw_times, raw_values = contended_run.series("e_s")
+        smoothed = entropy_timeline(contended_run, "e_s", window=5)
+        assert len(smoothed) == len(raw_times)
+        assert min(v for _, v in smoothed) >= min(raw_values) - 1e-12
+        assert max(v for _, v in smoothed) <= max(raw_values) + 1e-12
+
+    def test_window_one_is_identity(self, contended_run):
+        smoothed = entropy_timeline(contended_run, "e_s", window=1)
+        _, raw_values = contended_run.series("e_s")
+        assert [v for _, v in smoothed] == pytest.approx(raw_values)
+
+    def test_rejects_bad_window(self, contended_run):
+        with pytest.raises(MeasurementError):
+            entropy_timeline(contended_run, "e_s", window=0)

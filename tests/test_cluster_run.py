@@ -1,0 +1,139 @@
+"""The collocation run loop: integration-level behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.collocation import BEMember, Collocation, LCMember
+from repro.cluster.monitor import NoisyMonitor
+from repro.cluster.run import run_collocation
+from repro.errors import ConfigurationError, MeasurementError
+from repro.schedulers.arq import ARQScheduler
+from repro.schedulers.unmanaged import UnmanagedScheduler
+from repro.sim.rng import RngStreams
+from repro.workloads.loadgen import StepLoad
+
+
+class TestCollocationSpec:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Collocation(
+                lc=[LCMember.of("xapian", 0.2), LCMember.of("xapian", 0.3)],
+            )
+
+    def test_needs_an_application(self):
+        with pytest.raises(ConfigurationError):
+            Collocation()
+
+    def test_loads_at_follow_traces(self):
+        collocation = Collocation(
+            lc=[LCMember.of("xapian", StepLoad(before=0.2, after=0.8, at_s=10.0))],
+        )
+        assert collocation.loads_at(0.0)["xapian"] == 0.2
+        assert collocation.loads_at(20.0)["xapian"] == 0.8
+
+    def test_with_spec_preserves_mix(self, canonical_collocation):
+        from repro.server.spec import PAPER_NODE
+
+        smaller = canonical_collocation.with_spec(PAPER_NODE.shrunk(cores=6))
+        assert smaller.spec.cores == 6
+        assert smaller.lc == canonical_collocation.lc
+
+
+class TestNoisyMonitor:
+    def test_zero_sigma_is_exact(self):
+        monitor = NoisyMonitor(RngStreams(1).stream("m"), sigma=0.0)
+        assert monitor.latency_ms(5.0) == 5.0
+        assert monitor.ipc(2.0) == 2.0
+
+    def test_noise_is_multiplicative_and_positive(self):
+        monitor = NoisyMonitor(RngStreams(1).stream("m"), sigma=0.1)
+        samples = [monitor.latency_ms(5.0) for _ in range(200)]
+        assert all(s > 0 for s in samples)
+        assert min(samples) < 5.0 < max(samples)
+        mean = sum(samples) / len(samples)
+        assert mean == pytest.approx(5.0, rel=0.05)
+
+    def test_rejects_negative_inputs(self):
+        monitor = NoisyMonitor(RngStreams(1).stream("m"), sigma=0.1)
+        with pytest.raises(MeasurementError):
+            monitor.latency_ms(-1.0)
+        with pytest.raises(MeasurementError):
+            NoisyMonitor(RngStreams(1).stream("m"), sigma=-0.1)
+
+
+class TestRunCollocation:
+    def test_epoch_count(self, canonical_collocation):
+        result = run_collocation(
+            canonical_collocation, UnmanagedScheduler(), duration_s=10.0, warmup_s=2.0
+        )
+        assert len(result.records) == 20  # 10 s / 0.5 s epochs
+
+    def test_reproducible_with_same_seed(self, canonical_collocation):
+        a = run_collocation(canonical_collocation, ARQScheduler(), 20.0, 5.0)
+        b = run_collocation(canonical_collocation, ARQScheduler(), 20.0, 5.0)
+        assert a.mean_e_s() == b.mean_e_s()
+        assert a.mean_tail_latencies_ms() == b.mean_tail_latencies_ms()
+
+    def test_different_seed_differs(self, canonical_collocation):
+        a = run_collocation(canonical_collocation, UnmanagedScheduler(), 20.0, 5.0)
+        reseeded = Collocation(
+            lc=canonical_collocation.lc,
+            be=canonical_collocation.be,
+            seed=canonical_collocation.seed + 1,
+        )
+        b = run_collocation(reseeded, UnmanagedScheduler(), 20.0, 5.0)
+        assert a.mean_e_s() != b.mean_e_s()
+
+    def test_warmup_excluded_from_summaries(self, canonical_collocation):
+        result = run_collocation(
+            canonical_collocation, UnmanagedScheduler(), duration_s=10.0, warmup_s=5.0
+        )
+        measured = result.measured_records()
+        assert all(r.time_s >= 5.0 for r in measured)
+
+    def test_entropy_values_always_dimensionless(self, stream_collocation):
+        result = run_collocation(stream_collocation, ARQScheduler(), 30.0, 5.0)
+        for record in result.records:
+            assert 0.0 <= record.e_lc <= 1.0
+            assert 0.0 <= record.e_be <= 1.0
+            assert 0.0 <= record.e_s <= 1.0
+
+    def test_plans_always_valid(self, stream_collocation):
+        result = run_collocation(stream_collocation, ARQScheduler(), 30.0, 5.0)
+        node = stream_collocation.node
+        for record in result.records:
+            record.plan.validate(node)
+
+    def test_measurements_cover_all_apps(self, canonical_collocation):
+        result = run_collocation(
+            canonical_collocation, UnmanagedScheduler(), 10.0, 2.0
+        )
+        record = result.records[-1]
+        assert set(record.lc) == set(canonical_collocation.lc_profiles)
+        assert set(record.be) == set(canonical_collocation.be_profiles)
+
+    def test_series_access(self, canonical_collocation):
+        result = run_collocation(
+            canonical_collocation, UnmanagedScheduler(), 10.0, 2.0
+        )
+        times, values = result.series("e_s")
+        assert len(times) == len(values) == len(result.records)
+        with pytest.raises(MeasurementError):
+            result.series("nope")
+
+    def test_rejects_bad_durations(self, canonical_collocation):
+        with pytest.raises(ConfigurationError):
+            run_collocation(canonical_collocation, UnmanagedScheduler(), 0.0)
+        with pytest.raises(ConfigurationError):
+            run_collocation(
+                canonical_collocation, UnmanagedScheduler(), 10.0, warmup_s=10.0
+            )
+
+    def test_violation_count_and_yield(self, stream_collocation):
+        unmanaged = run_collocation(
+            stream_collocation, UnmanagedScheduler(), 30.0, 10.0
+        )
+        arq = run_collocation(stream_collocation, ARQScheduler(), 30.0, 10.0)
+        assert unmanaged.violation_count() > arq.violation_count()
+        assert arq.yield_fraction() >= unmanaged.yield_fraction()

@@ -1,0 +1,88 @@
+"""Scheduling-delay model: oversubscribed fair pools penalise LC wakeups."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.contention import (
+    SCHED_DELAY_SCALE_MS,
+    resolve_contention,
+)
+from repro.schedulers.base import SchedulerContext
+from repro.schedulers.lc_first import LCFirstScheduler
+from repro.schedulers.parties import PartiesScheduler
+from repro.schedulers.unmanaged import UnmanagedScheduler
+from repro.server.spec import PAPER_NODE
+from repro.sim.rng import RngStreams
+from repro.cluster.collocation import BEMember, Collocation, LCMember
+
+LOW_LOADS = {"xapian": 0.2, "moses": 0.2, "img-dnn": 0.2}
+
+
+def make_context(be_name: str, cores: int = 10) -> SchedulerContext:
+    collocation = Collocation(
+        lc=[
+            LCMember.of("xapian", 0.2),
+            LCMember.of("moses", 0.2),
+            LCMember.of("img-dnn", 0.2),
+        ],
+        be=[BEMember.of(be_name)],
+        spec=PAPER_NODE.shrunk(cores=cores),
+    )
+    return SchedulerContext(
+        node=collocation.node,
+        lc_profiles=collocation.lc_profiles,
+        be_profiles=collocation.be_profiles,
+        rng=RngStreams(5),
+    )
+
+
+class TestSchedulingDelay:
+    def test_no_delay_on_underloaded_fair_pool(self):
+        context = make_context("fluidanimate", cores=10)
+        plan = UnmanagedScheduler().initial_plan(context)
+        resources = resolve_contention(context, plan, LOW_LOADS)
+        for name in context.lc_profiles:
+            assert resources[name].sched_delay_ms == 0.0
+
+    def test_stream_oversubscription_delays_lc(self):
+        context = make_context("stream", cores=10)
+        plan = UnmanagedScheduler().initial_plan(context)
+        resources = resolve_contention(context, plan, LOW_LOADS)
+        for name in context.lc_profiles:
+            assert resources[name].sched_delay_ms > 1.0
+
+    def test_delay_grows_with_scarcity(self):
+        delays = []
+        for cores in (10, 8, 6):
+            context = make_context("fluidanimate", cores=cores)
+            plan = UnmanagedScheduler().initial_plan(context)
+            resources = resolve_contention(context, plan, LOW_LOADS)
+            delays.append(resources["xapian"].sched_delay_ms)
+        assert delays[0] <= delays[1] <= delays[2]
+        assert delays[2] > 0.0
+
+    def test_rt_priority_pool_has_no_lc_delay(self):
+        context = make_context("stream", cores=10)
+        plan = LCFirstScheduler().initial_plan(context)
+        resources = resolve_contention(context, plan, LOW_LOADS)
+        for name in context.lc_profiles:
+            assert resources[name].sched_delay_ms == 0.0
+
+    def test_isolated_partitions_have_no_delay(self):
+        context = make_context("stream", cores=10)
+        plan = PartiesScheduler().initial_plan(context)
+        resources = resolve_contention(context, plan, LOW_LOADS)
+        for name in context.lc_profiles:
+            assert resources[name].sched_delay_ms == 0.0
+
+    def test_be_members_never_carry_the_delay(self):
+        context = make_context("stream", cores=6)
+        plan = UnmanagedScheduler().initial_plan(context)
+        resources = resolve_contention(context, plan, LOW_LOADS)
+        assert resources["stream"].sched_delay_ms == 0.0
+
+    def test_scale_constant_is_sane(self):
+        # A 2x-overcommitted box should produce tens of milliseconds of
+        # p95 wake-up delay, not seconds.
+        assert 10.0 <= SCHED_DELAY_SCALE_MS <= 100.0

@@ -1,0 +1,141 @@
+"""The multi-node datacenter layer: placement + pooled entropy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.collocation import BEMember, LCMember
+from repro.datacenter import (
+    BinPackingPlacement,
+    Datacenter,
+    EntropyAwarePlacement,
+    RoundRobinPlacement,
+)
+from repro.errors import ConfigurationError
+from repro.schedulers import ARQScheduler, UnmanagedScheduler
+from repro.server.spec import PAPER_NODE
+
+MEMBERS = [
+    LCMember.of("xapian", 0.5),
+    LCMember.of("moses", 0.2),
+    LCMember.of("img-dnn", 0.3),
+    LCMember.of("silo", 0.2),
+    BEMember.of("stream"),
+    BEMember.of("fluidanimate"),
+]
+SPECS = [PAPER_NODE, PAPER_NODE]
+
+
+def assert_complete(assignment, members):
+    placed = [m.name for bucket in assignment.per_node for m in bucket]
+    assert sorted(placed) == sorted(m.name for m in members)
+
+
+class TestPlacements:
+    def test_round_robin_distributes(self):
+        assignment = RoundRobinPlacement().assign(MEMBERS, SPECS)
+        assert_complete(assignment, MEMBERS)
+        sizes = [len(bucket) for bucket in assignment.per_node]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_bin_packing_balances_pressure(self):
+        assignment = BinPackingPlacement().assign(MEMBERS, SPECS)
+        assert_complete(assignment, MEMBERS)
+        # Stream (the heaviest pressure) and fluidanimate should not share
+        # a node with each other when the other node is lighter... at
+        # minimum: no node is left empty.
+        assert all(len(bucket) > 0 for bucket in assignment.per_node)
+
+    def test_entropy_aware_places_everyone(self):
+        placement = EntropyAwarePlacement(
+            scheduler_factory=ARQScheduler, probe_duration_s=6.0
+        )
+        assignment = placement.assign(MEMBERS, SPECS)
+        assert_complete(assignment, MEMBERS)
+
+    def test_entropy_aware_separates_the_hogs(self):
+        # Two bandwidth hogs and two LC apps on two nodes: the probed
+        # placement should not put both hogs with both LC apps on one node.
+        members = [
+            LCMember.of("xapian", 0.5),
+            LCMember.of("masstree", 0.5),
+            BEMember.of("stream"),
+            BEMember.of("streamcluster"),
+        ]
+        placement = EntropyAwarePlacement(
+            scheduler_factory=ARQScheduler, probe_duration_s=6.0
+        )
+        assignment = placement.assign(members, SPECS)
+        lc_nodes = {assignment.node_of("xapian"), assignment.node_of("masstree")}
+        hog_nodes = {assignment.node_of("stream"), assignment.node_of("streamcluster")}
+        assert len(lc_nodes | hog_nodes) == 2  # both nodes used
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RoundRobinPlacement().assign([], SPECS)
+        with pytest.raises(ConfigurationError):
+            RoundRobinPlacement().assign(MEMBERS, [])
+        with pytest.raises(ConfigurationError):
+            EntropyAwarePlacement(scheduler_factory=None)
+
+    def test_node_of_unplaced_raises(self):
+        assignment = RoundRobinPlacement().assign(MEMBERS, SPECS)
+        with pytest.raises(ConfigurationError):
+            assignment.node_of("ghost")
+
+
+class TestDatacenter:
+    def test_run_produces_pooled_summary(self):
+        datacenter = Datacenter(specs=SPECS)
+        result = datacenter.run(
+            MEMBERS,
+            RoundRobinPlacement(),
+            UnmanagedScheduler,
+            duration_s=20.0,
+            warmup_s=10.0,
+        )
+        summary = result.breakdown()
+        assert 0.0 <= summary.e_s <= 1.0
+        observation = result.pooled_observation()
+        assert len(observation.lc) == 4
+        assert len(observation.be) == 2
+        assert len(result.per_node_entropy()) == len(result.node_results)
+
+    def test_compare_placements_keys(self):
+        datacenter = Datacenter(specs=SPECS)
+        results = datacenter.compare_placements(
+            MEMBERS,
+            [RoundRobinPlacement(), BinPackingPlacement()],
+            UnmanagedScheduler,
+            duration_s=12.0,
+            warmup_s=6.0,
+        )
+        assert set(results) == {"round-robin", "bin-packing"}
+
+    def test_needs_nodes(self):
+        with pytest.raises(ConfigurationError):
+            Datacenter(specs=[])
+
+    def test_pooled_entropy_dimensionless_and_yield_weighted(self):
+        datacenter = Datacenter(specs=SPECS)
+        result = datacenter.run(
+            MEMBERS,
+            BinPackingPlacement(),
+            ARQScheduler,
+            duration_s=20.0,
+            warmup_s=10.0,
+        )
+        summary = result.breakdown()
+        for value in (summary.e_lc, summary.e_be, summary.e_s):
+            assert 0.0 <= value <= 1.0
+        # The pooled yield equals the LC-count-weighted mean of the nodes'.
+        total_lc = 0
+        satisfied = 0.0
+        for node_result in result.node_results:
+            n = len(node_result.collocation.lc_profiles)
+            total_lc += n
+            satisfied += node_result.yield_fraction() * n
+        if total_lc:
+            assert result.yield_fraction() == pytest.approx(
+                satisfied / total_lc
+            )

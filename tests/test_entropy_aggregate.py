@@ -1,0 +1,99 @@
+"""Eqs. (5)-(7): E_LC, E_BE and E_S."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.entropy.aggregate import (
+    DEFAULT_RELATIVE_IMPORTANCE,
+    be_entropy,
+    lc_entropy,
+    mean_entropy,
+    system_entropy,
+)
+from repro.errors import ModelError
+
+
+class TestLCEntropy:
+    def test_zero_when_all_satisfied(self):
+        observations = [(2.0, 3.0, 4.0), (1.0, 1.5, 2.0)]
+        assert lc_entropy(observations) == 0.0
+
+    def test_table2_six_core_aggregate(self):
+        # Paper Table II, 6 cores: E_LC = mean(0.82, 0.36, 0.72) ≈ 0.64.
+        observations = [
+            (2.77, 23.99, 4.22),
+            (2.80, 16.54, 10.53),
+            (1.41, 14.35, 3.98),
+        ]
+        assert lc_entropy(observations) == pytest.approx(0.64, abs=0.01)
+
+    def test_averages_over_applications(self):
+        # One fully-violating app (Q → 0.5) and one satisfied app.
+        observations = [(2.0, 8.0, 4.0), (2.0, 3.0, 4.0)]
+        assert lc_entropy(observations) == pytest.approx(0.25)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ModelError):
+            lc_entropy([])
+
+
+class TestBEEntropy:
+    def test_zero_without_slowdown(self):
+        assert be_entropy([(2.0, 2.0), (1.4, 1.4)]) == 0.0
+
+    def test_uniform_halving(self):
+        # Every app at half speed: E_BE = 1 - M / (2M) = 0.5.
+        assert be_entropy([(2.0, 1.0), (3.0, 1.5)]) == pytest.approx(0.5)
+
+    def test_harmonic_structure(self):
+        # One unharmed app, one at half speed: 1 - 2/(1+2) = 1/3.
+        assert be_entropy([(2.0, 2.0), (2.0, 1.0)]) == pytest.approx(1.0 / 3.0)
+
+    def test_speedup_noise_clamped(self):
+        # ipc_real > ipc_solo counts as no interference, not negative.
+        assert be_entropy([(2.0, 2.5)]) == 0.0
+
+    def test_rejects_nonpositive_ipc(self):
+        with pytest.raises(ModelError):
+            be_entropy([(0.0, 1.0)])
+        with pytest.raises(ModelError):
+            be_entropy([(1.0, -1.0)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ModelError):
+            be_entropy([])
+
+
+class TestSystemEntropy:
+    def test_linear_combination(self):
+        assert system_entropy(0.5, 0.25, 0.8) == pytest.approx(0.45)
+
+    def test_default_relative_importance_is_papers(self):
+        assert DEFAULT_RELATIVE_IMPORTANCE == 0.8
+        assert system_entropy(1.0, 0.0) == pytest.approx(0.8)
+
+    def test_extremes_select_one_component(self):
+        assert system_entropy(0.7, 0.3, relative_importance=1.0) == 0.7
+        assert system_entropy(0.7, 0.3, relative_importance=0.0) == 0.3
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ModelError):
+            system_entropy(0.5, 0.5, relative_importance=1.5)
+        with pytest.raises(ModelError):
+            system_entropy(1.5, 0.5)
+        with pytest.raises(ModelError):
+            system_entropy(0.5, -0.1)
+
+
+class TestMeanEntropy:
+    def test_averages(self):
+        assert mean_entropy([0.2, 0.4, 0.6]) == pytest.approx(0.4)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ModelError):
+            mean_entropy([])
+
+    def test_rejects_out_of_range_samples(self):
+        with pytest.raises(ModelError):
+            mean_entropy([0.5, 1.2])

@@ -1,0 +1,108 @@
+"""Resource equivalence and isentropic lines (§II-C, Fig. 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.entropy.equivalence import (
+    equivalence_along_line,
+    isentropic_line,
+    resource_equivalence,
+    resources_for_entropy,
+)
+from repro.errors import ModelError
+
+
+UNMANAGED = {4: 0.62, 5: 0.55, 6: 0.53, 7: 0.30, 8: 0.12, 9: 0.04, 10: 0.01}
+ARQ = {4: 0.40, 5: 0.28, 6: 0.15, 7: 0.07, 8: 0.03, 9: 0.01, 10: 0.005}
+
+
+class TestResourcesForEntropy:
+    def test_interpolates_between_samples(self):
+        # Between 7 (0.30) and 8 (0.12): 0.25 sits at 7 + 0.05/0.18.
+        value = resources_for_entropy(UNMANAGED, 0.25)
+        assert value == pytest.approx(7 + 0.05 / 0.18, abs=1e-9)
+
+    def test_exact_sample(self):
+        assert resources_for_entropy(UNMANAGED, 0.62) == 4
+
+    def test_unreachable_returns_none(self):
+        assert resources_for_entropy(UNMANAGED, 0.001) is None
+
+    def test_first_point_already_below(self):
+        assert resources_for_entropy(ARQ, 0.5) == 4
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ModelError):
+            resources_for_entropy({}, 0.5)
+        with pytest.raises(ModelError):
+            resources_for_entropy({1: 0.5}, 1.5)
+        with pytest.raises(ModelError):
+            resources_for_entropy({-1: 0.5}, 0.5)
+        with pytest.raises(ModelError):
+            resources_for_entropy({1: 1.5}, 0.5)
+
+
+class TestResourceEquivalence:
+    def test_arq_saves_cores(self):
+        point = resource_equivalence(UNMANAGED, ARQ, 0.25)
+        assert point is not None
+        assert point.resources_worse > point.resources_better
+        assert point.saved == pytest.approx(
+            point.resources_worse - point.resources_better
+        )
+
+    def test_none_when_unreachable(self):
+        assert resource_equivalence(UNMANAGED, ARQ, 0.001) is None
+
+    def test_symmetric_sign(self):
+        forward = resource_equivalence(UNMANAGED, ARQ, 0.3)
+        backward = resource_equivalence(ARQ, UNMANAGED, 0.3)
+        assert forward.saved == pytest.approx(-backward.saved)
+
+
+class TestIsentropicLine:
+    def make_surface(self):
+        # E_S falls with both ways (x) and cores (y).
+        surface = {}
+        for ways in (4, 8, 12, 16, 20):
+            for cores in (4, 6, 8, 10):
+                surface[(float(ways), float(cores))] = max(
+                    0.0, 1.0 - 0.02 * ways - 0.07 * cores
+                )
+        return surface
+
+    def test_line_is_monotone(self):
+        line = isentropic_line(self.make_surface(), 0.3)
+        ys = [y for _, y in line.points]
+        assert ys == sorted(ys, reverse=True)  # more ways → fewer cores
+
+    def test_line_points_achieve_target(self):
+        surface = self.make_surface()
+        line = isentropic_line(surface, 0.3)
+        for x, y in line.points:
+            # Interpolated y must achieve E_S ≈ target under the linear model.
+            assert 1.0 - 0.02 * x - 0.07 * y == pytest.approx(0.3, abs=0.02)
+
+    def test_equivalence_along_line(self):
+        surface = self.make_surface()
+        better = isentropic_line(surface, 0.3)
+        # A uniformly worse strategy needs one more core everywhere.
+        worse_surface = {
+            key: max(0.0, value + 0.07) for key, value in surface.items()
+        }
+        worse = isentropic_line(worse_surface, 0.3)
+        gaps = equivalence_along_line(worse, better)
+        for gap in gaps.values():
+            assert gap == pytest.approx(1.0, abs=0.05)
+
+    def test_mismatched_targets_rejected(self):
+        surface = self.make_surface()
+        with pytest.raises(ModelError):
+            equivalence_along_line(
+                isentropic_line(surface, 0.3), isentropic_line(surface, 0.4)
+            )
+
+    def test_empty_surface_rejected(self):
+        with pytest.raises(ModelError):
+            isentropic_line({}, 0.3)

@@ -1,0 +1,70 @@
+"""The §II-A required-property checkers."""
+
+from __future__ import annotations
+
+from repro.entropy.properties import (
+    check_dimensionless,
+    check_resource_sensitivity,
+    check_strategy_sensitivity,
+    verify_all,
+)
+
+
+class TestDimensionless:
+    def test_accepts_unit_interval(self):
+        assert check_dimensionless([0.0, 0.5, 1.0]) == []
+
+    def test_flags_out_of_range(self):
+        violations = check_dimensionless([0.5, 1.2, -0.1])
+        assert len(violations) == 2
+        assert all(v.property_name == "dimensionless" for v in violations)
+
+
+class TestResourceSensitivity:
+    def test_accepts_non_increasing(self):
+        assert check_resource_sensitivity({4: 0.6, 6: 0.3, 8: 0.3, 10: 0.0}) == []
+
+    def test_flags_increase(self):
+        violations = check_resource_sensitivity({4: 0.3, 6: 0.5})
+        assert len(violations) == 1
+        assert "increased" in violations[0].detail
+
+    def test_noise_tolerance(self):
+        assert check_resource_sensitivity({4: 0.30, 6: 0.31}, tolerance=0.02) == []
+
+
+class TestStrategySensitivity:
+    def test_accepts_improvement(self):
+        assert check_strategy_sensitivity(0.2, 0.5) == []
+
+    def test_flags_regression(self):
+        violations = check_strategy_sensitivity(0.6, 0.5)
+        assert len(violations) == 1
+
+    def test_tolerance(self):
+        assert check_strategy_sensitivity(0.52, 0.5, tolerance=0.05) == []
+
+
+def test_verify_all_collects_everything():
+    violations = verify_all(
+        samples=[0.5, 1.3],
+        resource_curves=[{4: 0.3, 6: 0.6}],
+        strategy_pairs=[(0.7, 0.5)],
+    )
+    names = sorted(v.property_name for v in violations)
+    assert names == [
+        "dimensionless",
+        "resource_amount_sensitiveness",
+        "scheduling_strategy_sensitiveness",
+    ]
+
+
+def test_verify_all_clean():
+    assert (
+        verify_all(
+            samples=[0.1, 0.2],
+            resource_curves=[{4: 0.6, 8: 0.1}],
+            strategy_pairs=[(0.1, 0.4)],
+        )
+        == []
+    )

@@ -1,0 +1,107 @@
+"""Observation containers and Table II-style breakdowns."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.entropy.records import (
+    BEObservation,
+    LCObservation,
+    SystemObservation,
+)
+from repro.errors import ModelError
+
+
+def make_system(lc_measured=(3.0, 5.0), be_real=(1.0,)) -> SystemObservation:
+    lc = tuple(
+        LCObservation(f"lc{i}", ideal_ms=2.0, measured_ms=m, threshold_ms=4.0)
+        for i, m in enumerate(lc_measured)
+    )
+    be = tuple(
+        BEObservation(f"be{i}", ipc_solo=2.0, ipc_real=r)
+        for i, r in enumerate(be_real)
+    )
+    return SystemObservation(lc=lc, be=be)
+
+
+class TestLCObservation:
+    def test_derived_quantities(self):
+        o = LCObservation("x", ideal_ms=2.0, measured_ms=3.0, threshold_ms=4.0)
+        assert o.tolerance == pytest.approx(0.5)
+        assert o.suffered == pytest.approx(1.0 / 3.0)
+        assert o.remaining == pytest.approx(0.25)
+        assert o.intolerable == 0.0
+        assert o.satisfied
+
+    def test_violation(self):
+        o = LCObservation("x", ideal_ms=2.0, measured_ms=8.0, threshold_ms=4.0)
+        assert not o.satisfied
+        assert o.intolerable == pytest.approx(0.5)
+        assert o.remaining == 0.0
+
+
+class TestBEObservation:
+    def test_slowdown(self):
+        o = BEObservation("b", ipc_solo=2.0, ipc_real=1.0)
+        assert o.slowdown == pytest.approx(2.0)
+
+    def test_slowdown_floor(self):
+        o = BEObservation("b", ipc_solo=2.0, ipc_real=2.4)
+        assert o.slowdown == 1.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ModelError):
+            BEObservation("b", ipc_solo=0.0, ipc_real=1.0)
+
+
+class TestSystemObservation:
+    def test_needs_at_least_one_application(self):
+        with pytest.raises(ModelError):
+            SystemObservation(lc=(), be=())
+
+    def test_scenario_three_mixed(self):
+        system = make_system(lc_measured=(3.0, 8.0), be_real=(1.0,))
+        # Q of the violator: 1 - 4/8 = 0.5 → E_LC = 0.25.
+        assert system.lc_entropy() == pytest.approx(0.25)
+        assert system.be_entropy() == pytest.approx(0.5)
+        assert system.system_entropy(0.8) == pytest.approx(0.8 * 0.25 + 0.2 * 0.5)
+
+    def test_scenario_one_only_lc_forces_ri_one(self):
+        lc_only = SystemObservation(
+            lc=(
+                LCObservation("x", ideal_ms=2.0, measured_ms=8.0, threshold_ms=4.0),
+            )
+        )
+        assert lc_only.system_entropy() == pytest.approx(lc_only.lc_entropy())
+
+    def test_scenario_two_only_be_forces_ri_zero(self):
+        be_only = SystemObservation(
+            be=(BEObservation("b", ipc_solo=2.0, ipc_real=1.0),)
+        )
+        assert be_only.system_entropy() == pytest.approx(be_only.be_entropy())
+        assert be_only.yield_fraction() == 1.0
+
+    def test_yield_fraction(self):
+        system = make_system(lc_measured=(3.0, 8.0))
+        assert system.yield_fraction() == pytest.approx(0.5)
+
+    def test_remaining_tolerances_keys(self):
+        system = make_system()
+        assert set(system.remaining_tolerances()) == {"lc0", "lc1"}
+
+    def test_breakdown_uses_default_ri(self):
+        system = make_system(lc_measured=(3.0, 8.0))
+        summary = system.breakdown()
+        assert summary.relative_importance == 0.8
+        assert summary.e_s == pytest.approx(system.system_entropy(0.8))
+        assert summary.yield_fraction == pytest.approx(0.5)
+
+    def test_table_rows_layout(self):
+        system = make_system()
+        rows = SystemObservation.table_rows(system)
+        assert rows[-1]["application"] == "System"
+        assert "E_S" in rows[-1]
+        assert rows[0]["application"] == "lc0"
+        assert {"TL_i0", "TL_i1", "M_i", "A_i", "R_i", "ReT_i", "Q_i"} <= set(
+            rows[0]
+        )

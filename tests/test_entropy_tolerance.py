@@ -1,0 +1,110 @@
+"""Eqs. (1)-(4): the per-application interference quantities.
+
+The numeric cases are taken directly from the paper's Table II, which
+lists A_i, R_i, ReT_i and Q_i for Xapian, Moses and Img-dnn at three core
+counts — making the table itself the unit-test oracle for the theory.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.entropy.tolerance import (
+    interference_suffered,
+    interference_tolerance,
+    intolerable_interference,
+    remaining_tolerance,
+)
+from repro.errors import ModelError
+
+# Rows of the paper's Table II: (TL_i0, TL_i1, M_i, A_i, R_i, ReT_i, Q_i).
+TABLE_II_ROWS = [
+    # 6 cores
+    (2.77, 23.99, 4.22, 0.34, 0.88, 0.0, 0.82),
+    (2.80, 16.54, 10.53, 0.73, 0.83, 0.0, 0.36),
+    (1.41, 14.35, 3.98, 0.65, 0.90, 0.0, 0.72),
+    # 7 cores
+    (2.77, 7.13, 4.22, 0.34, 0.61, 0.0, 0.41),
+    (2.80, 6.78, 10.53, 0.73, 0.59, 0.36, 0.0),
+    (1.41, 5.65, 3.98, 0.65, 0.75, 0.0, 0.30),
+    # 8 cores
+    (2.77, 4.18, 4.22, 0.34, 0.34, 0.01, 0.0),
+    (2.80, 4.43, 10.53, 0.73, 0.37, 0.58, 0.0),
+    (1.41, 3.53, 3.98, 0.65, 0.60, 0.11, 0.0),
+]
+
+
+@pytest.mark.parametrize("tl0,tl1,m,a,r,ret,q", TABLE_II_ROWS)
+def test_table2_rows(tl0, tl1, m, a, r, ret, q):
+    assert interference_tolerance(tl0, m) == pytest.approx(a, abs=0.011)
+    assert interference_suffered(tl0, tl1) == pytest.approx(r, abs=0.011)
+    assert remaining_tolerance(tl0, tl1, m) == pytest.approx(ret, abs=0.011)
+    assert intolerable_interference(tl0, tl1, m) == pytest.approx(q, abs=0.011)
+
+
+class TestInterferenceTolerance:
+    def test_zero_when_ideal_equals_threshold(self):
+        assert interference_tolerance(5.0, 5.0) == 0.0
+
+    def test_approaches_one_for_lax_threshold(self):
+        assert interference_tolerance(1.0, 1000.0) == pytest.approx(0.999)
+
+    def test_rejects_unsatisfiable_qos(self):
+        with pytest.raises(ModelError, match="unsatisfiable"):
+            interference_tolerance(10.0, 5.0)
+
+    def test_rejects_nonpositive_inputs(self):
+        with pytest.raises(ModelError):
+            interference_tolerance(0.0, 5.0)
+        with pytest.raises(ModelError):
+            interference_tolerance(1.0, -5.0)
+
+
+class TestInterferenceSuffered:
+    def test_zero_without_degradation(self):
+        assert interference_suffered(3.0, 3.0) == 0.0
+
+    def test_noise_clamped_to_zero(self):
+        # A collocated measurement faster than solo is measurement noise,
+        # not negative interference.
+        assert interference_suffered(3.0, 2.5) == 0.0
+
+    def test_doubling_latency_is_half(self):
+        assert interference_suffered(3.0, 6.0) == pytest.approx(0.5)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ModelError):
+            interference_suffered(-1.0, 2.0)
+        with pytest.raises(ModelError):
+            interference_suffered(1.0, 0.0)
+
+
+class TestRemainingTolerance:
+    def test_full_tolerance_without_interference(self):
+        # ReT = 1 - TL1/M with TL1 == TL0.
+        assert remaining_tolerance(2.0, 2.0, 4.0) == pytest.approx(0.5)
+
+    def test_zero_once_threshold_crossed(self):
+        assert remaining_tolerance(2.0, 5.0, 4.0) == 0.0
+
+    def test_exactly_at_threshold(self):
+        # R_i == A_i exactly: the guard A_i > R_i fails, ReT = 0.
+        assert remaining_tolerance(2.0, 4.0, 4.0) == 0.0
+
+
+class TestIntolerableInterference:
+    def test_zero_while_within_threshold(self):
+        assert intolerable_interference(2.0, 3.9, 4.0) == 0.0
+
+    def test_positive_once_violating(self):
+        assert intolerable_interference(2.0, 8.0, 4.0) == pytest.approx(0.5)
+
+    def test_exactly_at_threshold(self):
+        assert intolerable_interference(2.0, 4.0, 4.0) == 0.0
+
+    def test_complementarity_with_remaining_tolerance(self):
+        # At most one of ReT and Q can be positive.
+        for tl1 in (2.0, 3.0, 3.99, 4.0, 4.01, 9.0):
+            ret = remaining_tolerance(2.0, tl1, 4.0)
+            q = intolerable_interference(2.0, tl1, 4.0)
+            assert min(ret, q) == 0.0

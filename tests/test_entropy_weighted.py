@@ -1,0 +1,159 @@
+"""Weighted entropy (the §II-B extension) and the related-work metrics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.entropy.aggregate import be_entropy, lc_entropy
+from repro.entropy.alternatives import (
+    interference_duration_fraction,
+    latency_throughput_ratio,
+    mean_slowdown,
+    service_rate_reduction,
+    violation_fraction,
+)
+from repro.entropy.records import BEObservation, LCObservation, SystemObservation
+from repro.entropy.weighted import (
+    WeightedEntropyModel,
+    weighted_be_entropy,
+    weighted_lc_entropy,
+)
+from repro.errors import ModelError
+
+LC = [
+    LCObservation("a", ideal_ms=2.0, measured_ms=8.0, threshold_ms=4.0),  # Q=0.5
+    LCObservation("b", ideal_ms=2.0, measured_ms=3.0, threshold_ms=4.0),  # Q=0
+]
+BE = [
+    BEObservation("x", ipc_solo=2.0, ipc_real=1.0),  # slowdown 2
+    BEObservation("y", ipc_solo=2.0, ipc_real=2.0),  # slowdown 1
+]
+
+
+class TestWeightedLC:
+    def test_uniform_weights_recover_eq5(self):
+        plain = lc_entropy([(o.ideal_ms, o.measured_ms, o.threshold_ms) for o in LC])
+        assert weighted_lc_entropy(LC) == pytest.approx(plain)
+        assert weighted_lc_entropy(LC, {"a": 1.0, "b": 1.0}) == pytest.approx(plain)
+
+    def test_weights_shift_toward_important_app(self):
+        violator_heavy = weighted_lc_entropy(LC, {"a": 3.0, "b": 1.0})
+        violator_light = weighted_lc_entropy(LC, {"a": 1.0, "b": 3.0})
+        assert violator_heavy > violator_light
+
+    def test_missing_weight_rejected(self):
+        with pytest.raises(ModelError):
+            weighted_lc_entropy(LC, {"a": 1.0})
+
+    def test_negative_or_zero_weights_rejected(self):
+        with pytest.raises(ModelError):
+            weighted_lc_entropy(LC, {"a": -1.0, "b": 1.0})
+        with pytest.raises(ModelError):
+            weighted_lc_entropy(LC, {"a": 0.0, "b": 0.0})
+
+
+class TestWeightedBE:
+    def test_uniform_weights_recover_eq6(self):
+        plain = be_entropy([(o.ipc_solo, o.ipc_real) for o in BE])
+        assert weighted_be_entropy(BE) == pytest.approx(plain)
+
+    def test_weights_shift_toward_slowed_app(self):
+        slowed_heavy = weighted_be_entropy(BE, {"x": 3.0, "y": 1.0})
+        slowed_light = weighted_be_entropy(BE, {"x": 1.0, "y": 3.0})
+        assert slowed_heavy > slowed_light
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.1, max_value=5.0),
+                st.floats(min_value=0.3, max_value=1.0),
+            ),
+            min_size=1,
+            max_size=6,
+        ),
+        st.lists(st.floats(min_value=0.1, max_value=10.0), min_size=6, max_size=6),
+    )
+    def test_bounded(self, pairs, raw_weights):
+        observations = [
+            BEObservation(f"b{i}", ipc_solo=s, ipc_real=s * f)
+            for i, (s, f) in enumerate(pairs)
+        ]
+        weights = {f"b{i}": raw_weights[i] for i in range(len(pairs))}
+        value = weighted_be_entropy(observations, weights)
+        assert 0.0 <= value < 1.0
+
+
+class TestWeightedModel:
+    def make_observation(self):
+        return SystemObservation(lc=tuple(LC), be=tuple(BE))
+
+    def test_uniform_model_matches_base(self):
+        system = self.make_observation()
+        model = WeightedEntropyModel()
+        assert model.system_entropy(system) == pytest.approx(
+            system.system_entropy(0.8)
+        )
+
+    def test_priority_boost(self):
+        system = self.make_observation()
+        base = WeightedEntropyModel()
+        boosted = base.with_lc_priority("a", 5.0)
+        assert boosted.system_entropy(system) > base.system_entropy(system)
+
+    def test_degenerate_scenarios(self):
+        lc_only = SystemObservation(lc=tuple(LC))
+        be_only = SystemObservation(be=tuple(BE))
+        model = WeightedEntropyModel()
+        assert model.system_entropy(lc_only) == pytest.approx(
+            weighted_lc_entropy(LC)
+        )
+        assert model.system_entropy(be_only) == pytest.approx(
+            weighted_be_entropy(BE)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            WeightedEntropyModel(relative_importance=1.5)
+        with pytest.raises(ModelError):
+            WeightedEntropyModel().with_lc_priority("a", 0.0)
+
+
+class TestAlternativeMetrics:
+    def test_latency_throughput_ratio(self):
+        value = latency_throughput_ratio(LC, BE)
+        assert value == pytest.approx(((8.0 + 3.0) / 2) / 1.5)
+        with pytest.raises(ModelError):
+            latency_throughput_ratio([], BE)
+
+    def test_mean_slowdown(self):
+        assert mean_slowdown(LC) == pytest.approx((4.0 + 1.5) / 2)
+
+    def test_service_rate_reduction_is_unthresholded_r(self):
+        value = service_rate_reduction(LC)
+        assert value == pytest.approx(((1 - 2 / 8) + (1 - 2 / 3)) / 2)
+
+    def test_violation_fraction(self):
+        assert violation_fraction(LC) == pytest.approx(0.5)
+
+    def test_duration_fraction(self):
+        assert interference_duration_fraction(
+            [True, False, False, True]
+        ) == pytest.approx(0.5)
+        with pytest.raises(ModelError):
+            interference_duration_fraction([])
+
+    def test_qos_blindness_of_slowdown(self):
+        """The paper's §II-C point: slowdown cannot see thresholds.
+
+        Two systems with identical slowdowns but different thresholds get
+        the same mean-slowdown score, while E_LC separates them.
+        """
+        tolerant = [
+            LCObservation("t", ideal_ms=2.0, measured_ms=6.0, threshold_ms=100.0)
+        ]
+        critical = [
+            LCObservation("c", ideal_ms=2.0, measured_ms=6.0, threshold_ms=3.0)
+        ]
+        assert mean_slowdown(tolerant) == mean_slowdown(critical)
+        assert lc_entropy([(2.0, 6.0, 100.0)]) < lc_entropy([(2.0, 6.0, 3.0)])

@@ -1,0 +1,174 @@
+"""Experiment harness: reporting helpers and per-figure smoke tests.
+
+The smoke tests run every experiment module with drastically reduced
+durations/grids — they verify wiring and output structure, not the
+paper-shape claims (those are asserted in ``test_reproduction.py`` and
+measured fully by the benchmarks).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import reporting
+from repro.experiments.fig1_example import run_fig1, render as render_fig1
+from repro.experiments.fig2_resource_surface import run_fig2, render as render_fig2
+from repro.experiments.fig3_equivalence import (
+    render_fig3a,
+    render_fig3b,
+    run_fig3a,
+    run_fig3b,
+)
+from repro.experiments.fig5_fig6_snapshots import run_fig5_fig6, render as render_snap
+from repro.experiments.fig7_load_curves import run_fig7, render as render_fig7
+from repro.experiments.fig8_fluidanimate import headline_numbers, run_fig8
+from repro.experiments.fig9_stream import run_fig9
+from repro.experiments.fig9_stream import headline_numbers as fig9_headlines
+from repro.experiments.fig10_heatmap import advantage_grid, run_fig10
+from repro.experiments.fig11_sphinx_mix import high_load_reduction, run_fig11
+from repro.experiments.fig12_eight_apps import run_fig12, render as render_fig12
+from repro.experiments.fig13_fluctuating import run_fig13, render as render_fig13
+from repro.experiments.sweeps import render_sweep
+from repro.experiments.table2_resource_sensitivity import (
+    render as render_table2,
+    run_table2,
+)
+
+QUICK = dict(duration_s=10.0, warmup_s=5.0)
+
+
+class TestReporting:
+    def test_ascii_table_alignment(self):
+        text = reporting.ascii_table(
+            ["name", "value"], [["a", 1.23456], ["bb", 2]], precision=2
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1
+        assert "1.23" in text
+
+    def test_ascii_table_rejects_ragged_rows(self):
+        with pytest.raises(ConfigurationError):
+            reporting.ascii_table(["a", "b"], [["only-one"]])
+
+    def test_ascii_heatmap(self):
+        grid = {(0.1, 0.1): 0.0, (0.9, 0.1): 0.5, (0.1, 0.9): 1.0, (0.9, 0.9): 0.9}
+        text = reporting.ascii_heatmap(grid, title="demo")
+        assert "demo" in text
+        assert "@" in text  # the 1.0 cell uses the darkest glyph
+
+    def test_ascii_series_merges_x(self):
+        text = reporting.ascii_series(
+            {"a": [(1.0, 0.5)], "b": [(2.0, 0.7)]}, x_header="load"
+        )
+        assert "load" in text
+        assert "-" in text  # missing points
+
+    def test_percent_change(self):
+        assert reporting.percent_change(50.0, 100.0) == pytest.approx(-50.0)
+        with pytest.raises(ConfigurationError):
+            reporting.percent_change(1.0, 0.0)
+
+
+class TestFigureSmoke:
+    def test_fig1(self):
+        result = run_fig1(duration_s=10.0)
+        assert set(result.runs) == {"A", "B"}
+        assert result.winner() in {"A", "B"}
+        assert "E_S" in render_fig1(result)
+
+    def test_table2(self):
+        rows = run_table2(core_counts=(8,), duration_s=6.0, warmup_s=3.0)
+        assert [r.application for r in rows] == [
+            "xapian",
+            "moses",
+            "img-dnn",
+            "System",
+        ]
+        assert "Table II" in render_table2(rows)
+
+    def test_fig2(self):
+        result = run_fig2(
+            strategies=("unmanaged",),
+            core_counts=(8, 10),
+            way_counts=(20,),
+            duration_s=6.0,
+            warmup_s=3.0,
+        )
+        assert set(result.by_cores["unmanaged"]) == {8.0, 10.0}
+        assert "E_S" in render_fig2(result)
+
+    def test_fig3a(self):
+        result = run_fig3a(
+            core_counts=(6, 8, 10), targets=(0.3,), duration_s=6.0, warmup_s=3.0
+        )
+        assert set(result.curves) == {"unmanaged", "arq"}
+        assert "equivalence" in render_fig3a(result).lower()
+
+    def test_fig3b(self):
+        result = run_fig3b(
+            strategies=("unmanaged", "arq"),
+            core_counts=(6, 10),
+            way_counts=(8, 20),
+            duration_s=6.0,
+            warmup_s=3.0,
+        )
+        assert set(result.lines) == {"unmanaged", "arq"}
+        render_fig3b(result)
+
+    def test_fig5_fig6(self):
+        snapshots = run_fig5_fig6(
+            strategies=("arq",), xapian_loads=(0.3,), duration_s=10.0
+        )
+        snap = snapshots[0.3]["arq"]
+        assert abs(sum(snap.core_share.values()) - 1.0) < 1e-6
+        assert "Fig. 5" in render_snap(snapshots)
+
+    def test_fig7(self):
+        result = run_fig7(
+            applications=("xapian",),
+            core_counts=(1, 4),
+            load_fractions=(0.1, 0.5, 1.0),
+            des_checks=False,
+        )
+        assert len(result.curves) == 2
+        assert "xapian" in render_fig7(result)
+
+    def test_fig8_and_headlines(self):
+        result = run_fig8(
+            xapian_loads=(0.3,), duration_s=10.0, warmup_s=5.0
+        )
+        numbers = headline_numbers(result)
+        assert "tail_reduction_arq" in numbers
+        assert "ipc_gain_vs_parties" in numbers
+        render_sweep(result, "smoke")
+
+    def test_fig9_headlines(self):
+        result = run_fig9(xapian_loads=(0.3,), duration_s=10.0, warmup_s=5.0)
+        numbers = fig9_headlines(result)
+        assert "e_s_reduction_vs_parties" in numbers
+        assert "yield_gain_vs_clite_pp" in numbers
+
+    def test_fig10(self):
+        result = run_fig10(
+            loads=(0.1, 0.9), duration_s=8.0, warmup_s=4.0
+        )
+        grid = advantage_grid(result)
+        assert set(grid) == {(x, y) for x in (0.1, 0.9) for y in (0.1, 0.9)}
+
+    def test_fig11(self):
+        result = run_fig11(imgdnn_loads=(0.7,), duration_s=10.0, warmup_s=5.0)
+        reductions = high_load_reduction(result)
+        assert "e_s_reduction_vs_parties" in reductions
+
+    def test_fig12(self):
+        result = run_fig12(duration_s=10.0, warmup_s=5.0)
+        assert set(result.e_s) == {"parties", "arq"}
+        assert "Fig. 12" in render_fig12(result)
+
+    def test_fig13(self):
+        result = run_fig13(strategies=("parties", "arq"), plateau_s=2.0)
+        assert set(result.violations) == {"parties", "arq"}
+        assert result.runs["arq"].records
+        assert "violations" in render_fig13(result)

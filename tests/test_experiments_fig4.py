@@ -1,0 +1,69 @@
+"""Fig. 4's space-time model reproduces the paper's exact counts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.fig4_spacetime import (
+    Cell,
+    conflicts,
+    render,
+    run_isolated,
+    run_shared,
+    run_solo,
+)
+
+
+class TestSpaceTimeModel:
+    def test_solo_shows_the_slice6_conflict(self):
+        result = run_solo()
+        assert 6 in conflicts(result)
+        # Slice 6 is the all-three conflict the paper highlights.
+        assert all(row[5] is Cell.TICK for row in result.grid.values())
+
+    def test_isolated_has_ten_crosses(self):
+        result = run_isolated()
+        assert result.count(Cell.CROSS) == 10  # paper: 10 crosses
+        assert result.count(Cell.TRIANGLE) == 0
+        # LC1's own demands are all served.
+        assert result.grid["LC1"].count(Cell.TICK) == 4
+
+    def test_shared_has_six_crosses_and_four_triangles(self):
+        result = run_shared()
+        assert result.count(Cell.CROSS) == 6  # paper: 10 → 6
+        assert result.count(Cell.TRIANGLE) == 4  # paper: four triangles
+
+    def test_utilisation_almost_doubles(self):
+        isolated = run_isolated()
+        shared = run_shared()
+        assert isolated.utilisation == pytest.approx(0.5)
+        assert shared.utilisation == pytest.approx(1.0)
+        assert shared.utilisation / isolated.utilisation == pytest.approx(2.0)
+
+    def test_lc_priority_never_starves_lc1(self):
+        result = run_shared()
+        assert Cell.CROSS not in result.grid["LC1"]
+
+    def test_every_demand_is_accounted(self):
+        # served + crossed == demanded, per application, in every scenario.
+        from repro.experiments.fig4_spacetime import DEMANDS
+
+        for result in (run_isolated(), run_shared()):
+            for name, schedule in DEMANDS.items():
+                row = result.grid[name]
+                handled = sum(
+                    1 for cell in row if cell is not Cell.IDLE
+                )
+                assert handled == len(schedule)
+
+    def test_render_mentions_all_scenarios(self):
+        text = render([run_solo(), run_isolated(), run_shared()])
+        for token in ("solo", "isolated", "shared", "legend"):
+            assert token in text
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            run_isolated(owner="ghost")
+        with pytest.raises(ConfigurationError):
+            run_shared(priority=("LC1", "ghost"))

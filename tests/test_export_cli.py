@@ -1,0 +1,109 @@
+"""Run export (CSV/JSON) and the command-line interface."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.cluster.export import (
+    EPOCH_COLUMNS,
+    epochs_to_rows,
+    summary_dict,
+    write_csv,
+    write_json,
+)
+from repro.cluster.run import run_collocation
+from repro.schedulers import UnmanagedScheduler
+
+
+@pytest.fixture
+def small_run(canonical_collocation):
+    return run_collocation(
+        canonical_collocation, UnmanagedScheduler(), duration_s=5.0, warmup_s=1.0
+    )
+
+
+class TestExport:
+    def test_rows_cover_every_epoch_and_app(self, small_run):
+        rows = epochs_to_rows(small_run)
+        apps = len(small_run.collocation.lc_profiles) + len(
+            small_run.collocation.be_profiles
+        )
+        assert len(rows) == len(small_run.records) * apps
+        kinds = {row["kind"] for row in rows}
+        assert kinds == {"lc", "be"}
+
+    def test_csv_roundtrip(self, small_run, tmp_path):
+        path = write_csv(small_run, tmp_path / "run.csv")
+        with path.open() as handle:
+            reader = csv.DictReader(handle)
+            assert reader.fieldnames == EPOCH_COLUMNS
+            rows = list(reader)
+        assert len(rows) == len(epochs_to_rows(small_run))
+        first_lc = next(row for row in rows if row["kind"] == "lc")
+        assert float(first_lc["tail_ms"]) > 0
+
+    def test_json_roundtrip(self, small_run, tmp_path):
+        path = write_json(small_run, tmp_path / "run.json")
+        payload = json.loads(path.read_text())
+        assert payload["summary"]["scheduler"] == "unmanaged"
+        assert payload["summary"]["epochs"] == len(small_run.records)
+        assert len(payload["epochs"]) == len(epochs_to_rows(small_run))
+
+    def test_summary_dict_fields(self, small_run):
+        summary = summary_dict(small_run)
+        assert 0 <= summary["mean_e_s"] <= 1
+        assert set(summary["mean_tail_ms"]) == set(
+            small_run.collocation.lc_profiles
+        )
+
+
+class TestCLI:
+    def test_run_command(self, capsys, tmp_path):
+        code = main(
+            [
+                "run",
+                "--strategy",
+                "unmanaged",
+                "--xapian",
+                "0.3",
+                "--duration",
+                "5",
+                "--warmup",
+                "1",
+                "--csv",
+                str(tmp_path / "out.csv"),
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "mean_e_s" in output
+        assert (tmp_path / "out.csv").exists()
+
+    def test_compare_command(self, capsys):
+        code = main(
+            ["compare", "--xapian", "0.3", "--duration", "4", "--warmup", "1"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        for name in ("unmanaged", "parties", "clite", "arq", "lc-first"):
+            assert name in output
+
+    def test_experiment_command(self, capsys):
+        # fig4 is deterministic and instantaneous — ideal for CLI checks.
+        code = main(["experiment", "fig4"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Fig. 4(shared)" in output
+        assert "crosses=6" in output
+
+    def test_rejects_unknown_strategy(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--strategy", "magic"])
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])

@@ -1,0 +1,118 @@
+"""Property-based invariants of the queueing substrate (hypothesis)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.perfmodel.queueing import (
+    MAX_LATENCY_MS,
+    QueueModel,
+    concurrency_waiting_probability,
+)
+from repro.workloads.catalog import lc_profile
+
+loads = st.floats(min_value=0.01, max_value=0.94)
+service_times = st.floats(min_value=0.1, max_value=2000.0)
+cvs = st.floats(min_value=0.0, max_value=1.5)
+
+
+def model(arrival, capacity, servers, service, cv):
+    return QueueModel(
+        arrival_rps=arrival,
+        capacity_rps=capacity,
+        servers=servers,
+        service_time_ms=service,
+        service_cv=cv,
+    )
+
+
+@given(loads, service_times, cvs)
+@settings(max_examples=60, deadline=None)
+def test_latency_monotone_in_arrival(rho, service, cv):
+    capacity = 1000.0
+    low = model(rho * capacity * 0.5, capacity, 4.0, service, cv).percentile_ms()
+    high = model(rho * capacity, capacity, 4.0, service, cv).percentile_ms()
+    assert high >= low - 1e-9
+
+
+@given(loads, service_times, cvs)
+@settings(max_examples=60, deadline=None)
+def test_latency_monotone_in_capacity(rho, service, cv):
+    arrival = rho * 1000.0
+    small = model(arrival, 1000.0, 4.0, service, cv).percentile_ms()
+    big = model(arrival, 2000.0, 4.0, service, cv).percentile_ms()
+    assert big <= small + 1e-9
+
+
+@given(loads, service_times, cvs)
+@settings(max_examples=60, deadline=None)
+def test_percentile_bounded_and_above_service(rho, service, cv):
+    queue = model(rho * 1000.0, 1000.0, 4.0, service, cv)
+    value = queue.percentile_ms()
+    assert service * 0.99 <= value <= MAX_LATENCY_MS
+
+
+@given(loads, service_times)
+@settings(max_examples=60, deadline=None)
+def test_percentile_order(rho, service):
+    queue = model(rho * 1000.0, 1000.0, 4.0, service, 0.25)
+    p50 = queue.percentile_ms(50.0)
+    p95 = queue.percentile_ms(95.0)
+    p99 = queue.percentile_ms(99.0)
+    assert p50 <= p95 <= p99
+
+
+@given(
+    st.floats(min_value=0.1, max_value=32.0),
+    st.floats(min_value=0.0, max_value=40.0),
+)
+@settings(max_examples=80, deadline=None)
+def test_concurrency_waiting_probability_valid(slots, concurrency):
+    value = concurrency_waiting_probability(slots, concurrency)
+    assert 0.0 <= value <= 1.0
+    if concurrency >= slots:
+        assert value == 1.0
+
+
+@given(st.floats(min_value=1.0, max_value=16.0))
+@settings(max_examples=40, deadline=None)
+def test_concurrency_pw_monotone_in_concurrency(slots):
+    values = [
+        concurrency_waiting_probability(slots, c)
+        for c in (0.0, slots * 0.25, slots * 0.5, slots * 0.75, slots * 0.99)
+    ]
+    assert values == sorted(values)
+
+
+class TestReserveCores:
+    @pytest.mark.parametrize("name", ["xapian", "moses", "silo", "sphinx"])
+    def test_reserve_meets_the_safety_target(self, name):
+        profile = lc_profile(name)
+        for load in (0.1, 0.3, 0.6):
+            reserve = profile.reserve_cores(load, safety=0.8)
+            tail = profile.tail_latency_ms(load, reserve, profile.reference_ways)
+            assert tail <= 0.8 * profile.threshold_ms * 1.02
+
+    @pytest.mark.parametrize("name", ["xapian", "moses", "silo"])
+    def test_reserve_monotone_in_load(self, name):
+        profile = lc_profile(name)
+        reserves = [profile.reserve_cores(load) for load in (0.1, 0.3, 0.5, 0.8)]
+        assert reserves == sorted(reserves)
+
+    def test_reserve_at_least_demand_floor(self, xapian):
+        assert xapian.reserve_cores(0.0) >= 0.05
+        assert xapian.reserve_cores(0.99) <= xapian.threads
+
+    def test_reserve_is_memoised(self, xapian):
+        first = xapian.reserve_cores(0.37)
+        second = xapian.reserve_cores(0.37)
+        assert first == second
+
+    def test_validation(self, xapian):
+        from repro.errors import ModelError
+
+        with pytest.raises(ModelError):
+            xapian.reserve_cores(0.5, safety=0.0)
+        with pytest.raises(ModelError):
+            xapian.reserve_cores(-0.1)

@@ -1,0 +1,298 @@
+"""Queueing models: Erlang-C, the exact M/M/c, the G/G/c approximation and
+the overload backlog — validated against closed forms and the DES."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ModelError
+from repro.perfmodel.queueing import (
+    MAX_LATENCY_MS,
+    MMcQueue,
+    OverloadState,
+    QueueModel,
+    erlang_c,
+    percentile_sojourn_ms,
+    service_quantile_ms,
+    waiting_probability,
+)
+from repro.sim.request_sim import simulate_queue
+
+
+class TestErlangC:
+    def test_single_server_equals_rho(self):
+        # For M/M/1, the probability of waiting is exactly ρ.
+        for rho in (0.1, 0.5, 0.9):
+            assert erlang_c(1, rho) == pytest.approx(rho)
+
+    def test_two_server_closed_form(self):
+        # C(2, a) = a² / (a² + 2(1 - a/2)·(1 + a))... use the direct form:
+        # C(2,a) = 2a²/(2 + 2a + a²) · 1/(2-a) · (2-a)... simplest check
+        # against the standard formula C = (a^c/c!)·(c/(c-a)) / Σ.
+        a = 1.0
+        p0 = 1.0 / (1 + a + (a**2 / 2) * (2 / (2 - a)))
+        expected = (a**2 / 2) * (2 / (2 - a)) * p0
+        assert erlang_c(2, a) == pytest.approx(expected)
+
+    def test_saturated_returns_one(self):
+        assert erlang_c(4, 4.0) == 1.0
+        assert erlang_c(4, 10.0) == 1.0
+
+    def test_zero_load(self):
+        assert erlang_c(3, 0.0) == 0.0
+
+    def test_monotone_in_load(self):
+        values = [erlang_c(4, a) for a in (0.5, 1.0, 2.0, 3.0, 3.9)]
+        assert values == sorted(values)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ModelError):
+            erlang_c(0, 1.0)
+        with pytest.raises(ModelError):
+            erlang_c(2, -1.0)
+
+
+class TestWaitingProbability:
+    def test_fractional_interpolation_is_bracketed(self):
+        lower = erlang_c(2, 2 * 0.7)
+        upper = erlang_c(3, 3 * 0.7)
+        value = waiting_probability(2.5, 0.7)
+        assert min(lower, upper) <= value <= max(lower, upper)
+
+    def test_saturation(self):
+        assert waiting_probability(4.0, 1.0) == 1.0
+        assert waiting_probability(0.0, 0.5) == 1.0
+
+    def test_sub_one_servers(self):
+        assert waiting_probability(0.5, 0.5) == pytest.approx(erlang_c(1, 0.5))
+
+
+class TestServiceQuantile:
+    def test_exponential_matches_closed_form(self):
+        # p95 of Exp(mean=10ms) = -ln(0.05)·10.
+        assert service_quantile_ms(10.0, 95.0, 1.0) == pytest.approx(
+            -math.log(0.05) * 10.0, rel=1e-6
+        )
+
+    def test_deterministic(self):
+        assert service_quantile_ms(10.0, 95.0, 0.0) == 10.0
+
+    def test_lower_cv_means_tighter_tail(self):
+        q_exponential = service_quantile_ms(10.0, 95.0, 1.0)
+        q_erlang = service_quantile_ms(10.0, 95.0, 0.25)
+        assert q_erlang < q_exponential
+
+    def test_zero_service(self):
+        assert service_quantile_ms(0.0, 95.0, 0.5) == 0.0
+
+
+class TestMMcExact:
+    def test_mm1_mean_closed_form(self):
+        # M/M/1: W = 1/(μ - λ).
+        queue = MMcQueue(arrival_rps=80.0, service_rate_rps=100.0, servers=1)
+        assert queue.mean_sojourn_ms() == pytest.approx(1e3 / 20.0, rel=1e-9)
+
+    def test_mm1_p95_closed_form(self):
+        # M/M/1 sojourn is Exp(μ−λ): p95 = −ln(0.05)/(μ−λ).
+        queue = MMcQueue(arrival_rps=80.0, service_rate_rps=100.0, servers=1)
+        assert queue.percentile_ms(95.0) == pytest.approx(
+            -math.log(0.05) / 20.0 * 1e3, rel=1e-3
+        )
+
+    def test_cdf_is_monotone(self):
+        queue = MMcQueue(arrival_rps=300.0, service_rate_rps=100.0, servers=4)
+        ts = [i * 1e-3 for i in range(1, 100)]
+        values = [queue.sojourn_cdf(t) for t in ts]
+        assert values == sorted(values)
+        assert 0 <= values[0] and values[-1] <= 1.0
+
+    def test_unstable_saturates(self):
+        queue = MMcQueue(arrival_rps=500.0, service_rate_rps=100.0, servers=4)
+        assert not queue.is_stable
+        assert queue.percentile_ms() == MAX_LATENCY_MS
+
+    @pytest.mark.slow
+    def test_matches_request_level_des(self):
+        queue = MMcQueue(arrival_rps=800.0, service_rate_rps=250.0, servers=4)
+        des = simulate_queue(
+            arrival_rps=800.0,
+            service_time_ms=4.0,
+            servers=4,
+            duration_s=300.0,
+            service_cv=1.0,
+            seed=11,
+        )
+        assert des.percentile_ms(95.0) == pytest.approx(
+            queue.percentile_ms(95.0), rel=0.08
+        )
+        assert des.mean_ms() == pytest.approx(queue.mean_sojourn_ms(), rel=0.08)
+
+
+class TestQueueModelApproximation:
+    def test_low_load_equals_service_quantile(self):
+        model = QueueModel(
+            arrival_rps=1.0,
+            capacity_rps=1000.0,
+            servers=4.0,
+            service_time_ms=4.0,
+            service_cv=0.25,
+        )
+        assert model.percentile_ms() == pytest.approx(
+            service_quantile_ms(4.0, 95.0, 0.25), rel=0.02
+        )
+
+    def test_against_exact_mmc_within_ten_percent(self):
+        for rho in (0.3, 0.5, 0.7, 0.8, 0.9, 0.95):
+            arrival = rho * 1000.0
+            exact = MMcQueue(arrival, 250.0, 4).percentile_ms()
+            approx = QueueModel(
+                arrival_rps=arrival,
+                capacity_rps=1000.0,
+                servers=4.0,
+                service_time_ms=4.0,
+                service_cv=1.0,
+            ).percentile_ms()
+            assert approx == pytest.approx(exact, rel=0.10)
+
+    @pytest.mark.slow
+    def test_against_des_low_cv(self):
+        for rho in (0.3, 0.7, 0.9):
+            arrival = rho * 1000.0
+            des = simulate_queue(
+                arrival_rps=arrival,
+                service_time_ms=4.0,
+                servers=4,
+                duration_s=300.0,
+                service_cv=0.25,
+                seed=5,
+            ).percentile_ms()
+            approx = QueueModel(
+                arrival_rps=arrival,
+                capacity_rps=1000.0,
+                servers=4.0,
+                service_time_ms=4.0,
+                service_cv=0.25,
+            ).percentile_ms()
+            assert approx == pytest.approx(des, rel=0.15)
+
+    def test_monotone_in_load(self):
+        values = [
+            QueueModel(
+                arrival_rps=rho * 1000.0,
+                capacity_rps=1000.0,
+                servers=4.0,
+                service_time_ms=4.0,
+                service_cv=0.25,
+            ).percentile_ms()
+            for rho in (0.1, 0.3, 0.5, 0.7, 0.9, 0.99)
+        ]
+        assert values == sorted(values)
+
+    def test_capacity_wall_dominates_servers(self):
+        # Capacity binds even when many servers exist (the software wall).
+        walled = QueueModel(
+            arrival_rps=90.0,
+            capacity_rps=100.0,
+            servers=8.0,
+            service_time_ms=1.0,
+            service_cv=0.25,
+        )
+        assert walled.utilisation == pytest.approx(0.9)
+        assert walled.percentile_ms() > service_quantile_ms(1.0, 95.0, 0.25)
+
+    def test_zero_capacity_unstable(self):
+        model = QueueModel(
+            arrival_rps=1.0,
+            capacity_rps=0.0,
+            servers=1.0,
+            service_time_ms=1.0,
+        )
+        assert model.percentile_ms() == MAX_LATENCY_MS
+
+    @given(
+        st.floats(min_value=0.0, max_value=0.99),
+        st.floats(min_value=0.5, max_value=8.0),
+        st.floats(min_value=0.0, max_value=1.5),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_percentile_finite_and_positive_when_stable(self, rho, servers, cv):
+        model = QueueModel(
+            arrival_rps=rho * 500.0,
+            capacity_rps=500.0,
+            servers=servers,
+            service_time_ms=2.0,
+            service_cv=cv,
+        )
+        value = model.percentile_ms()
+        assert 0.0 < value <= MAX_LATENCY_MS
+
+
+class TestOverloadState:
+    def test_stable_low_load_matches_stationary(self):
+        state = OverloadState()
+        stationary = percentile_sojourn_ms(200.0, 1000.0, 4.0, 4.0, 95.0, 0.25)
+        stepped = state.step(
+            arrival_rps=200.0,
+            capacity_rps=1000.0,
+            servers=4.0,
+            service_time_ms=4.0,
+            epoch_s=0.5,
+            service_cv=0.25,
+        )
+        assert stepped == pytest.approx(stationary)
+        assert state.backlog_requests == 0.0
+
+    def test_overload_builds_backlog_and_latency_grows(self):
+        state = OverloadState()
+        latencies = [
+            state.step(
+                arrival_rps=1500.0,
+                capacity_rps=1000.0,
+                servers=4.0,
+                service_time_ms=4.0,
+                epoch_s=0.5,
+            )
+            for _ in range(3)
+        ]
+        assert state.backlog_requests > 0
+        assert latencies == sorted(latencies)
+
+    def test_backlog_is_capped(self):
+        state = OverloadState()
+        for _ in range(100):
+            state.step(
+                arrival_rps=5000.0,
+                capacity_rps=1000.0,
+                servers=4.0,
+                service_time_ms=4.0,
+                epoch_s=0.5,
+            )
+        assert state.backlog_requests <= 1000.0 * state.backlog_cap_s + 1e-6
+
+    def test_recovery_drains_backlog(self):
+        state = OverloadState()
+        for _ in range(4):
+            state.step(1500.0, 1000.0, 4.0, 4.0, 0.5)
+        peak = state.backlog_requests
+        for _ in range(20):
+            state.step(200.0, 1000.0, 4.0, 4.0, 0.5)
+        assert state.backlog_requests < peak
+        assert state.backlog_requests == 0.0
+
+    def test_starved_application_queues_everything(self):
+        state = OverloadState()
+        latency = state.step(100.0, 0.0, 0.0, 4.0, 0.5)
+        assert latency == MAX_LATENCY_MS
+        assert state.backlog_requests == pytest.approx(50.0)
+
+    def test_reset(self):
+        state = OverloadState(backlog_requests=10.0)
+        state.reset()
+        assert state.backlog_requests == 0.0
+
+    def test_rejects_bad_epoch(self):
+        with pytest.raises(ModelError):
+            OverloadState().step(1.0, 1.0, 1.0, 1.0, 0.0)

@@ -1,0 +1,100 @@
+"""Core/cache/bandwidth slowdown composition."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ModelError
+from repro.perfmodel.slowdown import (
+    instruction_rate,
+    memory_time_stretch,
+    service_rate_per_core,
+)
+from repro.server.llc import MissRatioCurve
+
+CURVE = MissRatioCurve(ceiling=0.4, floor=0.05, scale_ways=5.0)
+
+
+class TestMemoryTimeStretch:
+    def test_identity_at_reference(self):
+        assert memory_time_stretch(CURVE, 20.0, 20.0, 0.3) == pytest.approx(1.0)
+
+    def test_squeeze_slows_down(self):
+        assert memory_time_stretch(CURVE, 2.0, 20.0, 0.3) > 1.0
+
+    def test_extra_cache_speeds_up(self):
+        # More ways than the reference is a (mild) speed-up: stretch < 1.
+        curve = MissRatioCurve(ceiling=0.4, floor=0.05, scale_ways=5.0)
+        assert memory_time_stretch(curve, 20.0, 10.0, 0.3) < 1.0
+
+    def test_bandwidth_stretch_multiplies_memory_phase(self):
+        base = memory_time_stretch(CURVE, 10.0, 20.0, 0.3)
+        stretched = memory_time_stretch(CURVE, 10.0, 20.0, 0.3, bandwidth_stretch=2.0)
+        assert stretched > base
+
+    def test_compute_bound_app_is_insensitive(self):
+        assert memory_time_stretch(CURVE, 1.0, 20.0, 0.0) == pytest.approx(1.0)
+
+    def test_perfectly_cached_app(self):
+        flat = MissRatioCurve(ceiling=0.0, floor=0.0, scale_ways=5.0)
+        assert memory_time_stretch(flat, 1.0, 20.0, 0.5) == 1.0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ModelError):
+            memory_time_stretch(CURVE, 1.0, 20.0, 1.0)  # memory_fraction = 1
+        with pytest.raises(ModelError):
+            memory_time_stretch(CURVE, 1.0, 20.0, 0.3, bandwidth_stretch=0.5)
+        with pytest.raises(ModelError):
+            memory_time_stretch(CURVE, 1.0, 0.0, 0.3)
+
+    @given(
+        st.floats(min_value=0.1, max_value=30.0),
+        st.floats(min_value=0.0, max_value=0.9),
+        st.floats(min_value=1.0, max_value=5.0),
+    )
+    def test_stretch_always_positive(self, ways, memory_fraction, bw):
+        value = memory_time_stretch(CURVE, ways, 20.0, memory_fraction, bw)
+        assert value > 0
+
+    @given(st.floats(min_value=0.0, max_value=0.9))
+    def test_monotone_in_cache_squeeze(self, memory_fraction):
+        stretches = [
+            memory_time_stretch(CURVE, w, 20.0, memory_fraction)
+            for w in (20.0, 10.0, 5.0, 2.0, 1.0)
+        ]
+        assert stretches == sorted(stretches)
+
+
+class TestServiceRate:
+    def test_reference_rate(self):
+        assert service_rate_per_core(1000.0, CURVE, 20.0, 20.0, 0.3) == pytest.approx(
+            1000.0
+        )
+
+    def test_transient_penalty_divides(self):
+        base = service_rate_per_core(1000.0, CURVE, 20.0, 20.0, 0.3)
+        penalised = service_rate_per_core(
+            1000.0, CURVE, 20.0, 20.0, 0.3, transient_penalty=1.1
+        )
+        assert penalised == pytest.approx(base / 1.1)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ModelError):
+            service_rate_per_core(0.0, CURVE, 20.0, 20.0, 0.3)
+        with pytest.raises(ModelError):
+            service_rate_per_core(1.0, CURVE, 20.0, 20.0, 0.3, transient_penalty=0.9)
+
+
+class TestInstructionRate:
+    def test_full_allocation(self):
+        assert instruction_rate(1e9, CURVE, 20.0, 20.0, 0.3) == pytest.approx(1e9)
+
+    def test_core_fraction_scales_linearly(self):
+        assert instruction_rate(
+            1e9, CURVE, 20.0, 20.0, 0.3, core_fraction=0.5
+        ) == pytest.approx(5e8)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ModelError):
+            instruction_rate(1e9, CURVE, 20.0, 20.0, 0.3, core_fraction=1.5)

@@ -1,0 +1,83 @@
+"""The top-level public API surface.
+
+A downstream user should be able to do everything through ``repro``'s
+top-level names; this pins the surface so refactors don't silently break
+imports.
+"""
+
+from __future__ import annotations
+
+import repro
+
+
+EXPECTED_PUBLIC_NAMES = {
+    # collocation description + running
+    "Collocation",
+    "LCMember",
+    "BEMember",
+    "RunResult",
+    "run_collocation",
+    # theory
+    "LCObservation",
+    "BEObservation",
+    "SystemObservation",
+    "lc_entropy",
+    "be_entropy",
+    "system_entropy",
+    "resource_equivalence",
+    # strategies
+    "Scheduler",
+    "RegionPlan",
+    "ARQScheduler",
+    "CLITEScheduler",
+    "LCFirstScheduler",
+    "PartiesScheduler",
+    "StaticScheduler",
+    "UnmanagedScheduler",
+    # platform + workloads
+    "NodeSpec",
+    "PAPER_NODE",
+    "ResourceVector",
+    "ServerNode",
+    "LC_APPLICATIONS",
+    "BE_APPLICATIONS",
+    "lc_profile",
+    "be_profile",
+    "ConstantLoad",
+    "FluctuatingLoad",
+}
+
+
+def test_all_contains_expected_names():
+    assert EXPECTED_PUBLIC_NAMES <= set(repro.__all__)
+
+
+def test_all_names_importable():
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None
+
+
+def test_version():
+    assert repro.__version__
+
+
+def test_docstrings_everywhere():
+    """Every public module, class and function carries a docstring."""
+    import importlib
+    import inspect
+    import pkgutil
+
+    missing = []
+    for module_info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        module = importlib.import_module(module_info.name)
+        if not module.__doc__:
+            missing.append(module_info.name)
+        for name, obj in vars(module).items():
+            if name.startswith("_") or getattr(obj, "__module__", None) != (
+                module_info.name
+            ):
+                continue
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                if not inspect.getdoc(obj):
+                    missing.append(f"{module_info.name}.{name}")
+    assert not missing, f"missing docstrings: {missing}"

@@ -1,0 +1,149 @@
+"""End-to-end reproduction shape tests.
+
+Each test asserts one of the paper's *qualitative* claims — who wins,
+in which regime — on moderate-length runs. Absolute values are recorded
+in EXPERIMENTS.md by the benchmarks; these tests pin the shapes so a
+regression in the substrate or a scheduler is caught immediately.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.run import run_collocation
+from repro.entropy.properties import check_resource_sensitivity
+from repro.experiments.common import canonical_mix, make_collocation, run_strategy
+from repro.schedulers.arq import ARQScheduler
+from repro.schedulers.lc_first import LCFirstScheduler
+from repro.schedulers.parties import PartiesScheduler
+from repro.schedulers.unmanaged import UnmanagedScheduler
+from repro.server.spec import PAPER_NODE
+
+DURATION = 60.0
+WARMUP = 30.0
+
+
+def entropy_of(strategy: str, collocation) -> float:
+    return run_strategy(collocation, strategy, DURATION, WARMUP).mean_e_s()
+
+
+@pytest.mark.slow
+class TestLowLoadRegime:
+    """§VI-A: sharing wins when interference is mild."""
+
+    def test_unmanaged_is_competitive_at_low_load(self):
+        collocation = canonical_mix(0.2, 0.2, 0.2)
+        unmanaged = entropy_of("unmanaged", collocation)
+        parties = entropy_of("parties", collocation)
+        assert unmanaged < parties
+
+    def test_arq_matches_sharing_at_low_load(self):
+        collocation = canonical_mix(0.2, 0.2, 0.2)
+        arq = entropy_of("arq", collocation)
+        parties = entropy_of("parties", collocation)
+        assert arq < parties
+
+    def test_isolation_starves_be_at_low_load(self):
+        collocation = canonical_mix(0.2, 0.2, 0.2)
+        arq = run_strategy(collocation, "arq", DURATION, WARMUP)
+        parties = run_strategy(collocation, "parties", DURATION, WARMUP)
+        assert arq.mean_e_be() < parties.mean_e_be()
+        arq_ipc = arq.mean_ipcs()["fluidanimate"]
+        parties_ipc = parties.mean_ipcs()["fluidanimate"]
+        assert arq_ipc > parties_ipc
+
+
+@pytest.mark.slow
+class TestHighLoadRegime:
+    """§VI-A: under scarcity only ARQ protects QoS and overall entropy."""
+
+    def test_unmanaged_collapses_at_high_load(self):
+        collocation = canonical_mix(0.9, 0.4, 0.4)
+        unmanaged = run_strategy(collocation, "unmanaged", DURATION, WARMUP)
+        arq = run_strategy(collocation, "arq", DURATION, WARMUP)
+        assert unmanaged.mean_e_lc() > 0.3
+        assert arq.mean_e_lc() < 0.1
+
+    def test_arq_beats_parties_under_scarcity(self):
+        collocation = canonical_mix(0.9, 0.4, 0.4, be_name="stream")
+        arq = run_strategy(collocation, "arq", DURATION, WARMUP)
+        parties = run_strategy(collocation, "parties", DURATION, WARMUP)
+        assert arq.mean_e_s() < parties.mean_e_s()
+        assert arq.yield_fraction() >= parties.yield_fraction()
+
+
+@pytest.mark.slow
+class TestStreamRegime:
+    """§VI-A "Collocated with Stream": bandwidth interference."""
+
+    def test_unmanaged_fails_even_at_low_load(self):
+        collocation = canonical_mix(0.2, 0.2, 0.2, be_name="stream")
+        unmanaged = run_strategy(collocation, "unmanaged", DURATION, WARMUP)
+        assert unmanaged.mean_e_lc() > 0.05
+        assert unmanaged.yield_fraction() < 1.0
+
+    def test_lc_first_helps_but_arq_wins(self):
+        collocation = canonical_mix(0.2, 0.2, 0.2, be_name="stream")
+        unmanaged = entropy_of("unmanaged", collocation)
+        lc_first = entropy_of("lc-first", collocation)
+        arq = entropy_of("arq", collocation)
+        assert lc_first < unmanaged
+        assert arq < lc_first
+
+
+@pytest.mark.slow
+class TestEntropyProperties:
+    """§III: the measured E_S satisfies the required properties."""
+
+    def test_resource_amount_sensitivity_on_measured_curve(self):
+        curve = {}
+        for cores in (6, 8, 10):
+            collocation = canonical_mix(
+                0.2, 0.2, 0.2, spec=PAPER_NODE.shrunk(cores=cores)
+            )
+            curve[float(cores)] = entropy_of("unmanaged", collocation)
+        # Noise tolerance of 0.05 absorbs run-to-run jitter.
+        assert check_resource_sensitivity(curve, tolerance=0.05) == []
+        assert curve[6.0] > curve[10.0]
+
+    def test_strategy_sensitivity_on_measured_pair(self):
+        collocation = canonical_mix(0.7, 0.2, 0.2, be_name="stream")
+        arq = entropy_of("arq", collocation)
+        unmanaged = entropy_of("unmanaged", collocation)
+        assert arq < unmanaged
+
+
+@pytest.mark.slow
+class TestFluctuatingLoad:
+    """§VI-B: ARQ has fewer violations than PARTIES under load swings."""
+
+    def test_arq_fewer_violations_than_parties(self):
+        from repro.workloads.loadgen import FluctuatingLoad
+
+        trace = FluctuatingLoad(plateau_s=25.0)
+        collocation = make_collocation(
+            {"xapian": trace, "moses": 0.2, "img-dnn": 0.2}, ["stream"]
+        )
+        parties = run_collocation(
+            collocation, PartiesScheduler(), trace.duration_s, warmup_s=0.0
+        )
+        arq = run_collocation(
+            collocation, ARQScheduler(), trace.duration_s, warmup_s=0.0
+        )
+        assert arq.violation_count() < parties.violation_count()
+        assert arq.mean_e_s() < parties.mean_e_s()
+
+
+@pytest.mark.slow
+class TestScalability:
+    """Fig. 12: eight collocated applications."""
+
+    def test_arq_beats_parties_with_eight_apps(self):
+        from repro.experiments.fig12_eight_apps import SIX_LC, TWO_BE
+
+        collocation = make_collocation(
+            {name: 0.2 for name in SIX_LC}, list(TWO_BE)
+        )
+        arq = run_strategy(collocation, "arq", 90.0, 45.0)
+        parties = run_strategy(collocation, "parties", 90.0, 45.0)
+        assert arq.mean_e_s() < parties.mean_e_s()

@@ -1,0 +1,133 @@
+"""RegionPlan semantics and the base scheduler helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SchedulingError
+from repro.schedulers.base import (
+    SHARED,
+    RegionPlan,
+    even_partition_plan,
+    everything_shared_plan,
+)
+from repro.server.cores import CorePolicy
+from repro.server.resources import ResourceVector, total_of
+from repro.types import ResourceKind
+
+
+def sample_plan() -> RegionPlan:
+    return RegionPlan(
+        isolated={
+            "a": ResourceVector(cores=2.0, llc_ways=4.0),
+            "b": ResourceVector(cores=1.0, llc_ways=2.0),
+        },
+        shared=ResourceVector(cores=7.0, llc_ways=14.0, membw_gbps=61.44),
+        shared_members=frozenset({"a", "b", "be"}),
+        shared_policy=CorePolicy.LC_PRIORITY,
+    )
+
+
+class TestRegionPlan:
+    def test_total_allocated(self):
+        plan = sample_plan()
+        total = plan.total_allocated()
+        assert total.cores == 10.0
+        assert total.llc_ways == 20.0
+
+    def test_validate_against_node(self, node):
+        sample_plan().validate(node)
+
+    def test_validate_rejects_oversubscription(self, node):
+        plan = sample_plan().with_isolated("c", ResourceVector(cores=5.0))
+        with pytest.raises(Exception):
+            plan.validate(node)
+
+    def test_move_between_app_and_shared(self):
+        plan = sample_plan()
+        moved = plan.move(ResourceKind.CORES, SHARED, "a", 1.0)
+        assert moved.isolated_of("a").cores == 3.0
+        assert moved.shared.cores == 6.0
+        # Conservation.
+        assert moved.total_allocated().approx_equals(plan.total_allocated())
+
+    def test_move_between_apps(self):
+        plan = sample_plan()
+        moved = plan.move(ResourceKind.LLC_WAYS, "a", "b", 2.0)
+        assert moved.isolated_of("a").llc_ways == 2.0
+        assert moved.isolated_of("b").llc_ways == 4.0
+
+    def test_move_to_new_region_creates_it(self):
+        plan = sample_plan()
+        moved = plan.move(ResourceKind.CORES, SHARED, "newcomer", 1.0)
+        assert moved.isolated_of("newcomer").cores == 1.0
+
+    def test_move_rejects_underflow(self):
+        plan = sample_plan()
+        with pytest.raises(SchedulingError):
+            plan.move(ResourceKind.CORES, "b", "a", 2.0)
+
+    def test_move_rejects_self_move_and_nonpositive(self):
+        plan = sample_plan()
+        with pytest.raises(SchedulingError):
+            plan.move(ResourceKind.CORES, "a", "a", 1.0)
+        with pytest.raises(SchedulingError):
+            plan.move(ResourceKind.CORES, "a", "b", 0.0)
+
+    def test_region_amount(self):
+        plan = sample_plan()
+        assert plan.region_amount("a", ResourceKind.CORES) == 2.0
+        assert plan.region_amount(SHARED, ResourceKind.LLC_WAYS) == 14.0
+        assert plan.region_amount("unknown", ResourceKind.CORES) == 0.0
+
+    def test_describe_mentions_regions(self):
+        text = sample_plan().describe()
+        assert "shared" in text
+        assert "a:" in text
+
+    @given(
+        st.sampled_from(list(ResourceKind)),
+        st.sampled_from(["a", "b", SHARED]),
+        st.sampled_from(["a", "b", SHARED]),
+        st.floats(min_value=0.1, max_value=1.5),
+    )
+    def test_moves_always_conserve(self, kind, source, destination, amount):
+        plan = sample_plan()
+        if source == destination:
+            return
+        if plan.region_amount(source, kind) < amount:
+            return
+        moved = plan.move(kind, source, destination, amount)
+        assert moved.total_allocated().approx_equals(plan.total_allocated())
+
+
+class TestPlanFactories:
+    def test_everything_shared(self, context):
+        plan = everything_shared_plan(context, CorePolicy.FAIR)
+        assert plan.shared == context.node.capacity
+        assert plan.shared_members == frozenset(context.app_names)
+        assert not plan.isolated
+
+    def test_even_partition_covers_node(self, context):
+        plan = even_partition_plan(context)
+        total = plan.total_allocated()
+        assert total.cores == pytest.approx(context.node.capacity.cores, abs=1)
+        assert total.llc_ways == pytest.approx(
+            context.node.capacity.llc_ways, abs=1
+        )
+        for name in context.app_names:
+            assert plan.isolated_of(name).cores >= 1
+
+
+class TestSchedulerContext:
+    def test_app_names_and_threads(self, context):
+        assert set(context.app_names) == {
+            "xapian",
+            "moses",
+            "img-dnn",
+            "fluidanimate",
+        }
+        assert context.threads_of("xapian") == 4
+        with pytest.raises(SchedulingError):
+            context.threads_of("nope")

@@ -1,0 +1,66 @@
+"""The resource-type finite state machine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.schedulers.fsm import DEFAULT_ORDER, ResourceTypeFSM
+from repro.types import ResourceKind
+
+
+class TestResourceTypeFSM:
+    def test_default_order_matches_paper(self):
+        assert DEFAULT_ORDER == (
+            ResourceKind.CORES,
+            ResourceKind.LLC_WAYS,
+            ResourceKind.MEMBW,
+        )
+
+    def test_advance_cycles(self):
+        fsm = ResourceTypeFSM()
+        seen = [fsm.current] + [fsm.advance() for _ in range(5)]
+        assert seen == [
+            ResourceKind.CORES,
+            ResourceKind.LLC_WAYS,
+            ResourceKind.MEMBW,
+            ResourceKind.CORES,
+            ResourceKind.LLC_WAYS,
+            ResourceKind.MEMBW,
+        ]
+
+    def test_pick_prefers_current(self):
+        fsm = ResourceTypeFSM()
+        assert fsm.pick(lambda kind: True) is ResourceKind.CORES
+
+    def test_pick_skips_infeasible(self):
+        fsm = ResourceTypeFSM()
+        kind = fsm.pick(lambda k: k is ResourceKind.MEMBW)
+        assert kind is ResourceKind.MEMBW
+        assert fsm.current is ResourceKind.MEMBW
+
+    def test_pick_none_when_nothing_feasible(self):
+        fsm = ResourceTypeFSM()
+        assert fsm.pick(lambda k: False) is None
+        assert fsm.current is ResourceKind.CORES  # unchanged
+
+    def test_reset(self):
+        fsm = ResourceTypeFSM()
+        fsm.advance()
+        fsm.reset()
+        assert fsm.current is ResourceKind.CORES
+
+    def test_custom_order(self):
+        fsm = ResourceTypeFSM(order=(ResourceKind.LLC_WAYS, ResourceKind.CORES))
+        assert fsm.current is ResourceKind.LLC_WAYS
+        assert fsm.advance() is ResourceKind.CORES
+
+    def test_rejects_bad_orders(self):
+        with pytest.raises(SchedulingError):
+            ResourceTypeFSM(order=())
+        with pytest.raises(SchedulingError):
+            ResourceTypeFSM(order=(ResourceKind.CORES, ResourceKind.CORES))
+
+    def test_nextkind_helper(self):
+        assert ResourceKind.CORES.next_kind() is ResourceKind.LLC_WAYS
+        assert ResourceKind.MEMBW.next_kind() is ResourceKind.CORES

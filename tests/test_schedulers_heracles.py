@@ -1,0 +1,93 @@
+"""The Heracles-style threshold controller."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.entropy.records import BEObservation, LCObservation, SystemObservation
+from repro.schedulers.heracles import (
+    GROW_THRESHOLD,
+    HeraclesScheduler,
+    SHRINK_THRESHOLD,
+)
+from repro.types import ResourceKind
+
+
+def observation(xapian_ms: float) -> SystemObservation:
+    lc = (
+        LCObservation(
+            "xapian", ideal_ms=2.77, measured_ms=xapian_ms, threshold_ms=4.22
+        ),
+        LCObservation("moses", ideal_ms=2.80, measured_ms=4.0, threshold_ms=10.53),
+        LCObservation("img-dnn", ideal_ms=1.41, measured_ms=1.8, threshold_ms=3.98),
+    )
+    be = (BEObservation("fluidanimate", ipc_solo=2.8, ipc_real=2.0),)
+    return SystemObservation(lc=lc, be=be)
+
+
+COMFORTABLE = observation(2.9)  # min slack well above GROW_THRESHOLD
+TIGHT = observation(4.0)  # min slack below SHRINK_THRESHOLD
+VIOLATING = observation(8.0)
+
+
+class TestHeracles:
+    def test_initial_plan_reserves_a_be_region(self, context):
+        plan = HeraclesScheduler().initial_plan(context)
+        assert not plan.isolated_of("fluidanimate").is_zero
+        assert "xapian" in plan.shared_members
+        assert "fluidanimate" not in plan.shared_members
+
+    def test_grows_be_when_slack_ample(self, context):
+        scheduler = HeraclesScheduler()
+        plan = scheduler.initial_plan(context)
+        grown = scheduler.decide(context, COMFORTABLE, plan, 0.0)
+        assert (
+            grown.isolated_of("fluidanimate").cores
+            > plan.isolated_of("fluidanimate").cores
+        ) or (
+            grown.isolated_of("fluidanimate").llc_ways
+            > plan.isolated_of("fluidanimate").llc_ways
+        )
+
+    def test_shrinks_be_when_slack_thin(self, context):
+        scheduler = HeraclesScheduler()
+        plan = scheduler.initial_plan(context)
+        # Grow the region a bit first so there is something to shrink.
+        for step in range(4):
+            plan = scheduler.decide(context, COMFORTABLE, plan, step * 0.5)
+        shrunk = scheduler.decide(context, TIGHT, plan, 3.0)
+        assert (
+            shrunk.isolated_of("fluidanimate").cores
+            <= plan.isolated_of("fluidanimate").cores
+        )
+
+    def test_panic_halves_be_on_violation(self, context):
+        scheduler = HeraclesScheduler()
+        plan = scheduler.initial_plan(context)
+        for step in range(8):
+            plan = scheduler.decide(context, COMFORTABLE, plan, step * 0.5)
+        before = plan.region_amount("fluidanimate", ResourceKind.CORES)
+        panicked = scheduler.decide(context, VIOLATING, plan, 10.0)
+        after = panicked.region_amount("fluidanimate", ResourceKind.CORES)
+        assert after < before
+
+    def test_growth_respects_thread_cap(self, context):
+        scheduler = HeraclesScheduler()
+        plan = scheduler.initial_plan(context)
+        for step in range(40):
+            plan = scheduler.decide(context, COMFORTABLE, plan, step * 0.5)
+            plan.validate(context.node)
+        assert plan.isolated_of("fluidanimate").cores <= context.threads_of(
+            "fluidanimate"
+        )
+
+    def test_thresholds_ordered(self):
+        assert SHRINK_THRESHOLD < GROW_THRESHOLD
+
+    def test_plans_always_conserve(self, context):
+        scheduler = HeraclesScheduler()
+        plan = scheduler.initial_plan(context)
+        total = plan.total_allocated()
+        for step, obs in enumerate([COMFORTABLE, TIGHT, VIOLATING] * 5):
+            plan = scheduler.decide(context, obs, plan, step * 0.5)
+            assert plan.total_allocated().approx_equals(total, tolerance=1e-6)

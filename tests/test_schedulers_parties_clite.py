@@ -1,0 +1,177 @@
+"""PARTIES and CLITE decision rules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.entropy.records import BEObservation, LCObservation, SystemObservation
+from repro.schedulers.clite import CLITEScheduler
+from repro.schedulers.parties import PartiesScheduler
+from repro.types import ResourceKind
+
+
+def observation(xapian_ms=3.0, moses_ms=4.0, imgdnn_ms=1.8, be_ipc=2.0):
+    thresholds = {"xapian": 4.22, "moses": 10.53, "img-dnn": 3.98}
+    ideals = {"xapian": 2.77, "moses": 2.80, "img-dnn": 1.41}
+    measured = {"xapian": xapian_ms, "moses": moses_ms, "img-dnn": imgdnn_ms}
+    lc = tuple(
+        LCObservation(
+            name,
+            ideal_ms=ideals[name],
+            measured_ms=measured[name],
+            threshold_ms=thresholds[name],
+        )
+        for name in measured
+    )
+    be = (BEObservation("fluidanimate", ipc_solo=2.8, ipc_real=be_ipc),)
+    return SystemObservation(lc=lc, be=be)
+
+
+class TestPartiesInitialPlan:
+    def test_strict_partition_no_sharing(self, context):
+        scheduler = PartiesScheduler()
+        plan = scheduler.initial_plan(context)
+        assert plan.shared.is_zero
+        assert not plan.shared_members
+        for name in context.app_names:
+            assert plan.isolated_of(name).cores >= 1
+            assert plan.isolated_of(name).llc_ways >= 1
+
+    def test_partition_covers_node_exactly(self, context):
+        plan = PartiesScheduler().initial_plan(context)
+        total = plan.total_allocated()
+        assert total.cores == context.node.capacity.cores
+        assert total.llc_ways == context.node.capacity.llc_ways
+        assert total.membw_gbps == pytest.approx(context.node.capacity.membw_gbps)
+
+
+class TestPartiesUpsize:
+    def test_starving_app_taken_from_be(self, context):
+        scheduler = PartiesScheduler()
+        plan = scheduler.initial_plan(context)
+        squeezed = observation(xapian_ms=4.2)  # slack < 0.05
+        decided = scheduler.decide(context, squeezed, plan, 0.0)
+        assert decided is not plan
+        assert decided.isolated_of("xapian").cores > plan.isolated_of("xapian").cores
+        assert (
+            decided.isolated_of("fluidanimate").cores
+            < plan.isolated_of("fluidanimate").cores
+        )
+        assert decided.total_allocated().approx_equals(plan.total_allocated())
+
+    def test_no_core_beyond_threads(self, context):
+        scheduler = PartiesScheduler()
+        plan = scheduler.initial_plan(context)
+        squeezed = observation(xapian_ms=4.2)
+        for step in range(12):
+            nxt = scheduler.decide(context, squeezed, plan, step * 0.5)
+            plan = nxt
+        assert plan.isolated_of("xapian").cores <= context.threads_of("xapian")
+
+    def test_relaxed_lc_becomes_donor_when_be_exhausted(self, context):
+        scheduler = PartiesScheduler()
+        plan = scheduler.initial_plan(context)
+        squeezed = observation(xapian_ms=4.2)
+        # Drain the BE partition to its floors first.
+        for step in range(40):
+            plan = scheduler.decide(context, squeezed, plan, step * 0.5)
+        fluid = plan.isolated_of("fluidanimate")
+        assert fluid.cores >= 1.0
+        assert fluid.llc_ways >= 1.0
+        # Moses (huge slack) must have donated something.
+        initial = PartiesScheduler().initial_plan(context)
+        moses_before = initial.isolated_of("moses")
+        moses_after = plan.isolated_of("moses")
+        assert not moses_before.covers(moses_after) or any(
+            moses_after.get(k) < moses_before.get(k) for k in ResourceKind
+        )
+
+
+class TestPartiesDownsize:
+    def test_requires_sustained_relaxation(self, context):
+        scheduler = PartiesScheduler(downsize_patience=3)
+        plan = scheduler.initial_plan(context)
+        relaxed = observation()  # all slacks generous
+        p1 = scheduler.decide(context, relaxed, plan, 0.0)
+        assert p1 is plan  # streak 1 < patience
+        p2 = scheduler.decide(context, relaxed, p1, 0.5)
+        assert p2 is p1
+        p3 = scheduler.decide(context, relaxed, p2, 1.0)
+        assert p3 is not p2  # streak reached patience → downsize
+
+    def test_downsize_reverts_on_collapse(self, context):
+        scheduler = PartiesScheduler(downsize_patience=1)
+        plan = scheduler.initial_plan(context)
+        relaxed = observation()
+        downsized = scheduler.decide(context, relaxed, plan, 0.0)
+        assert downsized is not plan
+        # The downsized app's slack collapsed → the unit returns.
+        collapsed = observation(moses_ms=10.4)
+        reverted = scheduler.decide(context, collapsed, downsized, 0.5)
+        assert reverted.total_allocated().approx_equals(plan.total_allocated())
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            PartiesScheduler(slack_lower=0.3, slack_upper=0.2)
+        with pytest.raises(ValueError):
+            PartiesScheduler(downsize_patience=0)
+
+
+class TestCLITE:
+    def test_initial_plan_strict_partition(self, context):
+        scheduler = CLITEScheduler()
+        plan = scheduler.initial_plan(context)
+        assert plan.shared.is_zero
+        for name in context.app_names:
+            assert plan.isolated_of(name).cores >= 1
+        plan.validate(context.node)
+
+    def test_score_rewards_be_only_when_qos_met(self):
+        all_good = observation(be_ipc=2.8)
+        assert CLITEScheduler.score(all_good) == pytest.approx(2.0)
+        slowed_be = observation(be_ipc=1.4)
+        assert CLITEScheduler.score(slowed_be) == pytest.approx(1.5)
+        violating = observation(xapian_ms=8.44)  # 2× threshold
+        score = CLITEScheduler.score(violating)
+        assert score < 1.0
+        # Graded credit: worse violations score lower.
+        worse = observation(xapian_ms=42.2)
+        assert CLITEScheduler.score(worse) < score
+
+    def test_every_proposed_plan_is_valid(self, context):
+        scheduler = CLITEScheduler(search_budget=10, dwell_epochs=1)
+        plan = scheduler.initial_plan(context)
+        obs = observation()
+        for step in range(15):
+            plan = scheduler.decide(context, obs, plan, step * 0.5)
+            plan.validate(context.node)
+            for name in context.app_names:
+                cores = plan.isolated_of(name).cores
+                assert 1 <= cores <= context.threads_of(name)
+                assert plan.isolated_of(name).llc_ways >= 1
+
+    def test_pins_best_after_budget(self, context):
+        scheduler = CLITEScheduler(search_budget=8, dwell_epochs=1)
+        plan = scheduler.initial_plan(context)
+        obs = observation()
+        for step in range(12):
+            plan = scheduler.decide(context, obs, plan, step * 0.5)
+        assert scheduler._pinned is not None
+
+    def test_dwell_holds_configuration(self, context):
+        scheduler = CLITEScheduler(dwell_epochs=3)
+        plan = scheduler.initial_plan(context)
+        obs = observation()
+        p1 = scheduler.decide(context, obs, plan, 0.0)
+        p2 = scheduler.decide(context, obs, p1, 0.5)
+        assert p1 is plan and p2 is p1  # held for the dwell window
+
+    def test_constructor_validation(self):
+        from repro.errors import SchedulingError
+
+        with pytest.raises(SchedulingError):
+            CLITEScheduler(initial_samples=0)
+        with pytest.raises(SchedulingError):
+            CLITEScheduler(initial_samples=10, search_budget=5)
+        with pytest.raises(SchedulingError):
+            CLITEScheduler(dwell_epochs=0)

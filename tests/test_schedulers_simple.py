@@ -1,0 +1,67 @@
+"""Unmanaged, LC-first and Static schedulers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.entropy.records import LCObservation, SystemObservation
+from repro.errors import SchedulingError
+from repro.schedulers.lc_first import LCFirstScheduler
+from repro.schedulers.static import StaticScheduler
+from repro.schedulers.unmanaged import UnmanagedScheduler
+from repro.server.cores import CorePolicy
+from repro.server.resources import ResourceVector
+from repro.schedulers.base import RegionPlan
+
+OBSERVATION = SystemObservation(
+    lc=(LCObservation("xapian", ideal_ms=2.77, measured_ms=9.0, threshold_ms=4.22),)
+)
+
+
+class TestUnmanaged:
+    def test_everything_shared_fair(self, context):
+        plan = UnmanagedScheduler().initial_plan(context)
+        assert plan.shared == context.node.capacity
+        assert plan.shared_policy is CorePolicy.FAIR
+        assert plan.shared_members == frozenset(context.app_names)
+
+    def test_never_reacts(self, context):
+        scheduler = UnmanagedScheduler()
+        plan = scheduler.initial_plan(context)
+        assert scheduler.decide(context, OBSERVATION, plan, 0.0) is plan
+
+
+class TestLCFirst:
+    def test_everything_shared_with_priority(self, context):
+        plan = LCFirstScheduler().initial_plan(context)
+        assert plan.shared == context.node.capacity
+        assert plan.shared_policy is CorePolicy.LC_PRIORITY
+
+    def test_never_reacts(self, context):
+        scheduler = LCFirstScheduler()
+        plan = scheduler.initial_plan(context)
+        assert scheduler.decide(context, OBSERVATION, plan, 0.0) is plan
+
+
+class TestStatic:
+    def test_applies_given_plan(self, context):
+        plan = RegionPlan(
+            isolated={"xapian": ResourceVector(cores=2.0, llc_ways=4.0)},
+            shared=ResourceVector(cores=8.0, llc_ways=16.0, membw_gbps=61.44),
+            shared_members=frozenset(context.app_names),
+        )
+        scheduler = StaticScheduler(plan, name="my-static")
+        assert scheduler.name == "my-static"
+        assert scheduler.initial_plan(context) is plan
+        assert scheduler.decide(context, OBSERVATION, plan, 0.0) is plan
+
+    def test_validates_plan_against_node(self, context):
+        oversized = RegionPlan(
+            isolated={"xapian": ResourceVector(cores=99.0)},
+        )
+        with pytest.raises(Exception):
+            StaticScheduler(oversized).initial_plan(context)
+
+    def test_rejects_missing_plan(self):
+        with pytest.raises(SchedulingError):
+            StaticScheduler(None)

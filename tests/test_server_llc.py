@@ -1,0 +1,114 @@
+"""LLC miss-ratio curves and shared-way occupancy."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError, ModelError
+from repro.perfmodel.missratio import curve_from_sensitivity
+from repro.server.llc import (
+    MissRatioCurve,
+    SHARING_CONFLICT_DISCOUNT,
+    shared_way_occupancy,
+)
+
+
+class TestMissRatioCurve:
+    def test_endpoints(self):
+        curve = MissRatioCurve(ceiling=0.6, floor=0.05, scale_ways=5.0)
+        assert curve.miss_ratio(0) == pytest.approx(0.6)
+        assert curve.miss_ratio(1000) == pytest.approx(0.05, abs=1e-6)
+
+    def test_monotone_decreasing(self):
+        curve = MissRatioCurve(ceiling=0.6, floor=0.05, scale_ways=5.0)
+        values = [curve.miss_ratio(w) for w in range(0, 21)]
+        assert values == sorted(values, reverse=True)
+
+    def test_hit_ratio_complements(self):
+        curve = MissRatioCurve(ceiling=0.6, floor=0.05, scale_ways=5.0)
+        assert curve.hit_ratio(4) == pytest.approx(1.0 - curve.miss_ratio(4))
+
+    def test_insensitive_is_flat(self):
+        curve = MissRatioCurve.insensitive(0.02)
+        assert curve.miss_ratio(1) == pytest.approx(curve.miss_ratio(20))
+
+    def test_streaming_is_high_and_flat(self):
+        curve = MissRatioCurve.streaming()
+        assert curve.miss_ratio(20) > 0.9
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            MissRatioCurve(ceiling=0.5, floor=0.6, scale_ways=5.0)
+        with pytest.raises(ConfigurationError):
+            MissRatioCurve(ceiling=1.5, floor=0.1, scale_ways=5.0)
+        with pytest.raises(ConfigurationError):
+            MissRatioCurve(ceiling=0.5, floor=0.1, scale_ways=0.0)
+
+    def test_rejects_negative_ways(self):
+        curve = MissRatioCurve(ceiling=0.6, floor=0.05, scale_ways=5.0)
+        with pytest.raises(ModelError):
+            curve.miss_ratio(-1)
+
+
+class TestCurveFitting:
+    def test_anchors_are_respected(self):
+        curve = curve_from_sensitivity(0.08, 0.28, 20.0)
+        assert curve.miss_ratio(20.0) == pytest.approx(0.08, rel=0.05)
+        assert curve.miss_ratio(1.0) == pytest.approx(0.28, rel=0.05)
+
+    def test_rejects_inverted_anchors(self):
+        with pytest.raises(ConfigurationError):
+            curve_from_sensitivity(0.3, 0.1, 20.0)
+
+    @given(
+        st.floats(min_value=0.01, max_value=0.3),
+        st.floats(min_value=1.2, max_value=5.0),
+    )
+    def test_fitted_curves_are_valid(self, miss_full, steepness):
+        miss_one = min(1.0, miss_full * steepness)
+        curve = curve_from_sensitivity(miss_full, miss_one, 20.0)
+        assert 0 <= curve.floor <= curve.ceiling <= 1.0
+        assert curve.miss_ratio(0.5) >= curve.miss_ratio(19.0)
+
+
+class TestSharedOccupancy:
+    def test_single_occupant_gets_everything(self):
+        occupancy = shared_way_occupancy(10.0, {"a": 5.0})
+        assert occupancy["a"] == pytest.approx(10.0)
+
+    def test_proportional_split_with_discount(self):
+        occupancy = shared_way_occupancy(10.0, {"a": 3.0, "b": 1.0})
+        total = sum(occupancy.values())
+        assert total == pytest.approx(10.0 * SHARING_CONFLICT_DISCOUNT)
+        assert occupancy["a"] == pytest.approx(3 * occupancy["b"])
+
+    def test_zero_pressure_occupies_nothing(self):
+        occupancy = shared_way_occupancy(10.0, {"a": 2.0, "idle": 0.0})
+        assert occupancy["idle"] == 0.0
+        assert occupancy["a"] == pytest.approx(10.0)  # sole active occupant
+
+    def test_empty_pool(self):
+        assert shared_way_occupancy(0.0, {"a": 1.0}) == {"a": 0.0}
+
+    def test_rejects_negative_inputs(self):
+        with pytest.raises(ModelError):
+            shared_way_occupancy(-1.0, {"a": 1.0})
+        with pytest.raises(ModelError):
+            shared_way_occupancy(1.0, {"a": -1.0})
+        with pytest.raises(ModelError):
+            shared_way_occupancy(1.0, {"a": 1.0}, conflict_discount=0.0)
+
+    @given(
+        st.dictionaries(
+            st.sampled_from(["a", "b", "c", "d"]),
+            st.floats(min_value=0.0, max_value=100.0),
+            min_size=1,
+        ),
+        st.floats(min_value=0.0, max_value=20.0),
+    )
+    def test_occupancy_never_exceeds_pool(self, pressures, pool):
+        occupancy = shared_way_occupancy(pool, pressures)
+        assert sum(occupancy.values()) <= pool + 1e-9
+        for value in occupancy.values():
+            assert value >= 0.0

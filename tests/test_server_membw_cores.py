@@ -1,0 +1,160 @@
+"""Memory-bandwidth contention and core-pool water-filling."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ModelError
+from repro.server.cores import (
+    CoreDemand,
+    CorePolicy,
+    RT_THROTTLE_RESERVE,
+    share_cores,
+    water_fill,
+)
+from repro.server.membw import bandwidth_stretch, capped_demands, throttle_factors
+
+
+class TestBandwidthStretch:
+    def test_no_stretch_below_knee(self):
+        assert bandwidth_stretch(10.0, 100.0) == 1.0
+
+    def test_linear_climb_to_saturation(self):
+        at_knee = bandwidth_stretch(80.0, 100.0)
+        at_full = bandwidth_stretch(100.0, 100.0)
+        assert at_knee == pytest.approx(1.0)
+        assert at_full == pytest.approx(1.6)
+
+    def test_oversubscription_is_fluid(self):
+        assert bandwidth_stretch(200.0, 100.0) == pytest.approx(1.6 * 2.0)
+
+    def test_monotone_in_demand(self):
+        values = [bandwidth_stretch(d, 100.0) for d in range(0, 300, 10)]
+        assert values == sorted(values)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ModelError):
+            bandwidth_stretch(1.0, 0.0)
+        with pytest.raises(ModelError):
+            bandwidth_stretch(-1.0, 10.0)
+
+
+class TestCaps:
+    def test_capped_demands_clip(self):
+        clipped = capped_demands({"a": 10.0, "b": 5.0}, {"a": 4.0})
+        assert clipped == {"a": 4.0, "b": 5.0}
+
+    def test_throttle_factors(self):
+        factors = throttle_factors({"a": 10.0, "b": 5.0}, {"a": 4.0})
+        assert factors["a"] == pytest.approx(2.5)
+        assert factors["b"] == 1.0
+
+    def test_zero_cap_strong_but_finite(self):
+        factors = throttle_factors({"a": 10.0}, {"a": 0.0})
+        assert factors["a"] == 100.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ModelError):
+            capped_demands({"a": -1.0}, {})
+        with pytest.raises(ModelError):
+            capped_demands({"a": 1.0}, {"a": -1.0})
+
+
+def demand(name, weight, want, is_lc=False):
+    return CoreDemand(name=name, weight=weight, demand=want, is_lc=is_lc)
+
+
+class TestWaterFill:
+    def test_underloaded_pool_satisfies_everyone(self):
+        allocation = water_fill(10.0, [demand("a", 4, 2.0), demand("b", 4, 3.0)])
+        assert allocation["a"] == pytest.approx(2.0)
+        assert allocation["b"] == pytest.approx(3.0)
+
+    def test_overloaded_pool_splits_by_weight(self):
+        allocation = water_fill(6.0, [demand("a", 1, 10.0), demand("b", 2, 10.0)])
+        assert allocation["a"] == pytest.approx(2.0)
+        assert allocation["b"] == pytest.approx(4.0)
+
+    def test_capped_app_releases_surplus(self):
+        allocation = water_fill(
+            6.0, [demand("a", 1, 1.0), demand("b", 1, 10.0)]
+        )
+        assert allocation["a"] == pytest.approx(1.0)
+        assert allocation["b"] == pytest.approx(5.0)
+
+    def test_zero_pool(self):
+        allocation = water_fill(0.0, [demand("a", 1, 1.0)])
+        assert allocation["a"] == 0.0
+
+    def test_rejects_negative_pool(self):
+        with pytest.raises(ModelError):
+            water_fill(-1.0, [])
+
+    @given(
+        st.floats(min_value=0.0, max_value=32.0),
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.1, max_value=16.0),
+                st.floats(min_value=0.0, max_value=16.0),
+            ),
+            min_size=1,
+            max_size=6,
+        ),
+    )
+    def test_conservation_and_demand_caps(self, pool, raw):
+        demands = [demand(f"app{i}", w, d) for i, (w, d) in enumerate(raw)]
+        allocation = water_fill(pool, demands)
+        assert sum(allocation.values()) <= pool + 1e-6
+        for d in demands:
+            assert allocation[d.name] <= d.demand + 1e-6
+        # Pool exhausted or all demands met.
+        leftover = pool - sum(allocation.values())
+        unmet = sum(
+            max(0.0, d.demand - allocation[d.name]) for d in demands
+        )
+        assert leftover < 1e-6 or unmet < 1e-6
+
+
+class TestShareCores:
+    def test_lc_priority_serves_lc_first(self):
+        allocation = share_cores(
+            4.0,
+            [
+                demand("lc", 4, 4.0, is_lc=True),
+                demand("be", 4, 4.0, is_lc=False),
+            ],
+            CorePolicy.LC_PRIORITY,
+        )
+        assert allocation["lc"] == pytest.approx(4.0 * (1 - RT_THROTTLE_RESERVE))
+        assert allocation["be"] == pytest.approx(4.0 * RT_THROTTLE_RESERVE)
+
+    def test_rt_reserve_only_when_be_present(self):
+        allocation = share_cores(
+            4.0, [demand("lc", 4, 4.0, is_lc=True)], CorePolicy.LC_PRIORITY
+        )
+        assert allocation["lc"] == pytest.approx(4.0)
+
+    def test_fair_ignores_priority(self):
+        allocation = share_cores(
+            4.0,
+            [
+                demand("lc", 4, 4.0, is_lc=True),
+                demand("be", 4, 4.0, is_lc=False),
+            ],
+            CorePolicy.FAIR,
+        )
+        assert allocation["lc"] == pytest.approx(2.0)
+        assert allocation["be"] == pytest.approx(2.0)
+
+    def test_be_gets_leftovers_under_priority(self):
+        allocation = share_cores(
+            6.0,
+            [
+                demand("lc", 4, 2.0, is_lc=True),
+                demand("be", 4, 4.0, is_lc=False),
+            ],
+            CorePolicy.LC_PRIORITY,
+        )
+        assert allocation["lc"] == pytest.approx(2.0)
+        assert allocation["be"] == pytest.approx(4.0)

@@ -1,0 +1,123 @@
+"""ResourceVector arithmetic and unit semantics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import AllocationError
+from repro.server.resources import (
+    DEFAULT_UNIT_SIZES,
+    ResourceVector,
+    total_of,
+)
+from repro.types import ResourceKind
+
+amounts = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+vectors = st.builds(ResourceVector, cores=amounts, llc_ways=amounts, membw_gbps=amounts)
+
+
+class TestConstruction:
+    def test_defaults_to_zero(self):
+        vector = ResourceVector()
+        assert vector.is_zero
+
+    def test_rejects_negative_components(self):
+        with pytest.raises(AllocationError):
+            ResourceVector(cores=-1.0)
+        with pytest.raises(AllocationError):
+            ResourceVector(llc_ways=-0.5)
+        with pytest.raises(AllocationError):
+            ResourceVector(membw_gbps=-10.0)
+
+    def test_of_single_kind(self):
+        assert ResourceVector.of(ResourceKind.CORES, 3.0) == ResourceVector(cores=3.0)
+        assert ResourceVector.of(ResourceKind.LLC_WAYS, 2.0).llc_ways == 2.0
+        assert ResourceVector.of(ResourceKind.MEMBW, 7.0).membw_gbps == 7.0
+
+    def test_unit_of_matches_default_sizes(self):
+        for kind in ResourceKind:
+            assert ResourceVector.unit_of(kind).get(kind) == DEFAULT_UNIT_SIZES[kind]
+
+
+class TestArithmetic:
+    def test_plus(self):
+        a = ResourceVector(cores=1.0, llc_ways=2.0, membw_gbps=3.0)
+        b = ResourceVector(cores=4.0, llc_ways=5.0, membw_gbps=6.0)
+        assert a.plus(b) == ResourceVector(cores=5.0, llc_ways=7.0, membw_gbps=9.0)
+
+    def test_minus(self):
+        a = ResourceVector(cores=4.0, llc_ways=5.0, membw_gbps=6.0)
+        b = ResourceVector(cores=1.0, llc_ways=2.0, membw_gbps=3.0)
+        assert a.minus(b) == ResourceVector(cores=3.0, llc_ways=3.0, membw_gbps=3.0)
+
+    def test_minus_underflow_raises(self):
+        with pytest.raises(AllocationError):
+            ResourceVector(cores=1.0).minus(ResourceVector(cores=2.0))
+
+    def test_minus_tolerates_float_dust(self):
+        a = ResourceVector(cores=1.0)
+        b = ResourceVector(cores=1.0 + 1e-12)
+        assert a.minus(b).cores == 0.0
+
+    def test_scaled(self):
+        vector = ResourceVector(cores=2.0, llc_ways=4.0, membw_gbps=8.0)
+        assert vector.scaled(0.5) == ResourceVector(
+            cores=1.0, llc_ways=2.0, membw_gbps=4.0
+        )
+
+    def test_scaled_rejects_negative(self):
+        with pytest.raises(AllocationError):
+            ResourceVector(cores=1.0).scaled(-1.0)
+
+    def test_with_component(self):
+        vector = ResourceVector(cores=2.0, llc_ways=4.0)
+        updated = vector.with_component(ResourceKind.CORES, 7.0)
+        assert updated.cores == 7.0
+        assert updated.llc_ways == 4.0
+
+
+class TestComparisons:
+    def test_covers(self):
+        big = ResourceVector(cores=4.0, llc_ways=4.0, membw_gbps=4.0)
+        small = ResourceVector(cores=1.0, llc_ways=4.0, membw_gbps=0.0)
+        assert big.covers(small)
+        assert not small.covers(big)
+
+    def test_approx_equals(self):
+        a = ResourceVector(cores=1.0)
+        b = ResourceVector(cores=1.0 + 1e-12)
+        assert a.approx_equals(b)
+        assert not a.approx_equals(ResourceVector(cores=1.1))
+
+
+class TestTotal:
+    def test_total_of(self):
+        vectors_list = [ResourceVector(cores=1.0), ResourceVector(llc_ways=2.0)]
+        assert total_of(vectors_list) == ResourceVector(cores=1.0, llc_ways=2.0)
+
+    def test_total_of_empty(self):
+        assert total_of([]).is_zero
+
+
+@given(vectors, vectors)
+def test_plus_minus_roundtrip(a, b):
+    assert a.plus(b).minus(b).approx_equals(a, tolerance=1e-6 * (1 + a.cores))
+
+
+@given(vectors, vectors)
+def test_plus_commutes(a, b):
+    assert a.plus(b).approx_equals(b.plus(a))
+
+
+@given(vectors)
+def test_sum_covers_parts(a):
+    doubled = a.plus(a)
+    assert doubled.covers(a)
+
+
+@given(vectors, st.floats(min_value=0.0, max_value=10.0))
+def test_scaling_distributes_over_get(a, factor):
+    scaled = a.scaled(factor)
+    for kind in ResourceKind:
+        assert scaled.get(kind) == pytest.approx(a.get(kind) * factor, rel=1e-9)

@@ -1,0 +1,86 @@
+"""NodeSpec (Table III) and ServerNode capacity bookkeeping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AllocationError, ConfigurationError
+from repro.server.node import ServerNode
+from repro.server.resources import ResourceVector
+from repro.server.spec import NodeSpec, PAPER_NODE
+
+
+class TestNodeSpec:
+    def test_paper_platform(self):
+        assert PAPER_NODE.cores == 10
+        assert PAPER_NODE.llc_ways == 20
+        assert PAPER_NODE.llc_mb == 25.0
+        assert PAPER_NODE.frequency_ghz == 2.2
+
+    def test_mb_per_way(self):
+        assert PAPER_NODE.mb_per_way == pytest.approx(1.25)
+
+    def test_capacity_vector(self):
+        capacity = PAPER_NODE.capacity
+        assert capacity.cores == 10.0
+        assert capacity.llc_ways == 20.0
+        assert capacity.membw_gbps == PAPER_NODE.membw_gbps
+
+    def test_shrunk_scales_llc_capacity(self):
+        small = PAPER_NODE.shrunk(cores=6, llc_ways=8)
+        assert small.cores == 6
+        assert small.llc_ways == 8
+        assert small.llc_mb == pytest.approx(10.0)
+        assert small.membw_gbps == PAPER_NODE.membw_gbps
+
+    def test_shrunk_cannot_grow(self):
+        with pytest.raises(ConfigurationError):
+            PAPER_NODE.shrunk(cores=12)
+        with pytest.raises(ConfigurationError):
+            PAPER_NODE.shrunk(llc_ways=24)
+
+    def test_rejects_degenerate_specs(self):
+        with pytest.raises(ConfigurationError):
+            NodeSpec(cores=0)
+        with pytest.raises(ConfigurationError):
+            NodeSpec(llc_ways=0)
+        with pytest.raises(ConfigurationError):
+            NodeSpec(llc_mb=-1.0)
+        with pytest.raises(ConfigurationError):
+            NodeSpec(membw_gbps=0.0)
+        with pytest.raises(ConfigurationError):
+            NodeSpec(frequency_ghz=0.0)
+
+
+class TestServerNode:
+    def test_validates_fitting_partition(self, node):
+        node.validate_partition(
+            isolated={
+                "a": ResourceVector(cores=4.0, llc_ways=10.0),
+                "b": ResourceVector(cores=4.0, llc_ways=8.0),
+            },
+            shared=ResourceVector(cores=2.0, llc_ways=2.0),
+        )
+
+    def test_rejects_oversubscription(self, node):
+        with pytest.raises(AllocationError, match="cores"):
+            node.validate_partition(
+                isolated={"a": ResourceVector(cores=11.0)},
+            )
+        with pytest.raises(AllocationError, match="llc_ways"):
+            node.validate_partition(
+                isolated={"a": ResourceVector(llc_ways=15.0)},
+                shared=ResourceVector(llc_ways=6.0),
+            )
+
+    def test_leftover(self, node):
+        leftover = node.leftover(
+            isolated={"a": ResourceVector(cores=3.0, llc_ways=5.0)},
+            shared=ResourceVector(cores=2.0),
+        )
+        assert leftover.cores == pytest.approx(5.0)
+        assert leftover.llc_ways == pytest.approx(15.0)
+
+    def test_fits(self, node):
+        assert node.fits([ResourceVector(cores=5.0), ResourceVector(cores=5.0)])
+        assert not node.fits([ResourceVector(cores=5.0), ResourceVector(cores=6.0)])

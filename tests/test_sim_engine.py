@@ -1,0 +1,195 @@
+"""The discrete-event engine, events, RNG streams and telemetry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError, MeasurementError, SimulationError
+from repro.sim.engine import Engine
+from repro.sim.events import Event
+from repro.sim.rng import RngStreams
+from repro.sim.telemetry import PercentileTracker, SeriesBundle, TimeSeries
+
+
+class TestEngine:
+    def test_executes_in_time_order(self):
+        engine = Engine()
+        order = []
+        engine.schedule_at(2.0, lambda: order.append("b"))
+        engine.schedule_at(1.0, lambda: order.append("a"))
+        engine.schedule_at(3.0, lambda: order.append("c"))
+        engine.run_all()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_in_scheduling_order(self):
+        engine = Engine()
+        order = []
+        for label in "abc":
+            engine.schedule_at(1.0, lambda l=label: order.append(l))
+        engine.run_all()
+        assert order == ["a", "b", "c"]
+
+    def test_run_until_respects_boundary(self):
+        engine = Engine()
+        fired = []
+        engine.schedule_at(1.0, lambda: fired.append(1))
+        engine.schedule_at(2.0, lambda: fired.append(2))
+        executed = engine.run_until(1.5)
+        assert executed == 1
+        assert fired == [1]
+        assert engine.now == 1.5
+
+    def test_callbacks_can_schedule(self):
+        engine = Engine()
+        fired = []
+
+        def chain():
+            fired.append(engine.now)
+            if len(fired) < 3:
+                engine.schedule_after(1.0, chain)
+
+        engine.schedule_at(0.0, chain)
+        engine.run_all()
+        assert fired == [0.0, 1.0, 2.0]
+
+    def test_cancelled_events_are_skipped(self):
+        engine = Engine()
+        fired = []
+        event = engine.schedule_at(1.0, lambda: fired.append("x"))
+        event.cancel()
+        engine.run_all()
+        assert fired == []
+
+    def test_cannot_schedule_into_past(self):
+        engine = Engine()
+        engine.schedule_at(5.0, lambda: None)
+        engine.run_until(5.0)
+        with pytest.raises(SimulationError):
+            engine.schedule_at(4.0, lambda: None)
+
+    def test_cannot_run_backwards(self):
+        engine = Engine()
+        engine.run_until(5.0)
+        with pytest.raises(SimulationError):
+            engine.run_until(4.0)
+
+    def test_max_events_guard(self):
+        engine = Engine()
+
+        def forever():
+            engine.schedule_after(0.001, forever)
+
+        engine.schedule_at(0.0, forever)
+        with pytest.raises(SimulationError):
+            engine.run_until(1e9, max_events=100)
+
+    def test_negative_event_time_rejected(self):
+        with pytest.raises(SimulationError):
+            Event(time_s=-1.0, sequence=0, callback=lambda: None)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=30))
+    def test_any_schedule_order_executes_sorted(self, times):
+        engine = Engine()
+        seen = []
+        for t in times:
+            engine.schedule_at(t, lambda t=t: seen.append(t))
+        engine.run_all()
+        assert seen == sorted(seen)
+
+
+class TestRngStreams:
+    def test_streams_are_reproducible(self):
+        a = RngStreams(42).stream("noise").random(5)
+        b = RngStreams(42).stream("noise").random(5)
+        assert np.allclose(a, b)
+
+    def test_streams_are_independent_by_name(self):
+        streams = RngStreams(42)
+        a = streams.stream("noise").random(5)
+        b = streams.stream("arrivals").random(5)
+        assert not np.allclose(a, b)
+
+    def test_new_consumer_does_not_perturb_existing(self):
+        one = RngStreams(42)
+        sequence_before = one.stream("noise").random(3)
+        two = RngStreams(42)
+        two.stream("something-else")  # register a new stream first
+        sequence_after = two.stream("noise").random(3)
+        assert np.allclose(sequence_before, sequence_after)
+
+    def test_fork_changes_everything(self):
+        base = RngStreams(42)
+        fork = base.fork("rep1")
+        assert not np.allclose(
+            base.stream("noise").random(4), fork.stream("noise").random(4)
+        )
+
+    def test_rejects_bad_seed_and_name(self):
+        with pytest.raises(ConfigurationError):
+            RngStreams(-1)
+        with pytest.raises(ConfigurationError):
+            RngStreams(1).stream("")
+
+
+class TestTimeSeries:
+    def test_records_and_aggregates(self):
+        series = TimeSeries("e_s")
+        for i in range(5):
+            series.record(float(i), i * 0.1)
+        assert len(series) == 5
+        assert series.mean() == pytest.approx(0.2)
+        assert series.last() == pytest.approx(0.4)
+        assert series.window_mean(1.0, 3.0) == pytest.approx(0.2)
+
+    def test_rejects_time_travel(self):
+        series = TimeSeries("x")
+        series.record(1.0, 0.5)
+        with pytest.raises(MeasurementError):
+            series.record(0.5, 0.1)
+
+    def test_empty_queries_raise(self):
+        series = TimeSeries("x")
+        with pytest.raises(MeasurementError):
+            series.mean()
+        with pytest.raises(MeasurementError):
+            series.window_mean(0, 1)
+
+
+class TestPercentileTracker:
+    def test_exact_over_window(self):
+        tracker = PercentileTracker(window=1000)
+        tracker.record_many(range(100))
+        assert tracker.percentile(50) == pytest.approx(49.5)
+        assert tracker.mean() == pytest.approx(49.5)
+
+    def test_window_eviction(self):
+        tracker = PercentileTracker(window=10)
+        tracker.record_many(range(100))
+        assert tracker.count == 100
+        assert tracker.percentile(50) == pytest.approx(94.5)
+
+    def test_rejects_nonfinite(self):
+        tracker = PercentileTracker()
+        with pytest.raises(MeasurementError):
+            tracker.record(float("nan"))
+
+    def test_empty_queries_raise(self):
+        with pytest.raises(MeasurementError):
+            PercentileTracker().percentile(95)
+
+
+class TestSeriesBundle:
+    def test_routing(self):
+        bundle = SeriesBundle()
+        bundle.record("a", 0.0, 1.0)
+        bundle.record("b", 0.0, 2.0)
+        bundle.record("a", 1.0, 3.0)
+        assert bundle.names() == ["a", "b"]
+        assert "a" in bundle
+        assert len(bundle["a"]) == 2
+
+    def test_missing_series_raises(self):
+        with pytest.raises(MeasurementError):
+            SeriesBundle()["missing"]

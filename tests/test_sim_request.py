@@ -1,0 +1,100 @@
+"""The request-level discrete-event queue simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.request_sim import simulate_queue
+
+
+class TestSimulateQueue:
+    def test_throughput_matches_arrival_rate_when_stable(self):
+        result = simulate_queue(
+            arrival_rps=200.0,
+            service_time_ms=5.0,
+            servers=4,
+            duration_s=50.0,
+            seed=1,
+        )
+        assert result.throughput_rps == pytest.approx(200.0, rel=0.05)
+        assert result.completions == result.arrivals
+
+    def test_reproducible_with_seed(self):
+        a = simulate_queue(100.0, 5.0, 2, 20.0, seed=9)
+        b = simulate_queue(100.0, 5.0, 2, 20.0, seed=9)
+        assert a.percentile_ms() == b.percentile_ms()
+        assert a.arrivals == b.arrivals
+
+    def test_different_seeds_differ(self):
+        a = simulate_queue(100.0, 5.0, 2, 20.0, seed=1)
+        b = simulate_queue(100.0, 5.0, 2, 20.0, seed=2)
+        assert a.percentile_ms() != b.percentile_ms()
+
+    def test_deterministic_service_low_load(self):
+        # At trivial load with cv=0 every request takes the service time.
+        result = simulate_queue(
+            arrival_rps=5.0,
+            service_time_ms=3.0,
+            servers=4,
+            duration_s=100.0,
+            service_cv=0.0,
+            seed=2,
+        )
+        assert result.mean_ms() == pytest.approx(3.0, rel=1e-6)
+        assert result.percentile_ms(99.0) == pytest.approx(3.0, rel=1e-6)
+
+    def test_latency_grows_with_load(self):
+        low = simulate_queue(100.0, 4.0, 4, 60.0, seed=3).percentile_ms()
+        high = simulate_queue(900.0, 4.0, 4, 60.0, seed=3).percentile_ms()
+        assert high > low
+
+    def test_more_servers_reduce_latency(self):
+        few = simulate_queue(500.0, 4.0, 3, 60.0, seed=4).percentile_ms()
+        many = simulate_queue(500.0, 4.0, 8, 60.0, seed=4).percentile_ms()
+        assert many < few
+
+    def test_zipf_service_times_heavier_tail(self):
+        uniform = simulate_queue(
+            100.0, 5.0, 4, 80.0, service_cv=0.2, seed=5
+        )
+        zipf = simulate_queue(
+            100.0,
+            5.0,
+            4,
+            80.0,
+            service_cv=0.2,
+            seed=5,
+            zipf_items=500,
+            zipf_tail_factor=6.0,
+        )
+        # Popularity-weighted mean stays the same, but the tail spreads.
+        assert zipf.mean_ms() == pytest.approx(uniform.mean_ms(), rel=0.15)
+        spread_zipf = zipf.percentile_ms(99.0) / zipf.mean_ms()
+        spread_uniform = uniform.percentile_ms(99.0) / uniform.mean_ms()
+        assert spread_zipf > spread_uniform
+
+    def test_warmup_excluded(self):
+        result = simulate_queue(
+            100.0, 5.0, 4, 50.0, seed=6, warmup_s=25.0
+        )
+        assert len(result.latencies_ms) < result.completions
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            simulate_queue(0.0, 5.0, 4, 10.0)
+        with pytest.raises(ConfigurationError):
+            simulate_queue(10.0, 0.0, 4, 10.0)
+        with pytest.raises(ConfigurationError):
+            simulate_queue(10.0, 5.0, 0, 10.0)
+        with pytest.raises(ConfigurationError):
+            simulate_queue(10.0, 5.0, 4, 0.0)
+
+    def test_empty_percentile_raises(self):
+        # One-request run with all latencies inside the warm-up window.
+        result = simulate_queue(
+            0.5, 1.0, 1, 2.0, seed=8, warmup_s=2.0
+        )
+        if result.latencies_ms.size == 0:
+            with pytest.raises(ConfigurationError):
+                result.percentile_ms()

@@ -1,0 +1,75 @@
+"""Shared value types and the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+from repro.types import AppKind, LoadPoint, QoSTarget, ResourceKind
+
+
+class TestAppKind:
+    def test_predicates(self):
+        assert AppKind.LATENCY_CRITICAL.is_lc
+        assert not AppKind.LATENCY_CRITICAL.is_be
+        assert AppKind.BEST_EFFORT.is_be
+        assert not AppKind.BEST_EFFORT.is_lc
+
+
+class TestResourceKind:
+    def test_cycle_order(self):
+        kinds = [ResourceKind.CORES]
+        for _ in range(2):
+            kinds.append(kinds[-1].next_kind())
+        assert kinds == [
+            ResourceKind.CORES,
+            ResourceKind.LLC_WAYS,
+            ResourceKind.MEMBW,
+        ]
+        assert ResourceKind.MEMBW.next_kind() is ResourceKind.CORES
+
+
+class TestQoSTarget:
+    def test_defaults_match_paper(self):
+        target = QoSTarget(tail_latency_ms=4.22)
+        assert target.percentile == 95.0
+        assert target.elasticity == 0.05
+        assert target.elastic_bound_ms == pytest.approx(4.22 * 1.05)
+
+    def test_validation(self):
+        with pytest.raises(errors.ConfigurationError):
+            QoSTarget(tail_latency_ms=0.0)
+        with pytest.raises(errors.ConfigurationError):
+            QoSTarget(tail_latency_ms=1.0, percentile=100.0)
+        with pytest.raises(errors.ConfigurationError):
+            QoSTarget(tail_latency_ms=1.0, elasticity=1.0)
+
+
+class TestLoadPoint:
+    def test_qps(self):
+        assert LoadPoint(0.5).qps(3400.0) == pytest.approx(1700.0)
+
+    def test_bounds(self):
+        with pytest.raises(errors.ConfigurationError):
+            LoadPoint(1.5)
+        with pytest.raises(errors.ConfigurationError):
+            LoadPoint(-0.1)
+
+
+class TestErrorHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for name in (
+            "ConfigurationError",
+            "AllocationError",
+            "SchedulingError",
+            "SimulationError",
+            "MeasurementError",
+            "ModelError",
+        ):
+            assert issubclass(getattr(errors, name), errors.ReproError)
+
+    def test_unknown_application_message(self):
+        error = errors.UnknownApplicationError("redis", ["xapian", "moses"])
+        assert "redis" in str(error)
+        assert "xapian" in str(error)
+        assert isinstance(error, errors.ConfigurationError)
