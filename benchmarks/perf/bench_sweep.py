@@ -1,0 +1,154 @@
+"""Timing harness for the parallel runner and the queueing hot path.
+
+Measures two speedups and records them in ``BENCH_sweep.json`` (next to
+this file) so future PRs can track regressions:
+
+* **quantile caching** — one `run` (canonical mix, ARQ) with the
+  gamma-quantile/sojourn memoisation disabled vs enabled;
+* **process fan-out** — a Fig. 10-style sweep grid executed with
+  ``jobs=1`` vs ``jobs=N`` (default 4, or ``$REPRO_JOBS``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_sweep.py [--quick] [--jobs N]
+
+The recorded wall times are machine-dependent; the JSON captures the CPU
+count and library versions alongside the timings so cross-PR comparisons
+stay honest. The parallel speedup only materialises on multi-core boxes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import time
+from typing import Dict, List, Optional
+
+from repro.experiments.common import canonical_mix, make_collocation
+from repro.parallel import RunPoint, resolve_jobs, run_many
+from repro.perfmodel import queueing
+
+OUTPUT_PATH = pathlib.Path(__file__).parent / "BENCH_sweep.json"
+
+
+def _fresh_caches() -> None:
+    queueing.clear_caches()
+
+
+def _time(points: List[RunPoint], jobs: int) -> float:
+    start = time.perf_counter()
+    run_many(points, jobs=jobs)
+    return time.perf_counter() - start
+
+
+def bench_single_run(duration_s: float) -> Dict[str, float]:
+    """One ARQ run on the canonical mix: caches off vs on (cold caches)."""
+    point = [RunPoint(canonical_mix(0.5), "arq", duration_s, duration_s / 2)]
+    run_many(point, jobs=1)  # JIT-style warmup: imports, catalog, calibration
+
+    queueing.set_caches_enabled(False)
+    try:
+        uncached_s = _time(point, jobs=1)
+    finally:
+        queueing.set_caches_enabled(True)
+
+    _fresh_caches()
+    cached_s = _time(point, jobs=1)
+    return {
+        "duration_s": duration_s,
+        "uncached_wall_s": uncached_s,
+        "cached_wall_s": cached_s,
+        "speedup": uncached_s / cached_s if cached_s > 0 else float("inf"),
+    }
+
+
+def _sweep_points(loads: List[float], duration_s: float) -> List[RunPoint]:
+    points = []
+    for xapian in loads:
+        for imgdnn in loads:
+            mix = make_collocation(
+                {"xapian": xapian, "moses": 0.2, "img-dnn": imgdnn}, ["stream"]
+            )
+            for strategy in ("parties", "arq"):
+                points.append(RunPoint(mix, strategy, duration_s, duration_s / 2))
+    return points
+
+
+def bench_sweep(
+    loads: List[float], duration_s: float, jobs: int
+) -> Dict[str, object]:
+    """A Fig. 10-style grid, serial vs ``jobs`` worker processes."""
+    points = _sweep_points(loads, duration_s)
+    run_many(points[:2], jobs=1)  # warm the in-process caches for fairness
+    serial_s = _time(points, jobs=1)
+    parallel_s = _time(points, jobs=jobs)
+    return {
+        "grid_points": len(points),
+        "duration_s": duration_s,
+        "jobs": jobs,
+        "serial_wall_s": serial_s,
+        "parallel_wall_s": parallel_s,
+        "speedup": serial_s / parallel_s if parallel_s > 0 else float("inf"),
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Run both benchmarks and write ``BENCH_sweep.json``."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=None, help="parallel worker count")
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller grid and shorter runs"
+    )
+    parser.add_argument("--output", default=str(OUTPUT_PATH))
+    args = parser.parse_args(argv)
+
+    jobs = args.jobs if args.jobs is not None else max(4, resolve_jobs(None))
+    if args.quick:
+        loads, run_duration, sweep_duration = [0.1, 0.5, 0.9], 60.0, 30.0
+    else:
+        loads, run_duration, sweep_duration = [0.1, 0.3, 0.5, 0.7, 0.9], 120.0, 90.0
+
+    single = bench_single_run(run_duration)
+    print(
+        f"single run ({run_duration:.0f}s sim): "
+        f"uncached {single['uncached_wall_s']:.3f}s → "
+        f"cached {single['cached_wall_s']:.3f}s "
+        f"({single['speedup']:.2f}x from quantile caching)"
+    )
+
+    sweep = bench_sweep(loads, sweep_duration, jobs)
+    print(
+        f"sweep ({sweep['grid_points']} points × {sweep_duration:.0f}s sim): "
+        f"serial {sweep['serial_wall_s']:.3f}s → "
+        f"jobs={jobs} {sweep['parallel_wall_s']:.3f}s "
+        f"({sweep['speedup']:.2f}x from fan-out)"
+    )
+
+    import numpy
+    import scipy
+
+    record = {
+        "generated_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+            "numpy": numpy.__version__,
+            "scipy": scipy.__version__,
+        },
+        "quick": args.quick,
+        "single_run": single,
+        "sweep": sweep,
+    }
+    output = pathlib.Path(args.output)
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

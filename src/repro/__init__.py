@@ -20,6 +20,12 @@ from repro.cluster import (
     RunResult,
     run_collocation,
 )
+from repro.parallel import (
+    ParallelRunError,
+    RunGrid,
+    RunPoint,
+    run_many,
+)
 from repro.entropy import (
     BEObservation,
     LCObservation,
@@ -66,9 +72,12 @@ __all__ = [
     "LC_APPLICATIONS",
     "NodeSpec",
     "PAPER_NODE",
+    "ParallelRunError",
     "PartiesScheduler",
     "RegionPlan",
     "ResourceVector",
+    "RunGrid",
+    "RunPoint",
     "RunResult",
     "Scheduler",
     "ServerNode",
@@ -81,5 +90,6 @@ __all__ = [
     "lc_profile",
     "resource_equivalence",
     "run_collocation",
+    "run_many",
     "system_entropy",
 ]

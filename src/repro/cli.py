@@ -12,7 +12,11 @@ Examples::
     python -m repro run --strategy arq --xapian 0.7 --be stream
     python -m repro compare --xapian 0.9 --duration 120
     python -m repro experiment table2
-    python -m repro experiment fig9 --quick
+    python -m repro experiment fig10 --jobs 4
+
+``--jobs N`` (or ``REPRO_JOBS=N``) fans independent runs across N worker
+processes; results are bit-identical for any worker count. The default is
+the machine's CPU count.
 """
 
 from __future__ import annotations
@@ -30,6 +34,7 @@ from repro.experiments.common import (
     run_strategies,
 )
 from repro.experiments.reporting import ascii_table
+from repro.parallel import set_default_jobs
 
 #: Experiment name → zero-argument callable printing the artefact.
 _EXPERIMENTS: Dict[str, str] = {
@@ -61,6 +66,18 @@ def _mix_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--duration", type=float, default=120.0)
     parser.add_argument("--warmup", type=float, default=None)
     parser.add_argument("--seed", type=int, default=2023)
+    _jobs_argument(parser)
+
+
+def _jobs_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for independent runs "
+        "(default: $REPRO_JOBS or the CPU count; 1 = serial)",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -87,6 +104,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "experiment", help="regenerate a paper table/figure"
     )
     experiment_parser.add_argument("name", choices=sorted(_EXPERIMENTS))
+    _jobs_argument(experiment_parser)
 
     return parser
 
@@ -127,7 +145,7 @@ def _command_compare(args: argparse.Namespace) -> int:
     collocation = _collocation(args)
     warmup = args.warmup if args.warmup is not None else args.duration * 0.5
     results = run_strategies(
-        collocation, STRATEGY_ORDER, args.duration, warmup
+        collocation, STRATEGY_ORDER, args.duration, warmup, jobs=args.jobs
     )
     rows = []
     for name, result in results.items():
@@ -165,6 +183,10 @@ def _command_experiment(args: argparse.Namespace) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point (``python -m repro``)."""
     args = _build_parser().parse_args(argv)
+    if getattr(args, "jobs", None) is not None:
+        # Make --jobs the process-wide default so experiment modules (whose
+        # main() takes no arguments) resolve it through repro.parallel.
+        set_default_jobs(args.jobs)
     handlers: Dict[str, Callable[[argparse.Namespace], int]] = {
         "run": _command_run,
         "compare": _command_compare,

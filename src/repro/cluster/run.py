@@ -9,7 +9,7 @@ entropies, yield, violation counts, per-application tail latency and IPC).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.cluster.collocation import Collocation
 from repro.cluster.contention import ContentionState, resolve_contention
@@ -100,7 +100,7 @@ def run_collocation(
     collocation: Collocation,
     scheduler: Scheduler,
     duration_s: float,
-    warmup_s: float = None,
+    warmup_s: Optional[float] = None,
 ) -> RunResult:
     """Run ``scheduler`` on ``collocation`` for ``duration_s`` seconds.
 

@@ -2,10 +2,11 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.cluster.collocation import BEMember, Collocation, LCMember
 from repro.cluster.run import RunResult, run_collocation
+from repro.parallel import RunPoint, run_many
 from repro.schedulers.arq import ARQScheduler
 from repro.schedulers.base import Scheduler
 from repro.schedulers.clite import CLITEScheduler
@@ -83,12 +84,18 @@ def run_strategies(
     strategies: Sequence[str] = STRATEGY_ORDER,
     duration_s: float = DEFAULT_DURATION_S,
     warmup_s: float = DEFAULT_WARMUP_S,
+    jobs: Optional[int] = None,
 ) -> Dict[str, RunResult]:
-    """Run several strategies on the same collocation."""
-    return {
-        name: run_strategy(collocation, name, duration_s, warmup_s)
-        for name in strategies
-    }
+    """Run several strategies on the same collocation.
+
+    Independent strategies fan out across ``jobs`` worker processes
+    (``None`` → CLI ``--jobs`` / ``$REPRO_JOBS`` / CPU count); results are
+    identical to the serial path and keyed in ``strategies`` order.
+    """
+    points = [
+        RunPoint(collocation, name, duration_s, warmup_s) for name in strategies
+    ]
+    return dict(zip(strategies, run_many(points, jobs=jobs)))
 
 
 def load_sweep(values: Sequence[float] = (0.1, 0.3, 0.5, 0.7, 0.9)) -> List[float]:

@@ -9,7 +9,7 @@ paper reports 40.93% on average at high load).
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.experiments.reporting import percent_change
 from repro.experiments.sweeps import SweepResult, render_sweep, run_load_sweep
@@ -21,6 +21,7 @@ def run_fig11(
     duration_s: float = 120.0,
     warmup_s: float = 60.0,
     seed: int = 2023,
+    jobs: Optional[int] = None,
 ) -> SweepResult:
     """One panel of Fig. 11 (fixed loads 20%/40% in the paper)."""
     return run_load_sweep(
@@ -31,6 +32,7 @@ def run_fig11(
         duration_s=duration_s,
         warmup_s=warmup_s,
         seed=seed,
+        jobs=jobs,
     )
 
 

@@ -11,9 +11,9 @@ Sphinx blow up (29.88 ms, 7904 ms) while ARQ pulls them back (5.75 ms,
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
-from repro.experiments.common import make_collocation, run_strategy
+from repro.experiments.common import make_collocation, run_strategies
 from repro.experiments.reporting import ascii_table, percent_change
 
 SIX_LC = ("moses", "xapian", "img-dnn", "sphinx", "masstree", "silo")
@@ -36,8 +36,9 @@ def run_fig12(
     duration_s: float = 150.0,
     warmup_s: float = 75.0,
     seed: int = 2023,
+    jobs: Optional[int] = None,
 ) -> Fig12Result:
-    """Run the 6-LC + 2-BE collocation under each strategy."""
+    """Run the 6-LC + 2-BE collocation under each strategy (in parallel)."""
     collocation = make_collocation(
         {name: load for name in SIX_LC}, list(TWO_BE), seed=seed
     )
@@ -47,8 +48,8 @@ def run_fig12(
     e_be: Dict[str, float] = {}
     e_s: Dict[str, float] = {}
     yields: Dict[str, float] = {}
-    for strategy in strategies:
-        result = run_strategy(collocation, strategy, duration_s, warmup_s)
+    runs = run_strategies(collocation, strategies, duration_s, warmup_s, jobs=jobs)
+    for strategy, result in runs.items():
         tails[strategy] = result.mean_tail_latencies_ms()
         ipcs[strategy] = result.mean_ipcs()
         e_lc[strategy] = result.mean_e_lc()

@@ -14,10 +14,10 @@ PARTIES gives Stream 1 core + 6 ways where ARQ's shared region holds
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.run import RunResult
-from repro.experiments.common import make_collocation, run_strategy
+from repro.experiments.common import make_collocation, run_strategies
 from repro.experiments.reporting import ascii_table
 from repro.workloads.loadgen import FluctuatingLoad
 
@@ -49,18 +49,17 @@ def run_fig13(
     plateau_s: float = 25.0,
     be_name: str = "stream",
     seed: int = 2023,
+    jobs: Optional[int] = None,
 ) -> Fig13Result:
-    """Run the fluctuating-load trace under each strategy."""
+    """Run the fluctuating-load trace under each strategy (in parallel)."""
     trace = FluctuatingLoad(plateau_s=plateau_s)
     collocation = make_collocation(
         {"xapian": trace, "moses": 0.2, "img-dnn": 0.2}, [be_name], seed=seed
     )
     duration = trace.duration_s
-    runs: Dict[str, RunResult] = {}
-    for strategy in strategies:
-        # No warm-up exclusion: the whole 250 s trace is the measurement,
-        # as in the paper's 500-sample count.
-        runs[strategy] = run_strategy(collocation, strategy, duration, warmup_s=0.0)
+    # No warm-up exclusion: the whole 250 s trace is the measurement,
+    # as in the paper's 500-sample count.
+    runs = run_strategies(collocation, strategies, duration, warmup_s=0.0, jobs=jobs)
     return Fig13Result(
         runs=runs,
         violations={name: run.violation_count() for name, run in runs.items()},

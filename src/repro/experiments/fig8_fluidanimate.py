@@ -21,7 +21,7 @@ over PARTIES/CLITE at low load) is derived from the same sweep via
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.experiments.reporting import percent_change
 from repro.experiments.sweeps import SweepResult, render_sweep, run_load_sweep
@@ -33,6 +33,7 @@ def run_fig8(
     duration_s: float = 120.0,
     warmup_s: float = 60.0,
     seed: int = 2023,
+    jobs: Optional[int] = None,
 ) -> SweepResult:
     """One panel of Fig. 8 (the paper shows 20% and 40% fixed loads)."""
     return run_load_sweep(
@@ -43,6 +44,7 @@ def run_fig8(
         duration_s=duration_s,
         warmup_s=warmup_s,
         seed=seed,
+        jobs=jobs,
     )
 
 

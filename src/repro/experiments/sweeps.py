@@ -3,17 +3,16 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.cluster.collocation import Collocation
 from repro.experiments.common import (
     DEFAULT_DURATION_S,
     DEFAULT_WARMUP_S,
     STRATEGY_ORDER,
     make_collocation,
-    run_strategy,
 )
 from repro.experiments.reporting import ascii_series, ascii_table
+from repro.parallel import RunGrid
 
 
 @dataclass(frozen=True)
@@ -67,13 +66,25 @@ def run_load_sweep(
     duration_s: float = DEFAULT_DURATION_S,
     warmup_s: float = DEFAULT_WARMUP_S,
     seed: int = 2023,
+    jobs: Optional[int] = None,
 ) -> SweepResult:
-    """Sweep one LC application's load; run every strategy at every level."""
-    points: List[SweepPoint] = []
+    """Sweep one LC application's load; run every strategy at every level.
+
+    The ``len(swept_loads) × len(strategies)`` runs are independent and
+    fan out across ``jobs`` worker processes; the assembled sweep is
+    identical to the serial nested-loop result.
+    """
+    grid = RunGrid(jobs=jobs)
     for load in swept_loads:
         lc_loads = dict(fixed_loads)
         lc_loads[swept_application] = load
-        collocation: Collocation = make_collocation(lc_loads, be_names, seed=seed)
+        collocation = make_collocation(lc_loads, be_names, seed=seed)
+        for strategy in strategies:
+            grid.add(collocation, strategy, duration_s, warmup_s)
+    results = iter(grid.run())
+
+    points: List[SweepPoint] = []
+    for load in swept_loads:
         e_lc: Dict[str, float] = {}
         e_be: Dict[str, float] = {}
         e_s: Dict[str, float] = {}
@@ -81,7 +92,7 @@ def run_load_sweep(
         tails: Dict[str, Dict[str, float]] = {}
         ipcs: Dict[str, Dict[str, float]] = {}
         for strategy in strategies:
-            result = run_strategy(collocation, strategy, duration_s, warmup_s)
+            result = next(results)
             e_lc[strategy] = result.mean_e_lc()
             e_be[strategy] = result.mean_e_be()
             e_s[strategy] = result.mean_e_s()

@@ -1,0 +1,23 @@
+"""Parallel experiment-execution layer (see :mod:`repro.parallel.runner`)."""
+
+from repro.parallel.runner import (
+    JOBS_ENV_VAR,
+    ParallelRunError,
+    RunGrid,
+    RunPoint,
+    default_jobs,
+    resolve_jobs,
+    run_many,
+    set_default_jobs,
+)
+
+__all__ = [
+    "JOBS_ENV_VAR",
+    "ParallelRunError",
+    "RunGrid",
+    "RunPoint",
+    "default_jobs",
+    "resolve_jobs",
+    "run_many",
+    "set_default_jobs",
+]

@@ -1,0 +1,230 @@
+"""Parallel experiment execution: fan independent runs across processes.
+
+Every paper artefact reduces to a batch of independent
+``run_strategy(collocation, strategy, duration, warmup)`` calls — a load
+sweep is ``len(loads) × len(strategies)`` of them, the Fig. 10 heatmap is
+``loads² × strategies``. This module turns such a batch into
+:class:`RunPoint` values and executes them with :func:`run_many`:
+
+* ``jobs > 1`` fans the points across a ``ProcessPoolExecutor``;
+* ``jobs = 1`` runs them serially in-process (the deterministic
+  fallback — no pool, no pickling);
+* results always come back **in submission order**, so callers assemble
+  figures exactly as the old nested loops did.
+
+Determinism guarantee
+---------------------
+A point's outcome is a pure function of its parameters: every random
+stream is derived from ``collocation.seed``, and the per-process memo
+caches (gamma quantiles, sojourn times, reserve cores) only ever store
+pure-function results. Worker processes therefore produce bit-identical
+:class:`~repro.cluster.run.RunResult` summaries to the serial path, and
+``--jobs 4`` output is byte-identical to ``--jobs 1``.
+
+Worker failures are re-raised in the parent as :class:`ParallelRunError`
+with the failing point's parameters attached, chained to the original
+exception.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, List, Optional, Tuple
+
+from repro.cluster.collocation import Collocation
+from repro.cluster.run import RunResult, run_collocation
+from repro.errors import ConfigurationError, ReproError
+
+#: Environment variable consulted when no explicit worker count is given.
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+#: Process-wide default set by the CLI's ``--jobs`` flag (``None`` defers
+#: to the environment variable, then to ``os.cpu_count()``).
+_default_jobs: Optional[int] = None
+
+
+def _validate_jobs(jobs: int, origin: str) -> int:
+    if not isinstance(jobs, int) or isinstance(jobs, bool) or jobs < 1:
+        raise ConfigurationError(
+            f"worker count from {origin} must be a positive integer, got {jobs!r}"
+        )
+    return jobs
+
+
+def set_default_jobs(jobs: Optional[int]) -> None:
+    """Set the process-wide default worker count (``None`` clears it)."""
+    global _default_jobs
+    _default_jobs = None if jobs is None else _validate_jobs(jobs, "set_default_jobs")
+
+
+def default_jobs() -> Optional[int]:
+    """The process-wide default worker count, if one has been set."""
+    return _default_jobs
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Resolve a worker count: explicit → default → $REPRO_JOBS → cpu_count."""
+    if jobs is not None:
+        return _validate_jobs(jobs, "argument")
+    if _default_jobs is not None:
+        return _default_jobs
+    env = os.environ.get(JOBS_ENV_VAR)
+    if env:
+        try:
+            parsed = int(env)
+        except ValueError:
+            raise ConfigurationError(
+                f"{JOBS_ENV_VAR} must be a positive integer, got {env!r}"
+            ) from None
+        return _validate_jobs(parsed, JOBS_ENV_VAR)
+    return max(1, os.cpu_count() or 1)
+
+
+@dataclass(frozen=True)
+class RunPoint:
+    """One independent experiment point: a mix, a strategy, a duration.
+
+    ``warmup_s=None`` defers to :func:`repro.cluster.run.run_collocation`'s
+    default (20% of the duration). ``tag`` is an opaque correlation key the
+    caller can use to map results back to grid coordinates.
+    """
+
+    collocation: Collocation
+    strategy: str
+    duration_s: float = 120.0
+    warmup_s: Optional[float] = None
+    tag: Optional[Hashable] = None
+
+    def describe(self) -> str:
+        """Human-readable parameter summary (used in error messages)."""
+        lc = ",".join(m.name for m in self.collocation.lc)
+        be = ",".join(m.name for m in self.collocation.be)
+        warmup = "default" if self.warmup_s is None else f"{self.warmup_s}s"
+        tag = "" if self.tag is None else f" tag={self.tag!r}"
+        return (
+            f"strategy={self.strategy} lc=[{lc}] be=[{be}] "
+            f"duration={self.duration_s}s warmup={warmup} "
+            f"seed={self.collocation.seed}{tag}"
+        )
+
+
+class ParallelRunError(ReproError):
+    """A run point failed; carries the point so callers can identify it."""
+
+    def __init__(self, index: int, point: RunPoint, cause: BaseException) -> None:
+        super().__init__(
+            f"run point #{index} ({point.describe()}) failed: "
+            f"{type(cause).__name__}: {cause}"
+        )
+        self.index = index
+        self.point = point
+
+
+def _execute_point(point: RunPoint) -> RunResult:
+    """Worker entry point (module-level so it pickles for the pool)."""
+    # Imported lazily: experiments.common builds its run helpers on top of
+    # this module, so a top-level import would be circular.
+    from repro.experiments.common import STRATEGY_FACTORIES
+
+    scheduler = STRATEGY_FACTORIES[point.strategy]()
+    return run_collocation(
+        point.collocation, scheduler, point.duration_s, point.warmup_s
+    )
+
+
+def _known_strategies() -> Iterable[str]:
+    from repro.experiments.common import STRATEGY_FACTORIES
+
+    return STRATEGY_FACTORIES
+
+
+def run_many(
+    points: Iterable[RunPoint], jobs: Optional[int] = None
+) -> List[RunResult]:
+    """Execute every point, returning results in submission order.
+
+    ``jobs=1`` (or a single point) runs serially in-process; anything
+    larger uses a ``ProcessPoolExecutor`` with ``min(jobs, len(points))``
+    workers. The first failing point aborts the batch with a
+    :class:`ParallelRunError`; points still pending are cancelled.
+    """
+    batch = list(points)
+    known = _known_strategies()
+    for index, point in enumerate(batch):
+        if not isinstance(point, RunPoint):
+            raise ConfigurationError(
+                f"run_many expects RunPoint values, got {type(point).__name__} "
+                f"at index {index}"
+            )
+        if point.strategy not in known:
+            raise ConfigurationError(
+                f"unknown strategy {point.strategy!r} at index {index}; "
+                f"known strategies: {sorted(known)}"
+            )
+    if not batch:
+        return []
+
+    workers = min(resolve_jobs(jobs), len(batch))
+    if workers == 1:
+        results: List[RunResult] = []
+        for index, point in enumerate(batch):
+            try:
+                results.append(_execute_point(point))
+            except Exception as exc:
+                raise ParallelRunError(index, point, exc) from exc
+        return results
+
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [pool.submit(_execute_point, point) for point in batch]
+        results = []
+        for index, (point, future) in enumerate(zip(batch, futures)):
+            try:
+                results.append(future.result())
+            except Exception as exc:
+                for pending in futures[index + 1 :]:
+                    pending.cancel()
+                raise ParallelRunError(index, point, exc) from exc
+    return results
+
+
+@dataclass
+class RunGrid:
+    """Builder for a batch of run points executed together.
+
+    Accumulate points with :meth:`add` (each returns its index), then call
+    :meth:`run` for results in insertion order, or :meth:`run_tagged` for
+    ``(tag, result)`` pairs — the natural shape for heatmap grids.
+    """
+
+    jobs: Optional[int] = None
+    points: List[RunPoint] = field(default_factory=list)
+
+    def add(
+        self,
+        collocation: Collocation,
+        strategy: str,
+        duration_s: float = 120.0,
+        warmup_s: Optional[float] = None,
+        tag: Optional[Hashable] = None,
+    ) -> int:
+        self.points.append(
+            RunPoint(
+                collocation=collocation,
+                strategy=strategy,
+                duration_s=duration_s,
+                warmup_s=warmup_s,
+                tag=tag,
+            )
+        )
+        return len(self.points) - 1
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def run(self) -> List[RunResult]:
+        return run_many(self.points, jobs=self.jobs)
+
+    def run_tagged(self) -> List[Tuple[Optional[Hashable], RunResult]]:
+        return [(point.tag, result) for point, result in zip(self.points, self.run())]

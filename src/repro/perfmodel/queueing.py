@@ -38,8 +38,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 
-from scipy import stats
+from scipy import special, stats
 
 from repro.errors import ModelError
 
@@ -50,6 +51,45 @@ MAX_LATENCY_MS = 1e6
 #: Utilisation above which stationary formulas are abandoned for the fluid
 #: overload model (stationary percentiles diverge as rho -> 1).
 STATIONARY_RHO_LIMIT = 0.995
+
+#: Master switch for the hot-path memoisation below. The cached and
+#: uncached paths are numerically identical (scipy itself computes
+#: ``gamma.ppf(q, a, scale)`` as ``gammaincinv(a, q) * scale``); the switch
+#: exists so the perf harness (``benchmarks/perf/bench_sweep.py``) can
+#: measure the speedup and the property tests can compare both paths.
+_CACHES_ENABLED = True
+
+
+def set_caches_enabled(enabled: bool) -> None:
+    """Enable or disable the gamma-quantile and sojourn-time caches."""
+    global _CACHES_ENABLED
+    _CACHES_ENABLED = bool(enabled)
+
+
+def caches_enabled() -> bool:
+    """Whether the hot-path memoisation is currently active."""
+    return _CACHES_ENABLED
+
+
+def clear_caches() -> None:
+    """Drop all memoised quantiles and sojourn times."""
+    _unit_gamma_quantile.cache_clear()
+    _cached_sojourn_ms.cache_clear()
+
+
+@lru_cache(maxsize=4096)
+def _unit_gamma_quantile(shape: float, percentile: float) -> float:
+    """p-th percentile of Gamma(shape, scale=1).
+
+    The gamma distribution is a scale family, so one cached unit-scale
+    quantile serves every service time sharing a CV and percentile:
+    ``ppf(p; shape, scale) = ppf(p; shape, 1) · scale``. scipy evaluates
+    the scaled ppf exactly this way internally, so multiplying the cached
+    value is bit-identical to calling ``stats.gamma.ppf`` directly —
+    minus the per-call ``argsreduce``/broadcast overhead, which dominated
+    the simulator's epoch loop before this cache existed.
+    """
+    return float(special.gammaincinv(shape, percentile / 100.0))
 
 
 def erlang_c(servers: int, offered_load: float) -> float:
@@ -148,7 +188,11 @@ def service_quantile_ms(
         return service_time_ms
     shape = 1.0 / (service_cv * service_cv)
     scale = service_time_ms / shape
-    return float(stats.gamma.ppf(percentile / 100.0, a=shape, scale=scale))
+    if not _CACHES_ENABLED:
+        return float(stats.gamma.ppf(percentile / 100.0, a=shape, scale=scale))
+    # Rounding the shape to 12 decimals folds float noise in the CV into
+    # one cache entry; for the catalog's literal CVs it is the identity.
+    return _unit_gamma_quantile(round(shape, 12), percentile) * scale
 
 
 @dataclass(frozen=True)
@@ -347,15 +391,15 @@ class MMcQueue:
         return 0.5 * (low + high) * 1e3
 
 
-def percentile_sojourn_ms(
+@lru_cache(maxsize=131072)
+def _cached_sojourn_ms(
     arrival_rps: float,
     capacity_rps: float,
     servers: float,
     service_time_ms: float,
-    percentile: float = 95.0,
-    service_cv: float = 1.0,
+    percentile: float,
+    service_cv: float,
 ) -> float:
-    """Convenience wrapper over :meth:`QueueModel.percentile_ms`."""
     model = QueueModel(
         arrival_rps=arrival_rps,
         capacity_rps=capacity_rps,
@@ -364,6 +408,35 @@ def percentile_sojourn_ms(
         service_cv=service_cv,
     )
     return model.percentile_ms(percentile)
+
+
+def percentile_sojourn_ms(
+    arrival_rps: float,
+    capacity_rps: float,
+    servers: float,
+    service_time_ms: float,
+    percentile: float = 95.0,
+    service_cv: float = 1.0,
+) -> float:
+    """Convenience wrapper over :meth:`QueueModel.percentile_ms`.
+
+    Memoised: within a run the scheduler revisits the same (load,
+    allocation) operating points epoch after epoch, so the Erlang-C
+    interpolation and gamma quantile behind each stationary evaluation are
+    computed once per distinct argument tuple instead of once per epoch.
+    The function is pure, so memoisation cannot change results.
+    """
+    if not _CACHES_ENABLED:
+        return QueueModel(
+            arrival_rps=arrival_rps,
+            capacity_rps=capacity_rps,
+            servers=servers,
+            service_time_ms=service_time_ms,
+            service_cv=service_cv,
+        ).percentile_ms(percentile)
+    return _cached_sojourn_ms(
+        arrival_rps, capacity_rps, servers, service_time_ms, percentile, service_cv
+    )
 
 
 #: Maximum queue depth, expressed in seconds of work at the current service
@@ -379,7 +452,10 @@ class OverloadState:
 
     One instance exists per LC application inside the cluster simulator.
     :meth:`step` advances one epoch and returns the epoch's observed
-    percentile latency in milliseconds.
+    percentile latency in milliseconds. All stationary evaluations go
+    through the memoised :func:`percentile_sojourn_ms`, so an epoch at an
+    already-seen operating point costs one dict lookup instead of an
+    Erlang-C interpolation plus a scipy gamma quantile.
     """
 
     backlog_requests: float = 0.0

@@ -25,6 +25,7 @@ paper for each application:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.errors import ConfigurationError, ModelError
 from repro.perfmodel.queueing import QueueModel, service_quantile_ms
@@ -125,7 +126,7 @@ class LCProfile(ApplicationProfile):
         effective_ways: float,
         bandwidth_stretch: float = 1.0,
         transient_penalty: float = 1.0,
-        parallelism: int = None,
+        parallelism: Optional[int] = None,
     ) -> float:
         """Sustainable throughput at the current allocation.
 
@@ -149,7 +150,7 @@ class LCProfile(ApplicationProfile):
         effective_ways: float,
         bandwidth_stretch: float = 1.0,
         transient_penalty: float = 1.0,
-        parallelism: int = None,
+        parallelism: Optional[int] = None,
     ) -> QueueModel:
         """The stationary queue at the given load and allocation."""
         threads = float(self.threads if parallelism is None else parallelism)
@@ -175,7 +176,7 @@ class LCProfile(ApplicationProfile):
         effective_ways: float,
         bandwidth_stretch: float = 1.0,
         transient_penalty: float = 1.0,
-        parallelism: int = None,
+        parallelism: Optional[int] = None,
     ) -> float:
         """Stationary tail latency at the given allocation (no backlog)."""
         model = self.queue_model(

@@ -1,0 +1,145 @@
+"""The parallel experiment runner: determinism, ordering, errors, jobs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.common import canonical_mix, run_strategies, run_strategy
+from repro.parallel import (
+    JOBS_ENV_VAR,
+    ParallelRunError,
+    RunGrid,
+    RunPoint,
+    default_jobs,
+    resolve_jobs,
+    run_many,
+    set_default_jobs,
+)
+
+DURATION_S = 10.0
+WARMUP_S = 5.0
+
+
+def _summary(result):
+    """A hashable, exact summary of a RunResult (no tolerance)."""
+    return (
+        result.scheduler_name,
+        result.mean_e_lc(),
+        result.mean_e_be(),
+        result.mean_e_s(),
+        result.yield_fraction(),
+        tuple(sorted(result.mean_tail_latencies_ms().items())),
+        tuple(sorted(result.mean_ipcs().items())),
+    )
+
+
+def _points():
+    mixes = [canonical_mix(0.3), canonical_mix(0.7, be_name="stream")]
+    return [
+        RunPoint(mix, strategy, DURATION_S, WARMUP_S)
+        for mix in mixes
+        for strategy in ("unmanaged", "arq")
+    ]
+
+
+class TestDeterminism:
+    def test_parallel_matches_serial_bit_for_bit(self):
+        points = _points()
+        serial = run_many(points, jobs=1)
+        parallel = run_many(points, jobs=4)
+        assert [_summary(r) for r in serial] == [_summary(r) for r in parallel]
+
+    def test_matches_direct_run_strategy(self):
+        mix = canonical_mix(0.5)
+        [result] = run_many([RunPoint(mix, "arq", DURATION_S, WARMUP_S)], jobs=1)
+        direct = run_strategy(mix, "arq", DURATION_S, WARMUP_S)
+        assert _summary(result) == _summary(direct)
+
+    def test_run_strategies_parallel_matches_serial(self):
+        mix = canonical_mix(0.4)
+        serial = run_strategies(mix, ("unmanaged", "arq"), DURATION_S, WARMUP_S, jobs=1)
+        parallel = run_strategies(
+            mix, ("unmanaged", "arq"), DURATION_S, WARMUP_S, jobs=2
+        )
+        assert list(serial) == list(parallel) == ["unmanaged", "arq"]
+        for name in serial:
+            assert _summary(serial[name]) == _summary(parallel[name])
+
+
+class TestOrderingAndGrid:
+    def test_results_in_submission_order(self):
+        points = _points()
+        results = run_many(points, jobs=2)
+        assert [r.scheduler_name for r in results] == [
+            "unmanaged", "arq", "unmanaged", "arq",
+        ]
+
+    def test_run_grid_tags(self):
+        grid = RunGrid(jobs=1)
+        mix = canonical_mix(0.3)
+        assert grid.add(mix, "unmanaged", DURATION_S, WARMUP_S, tag=("a", 1)) == 0
+        assert grid.add(mix, "arq", DURATION_S, WARMUP_S, tag=("b", 2)) == 1
+        assert len(grid) == 2
+        tagged = grid.run_tagged()
+        assert [tag for tag, _ in tagged] == [("a", 1), ("b", 2)]
+        assert [r.scheduler_name for _, r in tagged] == ["unmanaged", "arq"]
+
+    def test_empty_batch(self):
+        assert run_many([], jobs=4) == []
+
+
+class TestErrors:
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_worker_failure_carries_point(self, jobs):
+        mix = canonical_mix(0.3)
+        bad = RunPoint(mix, "arq", duration_s=-5.0)
+        points = [bad, RunPoint(mix, "unmanaged", DURATION_S, WARMUP_S)]
+        with pytest.raises(ParallelRunError) as excinfo:
+            run_many(points, jobs=jobs)
+        assert excinfo.value.index == 0
+        assert excinfo.value.point is bad
+        assert "strategy=arq" in str(excinfo.value)
+        assert "duration=-5.0s" in str(excinfo.value)
+
+    def test_unknown_strategy_rejected_before_execution(self):
+        with pytest.raises(ConfigurationError, match="unknown strategy"):
+            run_many([RunPoint(canonical_mix(0.3), "nope", DURATION_S)])
+
+    def test_non_runpoint_rejected(self):
+        with pytest.raises(ConfigurationError, match="RunPoint"):
+            run_many(["arq"])
+
+
+class TestJobsResolution:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "7")
+        assert resolve_jobs(3) == 3
+
+    def test_env_variable(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "7")
+        assert resolve_jobs() == 7
+
+    def test_env_variable_invalid(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "many")
+        with pytest.raises(ConfigurationError):
+            resolve_jobs()
+
+    def test_default_jobs_beats_env(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "7")
+        set_default_jobs(2)
+        try:
+            assert default_jobs() == 2
+            assert resolve_jobs() == 2
+        finally:
+            set_default_jobs(None)
+        assert default_jobs() is None
+
+    def test_fallback_is_positive(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV_VAR, raising=False)
+        assert resolve_jobs() >= 1
+
+    @pytest.mark.parametrize("bad", [0, -2, 1.5, True])
+    def test_invalid_jobs_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            resolve_jobs(bad)
