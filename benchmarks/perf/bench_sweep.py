@@ -1,12 +1,16 @@
 """Timing harness for the parallel runner and the queueing hot path.
 
-Measures two speedups and records them in ``BENCH_sweep.json`` (next to
-this file) so future PRs can track regressions:
+Measures two speedups plus per-strategy ``decide()`` cost, recorded in
+``BENCH_sweep.json`` (next to this file) so future PRs can track
+regressions:
 
 * **quantile caching** — one `run` (canonical mix, ARQ) with the
   gamma-quantile/sojourn memoisation disabled vs enabled;
 * **process fan-out** — a Fig. 10-style sweep grid executed with
-  ``jobs=1`` vs ``jobs=N`` (default 4, or ``$REPRO_JOBS``).
+  ``jobs=1`` vs ``jobs=N`` (default 4, or ``$REPRO_JOBS``);
+* **decide() profile** — every strategy's per-epoch decision wall time,
+  read from the ``decide_time_s`` histogram the run loop feeds into a
+  :class:`repro.obs.metrics.MetricsRegistry`.
 
 Usage::
 
@@ -27,7 +31,8 @@ import platform
 import time
 from typing import Dict, List, Optional
 
-from repro.experiments.common import canonical_mix, make_collocation
+from repro.experiments.common import STRATEGY_ORDER, canonical_mix, make_collocation
+from repro.obs.metrics import MetricsRegistry
 from repro.parallel import RunPoint, resolve_jobs, run_many
 from repro.perfmodel import queueing
 
@@ -75,6 +80,26 @@ def _sweep_points(loads: List[float], duration_s: float) -> List[RunPoint]:
             for strategy in ("parties", "arq"):
                 points.append(RunPoint(mix, strategy, duration_s, duration_s / 2))
     return points
+
+
+def bench_decide_profile(duration_s: float) -> Dict[str, Dict[str, float]]:
+    """Per-strategy ``decide()`` wall-time summary, via the metrics registry.
+
+    One canonical-mix run per strategy; the run loop times every decision
+    into the ``decide_time_s`` histogram, whose summary (p50/p99, count)
+    is the comparison the paper's overhead discussion cares about.
+    """
+    points = [
+        RunPoint(canonical_mix(0.5), strategy, duration_s, duration_s / 2)
+        for strategy in STRATEGY_ORDER
+    ]
+    registry = MetricsRegistry()
+    run_many(points, jobs=1, metrics=registry)
+    profile: Dict[str, Dict[str, float]] = {}
+    for index, strategy in enumerate(STRATEGY_ORDER):
+        name = f"run{index:03d}.{strategy}/decide_time_s"
+        profile[strategy] = registry.histogram(name).summary()
+    return profile
 
 
 def bench_sweep(
@@ -127,6 +152,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"({sweep['speedup']:.2f}x from fan-out)"
     )
 
+    decide = bench_decide_profile(sweep_duration)
+    for strategy, summary in decide.items():
+        print(
+            f"decide() {strategy}: p50 {summary['p50'] * 1e6:.1f}µs "
+            f"p99 {summary['p99'] * 1e6:.1f}µs over {summary['count']:.0f} epochs"
+        )
+
     import numpy
     import scipy
 
@@ -142,6 +174,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "quick": args.quick,
         "single_run": single,
         "sweep": sweep,
+        "decide_profile": decide,
     }
     output = pathlib.Path(args.output)
     output.parent.mkdir(parents=True, exist_ok=True)

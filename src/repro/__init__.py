@@ -3,16 +3,23 @@
 The public API in one import::
 
     from repro import (
+        run, compare, RunConfig, RunSummary,   # the high-level facade
         Collocation, LCMember, BEMember,       # describe a collocation
         ARQScheduler, PartiesScheduler, ...,   # pick a strategy
         run_collocation,                        # run it
         system_entropy, lc_entropy, be_entropy  # the theory
     )
 
+Observability lives in :mod:`repro.obs`: structured trace events
+(``repro.obs.events``), a metrics registry (``repro.obs.metrics``) and
+exporters (``repro.obs.export``); the most-used entry points are
+re-exported here.
+
 See ``DESIGN.md`` for the module inventory and ``EXPERIMENTS.md`` for the
 paper-vs-measured record of every table and figure.
 """
 
+from repro.api import RunConfig, RunSummary, compare, run
 from repro.cluster import (
     BEMember,
     Collocation,
@@ -45,6 +52,14 @@ from repro.schedulers import (
     StaticScheduler,
     UnmanagedScheduler,
 )
+from repro.obs.events import (
+    CollectingTracer,
+    NullTracer,
+    TraceEvent,
+    Tracer,
+    compose_tracers,
+)
+from repro.obs.metrics import MetricsRegistry
 from repro.server import NodeSpec, PAPER_NODE, ResourceVector, ServerNode
 from repro.workloads import (
     BE_APPLICATIONS,
@@ -63,6 +78,7 @@ __all__ = [
     "BEObservation",
     "BE_APPLICATIONS",
     "CLITEScheduler",
+    "CollectingTracer",
     "Collocation",
     "ConstantLoad",
     "FluctuatingLoad",
@@ -70,25 +86,34 @@ __all__ = [
     "LCMember",
     "LCObservation",
     "LC_APPLICATIONS",
+    "MetricsRegistry",
     "NodeSpec",
+    "NullTracer",
     "PAPER_NODE",
     "ParallelRunError",
     "PartiesScheduler",
     "RegionPlan",
     "ResourceVector",
+    "RunConfig",
     "RunGrid",
     "RunPoint",
     "RunResult",
+    "RunSummary",
     "Scheduler",
     "ServerNode",
     "StaticScheduler",
     "SystemObservation",
+    "TraceEvent",
+    "Tracer",
     "UnmanagedScheduler",
     "be_entropy",
     "be_profile",
+    "compare",
+    "compose_tracers",
     "lc_entropy",
     "lc_profile",
     "resource_equivalence",
+    "run",
     "run_collocation",
     "run_many",
     "system_entropy",

@@ -1,0 +1,219 @@
+"""The high-level facade: configure, run, compare — one import.
+
+For scripts and notebooks that do not need the full object model::
+
+    import repro
+
+    summary = repro.run(repro.RunConfig(strategy="arq", duration_s=60))
+    print(summary.mean_e_s)
+    print(summary.to_json())
+
+    by_strategy = repro.compare(repro.RunConfig(duration_s=60))
+    best = min(by_strategy.values(), key=lambda s: s.mean_e_s)
+
+:class:`RunConfig` is a declarative run description (strategy, mix, length,
+seed); :func:`run` executes it and returns a :class:`RunSummary` — the same
+headline numbers :func:`repro.obs.export.summary_dict` reports, as typed
+attributes, with the full :class:`~repro.cluster.run.RunResult` attached
+for drill-down. Observability plugs in through the same keyword-only
+``tracer``/``metrics`` arguments the low-level entry points take.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, replace
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.cluster.collocation import Collocation
+from repro.cluster.run import RunResult
+from repro.errors import ConfigurationError
+from repro.experiments.common import (
+    DEFAULT_DURATION_S,
+    STRATEGY_FACTORIES,
+    STRATEGY_ORDER,
+    make_collocation,
+    run_strategies,
+    run_strategy,
+)
+from repro.obs.events import Tracer
+from repro.obs.metrics import MetricsRegistry
+
+#: The canonical three-LC mix at mid load (the paper's workhorse).
+DEFAULT_LC_LOADS: Mapping[str, float] = {
+    "xapian": 0.5,
+    "moses": 0.2,
+    "img-dnn": 0.2,
+}
+#: The canonical best-effort companion.
+DEFAULT_BE_APPS: Tuple[str, ...] = ("fluidanimate",)
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """A declarative description of one collocation run.
+
+    Attributes
+    ----------
+    strategy:
+        One of :data:`repro.experiments.common.STRATEGY_ORDER`.
+    lc_loads:
+        Latency-critical applications (catalog names) mapped to their load
+        fraction of maximum throughput.
+    be_apps:
+        Best-effort applications (catalog names).
+    duration_s / warmup_s:
+        Run length and the window excluded from summaries (``None`` →
+        :func:`repro.cluster.run.run_collocation`'s 20% default).
+    seed:
+        Master seed; every random stream derives from it, so equal configs
+        produce bit-identical results.
+    """
+
+    strategy: str = "arq"
+    lc_loads: Mapping[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_LC_LOADS)
+    )
+    be_apps: Tuple[str, ...] = DEFAULT_BE_APPS
+    duration_s: float = DEFAULT_DURATION_S
+    warmup_s: Optional[float] = None
+    seed: int = 2023
+
+    def __post_init__(self) -> None:
+        if self.strategy not in STRATEGY_FACTORIES:
+            raise ConfigurationError(
+                f"unknown strategy {self.strategy!r}; choose from "
+                f"{sorted(STRATEGY_FACTORIES)}"
+            )
+        if not self.lc_loads:
+            raise ConfigurationError("a run needs at least one LC application")
+
+    def collocation(self) -> Collocation:
+        """The :class:`~repro.cluster.collocation.Collocation` described."""
+        return make_collocation(
+            dict(self.lc_loads), list(self.be_apps), seed=self.seed
+        )
+
+    def with_strategy(self, strategy: str) -> "RunConfig":
+        """This config with a different strategy (validated)."""
+        return replace(self, strategy=strategy)
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """A run's headline numbers as a typed, serialisable record."""
+
+    scheduler: str
+    seed: int
+    epoch_s: float
+    warmup_s: float
+    epochs: int
+    mean_e_lc: float
+    mean_e_be: float
+    mean_e_s: float
+    yield_fraction: float
+    violations: int
+    mean_tail_ms: Dict[str, float]
+    mean_ipc: Dict[str, float]
+    #: The full result, for drill-down; excluded from equality/serialisation.
+    result: Optional[RunResult] = field(default=None, repr=False, compare=False)
+
+    @classmethod
+    def from_result(cls, result: RunResult) -> "RunSummary":
+        """Summarise a :class:`~repro.cluster.run.RunResult`."""
+        return cls(
+            scheduler=result.scheduler_name,
+            seed=result.collocation.seed,
+            epoch_s=result.collocation.epoch_s,
+            warmup_s=result.warmup_s,
+            epochs=len(result.records),
+            mean_e_lc=result.mean_e_lc(),
+            mean_e_be=result.mean_e_be(),
+            mean_e_s=result.mean_e_s(),
+            yield_fraction=result.yield_fraction(),
+            violations=result.violation_count(),
+            mean_tail_ms=result.mean_tail_latencies_ms(),
+            mean_ipc=result.mean_ipcs(),
+            result=result,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-ready dict (the ``result`` drill-down is omitted)."""
+        payload = asdict(self)
+        payload.pop("result", None)
+        return payload
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """The summary serialised as JSON."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+
+def run(
+    config: Optional[RunConfig] = None,
+    *,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    **overrides: object,
+) -> RunSummary:
+    """Execute one run described by ``config`` (or keyword overrides).
+
+    ``run()`` with no arguments runs ARQ on the canonical mix;
+    ``run(strategy="parties", duration_s=60)`` tweaks fields without
+    building a :class:`RunConfig` by hand. ``tracer``/``metrics`` attach
+    observability exactly as in
+    :func:`repro.cluster.run.run_collocation`.
+    """
+    if config is None:
+        config = RunConfig(**overrides)  # type: ignore[arg-type]
+    elif overrides:
+        config = replace(config, **overrides)  # type: ignore[arg-type]
+    result = run_strategy(
+        config.collocation(),
+        config.strategy,
+        config.duration_s,
+        _warmup_of(config),
+        tracer=tracer,
+        metrics=metrics,
+    )
+    return RunSummary.from_result(result)
+
+
+def compare(
+    config: Optional[RunConfig] = None,
+    strategies: Sequence[str] = STRATEGY_ORDER,
+    jobs: Optional[int] = None,
+    *,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    **overrides: object,
+) -> Dict[str, RunSummary]:
+    """Run several strategies on the same mix, keyed in ``strategies`` order.
+
+    The config's own ``strategy`` field is ignored — every name in
+    ``strategies`` runs on the identical collocation, fanned across
+    ``jobs`` worker processes with deterministic result, trace and metric
+    aggregation.
+    """
+    if config is None:
+        config = RunConfig(**overrides)  # type: ignore[arg-type]
+    elif overrides:
+        config = replace(config, **overrides)  # type: ignore[arg-type]
+    results = run_strategies(
+        config.collocation(),
+        strategies,
+        config.duration_s,
+        _warmup_of(config),
+        jobs=jobs,
+        tracer=tracer,
+        metrics=metrics,
+    )
+    return {
+        name: RunSummary.from_result(result) for name, result in results.items()
+    }
+
+
+def _warmup_of(config: RunConfig) -> float:
+    """The effective warm-up window (the run loop's 20% default)."""
+    return (
+        config.warmup_s if config.warmup_s is not None else 0.2 * config.duration_s
+    )

@@ -3,13 +3,14 @@
 Three commands:
 
 * ``run`` — run one strategy on a named mix and print the summary
-  (optionally exporting per-epoch samples);
+  (optionally exporting per-epoch samples, traces and metrics);
 * ``compare`` — run several strategies on the same mix side by side;
 * ``experiment`` — regenerate one of the paper's tables/figures by name.
 
 Examples::
 
     python -m repro run --strategy arq --xapian 0.7 --be stream
+    python -m repro run --mix fig8 --trace t.jsonl --metrics m.prom
     python -m repro compare --xapian 0.9 --duration 120
     python -m repro experiment table2
     python -m repro experiment fig10 --jobs 4
@@ -17,23 +18,41 @@ Examples::
 ``--jobs N`` (or ``REPRO_JOBS=N``) fans independent runs across N worker
 processes; results are bit-identical for any worker count. The default is
 the machine's CPU count.
+
+Observability flags (``run``/``compare``): ``--trace PATH`` writes the
+structured event stream as JSONL, ``--metrics PATH`` writes the run's
+metric registry (``.csv`` or Prometheus text by extension), ``--verbose``
+narrates scheduler activity live, and ``--quiet`` suppresses all stdout
+reporting (exports still happen).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.cluster.export import summary_dict, write_csv, write_json
-from repro.cluster.run import run_collocation
 from repro.experiments.common import (
     STRATEGY_FACTORIES,
     STRATEGY_ORDER,
     canonical_mix,
+    make_collocation,
     run_strategies,
 )
 from repro.experiments.reporting import ascii_table
+from repro.cluster.run import run_collocation
+from repro.obs.events import Tracer, compose_tracers
+from repro.obs.export import (
+    JsonlTraceWriter,
+    NarratorTracer,
+    say,
+    set_quiet,
+    summary_dict,
+    write_csv,
+    write_json,
+    write_metrics,
+)
+from repro.obs.metrics import MetricsRegistry
 from repro.parallel import set_default_jobs
 
 #: Experiment name → zero-argument callable printing the artefact.
@@ -53,8 +72,39 @@ _EXPERIMENTS: Dict[str, str] = {
     "fig13": "repro.experiments.fig13_fluctuating",
 }
 
+#: ``--mix`` presets: name → (LC loads, BE applications). ``fig8``/``fig9``
+#: are the paper's canonical three-LC mixes at mid load; ``fig12`` is the
+#: 6-LC + 2-BE stress collocation.
+_MIXES: Dict[str, Tuple[Dict[str, float], List[str]]] = {
+    "canonical": (
+        {"xapian": 0.5, "moses": 0.2, "img-dnn": 0.2},
+        ["fluidanimate"],
+    ),
+    "fig8": (
+        {"xapian": 0.5, "moses": 0.2, "img-dnn": 0.2},
+        ["fluidanimate"],
+    ),
+    "fig9": (
+        {"xapian": 0.5, "moses": 0.2, "img-dnn": 0.2},
+        ["stream"],
+    ),
+    "fig12": (
+        {
+            name: 0.2
+            for name in ("moses", "xapian", "img-dnn", "sphinx", "masstree", "silo")
+        },
+        ["fluidanimate", "streamcluster"],
+    ),
+}
+
 
 def _mix_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--mix",
+        choices=sorted(_MIXES),
+        default=None,
+        help="named mix preset (overrides the per-application load flags)",
+    )
     parser.add_argument("--xapian", type=float, default=0.5, help="Xapian load")
     parser.add_argument("--moses", type=float, default=0.2, help="Moses load")
     parser.add_argument("--img-dnn", type=float, default=0.2, help="Img-dnn load")
@@ -67,6 +117,7 @@ def _mix_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--warmup", type=float, default=None)
     parser.add_argument("--seed", type=int, default=2023)
     _jobs_argument(parser)
+    _observability_arguments(parser)
 
 
 def _jobs_argument(parser: argparse.ArgumentParser) -> None:
@@ -77,6 +128,31 @@ def _jobs_argument(parser: argparse.ArgumentParser) -> None:
         metavar="N",
         help="worker processes for independent runs "
         "(default: $REPRO_JOBS or the CPU count; 1 = serial)",
+    )
+
+
+def _observability_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write the structured event stream as JSONL",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="write run metrics (.csv, else Prometheus text format)",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="narrate scheduler decisions and violations live",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress all stdout reporting (file exports still happen)",
     )
 
 
@@ -105,11 +181,17 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     experiment_parser.add_argument("name", choices=sorted(_EXPERIMENTS))
     _jobs_argument(experiment_parser)
+    experiment_parser.add_argument(
+        "--quiet", action="store_true", help="suppress stdout reporting"
+    )
 
     return parser
 
 
 def _collocation(args: argparse.Namespace):
+    if args.mix is not None:
+        lc_loads, be_names = _MIXES[args.mix]
+        return make_collocation(dict(lc_loads), list(be_names), seed=args.seed)
     return canonical_mix(
         args.xapian,
         args.moses,
@@ -119,34 +201,88 @@ def _collocation(args: argparse.Namespace):
     )
 
 
+def _observability(
+    args: argparse.Namespace,
+) -> Tuple[Optional[Tracer], Optional[MetricsRegistry], Optional[JsonlTraceWriter]]:
+    """Build the tracer/metrics pair requested by the CLI flags.
+
+    Returns ``(tracer, metrics, writer)``; the caller must close ``writer``
+    (when not ``None``) after the run so the JSONL file is flushed.
+    """
+    set_quiet(bool(args.quiet))
+    writer = JsonlTraceWriter(args.trace) if args.trace else None
+    narrator = NarratorTracer() if args.verbose and not args.quiet else None
+    tracer = compose_tracers(writer, narrator)
+    metrics = MetricsRegistry() if args.metrics else None
+    return tracer, metrics, writer
+
+
+def _describe_mix(args: argparse.Namespace) -> str:
+    if args.mix is not None:
+        lc_loads, be_names = _MIXES[args.mix]
+        lc = ", ".join(f"{name} {load:.0%}" for name, load in lc_loads.items())
+        return f"{lc} + {'+'.join(be_names)}"
+    return (
+        f"xapian {args.xapian:.0%}, moses {args.moses:.0%}, "
+        f"img-dnn {getattr(args, 'img_dnn'):.0%} + {args.be}"
+    )
+
+
 def _command_run(args: argparse.Namespace) -> int:
     collocation = _collocation(args)
     scheduler = STRATEGY_FACTORIES[args.strategy]()
     warmup = args.warmup if args.warmup is not None else args.duration * 0.5
-    result = run_collocation(collocation, scheduler, args.duration, warmup)
+    tracer, metrics, writer = _observability(args)
+    try:
+        result = run_collocation(
+            collocation,
+            scheduler,
+            args.duration,
+            warmup,
+            tracer=tracer,
+            metrics=metrics,
+        )
+    finally:
+        if writer is not None:
+            writer.close()
     summary = summary_dict(result)
     rows = [[key, value] for key, value in summary.items() if not isinstance(value, dict)]
-    print(ascii_table(["metric", "value"], rows, title=f"run — {args.strategy}"))
-    print()
+    say(ascii_table(["metric", "value"], rows, title=f"run — {args.strategy}"))
+    say("")
     tail_rows = [[app, f"{value:.2f}"] for app, value in summary["mean_tail_ms"].items()]
     ipc_rows = [[app, f"{value:.2f}"] for app, value in summary["mean_ipc"].items()]
     if tail_rows:
-        print(ascii_table(["application", "mean tail (ms)"], tail_rows))
+        say(ascii_table(["application", "mean tail (ms)"], tail_rows))
     if ipc_rows:
-        print(ascii_table(["application", "mean IPC"], ipc_rows))
+        say(ascii_table(["application", "mean IPC"], ipc_rows))
     if args.csv:
-        print(f"wrote {write_csv(result, args.csv)}")
+        say(f"wrote {write_csv(result, args.csv)}")
     if args.json:
-        print(f"wrote {write_json(result, args.json)}")
+        say(f"wrote {write_json(result, args.json)}")
+    if args.trace:
+        say(f"wrote {args.trace}")
+    if metrics is not None:
+        say(f"wrote {write_metrics(metrics, args.metrics)}")
     return 0
 
 
 def _command_compare(args: argparse.Namespace) -> int:
     collocation = _collocation(args)
     warmup = args.warmup if args.warmup is not None else args.duration * 0.5
-    results = run_strategies(
-        collocation, STRATEGY_ORDER, args.duration, warmup, jobs=args.jobs
-    )
+    tracer, metrics, writer = _observability(args)
+    try:
+        results = run_strategies(
+            collocation,
+            STRATEGY_ORDER,
+            args.duration,
+            warmup,
+            jobs=args.jobs,
+            tracer=tracer,
+            metrics=metrics,
+        )
+    finally:
+        if writer is not None:
+            writer.close()
     rows = []
     for name, result in results.items():
         rows.append(
@@ -159,22 +295,24 @@ def _command_compare(args: argparse.Namespace) -> int:
             ]
         )
     rows.sort(key=lambda row: row[3])
-    print(
+    say(
         ascii_table(
             ["strategy", "E_LC", "E_BE", "E_S", "yield"],
             rows,
-            title=(
-                f"compare — xapian {args.xapian:.0%}, moses {args.moses:.0%}, "
-                f"img-dnn {getattr(args, 'img_dnn'):.0%} + {args.be}"
-            ),
+            title=f"compare — {_describe_mix(args)}",
         )
     )
+    if args.trace:
+        say(f"wrote {args.trace}")
+    if metrics is not None:
+        say(f"wrote {write_metrics(metrics, args.metrics)}")
     return 0
 
 
 def _command_experiment(args: argparse.Namespace) -> int:
     import importlib
 
+    set_quiet(bool(args.quiet))
     module = importlib.import_module(_EXPERIMENTS[args.name])
     module.main()
     return 0

@@ -128,7 +128,7 @@ def adjustment_activity(result: RunResult) -> AdjustmentActivity:
             for kind in ResourceKind:
                 regions = set(plan.isolated) | set(previous.isolated) | {"__shared__"}
                 kind_delta = 0.0
-                for region in regions:
+                for region in sorted(regions):
                     kind_delta += abs(
                         plan.region_amount(region, kind)
                         - previous.region_amount(region, kind)

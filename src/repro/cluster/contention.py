@@ -174,7 +174,9 @@ def _way_targets(
     """Target effective ways: isolated + pressure-proportional shared."""
     profiles = {**context.lc_profiles, **context.be_profiles}
     pressures = {}
-    for name in plan.shared_members:
+    # Sorted: shared_members is a frozenset, and the occupancy sums below
+    # must not depend on the interpreter's hash seed.
+    for name in sorted(plan.shared_members):
         profile = profiles[name]
         ways_guess = previous_ways.get(name, profile.reference_ways)
         pressure = profile.cache_pressure(activities.get(name, 0.0), ways_guess)
@@ -205,7 +207,7 @@ def resolve_contention(
     """
     plan.validate(context.node)
     profiles = {**context.lc_profiles, **context.be_profiles}
-    for name in plan.shared_members:
+    for name in sorted(plan.shared_members):
         if name not in profiles:
             raise SchedulingError(f"shared member {name!r} is not collocated here")
 
@@ -257,7 +259,7 @@ def resolve_contention(
     # bandwidth out of the shared region throttles the BE hogs there.
     be_shared = [
         name
-        for name in plan.shared_members
+        for name in sorted(plan.shared_members)
         if name in context.be_profiles and name not in caps
     ]
     if be_shared:

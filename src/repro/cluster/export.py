@@ -1,138 +1,48 @@
-"""Export run results for offline analysis and plotting.
+"""Deprecated: run exporters moved to :mod:`repro.obs.export`.
 
-:func:`epochs_to_rows` flattens a :class:`RunResult` into one dict per
-(epoch × application) sample; :func:`write_csv` / :func:`write_json`
-persist a whole run — entropies, latencies, IPCs, loads and the plan's
-region sizes per epoch — so the figures can be re-plotted with any
-external tool without re-running the simulation.
+This module remains as a compatibility shim. Importing it is free of
+warnings (so blanket package walks stay clean under
+``-W error::DeprecationWarning``); *accessing* any of the relocated names
+emits a :class:`DeprecationWarning` pointing at the new home. Update
+imports::
+
+    from repro.cluster.export import write_csv      # deprecated
+    from repro.obs.export import write_csv          # new
 """
 
 from __future__ import annotations
 
-import csv
-import json
-import pathlib
-from typing import Dict, List, Union
+import warnings
+from typing import Any, List
 
-from repro.cluster.run import RunResult
-from repro.errors import ConfigurationError
+#: Names forwarded (with a warning) to :mod:`repro.obs.export`.
+_MOVED = (
+    "EPOCH_COLUMNS",
+    "epochs_to_rows",
+    "summary_dict",
+    "write_csv",
+    "write_json",
+)
 
-#: Column order of the per-epoch CSV.
-EPOCH_COLUMNS = [
-    "epoch",
-    "time_s",
-    "application",
-    "kind",
-    "load_fraction",
-    "tail_ms",
-    "ideal_ms",
-    "threshold_ms",
-    "ipc",
-    "ipc_solo",
-    "satisfied",
-    "effective_cores",
-    "effective_ways",
-    "bandwidth_multiplier",
-    "e_lc",
-    "e_be",
-    "e_s",
-    "plan_shared_cores",
-    "plan_shared_ways",
-]
+__all__: List[str] = list(_MOVED)
 
 
-def epochs_to_rows(result: RunResult) -> List[Dict[str, object]]:
-    """One flat dict per (epoch × application) sample."""
-    rows: List[Dict[str, object]] = []
-    for record in result.records:
-        base = {
-            "epoch": record.index,
-            "time_s": record.time_s,
-            "e_lc": record.e_lc,
-            "e_be": record.e_be,
-            "e_s": record.e_s,
-            "plan_shared_cores": record.plan.shared.cores,
-            "plan_shared_ways": record.plan.shared.llc_ways,
-        }
-        for name, measurement in record.lc.items():
-            resources = record.resources[name]
-            rows.append(
-                {
-                    **base,
-                    "application": name,
-                    "kind": "lc",
-                    "load_fraction": measurement.load_fraction,
-                    "tail_ms": measurement.tail_ms,
-                    "ideal_ms": measurement.ideal_ms,
-                    "threshold_ms": measurement.threshold_ms,
-                    "ipc": None,
-                    "ipc_solo": None,
-                    "satisfied": measurement.satisfied,
-                    "effective_cores": resources.cores,
-                    "effective_ways": resources.ways,
-                    "bandwidth_multiplier": resources.bandwidth_multiplier,
-                }
-            )
-        for name, measurement in record.be.items():
-            resources = record.resources[name]
-            rows.append(
-                {
-                    **base,
-                    "application": name,
-                    "kind": "be",
-                    "load_fraction": None,
-                    "tail_ms": None,
-                    "ideal_ms": None,
-                    "threshold_ms": None,
-                    "ipc": measurement.ipc,
-                    "ipc_solo": measurement.ipc_solo,
-                    "satisfied": None,
-                    "effective_cores": resources.cores,
-                    "effective_ways": resources.ways,
-                    "bandwidth_multiplier": resources.bandwidth_multiplier,
-                }
-            )
-    return rows
+def __getattr__(name: str) -> Any:
+    """Forward relocated attributes, warning once per access site."""
+    if name in _MOVED:
+        warnings.warn(
+            f"repro.cluster.export.{name} moved to repro.obs.export.{name}; "
+            f"the repro.cluster.export alias will be removed in a future "
+            f"release",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.obs import export as _new_home
+
+        return getattr(_new_home, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
-def write_csv(result: RunResult, path: Union[str, pathlib.Path]) -> pathlib.Path:
-    """Write the per-epoch samples as CSV; returns the path written."""
-    path = pathlib.Path(path)
-    rows = epochs_to_rows(result)
-    if not rows:
-        raise ConfigurationError("cannot export an empty run")
-    with path.open("w", newline="") as handle:
-        writer = csv.DictWriter(handle, fieldnames=EPOCH_COLUMNS)
-        writer.writeheader()
-        for row in rows:
-            writer.writerow({key: row.get(key) for key in EPOCH_COLUMNS})
-    return path
-
-
-def summary_dict(result: RunResult) -> Dict[str, object]:
-    """The run's headline summary as a JSON-ready dict."""
-    return {
-        "scheduler": result.scheduler_name,
-        "seed": result.collocation.seed,
-        "epoch_s": result.collocation.epoch_s,
-        "warmup_s": result.warmup_s,
-        "epochs": len(result.records),
-        "mean_e_lc": result.mean_e_lc(),
-        "mean_e_be": result.mean_e_be(),
-        "mean_e_s": result.mean_e_s(),
-        "yield": result.yield_fraction(),
-        "violations": result.violation_count(),
-        "mean_tail_ms": result.mean_tail_latencies_ms(),
-        "mean_ipc": result.mean_ipcs(),
-    }
-
-
-def write_json(result: RunResult, path: Union[str, pathlib.Path]) -> pathlib.Path:
-    """Write summary + per-epoch samples as JSON; returns the path."""
-    path = pathlib.Path(path)
-    payload = {
-        "summary": summary_dict(result),
-        "epochs": epochs_to_rows(result),
-    }
-    path.write_text(json.dumps(payload, indent=2, default=str))
-    return path
+def __dir__() -> List[str]:
+    """Expose the forwarded names to introspection."""
+    return sorted(__all__)

@@ -8,6 +8,7 @@ entropies, yield, violation counts, per-application tail latency and IPC).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -18,6 +19,18 @@ from repro.cluster.monitor import NoisyMonitor
 from repro.entropy.aggregate import mean_entropy
 from repro.entropy.records import BEObservation, LCObservation, SystemObservation
 from repro.errors import ConfigurationError, MeasurementError
+from repro.obs.events import (
+    CallbackTracer,
+    EpochMeasured,
+    QoSViolation,
+    RunFinished,
+    RunStarted,
+    SchedulerDecision,
+    TraceEvent,
+    Tracer,
+    compose_tracers,
+)
+from repro.obs.metrics import MetricsRegistry
 from repro.perfmodel.queueing import OverloadState
 from repro.schedulers.base import Scheduler, SchedulerContext
 from repro.sim.rng import RngStreams
@@ -31,6 +44,11 @@ class RunResult:
     collocation: Collocation
     records: List[EpochRecord] = field(default_factory=list)
     warmup_s: float = 0.0
+    #: Filled when the run was started with a ``metrics`` registry;
+    #: excluded from equality so instrumented and plain results compare.
+    metrics: Optional[MetricsRegistry] = field(
+        default=None, repr=False, compare=False
+    )
 
     # -- windows -----------------------------------------------------------
 
@@ -96,17 +114,49 @@ class RunResult:
         return times, values
 
 
+def _metrics_counting_tracer(metrics: MetricsRegistry) -> Tracer:
+    """A tracer folding scheduler events into move/rollback counters."""
+    moves = metrics.counter(
+        "resource_moves", "resource units moved between regions"
+    )
+    rollbacks = metrics.counter("rollbacks", "adjustments reverted by feedback")
+
+    def count(event: TraceEvent) -> None:
+        if event.kind == "resource_move":
+            moves.inc()
+        elif event.kind == "rollback":
+            rollbacks.inc()
+
+    return CallbackTracer(count)
+
+
 def run_collocation(
     collocation: Collocation,
     scheduler: Scheduler,
     duration_s: float,
     warmup_s: Optional[float] = None,
+    *,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> RunResult:
     """Run ``scheduler`` on ``collocation`` for ``duration_s`` seconds.
 
     ``warmup_s`` (default: 20% of the duration) excludes the initial
     convergence transient from summary statistics, mirroring how the paper
     reports steady-state numbers for constant-load experiments.
+
+    ``tracer`` receives the run's structured events
+    (:class:`~repro.obs.events.RunStarted`, one
+    :class:`~repro.obs.events.EpochMeasured` and
+    :class:`~repro.obs.events.SchedulerDecision` per epoch, the
+    scheduler's own move/rollback/cooldown events in between, and a final
+    :class:`~repro.obs.events.RunFinished`). Events carry simulation time
+    only, so traces are bit-identical across repeated runs. ``metrics``
+    accumulates counters and histograms (entropy series, per-application
+    tails and IPCs, ``decide()`` wall-clock profiling) into the given
+    registry, which is also stored on :attr:`RunResult.metrics`. Both
+    default to ``None``, in which case the loop executes exactly the
+    uninstrumented code path.
     """
     if duration_s <= 0:
         raise ConfigurationError(f"duration must be positive: {duration_s}")
@@ -128,7 +178,38 @@ def run_collocation(
     )
     monitor = NoisyMonitor(streams.stream("monitor"), collocation.noise_sigma)
 
+    # The scheduler sees the caller's tracer plus (when metrics are on) a
+    # counting tracer; its constructor-attached tracer is restored on exit.
+    previous_tracer = scheduler.tracer
+    scheduler_tracer = compose_tracers(
+        previous_tracer,
+        tracer,
+        _metrics_counting_tracer(metrics) if metrics is not None else None,
+    )
+
     scheduler.reset()
+    scheduler.attach_tracer(scheduler_tracer)
+    try:
+        result = _run_loop(
+            collocation, scheduler, duration_s, warmup_s, context, monitor,
+            tracer, metrics,
+        )
+    finally:
+        scheduler.attach_tracer(previous_tracer)
+    return result
+
+
+def _run_loop(
+    collocation: Collocation,
+    scheduler: Scheduler,
+    duration_s: float,
+    warmup_s: float,
+    context: SchedulerContext,
+    monitor: NoisyMonitor,
+    tracer: Optional[Tracer],
+    metrics: Optional[MetricsRegistry],
+) -> RunResult:
+    """The measure → entropy → decide loop (tracer already attached)."""
     plan = scheduler.initial_plan(context)
     plan.validate(context.node)
 
@@ -137,10 +218,26 @@ def run_collocation(
     ideal_cache: Dict[Tuple[str, float], float] = {}
 
     result = RunResult(
-        scheduler_name=scheduler.name, collocation=collocation, warmup_s=warmup_s
+        scheduler_name=scheduler.name,
+        collocation=collocation,
+        warmup_s=warmup_s,
+        metrics=metrics,
     )
 
     epochs = int(round(duration_s / collocation.epoch_s))
+    if tracer is not None:
+        tracer.emit(
+            RunStarted(
+                time_s=0.0,
+                scheduler=scheduler.name,
+                lc_apps=tuple(collocation.lc_profiles),
+                be_apps=tuple(collocation.be_profiles),
+                duration_s=duration_s,
+                warmup_s=warmup_s,
+                epoch_s=collocation.epoch_s,
+                seed=collocation.seed,
+            )
+        )
     for index in range(epochs):
         time_s = index * collocation.epoch_s
         loads = collocation.loads_at(time_s)
@@ -213,10 +310,80 @@ def run_collocation(
         )
         breakdown = observation.breakdown(collocation.relative_importance)
 
+        violations = sum(1 for m in lc_measurements.values() if not m.satisfied)
+        if tracer is not None:
+            tracer.emit(
+                EpochMeasured(
+                    time_s=time_s,
+                    epoch=index,
+                    e_s=breakdown.e_s,
+                    e_lc=breakdown.e_lc,
+                    e_be=breakdown.e_be,
+                    loads=dict(loads),
+                    tails_ms={n: m.tail_ms for n, m in lc_measurements.items()},
+                    ipcs={n: m.ipc for n, m in be_measurements.items()},
+                    violations=violations,
+                )
+            )
+            for name, measurement in lc_measurements.items():
+                if not measurement.satisfied:
+                    tracer.emit(
+                        QoSViolation(
+                            time_s=time_s,
+                            epoch=index,
+                            application=name,
+                            tail_ms=measurement.tail_ms,
+                            threshold_ms=measurement.threshold_ms,
+                        )
+                    )
+
+        if metrics is not None:
+            decide_started = time.perf_counter()
         next_plan = scheduler.decide(context, observation, plan, time_s)
+        if metrics is not None:
+            metrics.histogram(
+                "decide_time_s", "decide() wall-clock seconds"
+            ).observe(time.perf_counter() - decide_started)
         plan_changed = next_plan is not plan
         if plan_changed:
             next_plan.validate(context.node)
+
+        if tracer is not None:
+            tracer.emit(
+                SchedulerDecision(
+                    time_s=time_s,
+                    epoch=index,
+                    scheduler=scheduler.name,
+                    plan_changed=plan_changed,
+                    plan=next_plan.describe(),
+                )
+            )
+        if metrics is not None:
+            metrics.counter("epochs", "monitoring epochs executed").inc()
+            if violations:
+                metrics.counter(
+                    "qos_violations", "epoch × application QoS misses"
+                ).inc(violations)
+            if plan_changed:
+                metrics.counter("plan_changes", "epochs with a new plan").inc()
+            if time_s >= warmup_s:
+                metrics.histogram("e_s", "per-epoch system entropy").observe(
+                    breakdown.e_s
+                )
+                metrics.histogram("e_lc", "per-epoch LC entropy").observe(
+                    breakdown.e_lc
+                )
+                metrics.histogram("e_be", "per-epoch BE entropy").observe(
+                    breakdown.e_be
+                )
+                for name, measurement in lc_measurements.items():
+                    metrics.histogram(
+                        f"tail_ms/{name}", "post-warm-up tail latency"
+                    ).observe(measurement.tail_ms)
+                for name, measurement in be_measurements.items():
+                    metrics.histogram(
+                        f"ipc/{name}", "post-warm-up best-effort IPC"
+                    ).observe(measurement.ipc)
 
         result.records.append(
             EpochRecord(
@@ -234,4 +401,16 @@ def run_collocation(
         )
         plan = next_plan
 
+    if tracer is not None:
+        tracer.emit(
+            RunFinished(
+                time_s=duration_s,
+                scheduler=scheduler.name,
+                epochs=len(result.records),
+                mean_e_s=result.mean_e_s(),
+                mean_e_lc=result.mean_e_lc(),
+                mean_e_be=result.mean_e_be(),
+                violations=result.violation_count(),
+            )
+        )
     return result

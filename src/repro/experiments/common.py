@@ -6,6 +6,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.cluster.collocation import BEMember, Collocation, LCMember
 from repro.cluster.run import RunResult, run_collocation
+from repro.obs.events import Tracer
+from repro.obs.metrics import MetricsRegistry
 from repro.parallel import RunPoint, run_many
 from repro.schedulers.arq import ARQScheduler
 from repro.schedulers.base import Scheduler
@@ -73,10 +75,15 @@ def run_strategy(
     strategy: str,
     duration_s: float = DEFAULT_DURATION_S,
     warmup_s: float = DEFAULT_WARMUP_S,
+    *,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> RunResult:
     """Run one named strategy on a collocation."""
     scheduler = STRATEGY_FACTORIES[strategy]()
-    return run_collocation(collocation, scheduler, duration_s, warmup_s)
+    return run_collocation(
+        collocation, scheduler, duration_s, warmup_s, tracer=tracer, metrics=metrics
+    )
 
 
 def run_strategies(
@@ -85,17 +92,24 @@ def run_strategies(
     duration_s: float = DEFAULT_DURATION_S,
     warmup_s: float = DEFAULT_WARMUP_S,
     jobs: Optional[int] = None,
+    *,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> Dict[str, RunResult]:
     """Run several strategies on the same collocation.
 
     Independent strategies fan out across ``jobs`` worker processes
     (``None`` → CLI ``--jobs`` / ``$REPRO_JOBS`` / CPU count); results are
     identical to the serial path and keyed in ``strategies`` order.
+    ``tracer``/``metrics`` follow :func:`repro.parallel.run_many`'s
+    deterministic aggregation rules.
     """
     points = [
         RunPoint(collocation, name, duration_s, warmup_s) for name in strategies
     ]
-    return dict(zip(strategies, run_many(points, jobs=jobs)))
+    return dict(
+        zip(strategies, run_many(points, jobs=jobs, tracer=tracer, metrics=metrics))
+    )
 
 
 def load_sweep(values: Sequence[float] = (0.1, 0.3, 0.5, 0.7, 0.9)) -> List[float]:

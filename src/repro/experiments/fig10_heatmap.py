@@ -15,6 +15,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 from repro.experiments.common import make_collocation
 from repro.experiments.reporting import ascii_heatmap
+from repro.obs.export import say
 from repro.parallel import RunGrid
 
 
@@ -104,7 +105,7 @@ def render(result: Fig10Result) -> str:
 
 def main() -> None:
     """CLI entry point."""
-    print(render(run_fig10()))
+    say(render(run_fig10()))
 
 
 if __name__ == "__main__":

@@ -15,6 +15,7 @@ from typing import Dict, Optional, Sequence
 
 from repro.experiments.common import make_collocation, run_strategies
 from repro.experiments.reporting import ascii_table, percent_change
+from repro.obs.export import say
 
 SIX_LC = ("moses", "xapian", "img-dnn", "sphinx", "masstree", "silo")
 TWO_BE = ("fluidanimate", "streamcluster")
@@ -103,7 +104,7 @@ def render(result: Fig12Result) -> str:
 
 def main() -> None:
     """CLI entry point."""
-    print(render(run_fig12()))
+    say(render(run_fig12()))
 
 
 if __name__ == "__main__":

@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.cluster.run import RunResult
 from repro.experiments.common import make_collocation, run_strategies
 from repro.experiments.reporting import ascii_table
+from repro.obs.export import say
 from repro.workloads.loadgen import FluctuatingLoad
 
 
@@ -118,7 +119,7 @@ def render(result: Fig13Result) -> str:
 
 def main() -> None:
     """CLI entry point."""
-    print(render(run_fig13()))
+    say(render(run_fig13()))
 
 
 if __name__ == "__main__":

@@ -27,6 +27,7 @@ from typing import Dict
 from repro.cluster.run import RunResult, run_collocation
 from repro.experiments.common import make_collocation
 from repro.experiments.reporting import ascii_table
+from repro.obs.export import say
 from repro.schedulers.base import RegionPlan
 from repro.schedulers.static import StaticScheduler
 from repro.server.cores import CorePolicy
@@ -78,7 +79,7 @@ def run_fig1(duration_s: float = 60.0, seed: int = 2023) -> Fig1Result:
     collocation = make_collocation(LOADS, ["fluidanimate"], seed=seed)
     runs = {}
     for name, plan in (("A", strategy_a_plan()), ("B", strategy_b_plan())):
-        scheduler = StaticScheduler(plan, name=f"strategy-{name}")
+        scheduler = StaticScheduler(plan=plan, name=f"strategy-{name}")
         runs[name] = run_collocation(
             collocation, scheduler, duration_s, warmup_s=duration_s * 0.25
         )
@@ -122,7 +123,7 @@ def render(result: Fig1Result) -> str:
 
 def main() -> None:
     """CLI entry point."""
-    print(render(run_fig1()))
+    say(render(run_fig1()))
 
 
 if __name__ == "__main__":

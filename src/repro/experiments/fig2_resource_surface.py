@@ -16,6 +16,7 @@ from typing import Dict, Sequence
 
 from repro.experiments.common import canonical_mix, run_strategy
 from repro.experiments.reporting import ascii_series
+from repro.obs.export import say
 from repro.server.spec import PAPER_NODE
 
 
@@ -78,7 +79,7 @@ def render(result: Fig2Result) -> str:
 
 def main() -> None:
     """CLI entry point."""
-    print(render(run_fig2()))
+    say(render(run_fig2()))
 
 
 if __name__ == "__main__":

@@ -24,6 +24,7 @@ from repro.entropy.equivalence import (
 )
 from repro.experiments.common import canonical_mix, run_strategy
 from repro.experiments.reporting import ascii_series, ascii_table
+from repro.obs.export import say
 from repro.server.spec import PAPER_NODE
 
 
@@ -141,9 +142,9 @@ def render_fig3b(result: Fig3bResult) -> str:
 
 def main() -> None:
     """CLI entry point."""
-    print(render_fig3a(run_fig3a()))
-    print()
-    print(render_fig3b(run_fig3b()))
+    say(render_fig3a(run_fig3a()))
+    say()
+    say(render_fig3b(run_fig3b()))
 
 
 if __name__ == "__main__":

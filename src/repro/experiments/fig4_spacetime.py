@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Mapping, Sequence, Tuple
 
 from repro.errors import ConfigurationError
+from repro.obs.export import say
 
 #: The demand schedules (1-based time-slices), chosen to reproduce the
 #: paper's counts exactly. Time-slice 6 is the all-three conflict the
@@ -181,7 +182,7 @@ def render(results: Sequence[ScenarioResult]) -> str:
 
 def main() -> None:
     """CLI entry point."""
-    print(render([run_solo(), run_isolated(), run_shared()]))
+    say(render([run_solo(), run_isolated(), run_shared()]))
 
 
 if __name__ == "__main__":

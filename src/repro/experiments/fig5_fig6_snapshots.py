@@ -24,6 +24,7 @@ from typing import Dict, Sequence
 
 from repro.experiments.common import make_collocation, run_strategy
 from repro.experiments.reporting import ascii_table
+from repro.obs.export import say
 from repro.schedulers.base import RegionPlan
 
 
@@ -154,7 +155,7 @@ def render(snapshots: Dict[float, Dict[str, Snapshot]]) -> str:
 
 def main() -> None:
     """CLI entry point."""
-    print(render(run_fig5_fig6()))
+    say(render(run_fig5_fig6()))
 
 
 if __name__ == "__main__":

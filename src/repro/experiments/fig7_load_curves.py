@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.reporting import ascii_series, ascii_table
+from repro.obs.export import say
 from repro.sim.request_sim import simulate_queue
 from repro.workloads.catalog import lc_profile
 from repro.workloads.lc_app import LCProfile
@@ -177,7 +178,7 @@ def render(result: Fig7Result) -> str:
 
 def main() -> None:
     """CLI entry point."""
-    print(render(run_fig7()))
+    say(render(run_fig7()))
 
 
 if __name__ == "__main__":

@@ -24,6 +24,7 @@ from typing import Dict, Optional, Sequence
 
 from repro.experiments.reporting import percent_change
 from repro.experiments.sweeps import SweepResult, render_sweep, run_load_sweep
+from repro.obs.export import say
 
 
 def run_fig9(
@@ -84,8 +85,8 @@ def render(result: SweepResult) -> str:
 def main() -> None:
     """CLI entry point."""
     for fixed in (0.2, 0.4):
-        print(render(run_fig9(moses_imgdnn_load=fixed)))
-        print()
+        say(render(run_fig9(moses_imgdnn_load=fixed)))
+        say()
 
 
 if __name__ == "__main__":

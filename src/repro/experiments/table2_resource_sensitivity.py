@@ -18,6 +18,7 @@ from repro.cluster.run import RunResult
 from repro.entropy.records import BEObservation, LCObservation, SystemObservation
 from repro.experiments.common import canonical_mix, run_strategy
 from repro.experiments.reporting import ascii_table
+from repro.obs.export import say
 from repro.server.spec import PAPER_NODE
 
 
@@ -145,7 +146,7 @@ def render(rows: Sequence[Table2Row]) -> str:
 
 def main() -> None:
     """CLI entry point."""
-    print(render(run_table2()))
+    say(render(run_table2()))
 
 
 if __name__ == "__main__":

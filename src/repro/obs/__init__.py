@@ -1,0 +1,107 @@
+"""Observability: structured trace events, metrics, exporters, narrator.
+
+The layer the paper's monitoring loop deserves: every run can emit typed,
+timestamped events (:mod:`repro.obs.events`), record counters/gauges/
+histograms into a registry (:mod:`repro.obs.metrics`), and export both as
+JSONL traces, Prometheus text or CSV — or narrate them live
+(:mod:`repro.obs.export`).
+
+Everything is opt-in and zero-overhead when disabled: a run without a
+tracer executes the exact pre-observability code path, and traces carry
+only simulated time, so they are byte-identical across repeated runs and
+``--jobs`` settings.
+"""
+
+from repro.obs.events import (
+    CallbackTracer,
+    CollectingTracer,
+    CompositeTracer,
+    CooldownEnd,
+    CooldownStart,
+    EpochMeasured,
+    FSMTransition,
+    NullTracer,
+    QoSViolation,
+    ResourceMove,
+    Rollback,
+    RunFinished,
+    RunStarted,
+    SchedulerDecision,
+    SearchProgress,
+    SimCallbackExecuted,
+    TraceEvent,
+    Tracer,
+    compose_tracers,
+    event_from_dict,
+)
+from repro.obs.export import (
+    Console,
+    JsonlTraceWriter,
+    NarratorTracer,
+    console,
+    epochs_to_rows,
+    is_quiet,
+    metrics_to_prometheus,
+    read_trace,
+    say,
+    set_quiet,
+    summary_dict,
+    write_csv,
+    write_json,
+    write_metrics,
+    write_metrics_csv,
+    write_metrics_prometheus,
+    write_trace,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_registries,
+)
+
+__all__ = [
+    "CallbackTracer",
+    "CollectingTracer",
+    "CompositeTracer",
+    "Console",
+    "CooldownEnd",
+    "CooldownStart",
+    "Counter",
+    "EpochMeasured",
+    "FSMTransition",
+    "Gauge",
+    "Histogram",
+    "JsonlTraceWriter",
+    "MetricsRegistry",
+    "NarratorTracer",
+    "NullTracer",
+    "QoSViolation",
+    "ResourceMove",
+    "Rollback",
+    "RunFinished",
+    "RunStarted",
+    "SchedulerDecision",
+    "SearchProgress",
+    "SimCallbackExecuted",
+    "TraceEvent",
+    "Tracer",
+    "compose_tracers",
+    "console",
+    "epochs_to_rows",
+    "event_from_dict",
+    "is_quiet",
+    "merge_registries",
+    "metrics_to_prometheus",
+    "read_trace",
+    "say",
+    "set_quiet",
+    "summary_dict",
+    "write_csv",
+    "write_json",
+    "write_metrics",
+    "write_metrics_csv",
+    "write_metrics_prometheus",
+    "write_trace",
+]

@@ -1,0 +1,354 @@
+"""Typed, timestamped structured trace events and the ``Tracer`` protocol.
+
+The paper's contribution is making interference *observable*: per-epoch
+``ReT``, ``Q_i`` and ``E_S`` feed ARQ's move/rollback/cooldown loop. This
+module gives every step of that loop a typed event so a run can be watched
+as it unfolds — from the CLI (``--trace``/``--verbose``), from tests, or
+from any :class:`Tracer` a caller attaches.
+
+Design rules:
+
+* **Simulation time only.** Events carry the simulated clock (``time_s``),
+  never wall-clock timestamps, so traces are bit-identical across repeated
+  runs and across ``--jobs`` settings.
+* **Zero overhead when disabled.** Emitting sites hold an
+  ``Optional[Tracer]`` and guard event *construction* behind a ``None``
+  check; a run without a tracer executes exactly the pre-observability
+  code path.
+* **Round-trippable.** Every event serialises to a flat JSON-safe dict via
+  :meth:`TraceEvent.to_dict` and back via :func:`event_from_dict`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+from typing import Any, Callable, ClassVar, Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+try:  # Python 3.8+: typing.Protocol
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover - ancient interpreters only
+    Protocol = object  # type: ignore[assignment]
+
+    def runtime_checkable(cls):  # type: ignore[no-redef]
+        """Fallback decorator when ``typing.Protocol`` is unavailable."""
+        return cls
+
+
+@runtime_checkable
+class Tracer(Protocol):
+    """Anything that accepts trace events.
+
+    The contract is one method: :meth:`emit` receives each
+    :class:`TraceEvent` in emission order. Implementations must not reorder
+    or drop events if they want the determinism guarantees to hold
+    downstream (the JSONL writer, the narrator and the collecting tracer
+    all preserve order).
+    """
+
+    def emit(self, event: "TraceEvent") -> None:
+        """Receive one trace event."""
+        ...
+
+
+#: Registry of event kinds, filled by ``__init_subclass__``.
+EVENT_KINDS: Dict[str, type] = {}
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """Base class of all trace events: a kind tag plus a simulation time.
+
+    ``kind`` is a class attribute (stable wire name); ``time_s`` is the
+    simulated clock at emission. Subclasses add flat, JSON-safe fields
+    (numbers, strings, bools, and dicts/tuples of those).
+    """
+
+    kind: ClassVar[str] = "event"
+
+    time_s: float
+
+    def __init_subclass__(cls, **kwargs: Any) -> None:
+        super().__init_subclass__(**kwargs)
+        kind = cls.__dict__.get("kind")
+        if kind is not None:
+            EVENT_KINDS[kind] = cls
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A flat JSON-safe dict including the ``kind`` discriminator."""
+        payload: Dict[str, Any] = {"kind": self.kind}
+        payload.update(asdict(self))
+        return payload
+
+
+def event_from_dict(payload: Mapping[str, Any]) -> TraceEvent:
+    """Rebuild a :class:`TraceEvent` from :meth:`TraceEvent.to_dict` output.
+
+    Raises :class:`~repro.errors.ConfigurationError` for unknown kinds or
+    payloads that do not match the event's fields — a trace written by a
+    newer version fails loudly instead of silently dropping data.
+    """
+    kind = payload.get("kind")
+    cls = EVENT_KINDS.get(kind)
+    if cls is None:
+        raise ConfigurationError(f"unknown trace event kind {kind!r}")
+    names = {f.name for f in fields(cls)}
+    kwargs = {key: value for key, value in payload.items() if key != "kind"}
+    unknown = set(kwargs) - names
+    if unknown:
+        raise ConfigurationError(
+            f"unexpected fields {sorted(unknown)} for event kind {kind!r}"
+        )
+    try:
+        event = cls(**kwargs)
+    except TypeError as exc:
+        raise ConfigurationError(
+            f"malformed payload for event kind {kind!r}: {exc}"
+        ) from exc
+    # Tuples arrive back as lists from JSON; normalise so round-trips
+    # compare equal.
+    return _normalise(event)
+
+
+def _normalise(event: TraceEvent) -> TraceEvent:
+    """Coerce JSON list fields back into the tuples the dataclasses use."""
+    updates = {}
+    for f in fields(event):
+        value = getattr(event, f.name)
+        if isinstance(value, list):
+            updates[f.name] = tuple(value)
+    if not updates:
+        return event
+    kwargs = {f.name: getattr(event, f.name) for f in fields(event)}
+    kwargs.update(updates)
+    return type(event)(**kwargs)
+
+
+# -- run lifecycle -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RunStarted(TraceEvent):
+    """Emitted once before the first epoch of a collocation run."""
+
+    kind: ClassVar[str] = "run_started"
+
+    scheduler: str = ""
+    lc_apps: Tuple[str, ...] = ()
+    be_apps: Tuple[str, ...] = ()
+    duration_s: float = 0.0
+    warmup_s: float = 0.0
+    epoch_s: float = 0.0
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class RunFinished(TraceEvent):
+    """Emitted once after the last epoch, with the run's headline summary."""
+
+    kind: ClassVar[str] = "run_finished"
+
+    scheduler: str = ""
+    epochs: int = 0
+    mean_e_s: float = 0.0
+    mean_e_lc: float = 0.0
+    mean_e_be: float = 0.0
+    violations: int = 0
+
+
+# -- per-epoch measurements --------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EpochMeasured(TraceEvent):
+    """One monitoring epoch's full measurement: entropies, tails, IPCs."""
+
+    kind: ClassVar[str] = "epoch_measured"
+
+    epoch: int = 0
+    e_s: float = 0.0
+    e_lc: float = 0.0
+    e_be: float = 0.0
+    loads: Mapping[str, float] = None  # type: ignore[assignment]
+    tails_ms: Mapping[str, float] = None  # type: ignore[assignment]
+    ipcs: Mapping[str, float] = None  # type: ignore[assignment]
+    violations: int = 0
+
+
+@dataclass(frozen=True)
+class QoSViolation(TraceEvent):
+    """An LC application exceeded its tail-latency threshold this epoch."""
+
+    kind: ClassVar[str] = "qos_violation"
+
+    epoch: int = 0
+    application: str = ""
+    tail_ms: float = 0.0
+    threshold_ms: float = 0.0
+
+
+# -- scheduler decisions -----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SchedulerDecision(TraceEvent):
+    """The scheduler's verdict for the next epoch (changed plan or no-op)."""
+
+    kind: ClassVar[str] = "scheduler_decision"
+
+    epoch: int = 0
+    scheduler: str = ""
+    plan_changed: bool = False
+    plan: str = ""
+
+
+@dataclass(frozen=True)
+class ResourceMove(TraceEvent):
+    """One resource adjustment between regions (ARQ/PARTIES/Heracles)."""
+
+    kind: ClassVar[str] = "resource_move"
+
+    scheduler: str = ""
+    resource: str = ""
+    source: str = ""
+    destination: str = ""
+    amount: float = 0.0
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class Rollback(TraceEvent):
+    """A previous adjustment was cancelled (entropy/slack feedback)."""
+
+    kind: ClassVar[str] = "rollback"
+
+    scheduler: str = ""
+    resource: str = ""
+    source: str = ""
+    destination: str = ""
+    amount: float = 0.0
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class CooldownStart(TraceEvent):
+    """A region becomes protected from penalisation until ``until_s``."""
+
+    kind: ClassVar[str] = "cooldown_start"
+
+    scheduler: str = ""
+    region: str = ""
+    until_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class CooldownEnd(TraceEvent):
+    """A region's penalty protection lapsed."""
+
+    kind: ClassVar[str] = "cooldown_end"
+
+    scheduler: str = ""
+    region: str = ""
+
+
+@dataclass(frozen=True)
+class FSMTransition(TraceEvent):
+    """A resource-type FSM advanced to a new state (§IV-B / PARTIES §4)."""
+
+    kind: ClassVar[str] = "fsm_transition"
+
+    owner: str = ""
+    from_resource: str = ""
+    to_resource: str = ""
+
+
+@dataclass(frozen=True)
+class SearchProgress(TraceEvent):
+    """A search-based scheduler's phase update (CLITE's GP loop)."""
+
+    kind: ClassVar[str] = "search_progress"
+
+    scheduler: str = ""
+    phase: str = ""  # "sampling" | "searching" | "pinned" | "restarted"
+    evaluations: int = 0
+    best_score: float = 0.0
+
+
+# -- discrete-event engine ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SimCallbackExecuted(TraceEvent):
+    """One discrete-event callback executed by :class:`repro.sim.engine.Engine`."""
+
+    kind: ClassVar[str] = "sim_callback_executed"
+
+    label: str = ""
+    sequence: int = 0
+
+
+# -- tracer implementations --------------------------------------------------
+
+
+class NullTracer:
+    """A tracer that discards everything (explicit-object alternative to
+    passing ``tracer=None``)."""
+
+    def emit(self, event: TraceEvent) -> None:
+        """Discard the event."""
+
+
+class CollectingTracer:
+    """A tracer that appends every event to an in-memory list."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    def emit(self, event: TraceEvent) -> None:
+        """Append the event to :attr:`events`."""
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        """The collected events of one kind, in emission order."""
+        return [e for e in self.events if e.kind == kind]
+
+
+class CompositeTracer:
+    """Fan one event stream out to several tracers, in order."""
+
+    def __init__(self, *tracers: Tracer) -> None:
+        self.tracers: Tuple[Tracer, ...] = tuple(t for t in tracers if t is not None)
+
+    def emit(self, event: TraceEvent) -> None:
+        """Forward the event to every member tracer."""
+        for tracer in self.tracers:
+            tracer.emit(event)
+
+
+class CallbackTracer:
+    """Adapt a plain callable into a :class:`Tracer`."""
+
+    def __init__(self, callback: Callable[[TraceEvent], None]) -> None:
+        self._callback = callback
+
+    def emit(self, event: TraceEvent) -> None:
+        """Invoke the wrapped callable with the event."""
+        self._callback(event)
+
+
+def compose_tracers(*tracers: Optional[Tracer]) -> Optional[Tracer]:
+    """Combine tracers, eliding ``None``s; returns ``None`` when all are.
+
+    The single-tracer case returns the tracer itself (no wrapper object),
+    keeping the common path allocation-free.
+    """
+    present = [t for t in tracers if t is not None]
+    if not present:
+        return None
+    if len(present) == 1:
+        return present[0]
+    return CompositeTracer(*present)

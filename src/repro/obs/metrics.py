@@ -1,0 +1,256 @@
+"""A registry of counters, gauges and histograms for run instrumentation.
+
+The run loop (and anything else) records into a :class:`MetricsRegistry`:
+per-epoch entropy series, tail-latency and IPC histograms, move/rollback
+counters, and ``decide()``-time profiling. The registry is the single
+source the exporters (:mod:`repro.obs.export`) and the
+``benchmarks/perf`` harness consume, instead of each re-deriving numbers
+from raw epoch records.
+
+Determinism: every statistic is a pure function of the observation
+sequence; histograms keep their samples in observation order, so a
+registry filled by ``--jobs 4`` workers and merged in
+:class:`~repro.parallel.runner.RunPoint` order equals the serial one
+(wall-clock profiling histograms aside — their *values* are inherently
+machine-dependent, but their names, counts and merge order are not).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.errors import ConfigurationError, MeasurementError
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count."""
+
+    name: str
+    help: str = ""
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise MeasurementError(
+                f"counter {self.name}: increments must be non-negative, "
+                f"got {amount}"
+            )
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A value that can go up and down; remembers the last set value."""
+
+    name: str
+    help: str = ""
+    value: float = math.nan
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        self.value = float(value)
+
+    @property
+    def is_set(self) -> bool:
+        """Whether the gauge has been set at least once."""
+        return not math.isnan(self.value)
+
+
+@dataclass
+class Histogram:
+    """An order-preserving sample store with percentile summaries.
+
+    Samples are kept verbatim (runs are tens-to-thousands of epochs, not
+    millions of requests), which makes every summary exact and makes
+    merged histograms reproducible: ``mean()`` uses the same
+    ``sum(values) / len(values)`` arithmetic as
+    :class:`~repro.cluster.run.RunResult`'s summaries, so the two agree to
+    the last bit.
+    """
+
+    name: str
+    help: str = ""
+    values: List[float] = field(default_factory=list)
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        self.values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        """Number of samples recorded."""
+        return len(self.values)
+
+    @property
+    def total(self) -> float:
+        """Sum of all samples (in observation order)."""
+        return sum(self.values)
+
+    def mean(self) -> float:
+        """Arithmetic mean of the samples."""
+        if not self.values:
+            raise MeasurementError(f"histogram {self.name}: no samples")
+        return sum(self.values) / len(self.values)
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0–100, linear interpolation).
+
+        Matches ``numpy.percentile``'s default (linear) method without
+        importing numpy on the hot path.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise MeasurementError(
+                f"histogram {self.name}: percentile must be in [0, 100], got {q}"
+            )
+        if not self.values:
+            raise MeasurementError(f"histogram {self.name}: no samples")
+        ordered = sorted(self.values)
+        if len(ordered) == 1:
+            return ordered[0]
+        position = q / 100.0 * (len(ordered) - 1)
+        lower = int(math.floor(position))
+        upper = int(math.ceil(position))
+        if lower == upper:
+            return ordered[lower]
+        weight = position - lower
+        return ordered[lower] * (1.0 - weight) + ordered[upper] * weight
+
+    def summary(
+        self, quantiles: Tuple[float, ...] = (50.0, 90.0, 95.0, 99.0)
+    ) -> Dict[str, float]:
+        """Count, sum, mean and the requested percentiles as a dict."""
+        result: Dict[str, float] = {
+            "count": float(self.count),
+            "sum": self.total,
+            "mean": self.mean(),
+        }
+        for q in quantiles:
+            result[f"p{q:g}"] = self.percentile(q)
+        return result
+
+
+class MetricsRegistry:
+    """Get-or-create store of named counters, gauges and histograms.
+
+    Names are free-form strings; the convention used by the run loop is
+    ``family/label`` (e.g. ``tail_ms/xapian``). A name is permanently
+    bound to its first-seen type — asking for ``counter("x")`` after
+    ``gauge("x")`` raises.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- accessors ---------------------------------------------------------
+
+    def _check_unbound(self, name: str, want: str) -> None:
+        owners = {
+            "counter": self._counters,
+            "gauge": self._gauges,
+            "histogram": self._histograms,
+        }
+        for kind, store in owners.items():
+            if kind != want and name in store:
+                raise ConfigurationError(
+                    f"metric {name!r} is already registered as a {kind}"
+                )
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """The counter named ``name``, creating it on first use."""
+        if name not in self._counters:
+            self._check_unbound(name, "counter")
+            self._counters[name] = Counter(name=name, help=help)
+        return self._counters[name]
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """The gauge named ``name``, creating it on first use."""
+        if name not in self._gauges:
+            self._check_unbound(name, "gauge")
+            self._gauges[name] = Gauge(name=name, help=help)
+        return self._gauges[name]
+
+    def histogram(self, name: str, help: str = "") -> Histogram:
+        """The histogram named ``name``, creating it on first use."""
+        if name not in self._histograms:
+            self._check_unbound(name, "histogram")
+            self._histograms[name] = Histogram(name=name, help=help)
+        return self._histograms[name]
+
+    # -- views -------------------------------------------------------------
+
+    @property
+    def counters(self) -> Mapping[str, Counter]:
+        """All counters by name."""
+        return dict(self._counters)
+
+    @property
+    def gauges(self) -> Mapping[str, Gauge]:
+        """All gauges by name."""
+        return dict(self._gauges)
+
+    @property
+    def histograms(self) -> Mapping[str, Histogram]:
+        """All histograms by name."""
+        return dict(self._histograms)
+
+    def names(self) -> List[str]:
+        """Every registered metric name, sorted."""
+        return sorted(
+            list(self._counters) + list(self._gauges) + list(self._histograms)
+        )
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    def as_dict(self) -> Dict[str, object]:
+        """A JSON-ready snapshot of every metric."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: h.summary() for n, h in sorted(self._histograms.items())
+            },
+        }
+
+    # -- merging -----------------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry", prefix: str = "") -> None:
+        """Fold ``other`` into this registry (optionally name-prefixed).
+
+        Counters add, gauges take the incoming value (last writer wins),
+        histograms concatenate samples in ``other``'s observation order.
+        Merging worker registries in :class:`~repro.parallel.runner.RunPoint`
+        order therefore reproduces the serial registry exactly.
+        """
+        for name, counter in other._counters.items():
+            self.counter(prefix + name, counter.help).inc(counter.value)
+        for name, gauge in other._gauges.items():
+            if gauge.is_set:
+                self.gauge(prefix + name, gauge.help).set(gauge.value)
+        for name, histogram in other._histograms.items():
+            mine = self.histogram(prefix + name, histogram.help)
+            mine.values.extend(histogram.values)
+
+
+def merge_registries(
+    registries: Iterable[Optional[MetricsRegistry]],
+    into: Optional[MetricsRegistry] = None,
+    prefixes: Optional[Iterable[str]] = None,
+) -> MetricsRegistry:
+    """Merge several registries (skipping ``None``s) into one, in order."""
+    target = into if into is not None else MetricsRegistry()
+    if prefixes is None:
+        for registry in registries:
+            if registry is not None:
+                target.merge(registry)
+        return target
+    for registry, prefix in zip(registries, prefixes):
+        if registry is not None:
+            target.merge(registry, prefix=prefix)
+    return target

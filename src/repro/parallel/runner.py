@@ -36,6 +36,8 @@ from typing import Hashable, Iterable, List, Optional, Tuple
 from repro.cluster.collocation import Collocation
 from repro.cluster.run import RunResult, run_collocation
 from repro.errors import ConfigurationError, ReproError
+from repro.obs.events import CollectingTracer, TraceEvent, Tracer
+from repro.obs.metrics import MetricsRegistry
 
 #: Environment variable consulted when no explicit worker count is given.
 JOBS_ENV_VAR = "REPRO_JOBS"
@@ -134,6 +136,44 @@ def _execute_point(point: RunPoint) -> RunResult:
     )
 
 
+def _execute_point_instrumented(
+    point: RunPoint, want_trace: bool, want_metrics: bool
+) -> Tuple[RunResult, List[TraceEvent], Optional[MetricsRegistry]]:
+    """Worker entry point with per-point observability.
+
+    The worker collects its own events and metrics locally; the parent
+    replays/merges them in submission order, which is what makes a
+    ``--jobs 4`` trace byte-identical to the serial one.
+    """
+    from repro.experiments.common import STRATEGY_FACTORIES
+
+    scheduler = STRATEGY_FACTORIES[point.strategy]()
+    collector = CollectingTracer() if want_trace else None
+    registry = MetricsRegistry() if want_metrics else None
+    result = run_collocation(
+        point.collocation,
+        scheduler,
+        point.duration_s,
+        point.warmup_s,
+        tracer=collector,
+        metrics=registry,
+    )
+    events = collector.events if collector is not None else []
+    return result, events, registry
+
+
+def metrics_prefix(index: int, point: RunPoint, batch_size: int) -> str:
+    """The metric-name prefix for point ``index`` of a ``run_many`` batch.
+
+    A single-point batch keeps bare names (so ``run_many`` over one point
+    matches a direct :func:`~repro.cluster.run.run_collocation` call); a
+    multi-point batch namespaces each point as ``run<index>.<strategy>/``.
+    """
+    if batch_size == 1:
+        return ""
+    return f"run{index:03d}.{point.strategy}/"
+
+
 def _known_strategies() -> Iterable[str]:
     from repro.experiments.common import STRATEGY_FACTORIES
 
@@ -141,7 +181,11 @@ def _known_strategies() -> Iterable[str]:
 
 
 def run_many(
-    points: Iterable[RunPoint], jobs: Optional[int] = None
+    points: Iterable[RunPoint],
+    jobs: Optional[int] = None,
+    *,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> List[RunResult]:
     """Execute every point, returning results in submission order.
 
@@ -149,6 +193,13 @@ def run_many(
     larger uses a ``ProcessPoolExecutor`` with ``min(jobs, len(points))``
     workers. The first failing point aborts the batch with a
     :class:`ParallelRunError`; points still pending are cancelled.
+
+    When ``tracer`` or ``metrics`` is given, every point runs with its own
+    collecting tracer and registry (inside the worker process, when
+    pooled); the parent then replays each point's events to ``tracer`` and
+    merges its registry into ``metrics`` **in submission order**, so the
+    observed stream is identical for every ``jobs`` setting. Multi-point
+    batches namespace merged metrics with :func:`metrics_prefix`.
     """
     batch = list(points)
     known = _known_strategies()
@@ -166,26 +217,55 @@ def run_many(
     if not batch:
         return []
 
+    instrumented = tracer is not None or metrics is not None
+    want_trace = tracer is not None
+    want_metrics = metrics is not None
+
     workers = min(resolve_jobs(jobs), len(batch))
     if workers == 1:
-        results: List[RunResult] = []
+        outcomes = []
         for index, point in enumerate(batch):
             try:
-                results.append(_execute_point(point))
+                if instrumented:
+                    outcomes.append(
+                        _execute_point_instrumented(point, want_trace, want_metrics)
+                    )
+                else:
+                    outcomes.append(_execute_point(point))
             except Exception as exc:
                 raise ParallelRunError(index, point, exc) from exc
-        return results
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            if instrumented:
+                futures = [
+                    pool.submit(
+                        _execute_point_instrumented, point, want_trace, want_metrics
+                    )
+                    for point in batch
+                ]
+            else:
+                futures = [pool.submit(_execute_point, point) for point in batch]
+            outcomes = []
+            for index, (point, future) in enumerate(zip(batch, futures)):
+                try:
+                    outcomes.append(future.result())
+                except Exception as exc:
+                    for pending in futures[index + 1 :]:
+                        pending.cancel()
+                    raise ParallelRunError(index, point, exc) from exc
 
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = [pool.submit(_execute_point, point) for point in batch]
-        results = []
-        for index, (point, future) in enumerate(zip(batch, futures)):
-            try:
-                results.append(future.result())
-            except Exception as exc:
-                for pending in futures[index + 1 :]:
-                    pending.cancel()
-                raise ParallelRunError(index, point, exc) from exc
+    if not instrumented:
+        return outcomes
+
+    results: List[RunResult] = []
+    for index, (point, outcome) in enumerate(zip(batch, outcomes)):
+        result, events, registry = outcome
+        if tracer is not None:
+            for event in events:
+                tracer.emit(event)
+        if metrics is not None and registry is not None:
+            metrics.merge(registry, prefix=metrics_prefix(index, point, len(batch)))
+        results.append(result)
     return results
 
 
@@ -200,6 +280,8 @@ class RunGrid:
 
     jobs: Optional[int] = None
     points: List[RunPoint] = field(default_factory=list)
+    tracer: Optional[Tracer] = None
+    metrics: Optional[MetricsRegistry] = None
 
     def add(
         self,
@@ -224,7 +306,9 @@ class RunGrid:
         return len(self.points)
 
     def run(self) -> List[RunResult]:
-        return run_many(self.points, jobs=self.jobs)
+        return run_many(
+            self.points, jobs=self.jobs, tracer=self.tracer, metrics=self.metrics
+        )
 
     def run_tagged(self) -> List[Tuple[Optional[Hashable], RunResult]]:
         return [(point.tag, result) for point, result in zip(self.points, self.run())]

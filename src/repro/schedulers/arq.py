@@ -29,6 +29,14 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.entropy.records import SystemObservation
+from repro.obs.events import (
+    CooldownEnd,
+    CooldownStart,
+    FSMTransition,
+    ResourceMove,
+    Rollback,
+    Tracer,
+)
 from repro.schedulers.base import (
     SHARED,
     RegionPlan,
@@ -85,6 +93,7 @@ class ARQScheduler(Scheduler):
 
     def __init__(
         self,
+        *,
         entropy_rollback: bool = True,
         cooldown_s: float = PENALTY_COOLDOWN_S,
         shared_region: bool = True,
@@ -92,7 +101,10 @@ class ARQScheduler(Scheduler):
         beneficiary_threshold: float = RET_BENEFICIARY_THRESHOLD,
         rollback_epsilon: float = 0.01,
         victim_patience: int = 4,
+        name: Optional[str] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
+        super().__init__(name=name, tracer=tracer)
         if cooldown_s < 0:
             raise ValueError("cooldown cannot be negative")
         if rollback_epsilon < 0:
@@ -110,20 +122,34 @@ class ARQScheduler(Scheduler):
         self._beneficiary_threshold = beneficiary_threshold
         self._rollback_epsilon = rollback_epsilon
         self._victim_patience = victim_patience
-        self._fsm = ResourceTypeFSM()
+        self._fsm = ResourceTypeFSM(on_transition=self._trace_fsm)
         self._previous_entropy = 1.0
         self._is_adjust = False
         self._last_move: Optional[_Move] = None
         self._cooldown_until: Dict[str, float] = {}
         self._tolerant_streak: Dict[str, int] = {}
+        self._now = 0.0
+
+    def _trace_fsm(self, old_kind: ResourceKind, new_kind: ResourceKind) -> None:
+        """FSM observer: surface state changes as ``FSMTransition`` events."""
+        if self.tracing:
+            self.emit(
+                FSMTransition(
+                    time_s=self._now,
+                    owner=self.name,
+                    from_resource=old_kind.value,
+                    to_resource=new_kind.value,
+                )
+            )
 
     def reset(self) -> None:
-        self._fsm = ResourceTypeFSM()
+        self._fsm = ResourceTypeFSM(on_transition=self._trace_fsm)
         self._previous_entropy = 1.0
         self._is_adjust = False
         self._last_move = None
         self._cooldown_until = {}
         self._tolerant_streak = {}
+        self._now = 0.0
 
     # -- plan construction ----------------------------------------------------
 
@@ -188,6 +214,18 @@ class ARQScheduler(Scheduler):
         current_plan: RegionPlan,
         time_s: float,
     ) -> RegionPlan:
+        self._now = time_s
+        # Retire lapsed cooldowns (state-neutral: expired entries never
+        # influence victim selection) so their end is observable.
+        for region in [
+            r for r, until in self._cooldown_until.items() if until <= time_s
+        ]:
+            del self._cooldown_until[region]
+            if self.tracing:
+                self.emit(
+                    CooldownEnd(time_s=time_s, scheduler=self.name, region=region)
+                )
+
         entropy = observation.system_entropy(context.relative_importance)
         previous_entropy = self._previous_entropy
         self._previous_entropy = entropy
@@ -203,7 +241,28 @@ class ARQScheduler(Scheduler):
             self._is_adjust = False
             self._last_move = None
             self._cooldown_until[move.source] = time_s + self._cooldown_s
+            if self.tracing:
+                self.emit(
+                    CooldownStart(
+                        time_s=time_s,
+                        scheduler=self.name,
+                        region=move.source,
+                        until_s=time_s + self._cooldown_s,
+                    )
+                )
             if current_plan.region_amount(move.destination, move.kind) >= move.amount:
+                if self.tracing:
+                    self.emit(
+                        Rollback(
+                            time_s=time_s,
+                            scheduler=self.name,
+                            resource=move.kind.value,
+                            source=move.destination,
+                            destination=move.source,
+                            amount=move.amount,
+                            reason="entropy_increased",
+                        )
+                    )
                 return current_plan.move(
                     move.kind, move.destination, move.source, move.amount
                 )
@@ -259,7 +318,8 @@ class ARQScheduler(Scheduler):
             if kind is None:
                 return None
         amount = DEFAULT_UNIT_SIZES[kind]
-        if self._beneficiary_is_violating(observation, beneficiary):
+        urgent = self._beneficiary_is_violating(observation, beneficiary)
+        if urgent:
             amount *= URGENT_UNITS
             amount = self._clamp_move(context, plan, kind, victim, beneficiary, amount)
             if amount <= 0:
@@ -269,6 +329,18 @@ class ARQScheduler(Scheduler):
         self._last_move = _Move(
             kind=kind, source=victim, destination=beneficiary, amount=amount
         )
+        if self.tracing:
+            self.emit(
+                ResourceMove(
+                    time_s=time_s,
+                    scheduler=self.name,
+                    resource=kind.value,
+                    source=victim,
+                    destination=beneficiary,
+                    amount=amount,
+                    reason="urgent" if urgent else "adjust",
+                )
+            )
         return plan.move(kind, victim, beneficiary, amount)
 
     @staticmethod

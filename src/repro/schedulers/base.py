@@ -20,6 +20,7 @@ from typing import Dict, FrozenSet, Mapping, Optional, Tuple
 
 from repro.entropy.records import SystemObservation
 from repro.errors import SchedulingError
+from repro.obs.events import TraceEvent, Tracer
 from repro.server.cores import CorePolicy
 from repro.server.node import ServerNode
 from repro.server.resources import ResourceVector, total_of
@@ -147,10 +148,51 @@ class Scheduler(abc.ABC):
     monitoring epoch calls :meth:`decide` with the (noisy) observation
     measured under the current plan. ``decide`` returns the plan for the
     next epoch — returning the current plan unchanged is the no-op.
+
+    Constructor uniformity
+    ----------------------
+    Every scheduler takes **keyword-only** constructor arguments; all of
+    them accept the common tail ``Scheduler(name=..., tracer=...)``
+    provided here. ``name`` overrides the strategy's display name;
+    ``tracer`` receives structured events (``ResourceMove``, ``Rollback``,
+    ``CooldownStart``/``End``, ...) as the strategy acts —
+    :func:`repro.cluster.run.run_collocation` attaches the run's tracer
+    automatically, so passing one at construction time is only needed for
+    driving a scheduler by hand.
     """
 
     #: Human-readable strategy name (used in reports).
     name: str = "scheduler"
+
+    def __init__(
+        self, *, name: Optional[str] = None, tracer: Optional[Tracer] = None
+    ) -> None:
+        if name is not None:
+            self.name = name
+        self._tracer: Optional[Tracer] = tracer
+
+    # -- observability -----------------------------------------------------
+
+    @property
+    def tracing(self) -> bool:
+        """Whether a tracer is attached (guard event construction on this)."""
+        return self._tracer is not None
+
+    @property
+    def tracer(self) -> Optional[Tracer]:
+        """The currently attached tracer (``None`` when detached)."""
+        return self._tracer
+
+    def attach_tracer(self, tracer: Optional[Tracer]) -> None:
+        """Attach (or detach, with ``None``) the tracer receiving events."""
+        self._tracer = tracer
+
+    def emit(self, event: TraceEvent) -> None:
+        """Emit one event to the attached tracer (no-op when detached)."""
+        if self._tracer is not None:
+            self._tracer.emit(event)
+
+    # -- strategy interface ------------------------------------------------
 
     @abc.abstractmethod
     def initial_plan(self, context: SchedulerContext) -> RegionPlan:

@@ -33,6 +33,7 @@ import numpy as np
 from repro.bayesopt.optimizer import BayesianOptimizer
 from repro.entropy.records import SystemObservation
 from repro.errors import SchedulingError
+from repro.obs.events import SearchProgress, Tracer
 from repro.schedulers.base import RegionPlan, Scheduler, SchedulerContext
 from repro.server.cores import CorePolicy
 from repro.server.resources import ResourceVector
@@ -61,11 +62,15 @@ class CLITEScheduler(Scheduler):
 
     def __init__(
         self,
+        *,
         initial_samples: int = INITIAL_SAMPLES,
         search_budget: int = SEARCH_BUDGET,
         candidate_pool: int = CANDIDATE_POOL,
         dwell_epochs: int = DWELL_EPOCHS,
+        name: Optional[str] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
+        super().__init__(name=name, tracer=tracer)
         if initial_samples < 1:
             raise SchedulingError("initial_samples must be positive")
         if search_budget < initial_samples:
@@ -331,13 +336,48 @@ class CLITEScheduler(Scheduler):
                 optimizer.restart()
                 self._pinned = None
                 self._degraded_epochs = 0
+                if self.tracing:
+                    self.emit(
+                        SearchProgress(
+                            time_s=time_s,
+                            scheduler=self.name,
+                            phase="restarted",
+                            evaluations=optimizer.evaluations,
+                            best_score=self._pinned_score,
+                        )
+                    )
             else:
                 return current_plan
 
         if optimizer.evaluations >= self._search_budget:
             self._pinned, self._pinned_score = optimizer.best()
             self._current_config = self._pinned
+            if self.tracing:
+                self.emit(
+                    SearchProgress(
+                        time_s=time_s,
+                        scheduler=self.name,
+                        phase="pinned",
+                        evaluations=optimizer.evaluations,
+                        best_score=self._pinned_score,
+                    )
+                )
             return self._config_to_plan(context, self._pinned)
 
         self._current_config = optimizer.suggest()
+        if self.tracing:
+            phase = (
+                "sampling"
+                if optimizer.evaluations < self._initial_samples
+                else "searching"
+            )
+            self.emit(
+                SearchProgress(
+                    time_s=time_s,
+                    scheduler=self.name,
+                    phase=phase,
+                    evaluations=optimizer.evaluations,
+                    best_score=optimizer.best()[1] if optimizer.evaluations else 0.0,
+                )
+            )
         return self._config_to_plan(context, self._current_config)

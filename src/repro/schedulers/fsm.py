@@ -20,23 +20,45 @@ DEFAULT_ORDER = (ResourceKind.CORES, ResourceKind.LLC_WAYS, ResourceKind.MEMBW)
 
 
 class ResourceTypeFSM:
-    """Cyclic resource-type selector with a feasibility predicate."""
+    """Cyclic resource-type selector with a feasibility predicate.
 
-    def __init__(self, order: Sequence[ResourceKind] = DEFAULT_ORDER) -> None:
+    ``on_transition`` is an optional observer called with
+    ``(old_kind, new_kind)`` whenever the machine settles on a different
+    state — schedulers wire it to their tracer so FSM cycling shows up in
+    traces as ``FSMTransition`` events. The observer never influences the
+    selection; runs with and without one are identical.
+    """
+
+    def __init__(
+        self,
+        order: Sequence[ResourceKind] = DEFAULT_ORDER,
+        on_transition: Optional[
+            Callable[[ResourceKind, ResourceKind], None]
+        ] = None,
+    ) -> None:
         if not order:
             raise SchedulingError("the FSM needs at least one resource kind")
         if len(set(order)) != len(order):
             raise SchedulingError(f"duplicate resource kinds in order: {order}")
         self._order = tuple(order)
         self._index = 0
+        self._on_transition = on_transition
 
     @property
     def current(self) -> ResourceKind:
         return self._order[self._index]
 
+    def _move_to(self, index: int) -> None:
+        if index == self._index:
+            return
+        old = self.current
+        self._index = index
+        if self._on_transition is not None:
+            self._on_transition(old, self.current)
+
     def advance(self) -> ResourceKind:
         """Move to the next resource kind and return it."""
-        self._index = (self._index + 1) % len(self._order)
+        self._move_to((self._index + 1) % len(self._order))
         return self.current
 
     def pick(
@@ -52,10 +74,10 @@ class ResourceTypeFSM:
         for offset in range(len(self._order)):
             kind = self._order[(start + offset) % len(self._order)]
             if feasible(kind):
-                self._index = (start + offset) % len(self._order)
+                self._move_to((start + offset) % len(self._order))
                 return kind
-        self._index = start
         return None
 
     def reset(self) -> None:
-        self._index = 0
+        """Return to the first resource kind in the order."""
+        self._move_to(0)

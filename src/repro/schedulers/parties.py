@@ -25,6 +25,14 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.entropy.records import SystemObservation
+from repro.obs.events import (
+    CooldownEnd,
+    CooldownStart,
+    FSMTransition,
+    ResourceMove,
+    Rollback,
+    Tracer,
+)
 from repro.schedulers.base import RegionPlan, Scheduler, SchedulerContext
 from repro.schedulers.fsm import ResourceTypeFSM
 from repro.server.cores import CorePolicy
@@ -52,11 +60,15 @@ class PartiesScheduler(Scheduler):
 
     def __init__(
         self,
+        *,
         slack_lower: float = SLACK_LOWER,
         slack_upper: float = SLACK_UPPER,
         downsize_patience: int = 3,
         revert_cooldown_s: float = 30.0,
+        name: Optional[str] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
+        super().__init__(name=name, tracer=tracer)
         if not 0 <= slack_lower < slack_upper:
             raise ValueError("need 0 <= slack_lower < slack_upper")
         if downsize_patience < 1:
@@ -71,12 +83,30 @@ class PartiesScheduler(Scheduler):
         self._pending_downsize: Optional[Tuple[str, ResourceKind, str]] = None
         self._relaxed_streak: Dict[str, int] = {}
         self._downsize_cooldown: Dict[str, float] = {}
+        self._now = 0.0
 
     def reset(self) -> None:
         self._fsms = {}
         self._pending_downsize = None
         self._relaxed_streak = {}
         self._downsize_cooldown = {}
+        self._now = 0.0
+
+    def _make_fsm(self, owner: str) -> ResourceTypeFSM:
+        """An FSM whose state changes surface as ``FSMTransition`` events."""
+
+        def observe(old_kind: ResourceKind, new_kind: ResourceKind) -> None:
+            if self.tracing:
+                self.emit(
+                    FSMTransition(
+                        time_s=self._now,
+                        owner=f"{self.name}/{owner}",
+                        from_resource=old_kind.value,
+                        to_resource=new_kind.value,
+                    )
+                )
+
+        return ResourceTypeFSM(on_transition=observe)
 
     # -- plan construction --------------------------------------------------
 
@@ -119,7 +149,7 @@ class PartiesScheduler(Scheduler):
             shared_policy=CorePolicy.LC_PRIORITY,
         )
         plan.validate(context.node)
-        self._fsms = {name: ResourceTypeFSM() for name in context.lc_profiles}
+        self._fsms = {name: self._make_fsm(name) for name in context.lc_profiles}
         return plan
 
     # -- decision loop --------------------------------------------------------
@@ -131,6 +161,18 @@ class PartiesScheduler(Scheduler):
         current_plan: RegionPlan,
         time_s: float,
     ) -> RegionPlan:
+        self._now = time_s
+        # Retire lapsed downsize cooldowns (state-neutral) so their end is
+        # observable in traces.
+        for region in [
+            r for r, until in self._downsize_cooldown.items() if until <= time_s
+        ]:
+            del self._downsize_cooldown[region]
+            if self.tracing:
+                self.emit(
+                    CooldownEnd(time_s=time_s, scheduler=self.name, region=region)
+                )
+
         slacks = {
             o.name: (o.threshold_ms - o.measured_ms) / o.threshold_ms
             for o in observation.lc
@@ -146,8 +188,29 @@ class PartiesScheduler(Scheduler):
             self._pending_downsize = None
             if slacks.get(victim, 1.0) < self._slack_lower:
                 self._downsize_cooldown[victim] = time_s + self._revert_cooldown_s
+                if self.tracing:
+                    self.emit(
+                        CooldownStart(
+                            time_s=time_s,
+                            scheduler=self.name,
+                            region=victim,
+                            until_s=time_s + self._revert_cooldown_s,
+                        )
+                    )
                 unit = DEFAULT_UNIT_SIZES[kind]
                 if current_plan.region_amount(donor_target, kind) >= unit:
+                    if self.tracing:
+                        self.emit(
+                            Rollback(
+                                time_s=time_s,
+                                scheduler=self.name,
+                                resource=kind.value,
+                                source=donor_target,
+                                destination=victim,
+                                amount=unit,
+                                reason="slack_collapsed",
+                            )
+                        )
                     return current_plan.move(kind, donor_target, victim, unit)
 
         # Track how long each application has stayed relaxed; tentative
@@ -207,7 +270,7 @@ class PartiesScheduler(Scheduler):
         starving: str,
         slacks: Dict[str, float],
     ) -> Optional[RegionPlan]:
-        fsm = self._fsms.setdefault(starving, ResourceTypeFSM())
+        fsm = self._fsms.setdefault(starving, self._make_fsm(starving))
 
         def can_use(kind: ResourceKind) -> bool:
             held = plan.region_amount(starving, kind)
@@ -230,6 +293,18 @@ class PartiesScheduler(Scheduler):
         donor = self._donors(context, plan, kind, slacks, starving)[0]
         unit = DEFAULT_UNIT_SIZES[kind]
         fsm.advance()
+        if self.tracing:
+            self.emit(
+                ResourceMove(
+                    time_s=self._now,
+                    scheduler=self.name,
+                    resource=kind.value,
+                    source=donor,
+                    destination=starving,
+                    amount=unit,
+                    reason="upsize",
+                )
+            )
         return plan.move(kind, donor, starving, unit)
 
     def _downsize(
@@ -240,7 +315,7 @@ class PartiesScheduler(Scheduler):
     ) -> Optional[RegionPlan]:
         if not context.be_profiles:
             return None
-        fsm = self._fsms.setdefault(relaxed, ResourceTypeFSM())
+        fsm = self._fsms.setdefault(relaxed, self._make_fsm(relaxed))
 
         def feasible(kind: ResourceKind) -> bool:
             unit = DEFAULT_UNIT_SIZES[kind]
@@ -258,4 +333,16 @@ class PartiesScheduler(Scheduler):
         )
         fsm.advance()
         self._pending_downsize = (relaxed, kind, recipient)
+        if self.tracing:
+            self.emit(
+                ResourceMove(
+                    time_s=self._now,
+                    scheduler=self.name,
+                    resource=kind.value,
+                    source=relaxed,
+                    destination=recipient,
+                    amount=unit,
+                    reason="downsize",
+                )
+            )
         return plan.move(kind, relaxed, recipient, unit)

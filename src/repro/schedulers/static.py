@@ -7,19 +7,30 @@ snapshot rendering.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.entropy.records import SystemObservation
 from repro.errors import SchedulingError
+from repro.obs.events import Tracer
 from repro.schedulers.base import RegionPlan, Scheduler, SchedulerContext
 
 
 class StaticScheduler(Scheduler):
     """Apply ``plan`` at the start and never change it."""
 
-    def __init__(self, plan: RegionPlan, name: str = "static") -> None:
+    name = "static"
+
+    def __init__(
+        self,
+        *,
+        plan: RegionPlan,
+        name: Optional[str] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        super().__init__(name=name, tracer=tracer)
         if plan is None:
             raise SchedulingError("StaticScheduler needs a plan")
         self._plan = plan
-        self.name = name
 
     def initial_plan(self, context: SchedulerContext) -> RegionPlan:
         self._plan.validate(context.node)

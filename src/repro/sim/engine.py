@@ -6,6 +6,7 @@ import heapq
 from typing import Any, Callable, List, Optional
 
 from repro.errors import SimulationError
+from repro.obs.events import SimCallbackExecuted, Tracer
 from repro.sim.events import Event
 
 
@@ -14,14 +15,17 @@ class Engine:
 
     Callbacks may schedule further events. Determinism is guaranteed by a
     monotonically increasing sequence number that breaks simultaneous-event
-    ties in scheduling order.
+    ties in scheduling order. An optional ``tracer`` receives one
+    :class:`~repro.obs.events.SimCallbackExecuted` event per executed
+    callback; the tracer never influences execution order.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, tracer: Optional[Tracer] = None) -> None:
         self._heap: List[Event] = []
         self._now = 0.0
         self._sequence = 0
         self._processed = 0
+        self._tracer = tracer
 
     @property
     def now(self) -> float:
@@ -83,6 +87,14 @@ class Engine:
             event.callback()
             executed += 1
             self._processed += 1
+            if self._tracer is not None:
+                self._tracer.emit(
+                    SimCallbackExecuted(
+                        time_s=event.time_s,
+                        label=event.label,
+                        sequence=event.sequence,
+                    )
+                )
         self._now = max(self._now, end_s)
         return executed
 
@@ -99,4 +111,12 @@ class Engine:
             event.callback()
             executed += 1
             self._processed += 1
+            if self._tracer is not None:
+                self._tracer.emit(
+                    SimCallbackExecuted(
+                        time_s=event.time_s,
+                        label=event.label,
+                        sequence=event.sequence,
+                    )
+                )
         return executed

@@ -1,0 +1,87 @@
+"""The high-level facade: ``repro.run`` / ``repro.compare``."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro
+from repro.errors import ConfigurationError
+
+
+class TestRunConfig:
+    def test_defaults_are_the_canonical_mix(self):
+        config = repro.RunConfig()
+        assert config.strategy == "arq"
+        assert set(config.lc_loads) == {"xapian", "moses", "img-dnn"}
+        assert config.be_apps == ("fluidanimate",)
+
+    def test_rejects_unknown_strategy(self):
+        with pytest.raises(ConfigurationError):
+            repro.RunConfig(strategy="magic")
+
+    def test_rejects_empty_mix(self):
+        with pytest.raises(ConfigurationError):
+            repro.RunConfig(lc_loads={})
+
+    def test_with_strategy_validates(self):
+        config = repro.RunConfig().with_strategy("parties")
+        assert config.strategy == "parties"
+        with pytest.raises(ConfigurationError):
+            config.with_strategy("nope")
+
+    def test_collocation_is_reproducible(self):
+        config = repro.RunConfig(seed=7)
+        assert config.collocation().seed == 7
+
+
+class TestRunAndCompare:
+    def test_run_returns_summary_with_result(self):
+        summary = repro.run(duration_s=5.0, warmup_s=1.0)
+        assert summary.scheduler == "arq"
+        assert summary.epochs == len(summary.result.records)
+        assert 0.0 <= summary.mean_e_s <= 1.0
+        assert set(summary.mean_tail_ms) == {"xapian", "moses", "img-dnn"}
+
+    def test_run_matches_summary_dict(self):
+        from repro.obs.export import summary_dict
+
+        summary = repro.run(duration_s=5.0, warmup_s=1.0, strategy="unmanaged")
+        expected = dict(summary_dict(summary.result))
+        # `yield` is a keyword, so the dataclass names it `yield_fraction`.
+        expected["yield_fraction"] = expected.pop("yield")
+        assert summary.to_dict() == expected
+
+    def test_overrides_on_a_config(self):
+        config = repro.RunConfig(duration_s=5.0, warmup_s=1.0)
+        summary = repro.run(config, strategy="unmanaged")
+        assert summary.scheduler == "unmanaged"
+
+    def test_to_json_round_trips(self):
+        summary = repro.run(duration_s=4.0, warmup_s=1.0)
+        payload = json.loads(summary.to_json())
+        assert payload["scheduler"] == "arq"
+        assert "result" not in payload
+
+    def test_run_accepts_tracer_and_metrics(self):
+        tracer = repro.CollectingTracer()
+        metrics = repro.MetricsRegistry()
+        summary = repro.run(
+            duration_s=4.0, warmup_s=1.0, tracer=tracer, metrics=metrics
+        )
+        assert len(tracer.of_kind("epoch_measured")) == summary.epochs
+        assert metrics.counter("epochs").value == summary.epochs
+
+    def test_compare_runs_every_strategy_in_order(self):
+        by_strategy = repro.compare(
+            duration_s=4.0, warmup_s=1.0, strategies=("unmanaged", "arq"), jobs=2
+        )
+        assert list(by_strategy) == ["unmanaged", "arq"]
+        assert by_strategy["arq"].scheduler == "arq"
+
+    def test_compare_matches_solo_run(self):
+        config = repro.RunConfig(duration_s=4.0, warmup_s=1.0)
+        solo = repro.run(config, strategy="unmanaged")
+        compared = repro.compare(config, strategies=("unmanaged",), jobs=1)
+        assert compared["unmanaged"] == solo

@@ -8,7 +8,7 @@ import json
 import pytest
 
 from repro.cli import main
-from repro.cluster.export import (
+from repro.obs.export import (
     EPOCH_COLUMNS,
     epochs_to_rows,
     summary_dict,

@@ -1,0 +1,399 @@
+"""The observability subsystem: events, tracers, metrics, exporters.
+
+Covers the PR's acceptance criteria directly: JSONL round-trips through
+the reader helper, traces are byte-identical across repeats and worker
+counts, metrics histograms agree with ``RunResult`` summaries to 1e-12,
+and a tracer-free run is bit-identical to an instrumented one.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cluster.run import run_collocation
+from repro.errors import ConfigurationError, MeasurementError
+from repro.obs.events import (
+    EVENT_KINDS,
+    CallbackTracer,
+    CollectingTracer,
+    CompositeTracer,
+    EpochMeasured,
+    NullTracer,
+    QoSViolation,
+    ResourceMove,
+    RunFinished,
+    RunStarted,
+    SchedulerDecision,
+    Tracer,
+    compose_tracers,
+    event_from_dict,
+)
+from repro.obs.export import (
+    Console,
+    JsonlTraceWriter,
+    NarratorTracer,
+    event_to_json,
+    is_quiet,
+    read_trace,
+    say,
+    set_quiet,
+    write_metrics,
+    write_trace,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_registries,
+)
+from repro.parallel import RunPoint, run_many
+from repro.schedulers import ARQScheduler
+
+
+class TestEvents:
+    def test_every_kind_round_trips_through_dict(self):
+        for kind, cls in EVENT_KINDS.items():
+            event = cls(time_s=0.0)
+            payload = event.to_dict()
+            assert payload["kind"] == kind
+            assert event_from_dict(payload) == event
+
+    def test_round_trip_preserves_field_values(self):
+        event = EpochMeasured(
+            time_s=3.5,
+            epoch=7,
+            e_s=0.25,
+            loads={"xapian": 0.5},
+            tails_ms={"xapian": 3.2},
+        )
+        again = event_from_dict(json.loads(event_to_json(event)))
+        assert again == event
+        assert again.loads == {"xapian": 0.5}
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            event_from_dict({"kind": "wormhole", "time_s": 0.0})
+
+    def test_tracer_protocol_runtime_checkable(self):
+        assert isinstance(NullTracer(), Tracer)
+        assert isinstance(CollectingTracer(), Tracer)
+        assert not isinstance(object(), Tracer)
+
+
+class TestTracers:
+    def test_collecting_tracer_keeps_order_and_filters(self):
+        tracer = CollectingTracer()
+        tracer.emit(RunStarted(time_s=0.0, scheduler="arq"))
+        tracer.emit(QoSViolation(time_s=0.5, application="xapian"))
+        tracer.emit(QoSViolation(time_s=1.0, application="moses"))
+        assert len(tracer) == 3
+        assert [e.application for e in tracer.of_kind("qos_violation")] == [
+            "xapian",
+            "moses",
+        ]
+
+    def test_composite_fans_out(self):
+        a, b = CollectingTracer(), CollectingTracer()
+        CompositeTracer(a, b).emit(RunStarted(time_s=0.0))
+        assert len(a) == len(b) == 1
+
+    def test_callback_tracer(self):
+        seen = []
+        CallbackTracer(seen.append).emit(RunFinished(time_s=1.0))
+        assert [e.kind for e in seen] == ["run_finished"]
+
+    def test_compose_elides_none_and_passes_single_through(self):
+        assert compose_tracers(None, None) is None
+        only = CollectingTracer()
+        assert compose_tracers(None, only, None) is only
+        both = compose_tracers(only, NullTracer())
+        assert isinstance(both, CompositeTracer)
+
+
+class TestMetricsPrimitives:
+    def test_counter_monotonic(self):
+        counter = Counter("epochs")
+        counter.inc()
+        counter.inc(2.0)
+        assert counter.value == 3.0
+        with pytest.raises(MeasurementError):
+            counter.inc(-1.0)
+
+    def test_gauge_set_semantics(self):
+        gauge = Gauge("entropy")
+        assert not gauge.is_set
+        gauge.set(0.4)
+        assert gauge.is_set and gauge.value == 0.4
+
+    def test_histogram_summary_and_percentiles(self):
+        histogram = Histogram("tail_ms")
+        for value in (1.0, 2.0, 3.0, 4.0):
+            histogram.observe(value)
+        summary = histogram.summary()
+        assert summary["count"] == 4.0
+        assert summary["sum"] == 10.0
+        assert summary["mean"] == 2.5
+        assert histogram.percentile(50.0) == 2.5
+        assert histogram.percentile(0.0) == 1.0
+        assert histogram.percentile(100.0) == 4.0
+
+    def test_registry_get_or_create_and_type_collision(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("a")
+
+    def test_merge_with_prefix(self):
+        source = MetricsRegistry()
+        source.counter("epochs").inc(5.0)
+        source.histogram("e_s").observe(0.3)
+        target = MetricsRegistry()
+        target.merge(source, prefix="run000.arq/")
+        assert target.counter("run000.arq/epochs").value == 5.0
+        assert target.histogram("run000.arq/e_s").count == 1
+        merged = merge_registries([source, source])
+        assert merged.counter("epochs").value == 10.0
+
+
+@pytest.fixture
+def traced_run(canonical_collocation):
+    tracer = CollectingTracer()
+    metrics = MetricsRegistry()
+    result = run_collocation(
+        canonical_collocation,
+        ARQScheduler(),
+        duration_s=8.0,
+        warmup_s=2.0,
+        tracer=tracer,
+        metrics=metrics,
+    )
+    return result, tracer, metrics
+
+
+class TestRunInstrumentation:
+    def test_event_stream_shape(self, traced_run):
+        result, tracer, _ = traced_run
+        epochs = len(result.records)
+        assert len(tracer.of_kind("run_started")) == 1
+        assert len(tracer.of_kind("run_finished")) == 1
+        assert len(tracer.of_kind("epoch_measured")) == epochs
+        assert len(tracer.of_kind("scheduler_decision")) == epochs
+        kinds = [event.kind for event in tracer.events]
+        assert kinds[0] == "run_started" and kinds[-1] == "run_finished"
+
+    def test_event_times_are_simulated(self, traced_run):
+        result, tracer, _ = traced_run
+        measured = tracer.of_kind("epoch_measured")
+        assert [e.time_s for e in measured] == [r.time_s for r in result.records]
+
+    def test_metrics_match_result_summaries(self, traced_run):
+        result, _, metrics = traced_run
+        assert metrics.histogram("e_s").mean() == pytest.approx(
+            result.mean_e_s(), abs=1e-12
+        )
+        assert metrics.histogram("e_lc").mean() == pytest.approx(
+            result.mean_e_lc(), abs=1e-12
+        )
+        assert metrics.histogram("e_be").mean() == pytest.approx(
+            result.mean_e_be(), abs=1e-12
+        )
+        for name, mean_tail in result.mean_tail_latencies_ms().items():
+            assert metrics.histogram(f"tail_ms/{name}").mean() == pytest.approx(
+                mean_tail, abs=1e-12
+            )
+        for name, mean_ipc in result.mean_ipcs().items():
+            assert metrics.histogram(f"ipc/{name}").mean() == pytest.approx(
+                mean_ipc, abs=1e-12
+            )
+        assert metrics.counter("epochs").value == len(result.records)
+        assert metrics.counter("qos_violations").value == result.violation_count()
+        assert metrics.histogram("decide_time_s").count == len(result.records)
+
+    def test_disabled_tracer_is_bit_identical(self, canonical_collocation):
+        plain = run_collocation(
+            canonical_collocation, ARQScheduler(), duration_s=8.0, warmup_s=2.0
+        )
+        traced = run_collocation(
+            canonical_collocation,
+            ARQScheduler(),
+            duration_s=8.0,
+            warmup_s=2.0,
+            tracer=CollectingTracer(),
+            metrics=MetricsRegistry(),
+        )
+        assert plain.records == traced.records
+
+    def test_constructor_tracer_composes_with_run_tracer(
+        self, canonical_collocation
+    ):
+        constructor_tracer = CollectingTracer()
+        run_tracer = CollectingTracer()
+        scheduler = ARQScheduler(tracer=constructor_tracer)
+        run_collocation(
+            canonical_collocation,
+            scheduler,
+            duration_s=4.0,
+            warmup_s=1.0,
+            tracer=run_tracer,
+        )
+        assert scheduler.tracer is constructor_tracer
+        assert len(run_tracer.of_kind("run_started")) == 1
+
+
+class TestTraceExport:
+    def test_jsonl_round_trip(self, traced_run, tmp_path):
+        _, tracer, _ = traced_run
+        path = write_trace(tracer.events, tmp_path / "trace.jsonl")
+        assert read_trace(path) == list(tracer.events)
+
+    def test_reader_reports_bad_lines(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "run_started", "time_s": 0.0}\nnot json\n')
+        with pytest.raises(ConfigurationError, match=":2: not valid JSON"):
+            read_trace(path)
+
+    def test_writer_rejects_emit_after_close(self, tmp_path):
+        writer = JsonlTraceWriter(tmp_path / "t.jsonl")
+        writer.emit(RunStarted(time_s=0.0))
+        writer.close()
+        with pytest.raises(ConfigurationError):
+            writer.emit(RunFinished(time_s=1.0))
+
+    def test_metrics_export_formats(self, traced_run, tmp_path):
+        _, _, metrics = traced_run
+        prom = write_metrics(metrics, tmp_path / "m.prom").read_text()
+        assert "# TYPE repro_epochs counter" in prom
+        assert 'repro_decide_time_s{quantile="0.99"}' in prom
+        csv_text = write_metrics(metrics, tmp_path / "m.csv").read_text()
+        assert csv_text.startswith("metric,type,field,value")
+
+
+class TestParallelTraceDeterminism:
+    @pytest.fixture
+    def points(self, canonical_collocation, stream_collocation):
+        return [
+            RunPoint(canonical_collocation, strategy, 5.0, 1.0)
+            for strategy in ("unmanaged", "arq")
+        ] + [RunPoint(stream_collocation, "parties", 5.0, 1.0)]
+
+    def _trace_bytes(self, points, jobs, tmp_path, label):
+        path = tmp_path / f"{label}.jsonl"
+        writer = JsonlTraceWriter(path)
+        metrics = MetricsRegistry()
+        try:
+            run_many(points, jobs=jobs, tracer=writer, metrics=metrics)
+        finally:
+            writer.close()
+        return path.read_bytes(), metrics
+
+    def test_traces_identical_across_worker_counts(self, points, tmp_path):
+        serial, serial_metrics = self._trace_bytes(points, 1, tmp_path, "serial")
+        fanned, fanned_metrics = self._trace_bytes(points, 4, tmp_path, "fanned")
+        assert serial == fanned
+        assert len(serial) > 0
+        # Per-run metrics agree too (wall-clock decide profiling aside).
+        assert (
+            serial_metrics.counter("run000.unmanaged/epochs").value
+            == fanned_metrics.counter("run000.unmanaged/epochs").value
+        )
+
+    def test_collected_events_group_by_point_in_submission_order(self, points):
+        tracer = CollectingTracer()
+        run_many(points, jobs=4, tracer=tracer)
+        starts = tracer.of_kind("run_started")
+        assert [event.scheduler for event in starts] == [
+            "unmanaged",
+            "arq",
+            "parties",
+        ]
+
+
+class TestNarratorAndQuiet:
+    def test_say_respects_quiet(self, capsys):
+        set_quiet(False)
+        say("visible")
+        set_quiet(True)
+        try:
+            assert is_quiet()
+            say("hidden")
+        finally:
+            set_quiet(False)
+        output = capsys.readouterr().out
+        assert "visible" in output and "hidden" not in output
+
+    def test_narrator_renders_key_events(self):
+        import io
+
+        buffer = io.StringIO()
+        narrator = NarratorTracer(sink=Console(stream=buffer))
+        narrator.emit(RunStarted(time_s=0.0, scheduler="arq", lc_apps=("xapian",)))
+        narrator.emit(QoSViolation(time_s=2.0, application="xapian", tail_ms=9.0))
+        narrator.emit(
+            SchedulerDecision(time_s=2.0, scheduler="arq", plan_changed=True)
+        )
+        narrator.emit(
+            ResourceMove(
+                time_s=2.5,
+                scheduler="arq",
+                resource="cores",
+                source="__shared__",
+                destination="xapian",
+                amount=1.0,
+            )
+        )
+        narrator.emit(RunFinished(time_s=10.0, scheduler="arq"))
+        lines = buffer.getvalue().splitlines()
+        assert len(lines) == 5
+        assert any("xapian" in line for line in lines)
+
+    def test_narrator_elides_quiet_epochs(self):
+        assert NarratorTracer().render(
+            EpochMeasured(time_s=1.0, epoch=1, violations=0)
+        ) is None
+        assert NarratorTracer(every_epoch=True).render(
+            EpochMeasured(time_s=1.0, epoch=1, violations=0)
+        ) is not None
+        assert NarratorTracer().render(
+            EpochMeasured(time_s=2.0, epoch=2, violations=1)
+        ) is not None
+
+
+class TestCLIObservability:
+    def test_run_with_trace_metrics_and_quiet(self, capsys, tmp_path):
+        from repro.cli import main
+
+        trace_path = tmp_path / "t.jsonl"
+        code = main(
+            [
+                "run",
+                "--strategy",
+                "unmanaged",
+                "--mix",
+                "fig8",
+                "--duration",
+                "5",
+                "--warmup",
+                "1",
+                "--trace",
+                str(trace_path),
+                "--metrics",
+                str(tmp_path / "m.prom"),
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        assert capsys.readouterr().out == ""
+        events = read_trace(trace_path)
+        assert any(event.kind == "scheduler_decision" for event in events)
+        assert (tmp_path / "m.prom").read_text().startswith("# HELP")
+
+    def test_quiet_flag_resets_between_invocations(self, capsys):
+        from repro.cli import main
+
+        main(["experiment", "fig4", "--quiet"])
+        assert capsys.readouterr().out == ""
+        main(["experiment", "fig4"])
+        assert "Fig. 4" in capsys.readouterr().out

@@ -1,22 +1,40 @@
 """The top-level public API surface.
 
 A downstream user should be able to do everything through ``repro``'s
-top-level names; this pins the surface so refactors don't silently break
-imports.
+top-level names; this pins the surface — exactly, not as a subset — so
+refactors don't silently break or bloat imports. It also pins the
+constructor convention: every scheduler takes keyword-only arguments
+ending in the common ``name``/``tracer`` tail.
 """
 
 from __future__ import annotations
 
+import inspect
+
+import pytest
+
 import repro
 
 
+#: The frozen public surface. Additions and removals are API changes and
+#: must be made here deliberately, in the same commit.
 EXPECTED_PUBLIC_NAMES = {
+    # facade
+    "run",
+    "compare",
+    "RunConfig",
+    "RunSummary",
     # collocation description + running
     "Collocation",
     "LCMember",
     "BEMember",
     "RunResult",
     "run_collocation",
+    # parallel fan-out
+    "ParallelRunError",
+    "RunGrid",
+    "RunPoint",
+    "run_many",
     # theory
     "LCObservation",
     "BEObservation",
@@ -34,6 +52,13 @@ EXPECTED_PUBLIC_NAMES = {
     "PartiesScheduler",
     "StaticScheduler",
     "UnmanagedScheduler",
+    # observability
+    "Tracer",
+    "TraceEvent",
+    "NullTracer",
+    "CollectingTracer",
+    "compose_tracers",
+    "MetricsRegistry",
     # platform + workloads
     "NodeSpec",
     "PAPER_NODE",
@@ -47,9 +72,29 @@ EXPECTED_PUBLIC_NAMES = {
     "FluctuatingLoad",
 }
 
+def _heracles():
+    from repro.schedulers.heracles import HeraclesScheduler
 
-def test_all_contains_expected_names():
-    assert EXPECTED_PUBLIC_NAMES <= set(repro.__all__)
+    return HeraclesScheduler
+
+
+SCHEDULER_CLASSES = [
+    repro.ARQScheduler,
+    repro.CLITEScheduler,
+    repro.LCFirstScheduler,
+    repro.PartiesScheduler,
+    repro.StaticScheduler,
+    repro.UnmanagedScheduler,
+    _heracles(),
+]
+
+
+def test_all_is_exactly_the_frozen_surface():
+    assert set(repro.__all__) == EXPECTED_PUBLIC_NAMES
+
+
+def test_all_is_sorted_and_unique():
+    assert repro.__all__ == sorted(set(repro.__all__))
 
 
 def test_all_names_importable():
@@ -61,10 +106,33 @@ def test_version():
     assert repro.__version__
 
 
+@pytest.mark.parametrize("cls", SCHEDULER_CLASSES, ids=lambda c: c.__name__)
+def test_scheduler_constructors_keyword_only(cls):
+    """No scheduler accepts positional configuration."""
+    signature = inspect.signature(cls.__init__)
+    positional = [
+        parameter
+        for parameter in signature.parameters.values()
+        if parameter.kind
+        in (inspect.Parameter.POSITIONAL_ONLY, inspect.Parameter.POSITIONAL_OR_KEYWORD)
+        and parameter.name != "self"
+    ]
+    assert not positional, f"{cls.__name__} takes positional args: {positional}"
+
+
+@pytest.mark.parametrize("cls", SCHEDULER_CLASSES, ids=lambda c: c.__name__)
+def test_scheduler_constructors_share_the_common_tail(cls):
+    """Every scheduler constructor ends with ``name=None, tracer=None``."""
+    names = list(inspect.signature(cls.__init__).parameters)
+    assert names[-2:] == ["name", "tracer"], f"{cls.__name__}: {names}"
+    parameters = inspect.signature(cls.__init__).parameters
+    assert parameters["name"].default is None
+    assert parameters["tracer"].default is None
+
+
 def test_docstrings_everywhere():
     """Every public module, class and function carries a docstring."""
     import importlib
-    import inspect
     import pkgutil
 
     missing = []
@@ -81,3 +149,24 @@ def test_docstrings_everywhere():
                 if not inspect.getdoc(obj):
                     missing.append(f"{module_info.name}.{name}")
     assert not missing, f"missing docstrings: {missing}"
+
+
+def test_deprecated_export_path_warns_on_access():
+    """The old ``repro.cluster.export`` names forward with a warning."""
+    from repro.cluster import export as old_home
+
+    with pytest.warns(DeprecationWarning, match="repro.obs.export.write_csv"):
+        forwarded = old_home.write_csv
+    from repro.obs.export import write_csv
+
+    assert forwarded is write_csv
+
+
+def test_deprecated_export_import_is_silent(recwarn):
+    """Importing the shim module itself must not warn (package walks)."""
+    import importlib
+
+    import repro.cluster.export
+
+    importlib.reload(repro.cluster.export)
+    assert not [w for w in recwarn.list if w.category is DeprecationWarning]

@@ -50,7 +50,7 @@ class TestStatic:
             shared=ResourceVector(cores=8.0, llc_ways=16.0, membw_gbps=61.44),
             shared_members=frozenset(context.app_names),
         )
-        scheduler = StaticScheduler(plan, name="my-static")
+        scheduler = StaticScheduler(plan=plan, name="my-static")
         assert scheduler.name == "my-static"
         assert scheduler.initial_plan(context) is plan
         assert scheduler.decide(context, OBSERVATION, plan, 0.0) is plan
@@ -60,8 +60,8 @@ class TestStatic:
             isolated={"xapian": ResourceVector(cores=99.0)},
         )
         with pytest.raises(Exception):
-            StaticScheduler(oversized).initial_plan(context)
+            StaticScheduler(plan=oversized).initial_plan(context)
 
     def test_rejects_missing_plan(self):
         with pytest.raises(SchedulingError):
-            StaticScheduler(None)
+            StaticScheduler(plan=None)
