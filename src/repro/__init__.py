@@ -27,8 +27,34 @@ from repro.cluster import (
     RunResult,
     run_collocation,
 )
+from repro.errors import (
+    AllocationError,
+    ConfigurationError,
+    FaultError,
+    MeasurementError,
+    ModelError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+    TelemetryCorruptionError,
+    UnknownApplicationError,
+)
+from repro.faults import (
+    BEBurst,
+    CapacityDegradation,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    LoadSpike,
+    QpsRamp,
+    TelemetryCorruption,
+    TelemetryDropout,
+    fault_preset,
+)
 from repro.parallel import (
+    BatchReport,
     ParallelRunError,
+    PointFailure,
     RunGrid,
     RunPoint,
     run_many,
@@ -74,25 +100,40 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ARQScheduler",
+    "AllocationError",
+    "BEBurst",
     "BEMember",
     "BEObservation",
     "BE_APPLICATIONS",
+    "BatchReport",
     "CLITEScheduler",
+    "CapacityDegradation",
     "CollectingTracer",
     "Collocation",
+    "ConfigurationError",
     "ConstantLoad",
+    "FaultError",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
     "FluctuatingLoad",
     "LCFirstScheduler",
     "LCMember",
     "LCObservation",
     "LC_APPLICATIONS",
+    "LoadSpike",
+    "MeasurementError",
     "MetricsRegistry",
+    "ModelError",
     "NodeSpec",
     "NullTracer",
     "PAPER_NODE",
     "ParallelRunError",
     "PartiesScheduler",
+    "PointFailure",
+    "QpsRamp",
     "RegionPlan",
+    "ReproError",
     "ResourceVector",
     "RunConfig",
     "RunGrid",
@@ -100,16 +141,23 @@ __all__ = [
     "RunResult",
     "RunSummary",
     "Scheduler",
+    "SchedulingError",
     "ServerNode",
+    "SimulationError",
     "StaticScheduler",
     "SystemObservation",
+    "TelemetryCorruption",
+    "TelemetryCorruptionError",
+    "TelemetryDropout",
     "TraceEvent",
     "Tracer",
+    "UnknownApplicationError",
     "UnmanagedScheduler",
     "be_entropy",
     "be_profile",
     "compare",
     "compose_tracers",
+    "fault_preset",
     "lc_entropy",
     "lc_profile",
     "resource_equivalence",

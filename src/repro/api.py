@@ -36,6 +36,7 @@ from repro.experiments.common import (
     run_strategies,
     run_strategy,
 )
+from repro.faults.plan import FaultPlan
 from repro.obs.events import Tracer
 from repro.obs.metrics import MetricsRegistry
 
@@ -68,6 +69,11 @@ class RunConfig:
     seed:
         Master seed; every random stream derives from it, so equal configs
         produce bit-identical results.
+    faults:
+        Optional deterministic :class:`~repro.faults.plan.FaultPlan`
+        applied on the simulated clock (see :mod:`repro.faults`); fault
+        effects are pure functions of time, so faulted runs stay
+        bit-reproducible too.
     """
 
     strategy: str = "arq"
@@ -78,6 +84,7 @@ class RunConfig:
     duration_s: float = DEFAULT_DURATION_S
     warmup_s: Optional[float] = None
     seed: int = 2023
+    faults: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.strategy not in STRATEGY_FACTORIES:
@@ -174,6 +181,7 @@ def run(
         _warmup_of(config),
         tracer=tracer,
         metrics=metrics,
+        faults=config.faults,
     )
     return RunSummary.from_result(result)
 
@@ -206,6 +214,7 @@ def compare(
         jobs=jobs,
         tracer=tracer,
         metrics=metrics,
+        faults=config.faults,
     )
     return {
         name: RunSummary.from_result(result) for name, result in results.items()

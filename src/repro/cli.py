@@ -24,6 +24,14 @@ structured event stream as JSONL, ``--metrics PATH`` writes the run's
 metric registry (``.csv`` or Prometheus text by extension), ``--verbose``
 narrates scheduler activity live, and ``--quiet`` suppresses all stdout
 reporting (exports still happen).
+
+Fault injection (``run``/``compare``): ``--faults plan.json`` loads a
+:class:`~repro.faults.plan.FaultPlan` from disk, while
+``--fault-preset NAME`` (with optional ``--fault-intensity X``) uses one
+of the built-in campaigns (``telemetry-dropout``, ``chaos``, ...). Fault
+effects are pure functions of the simulated clock, so faulted runs stay
+bit-reproducible. ``experiment ... --quick`` runs an experiment's reduced
+smoke-test sweep.
 """
 
 from __future__ import annotations
@@ -32,13 +40,16 @@ import argparse
 import sys
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.errors import FaultError
 from repro.experiments.common import (
     STRATEGY_FACTORIES,
     STRATEGY_ORDER,
     canonical_mix,
     make_collocation,
     run_strategies,
+    set_quick,
 )
+from repro.faults.plan import FAULT_PRESETS, FaultPlan, fault_preset
 from repro.experiments.reporting import ascii_table
 from repro.cluster.run import run_collocation
 from repro.obs.events import Tracer, compose_tracers
@@ -70,6 +81,7 @@ _EXPERIMENTS: Dict[str, str] = {
     "fig11": "repro.experiments.fig11_sphinx_mix",
     "fig12": "repro.experiments.fig12_eight_apps",
     "fig13": "repro.experiments.fig13_fluctuating",
+    "fig14": "repro.experiments.fig14_resilience",
 }
 
 #: ``--mix`` presets: name → (LC loads, BE applications). ``fig8``/``fig9``
@@ -118,6 +130,7 @@ def _mix_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=2023)
     _jobs_argument(parser)
     _observability_arguments(parser)
+    _fault_arguments(parser)
 
 
 def _jobs_argument(parser: argparse.ArgumentParser) -> None:
@@ -156,6 +169,42 @@ def _observability_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _fault_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument(
+        "--faults",
+        metavar="PATH",
+        default=None,
+        help="load a deterministic fault plan from a JSON file",
+    )
+    group.add_argument(
+        "--fault-preset",
+        choices=sorted(FAULT_PRESETS),
+        default=None,
+        help="use a built-in fault campaign",
+    )
+    parser.add_argument(
+        "--fault-intensity",
+        type=float,
+        default=1.0,
+        metavar="X",
+        help="scale factor for --fault-preset (0 disables, 2 doubles "
+        "fault windows; default 1)",
+    )
+
+
+def _fault_plan(args: argparse.Namespace) -> Optional[FaultPlan]:
+    """Resolve the ``--faults``/``--fault-preset`` flags to a plan."""
+    if args.faults is not None:
+        return FaultPlan.load(args.faults)
+    if args.fault_preset is not None:
+        plan = fault_preset(args.fault_preset, args.fault_intensity)
+        return plan if len(plan) else None
+    if args.fault_intensity != 1.0:
+        raise FaultError("--fault-intensity requires --fault-preset")
+    return None
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -183,6 +232,11 @@ def _build_parser() -> argparse.ArgumentParser:
     _jobs_argument(experiment_parser)
     experiment_parser.add_argument(
         "--quiet", action="store_true", help="suppress stdout reporting"
+    )
+    experiment_parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="run the experiment's reduced smoke-test sweep",
     )
 
     return parser
@@ -232,6 +286,7 @@ def _command_run(args: argparse.Namespace) -> int:
     collocation = _collocation(args)
     scheduler = STRATEGY_FACTORIES[args.strategy]()
     warmup = args.warmup if args.warmup is not None else args.duration * 0.5
+    faults = _fault_plan(args)
     tracer, metrics, writer = _observability(args)
     try:
         result = run_collocation(
@@ -241,6 +296,7 @@ def _command_run(args: argparse.Namespace) -> int:
             warmup,
             tracer=tracer,
             metrics=metrics,
+            faults=faults,
         )
     finally:
         if writer is not None:
@@ -269,6 +325,7 @@ def _command_run(args: argparse.Namespace) -> int:
 def _command_compare(args: argparse.Namespace) -> int:
     collocation = _collocation(args)
     warmup = args.warmup if args.warmup is not None else args.duration * 0.5
+    faults = _fault_plan(args)
     tracer, metrics, writer = _observability(args)
     try:
         results = run_strategies(
@@ -279,6 +336,7 @@ def _command_compare(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             tracer=tracer,
             metrics=metrics,
+            faults=faults,
         )
     finally:
         if writer is not None:
@@ -313,8 +371,12 @@ def _command_experiment(args: argparse.Namespace) -> int:
     import importlib
 
     set_quiet(bool(args.quiet))
-    module = importlib.import_module(_EXPERIMENTS[args.name])
-    module.main()
+    set_quick(bool(args.quick))
+    try:
+        module = importlib.import_module(_EXPERIMENTS[args.name])
+        module.main()
+    finally:
+        set_quick(False)
     return 0
 
 

@@ -19,6 +19,8 @@ from repro.cluster.monitor import NoisyMonitor
 from repro.entropy.aggregate import mean_entropy
 from repro.entropy.records import BEObservation, LCObservation, SystemObservation
 from repro.errors import ConfigurationError, MeasurementError
+from repro.faults.injectors import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.obs.events import (
     CallbackTracer,
     EpochMeasured,
@@ -92,6 +94,10 @@ class RunResult:
         result: Dict[str, float] = {}
         for name in self.collocation.lc_profiles:
             samples = [r.lc[name].tail_ms for r in records if name in r.lc]
+            if not samples:
+                raise MeasurementError(
+                    f"no measured epochs carry a sample for LC app {name!r}"
+                )
             result[name] = sum(samples) / len(samples)
         return result
 
@@ -100,6 +106,10 @@ class RunResult:
         result: Dict[str, float] = {}
         for name in self.collocation.be_profiles:
             samples = [r.be[name].ipc for r in records if name in r.be]
+            if not samples:
+                raise MeasurementError(
+                    f"no measured epochs carry a sample for BE app {name!r}"
+                )
             result[name] = sum(samples) / len(samples)
         return result
 
@@ -138,6 +148,7 @@ def run_collocation(
     *,
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRegistry] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> RunResult:
     """Run ``scheduler`` on ``collocation`` for ``duration_s`` seconds.
 
@@ -157,6 +168,15 @@ def run_collocation(
     registry, which is also stored on :attr:`RunResult.metrics`. Both
     default to ``None``, in which case the loop executes exactly the
     uninstrumented code path.
+
+    ``faults`` attaches a :class:`~repro.faults.plan.FaultPlan` whose
+    windows fire on the simulated clock: ground-truth faults (load spikes,
+    capacity loss, BE bursts) change what the node actually does — records
+    and entropy series reflect them — while telemetry faults (dropout,
+    corruption) distort only the view handed to the scheduler, whose
+    :meth:`~repro.schedulers.base.Scheduler.robust_decide` guard absorbs
+    them. Fault effects are pure functions of simulation time, so a seeded
+    faulted run is exactly as deterministic as a clean one.
     """
     if duration_s <= 0:
         raise ConfigurationError(f"duration must be positive: {duration_s}")
@@ -187,12 +207,18 @@ def run_collocation(
         _metrics_counting_tracer(metrics) if metrics is not None else None,
     )
 
+    injector = (
+        FaultInjector(faults, tracer=tracer)
+        if faults is not None and len(faults)
+        else None
+    )
+
     scheduler.reset()
     scheduler.attach_tracer(scheduler_tracer)
     try:
         result = _run_loop(
             collocation, scheduler, duration_s, warmup_s, context, monitor,
-            tracer, metrics,
+            tracer, metrics, injector,
         )
     finally:
         scheduler.attach_tracer(previous_tracer)
@@ -208,6 +234,7 @@ def _run_loop(
     monitor: NoisyMonitor,
     tracer: Optional[Tracer],
     metrics: Optional[MetricsRegistry],
+    injector: Optional[FaultInjector] = None,
 ) -> RunResult:
     """The measure → entropy → decide loop (tracer already attached)."""
     plan = scheduler.initial_plan(context)
@@ -240,8 +267,16 @@ def _run_loop(
         )
     for index in range(epochs):
         time_s = index * collocation.epoch_s
+        if injector is not None:
+            injector.begin_epoch(time_s)
         loads = collocation.loads_at(time_s)
+        if injector is not None:
+            loads = injector.loads(time_s, loads)
         resources = resolve_contention(context, plan, loads, contention_state)
+        if injector is not None:
+            resources = injector.degrade(
+                time_s, resources, tuple(collocation.lc_profiles)
+            )
 
         lc_measurements: Dict[str, LCMeasurement] = {}
         lc_observations = []
@@ -337,9 +372,15 @@ def _run_loop(
                         )
                     )
 
+        # The scheduler sees the (possibly corrupted) telemetry view; the
+        # run's records above keep the true measurements, so entropy
+        # scoring reflects the real consequences of its decisions.
+        scheduler_view = (
+            observation if injector is None else injector.corrupt(time_s, observation)
+        )
         if metrics is not None:
             decide_started = time.perf_counter()
-        next_plan = scheduler.decide(context, observation, plan, time_s)
+        next_plan = scheduler.robust_decide(context, scheduler_view, plan, time_s)
         if metrics is not None:
             metrics.histogram(
                 "decide_time_s", "decide() wall-clock seconds"

@@ -8,6 +8,8 @@ two linearly with the relative importance ``RI``.
 
 from __future__ import annotations
 
+import math
+
 from typing import Iterable, Sequence, Tuple
 
 from repro.entropy.tolerance import intolerable_interference
@@ -61,6 +63,13 @@ def be_entropy(observations: Sequence[Tuple[float, float]]) -> float:
         raise ModelError("E_BE requires at least one BE observation")
     slowdown_sum = 0.0
     for ipc_solo, ipc_real in pairs:
+        # Finiteness must be checked explicitly: ``nan <= 0`` is False and
+        # ``max(1.0, nan)`` returns 1.0, so a NaN IPC sample would otherwise
+        # be silently counted as "no slowdown" and bias E_BE towards zero.
+        if not (math.isfinite(ipc_solo) and math.isfinite(ipc_real)):
+            raise ModelError(
+                f"IPC values must be finite, got solo={ipc_solo} real={ipc_real}"
+            )
         if ipc_solo <= 0 or ipc_real <= 0:
             raise ModelError(
                 f"IPC values must be positive, got solo={ipc_solo} real={ipc_real}"

@@ -10,6 +10,8 @@ Table II.
 
 from __future__ import annotations
 
+import math
+
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -65,6 +67,10 @@ class BEObservation:
     ipc_real: float
 
     def __post_init__(self) -> None:
+        # Deliberately sign-only: ``nan <= 0`` is False, so NaN-corrupted
+        # samples can be *constructed* (fault injection needs that) but are
+        # rejected wherever they would be consumed — see :attr:`slowdown`
+        # and the telemetry sanitizer in ``schedulers.base``.
         if self.ipc_solo <= 0:
             raise ModelError(f"ipc_solo must be positive, got {self.ipc_solo}")
         if self.ipc_real <= 0:
@@ -72,7 +78,17 @@ class BEObservation:
 
     @property
     def slowdown(self) -> float:
-        """``IPC_solo / IPC_real`` — ≥ 1 under interference."""
+        """``IPC_solo / IPC_real`` — ≥ 1 under interference.
+
+        Raises :class:`~repro.errors.ModelError` on non-finite samples:
+        ``max(1.0, nan)`` returns 1.0, so NaN telemetry would otherwise
+        masquerade as a perfectly unimpeded application.
+        """
+        if not (math.isfinite(self.ipc_solo) and math.isfinite(self.ipc_real)):
+            raise ModelError(
+                f"IPC samples for {self.name!r} must be finite, got "
+                f"solo={self.ipc_solo} real={self.ipc_real}"
+            )
         return max(1.0, self.ipc_solo / self.ipc_real)
 
 

@@ -24,19 +24,30 @@ The names of these quantities give the ARQ scheduler its name.
 
 from __future__ import annotations
 
+import math
+
 from repro.errors import ModelError
 
 
 def _validate_latencies(
     ideal_ms: float, measured_ms: float, threshold_ms: float
 ) -> None:
-    """Validate the (TL_i0, TL_i1, M_i) triple shared by Eqs. (1)-(4)."""
-    if ideal_ms <= 0:
-        raise ModelError(f"ideal tail latency must be positive, got {ideal_ms}")
-    if measured_ms <= 0:
-        raise ModelError(f"measured tail latency must be positive, got {measured_ms}")
-    if threshold_ms <= 0:
-        raise ModelError(f"tail latency threshold must be positive, got {threshold_ms}")
+    """Validate the (TL_i0, TL_i1, M_i) triple shared by Eqs. (1)-(4).
+
+    Non-finite values (NaN, ±inf) are rejected explicitly: ``nan <= 0`` is
+    False, so without the finiteness check corrupt telemetry would slip
+    through the sign checks and silently poison every derived quantity.
+    """
+    if not math.isfinite(ideal_ms) or ideal_ms <= 0:
+        raise ModelError(f"ideal tail latency must be finite and positive, got {ideal_ms}")
+    if not math.isfinite(measured_ms) or measured_ms <= 0:
+        raise ModelError(
+            f"measured tail latency must be finite and positive, got {measured_ms}"
+        )
+    if not math.isfinite(threshold_ms) or threshold_ms <= 0:
+        raise ModelError(
+            f"tail latency threshold must be finite and positive, got {threshold_ms}"
+        )
     if ideal_ms > threshold_ms:
         raise ModelError(
             "ideal tail latency exceeds the threshold "
@@ -70,10 +81,12 @@ def interference_suffered(ideal_ms: float, measured_ms: float) -> float:
     worse than the ideal one — the paper's ``TL_i0 < TL_i1`` assumption is
     relaxed to allow noise-free measurements equal to the ideal).
     """
-    if measured_ms <= 0:
-        raise ModelError(f"measured tail latency must be positive, got {measured_ms}")
-    if ideal_ms <= 0:
-        raise ModelError(f"ideal tail latency must be positive, got {ideal_ms}")
+    if not math.isfinite(measured_ms) or measured_ms <= 0:
+        raise ModelError(
+            f"measured tail latency must be finite and positive, got {measured_ms}"
+        )
+    if not math.isfinite(ideal_ms) or ideal_ms <= 0:
+        raise ModelError(f"ideal tail latency must be finite and positive, got {ideal_ms}")
     if measured_ms < ideal_ms:
         # Measurement noise can make the collocated run *look* faster than
         # the solo run; interference cannot be negative.

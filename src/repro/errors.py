@@ -35,6 +35,14 @@ class ModelError(ReproError):
     """An analytic model was evaluated outside its domain."""
 
 
+class FaultError(ReproError):
+    """A fault plan is invalid or a fault could not be applied."""
+
+
+class TelemetryCorruptionError(ReproError):
+    """Telemetry was recognisably corrupt and could not be interpreted."""
+
+
 class UnknownApplicationError(ConfigurationError):
     """A workload name was not found in the catalog."""
 

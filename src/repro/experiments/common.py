@@ -6,6 +6,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.cluster.collocation import BEMember, Collocation, LCMember
 from repro.cluster.run import RunResult, run_collocation
+from repro.faults.plan import FaultPlan
 from repro.obs.events import Tracer
 from repro.obs.metrics import MetricsRegistry
 from repro.parallel import RunPoint, run_many
@@ -36,6 +37,22 @@ STRATEGY_FACTORIES: Dict[str, Callable[[], Scheduler]] = {
 
 #: Presentation order used throughout the paper's figures.
 STRATEGY_ORDER = ("unmanaged", "lc-first", "parties", "clite", "arq")
+
+#: Process-wide quick-mode switch, set by the CLI's ``--quick`` flag.
+#: Experiment modules consult :func:`quick_mode` to shrink their sweeps
+#: (shorter runs, fewer grid points) for smoke tests and CI.
+_quick_mode = False
+
+
+def set_quick(enabled: bool) -> None:
+    """Turn experiment quick mode on or off (see :func:`quick_mode`)."""
+    global _quick_mode
+    _quick_mode = bool(enabled)
+
+
+def quick_mode() -> bool:
+    """Whether experiments should run their reduced smoke-test sweeps."""
+    return _quick_mode
 
 
 def make_collocation(
@@ -78,11 +95,18 @@ def run_strategy(
     *,
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRegistry] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> RunResult:
     """Run one named strategy on a collocation."""
     scheduler = STRATEGY_FACTORIES[strategy]()
     return run_collocation(
-        collocation, scheduler, duration_s, warmup_s, tracer=tracer, metrics=metrics
+        collocation,
+        scheduler,
+        duration_s,
+        warmup_s,
+        tracer=tracer,
+        metrics=metrics,
+        faults=faults,
     )
 
 
@@ -95,6 +119,7 @@ def run_strategies(
     *,
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRegistry] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> Dict[str, RunResult]:
     """Run several strategies on the same collocation.
 
@@ -102,10 +127,12 @@ def run_strategies(
     (``None`` → CLI ``--jobs`` / ``$REPRO_JOBS`` / CPU count); results are
     identical to the serial path and keyed in ``strategies`` order.
     ``tracer``/``metrics`` follow :func:`repro.parallel.run_many`'s
-    deterministic aggregation rules.
+    deterministic aggregation rules. ``faults`` applies the same
+    deterministic fault plan to every strategy's run.
     """
     points = [
-        RunPoint(collocation, name, duration_s, warmup_s) for name in strategies
+        RunPoint(collocation, name, duration_s, warmup_s, faults=faults)
+        for name in strategies
     ]
     return dict(
         zip(strategies, run_many(points, jobs=jobs, tracer=tracer, metrics=metrics))

@@ -1,0 +1,160 @@
+"""Fig. 14 (extension): scheduler resilience under injected faults.
+
+Not a figure from the paper — a robustness extension in the paper's
+spirit. §VI-B shows ARQ recovering from *incorrect adjustments* via
+rollback and the 60-second penalty cooldown (Algorithm 1); this
+experiment generalises that to a full deterministic fault campaign:
+telemetry dropout and corruption, LC load spikes, capacity loss and BE
+bursts (the "chaos" preset), at escalating intensity.
+
+For every (intensity, strategy) pair the canonical mix runs once with
+the fault plan scaled to that intensity; intensity 0 is the clean
+baseline. The summary reports mean ``E_S``, yield and violation counts,
+plus each strategy's *degradation* — the increase in mean ``E_S`` over
+its own clean run. A robust controller degrades gracefully: its
+degradation stays small as intensity grows, because the telemetry
+sanitizer holds the last good plan through dropout windows and the ARQ
+watchdog freezes adjustments instead of reacting to garbage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.cluster.run import RunResult
+from repro.experiments.common import (
+    STRATEGY_ORDER,
+    canonical_mix,
+    quick_mode,
+)
+from repro.experiments.reporting import ascii_table
+from repro.faults.plan import fault_preset
+from repro.obs.export import say
+from repro.parallel import RunGrid
+
+#: Escalating fault intensities (0 = clean baseline, 2 = double-length
+#: fault windows / harsher corruption factors).
+DEFAULT_INTENSITIES = (0.0, 0.5, 1.0, 2.0)
+#: Reduced sweep for ``--quick`` smoke runs.
+QUICK_INTENSITIES = (0.0, 1.0)
+
+DEFAULT_DURATION_S = 120.0
+QUICK_DURATION_S = 60.0
+
+
+@dataclass(frozen=True)
+class Fig14Result:
+    """Resilience sweep outcome, keyed by (intensity, strategy)."""
+
+    preset: str
+    intensities: Tuple[float, ...]
+    strategies: Tuple[str, ...]
+    runs: Dict[Tuple[float, str], RunResult]
+    mean_e_s: Dict[Tuple[float, str], float]
+    yields: Dict[Tuple[float, str], float]
+    violations: Dict[Tuple[float, str], int]
+
+    def degradation(self, intensity: float, strategy: str) -> float:
+        """Increase in mean ``E_S`` over the strategy's clean baseline."""
+        return self.mean_e_s[(intensity, strategy)] - self.mean_e_s[(0.0, strategy)]
+
+
+def run_fig14(
+    preset: str = "chaos",
+    intensities: Optional[Sequence[float]] = None,
+    strategies: Sequence[str] = STRATEGY_ORDER,
+    xapian_load: float = 0.6,
+    seed: int = 2023,
+    duration_s: Optional[float] = None,
+    jobs: Optional[int] = None,
+) -> Fig14Result:
+    """Run the fault-intensity sweep for every strategy (in parallel).
+
+    Warm-up is zero: the fault windows start early in the run and the
+    whole timeline — including the clean lead-in — is the measurement,
+    as in Fig. 13's violation counting.
+    """
+    if intensities is None:
+        intensities = QUICK_INTENSITIES if quick_mode() else DEFAULT_INTENSITIES
+    if duration_s is None:
+        duration_s = QUICK_DURATION_S if quick_mode() else DEFAULT_DURATION_S
+    if 0.0 not in intensities:
+        intensities = (0.0, *intensities)
+    collocation = canonical_mix(xapian_load, seed=seed)
+    grid = RunGrid(jobs=jobs)
+    for intensity in intensities:
+        plan = fault_preset(preset, intensity) if intensity > 0 else None
+        for strategy in strategies:
+            grid.add(
+                collocation,
+                strategy,
+                duration_s=duration_s,
+                warmup_s=0.0,
+                tag=(intensity, strategy),
+                faults=plan,
+            )
+    runs = dict(grid.run_tagged())
+    return Fig14Result(
+        preset=preset,
+        intensities=tuple(intensities),
+        strategies=tuple(strategies),
+        runs=runs,
+        mean_e_s={key: run.mean_e_s() for key, run in runs.items()},
+        yields={key: run.yield_fraction() for key, run in runs.items()},
+        violations={key: run.violation_count() for key, run in runs.items()},
+    )
+
+
+def render(result: Fig14Result) -> str:
+    """Render the E_S / yield / degradation tables of the sweep."""
+    header = ["strategy"] + [f"i={i:g}" for i in result.intensities]
+    e_s_rows = [
+        [name] + [result.mean_e_s[(i, name)] for i in result.intensities]
+        for name in result.strategies
+    ]
+    degradation_rows = [
+        [name] + [result.degradation(i, name) for i in result.intensities]
+        for name in result.strategies
+    ]
+    yield_rows = [
+        [name]
+        + [
+            f"{result.yields[(i, name)]:.0%}/{result.violations[(i, name)]}"
+            for i in result.intensities
+        ]
+        for name in result.strategies
+    ]
+    parts = [
+        ascii_table(
+            header,
+            e_s_rows,
+            precision=3,
+            title=(
+                f"Fig. 14 — mean E_S under '{result.preset}' faults "
+                "by intensity (0 = clean)"
+            ),
+        ),
+        ascii_table(
+            header,
+            degradation_rows,
+            precision=3,
+            title="E_S degradation vs each strategy's clean baseline",
+        ),
+        ascii_table(
+            header,
+            yield_rows,
+            precision=3,
+            title="Yield / QoS violations",
+        ),
+    ]
+    return "\n\n".join(parts)
+
+
+def main() -> None:
+    """CLI entry point."""
+    say(render(run_fig14()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""Deterministic fault injection (see :mod:`repro.faults.plan`)."""
+
+from repro.faults.injectors import FaultInjector
+from repro.faults.plan import (
+    CORRUPTION_MODES,
+    FAULT_KINDS,
+    FAULT_PRESETS,
+    BEBurst,
+    CapacityDegradation,
+    FaultPlan,
+    FaultSpec,
+    LoadSpike,
+    QpsRamp,
+    TelemetryCorruption,
+    TelemetryDropout,
+    fault_from_dict,
+    fault_preset,
+)
+
+__all__ = [
+    "BEBurst",
+    "CORRUPTION_MODES",
+    "CapacityDegradation",
+    "FAULT_KINDS",
+    "FAULT_PRESETS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "LoadSpike",
+    "QpsRamp",
+    "TelemetryCorruption",
+    "TelemetryDropout",
+    "fault_from_dict",
+    "fault_preset",
+]

@@ -1,0 +1,303 @@
+"""Apply a :class:`~repro.faults.plan.FaultPlan` to a running collocation.
+
+:class:`FaultInjector` is the single integration point the run loop (and
+the discrete-event engine) use: it tracks which faults are active on the
+simulated clock, emits :class:`~repro.obs.events.FaultInjected` /
+:class:`~repro.obs.events.FaultCleared` trace events at window edges, and
+exposes one hook per effect site:
+
+* :meth:`loads` — ground-truth load overrides (spikes, ramps);
+* :meth:`degrade` — ground-truth effective-resource degradation
+  (capacity loss, BE bursts);
+* :meth:`corrupt` — the telemetry the *scheduler* sees (dropout,
+  NaN/stale/outlier corruption). The run's own records keep the true
+  measurements.
+
+Every effect is a pure function of simulation time and the plan, so an
+injector adds no randomness: seeded runs stay byte-identical across
+worker counts and hash seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Optional, Sequence, Set
+
+from repro.entropy.records import BEObservation, LCObservation, SystemObservation
+from repro.errors import TelemetryCorruptionError
+from repro.faults.plan import (
+    BEBurst,
+    CapacityDegradation,
+    FaultPlan,
+    LoadSpike,
+    QpsRamp,
+    TelemetryCorruption,
+    TelemetryDropout,
+    _clamp01,
+)
+from repro.obs.events import FaultCleared, FaultInjected, Tracer
+
+
+class FaultInjector:
+    """Stateful applicator of one :class:`~repro.faults.plan.FaultPlan`.
+
+    One injector serves one run: it keeps the set of currently active
+    faults (for edge-triggered trace events) and the pre-corruption
+    telemetry memory that ``stale`` corruption replays.
+    """
+
+    def __init__(self, plan: FaultPlan, *, tracer: Optional[Tracer] = None) -> None:
+        self._plan = plan
+        self._tracer = tracer
+        self._active: Set[int] = set()
+        self._stale_lc: Dict[str, LCObservation] = {}
+        self._stale_be: Dict[str, BEObservation] = {}
+
+    @property
+    def plan(self) -> FaultPlan:
+        """The plan this injector applies."""
+        return self._plan
+
+    def reset(self) -> None:
+        """Forget all activation and stale-telemetry state."""
+        self._active.clear()
+        self._stale_lc.clear()
+        self._stale_be.clear()
+
+    # -- activation tracking -------------------------------------------------
+
+    def begin_epoch(self, time_s: float) -> None:
+        """Advance the activation state to ``time_s``, emitting edge events.
+
+        Faults are examined in plan order, so the emitted event sequence is
+        deterministic for a given plan and epoch grid.
+        """
+        for index, fault in enumerate(self._plan.faults):
+            now_active = fault.active_at(time_s)
+            was_active = index in self._active
+            if now_active and not was_active:
+                self._active.add(index)
+                if self._tracer is not None:
+                    self._tracer.emit(
+                        FaultInjected(
+                            time_s=time_s,
+                            fault=fault.kind,
+                            targets=fault.targets(),
+                            until_s=fault.end_s,
+                            detail=fault.describe(),
+                        )
+                    )
+            elif was_active and not now_active:
+                self._active.discard(index)
+                if self._tracer is not None:
+                    self._tracer.emit(
+                        FaultCleared(
+                            time_s=time_s,
+                            fault=fault.kind,
+                            targets=fault.targets(),
+                            detail=fault.describe(),
+                        )
+                    )
+
+    # -- ground-truth effects ------------------------------------------------
+
+    def loads(self, time_s: float, loads: Dict[str, float]) -> Dict[str, float]:
+        """Apply load spikes/ramps; returns the (possibly new) load map."""
+        overrides: Dict[str, float] = {}
+        for fault in self._plan.active_at(time_s):
+            if isinstance(fault, (LoadSpike, QpsRamp)):
+                if fault.application in loads:
+                    overrides[fault.application] = _clamp01(fault.level_at(time_s))
+        if not overrides:
+            return loads
+        patched = dict(loads)
+        patched.update(overrides)
+        return patched
+
+    def degrade(
+        self,
+        time_s: float,
+        resources: Dict[str, object],
+        lc_names: Sequence[str],
+    ) -> Dict[str, object]:
+        """Apply capacity degradation and BE bursts to effective resources.
+
+        ``resources`` maps application name to
+        :class:`~repro.cluster.contention.EffectiveResources`; degraded
+        entries are rebuilt with :func:`dataclasses.replace`, the rest are
+        shared with the input map.
+        """
+        patched = None
+        for fault in self._plan.active_at(time_s):
+            if isinstance(fault, CapacityDegradation):
+                targets = fault.targets() or tuple(resources)
+                for name in targets:
+                    if name not in resources:
+                        continue
+                    if patched is None:
+                        patched = dict(resources)
+                    eff = patched[name]
+                    patched[name] = replace(
+                        eff,
+                        cores=eff.cores * fault.cores_factor,
+                        ways=eff.ways * fault.ways_factor,
+                    )
+            elif isinstance(fault, BEBurst):
+                factor = fault.bandwidth_factor()
+                for name in lc_names:
+                    if name not in resources:
+                        continue
+                    if patched is None:
+                        patched = dict(resources)
+                    eff = patched[name]
+                    patched[name] = replace(
+                        eff,
+                        bandwidth_multiplier=eff.bandwidth_multiplier * factor,
+                    )
+        return resources if patched is None else patched
+
+    # -- telemetry effects ---------------------------------------------------
+
+    def corrupt(
+        self, time_s: float, observation: SystemObservation
+    ) -> Optional[SystemObservation]:
+        """The scheduler-visible view of ``observation`` at ``time_s``.
+
+        Returns the original object untouched when no telemetry fault is
+        active, a rebuilt observation when samples were dropped or
+        corrupted, or ``None`` when *every* sample dropped out (a full
+        telemetry blackout).
+        """
+        dropouts = []
+        corruptions = []
+        for fault in self._plan.active_at(time_s):
+            if isinstance(fault, TelemetryDropout):
+                dropouts.append(fault)
+            elif isinstance(fault, TelemetryCorruption):
+                corruptions.append(fault)
+
+        self._remember(observation, corruptions)
+        if not dropouts and not corruptions:
+            return observation
+
+        changed = False
+        lc_out = []
+        for sample in observation.lc:
+            if self._dropped(sample.name, dropouts):
+                changed = True
+                continue
+            corrupted = self._corrupt_lc(sample, corruptions)
+            changed = changed or corrupted is not sample
+            lc_out.append(corrupted)
+        be_out = []
+        for sample in observation.be:
+            if self._dropped(sample.name, dropouts):
+                changed = True
+                continue
+            corrupted = self._corrupt_be(sample, corruptions)
+            changed = changed or corrupted is not sample
+            be_out.append(corrupted)
+
+        if not changed:
+            return observation
+        if not lc_out and not be_out:
+            return None
+        return SystemObservation(lc=tuple(lc_out), be=tuple(be_out))
+
+    def _remember(self, observation, corruptions) -> None:
+        """Refresh the stale-replay memory for apps not currently frozen."""
+        frozen = set()
+        for fault in corruptions:
+            if fault.mode == "stale":
+                frozen.update(fault.targets() or ("*",))
+        for sample in observation.lc:
+            if "*" not in frozen and sample.name not in frozen:
+                self._stale_lc[sample.name] = sample
+        for sample in observation.be:
+            if "*" not in frozen and sample.name not in frozen:
+                self._stale_be[sample.name] = sample
+
+    @staticmethod
+    def _dropped(name: str, dropouts) -> bool:
+        """Whether ``name``'s sample is suppressed by an active dropout."""
+        for fault in dropouts:
+            targets = fault.targets()
+            if not targets or name in targets:
+                return True
+        return False
+
+    def _corrupt_lc(self, sample: LCObservation, corruptions) -> LCObservation:
+        """Apply active corruption windows to one LC sample, in plan order."""
+        value = sample.measured_ms
+        touched = False
+        for fault in corruptions:
+            targets = fault.targets()
+            if targets and sample.name not in targets:
+                continue
+            touched = True
+            if fault.mode == "nan":
+                value = float("nan")
+            elif fault.mode == "outlier":
+                value = value * fault.factor
+            elif fault.mode == "stale":
+                stale = self._stale_lc.get(sample.name, sample)
+                value = stale.measured_ms
+            else:  # pragma: no cover - rejected at spec construction
+                raise TelemetryCorruptionError(
+                    f"unknown corruption mode {fault.mode!r}"
+                )
+        if not touched:
+            return sample
+        return replace(sample, measured_ms=value)
+
+    def _corrupt_be(self, sample: BEObservation, corruptions) -> BEObservation:
+        """Apply active corruption windows to one BE sample, in plan order."""
+        value = sample.ipc_real
+        touched = False
+        for fault in corruptions:
+            targets = fault.targets()
+            if targets and sample.name not in targets:
+                continue
+            touched = True
+            if fault.mode == "nan":
+                value = float("nan")
+            elif fault.mode == "outlier":
+                value = value / fault.factor
+            elif fault.mode == "stale":
+                stale = self._stale_be.get(sample.name, sample)
+                value = stale.ipc_real
+            else:  # pragma: no cover - rejected at spec construction
+                raise TelemetryCorruptionError(
+                    f"unknown corruption mode {fault.mode!r}"
+                )
+        if not touched:
+            return sample
+        return replace(sample, ipc_real=value)
+
+    # -- discrete-event integration -------------------------------------------
+
+    def schedule_on(self, engine) -> int:
+        """Register the plan's windows on a :class:`repro.sim.engine.Engine`.
+
+        Schedules one callback at each fault's start and end that routes
+        through :meth:`begin_epoch`, so DES-driven simulations surface the
+        same edge-triggered fault events as the epoch-driven cluster loop.
+        Returns the number of callbacks scheduled.
+        """
+        scheduled = 0
+        for fault in self._plan.faults:
+            if fault.start_s >= engine.now:
+                engine.schedule_at(
+                    fault.start_s,
+                    lambda start=fault.start_s: self.begin_epoch(start),
+                    label=f"fault-start:{fault.kind}",
+                )
+                scheduled += 1
+            if fault.end_s >= engine.now:
+                engine.schedule_at(
+                    fault.end_s,
+                    lambda end=fault.end_s: self.begin_epoch(end),
+                    label=f"fault-end:{fault.kind}",
+                )
+                scheduled += 1
+        return scheduled

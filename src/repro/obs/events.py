@@ -275,6 +275,66 @@ class SearchProgress(TraceEvent):
     best_score: float = 0.0
 
 
+# -- fault injection ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FaultInjected(TraceEvent):
+    """A fault from the active :class:`~repro.faults.plan.FaultPlan` began."""
+
+    kind: ClassVar[str] = "fault_injected"
+
+    fault: str = ""
+    targets: Tuple[str, ...] = ()
+    until_s: float = 0.0
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class FaultCleared(TraceEvent):
+    """A previously injected fault's window ended."""
+
+    kind: ClassVar[str] = "fault_cleared"
+
+    fault: str = ""
+    targets: Tuple[str, ...] = ()
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class TelemetryGap(TraceEvent):
+    """An epoch had no usable telemetry; the scheduler skipped the interval."""
+
+    kind: ClassVar[str] = "telemetry_gap"
+
+    scheduler: str = ""
+    held: int = 0
+    dropped: int = 0
+
+
+@dataclass(frozen=True)
+class TelemetryRepaired(TraceEvent):
+    """Corrupt/missing samples were repaired from last-good values."""
+
+    kind: ClassVar[str] = "telemetry_repaired"
+
+    scheduler: str = ""
+    fresh: int = 0
+    held: int = 0
+    dropped: int = 0
+
+
+@dataclass(frozen=True)
+class DecisionSkipped(TraceEvent):
+    """A scheduler decision was discarded (failure or invalid plan)."""
+
+    kind: ClassVar[str] = "decision_skipped"
+
+    scheduler: str = ""
+    reason: str = ""  # "decide_failed" | "invalid_plan"
+    detail: str = ""
+
+
 # -- discrete-event engine ---------------------------------------------------
 
 

@@ -32,7 +32,10 @@ from repro.errors import ConfigurationError
 from repro.obs.events import (
     CooldownEnd,
     CooldownStart,
+    DecisionSkipped,
     EpochMeasured,
+    FaultCleared,
+    FaultInjected,
     FSMTransition,
     QoSViolation,
     ResourceMove,
@@ -41,6 +44,8 @@ from repro.obs.events import (
     RunStarted,
     SchedulerDecision,
     SearchProgress,
+    TelemetryGap,
+    TelemetryRepaired,
     TraceEvent,
     event_from_dict,
 )
@@ -347,6 +352,30 @@ class NarratorTracer:
             if not event.plan_changed:
                 return None
             return f"{t} {event.scheduler}: new plan — {event.plan}"
+        if isinstance(event, FaultInjected):
+            scope = ", ".join(event.targets) if event.targets else "all"
+            detail = f" ({event.detail})" if event.detail else ""
+            return (
+                f"{t} fault injected: {event.fault} on {scope} "
+                f"until {event.until_s:g}s{detail}"
+            )
+        if isinstance(event, FaultCleared):
+            scope = ", ".join(event.targets) if event.targets else "all"
+            return f"{t} fault cleared: {event.fault} on {scope}"
+        if isinstance(event, TelemetryGap):
+            return (
+                f"{t} {event.scheduler}: telemetry unusable "
+                f"(held {event.held}, dropped {event.dropped}) — holding plan"
+            )
+        if isinstance(event, TelemetryRepaired):
+            return (
+                f"{t} {event.scheduler}: telemetry repaired "
+                f"({event.fresh} fresh, {event.held} held, "
+                f"{event.dropped} dropped)"
+            )
+        if isinstance(event, DecisionSkipped):
+            detail = f": {event.detail}" if event.detail else ""
+            return f"{t} {event.scheduler}: decision skipped ({event.reason}){detail}"
         return None
 
 

@@ -2,22 +2,32 @@
 
 from repro.parallel.runner import (
     JOBS_ENV_VAR,
+    ON_ERROR_MODES,
+    BatchReport,
     ParallelRunError,
+    PointFailure,
     RunGrid,
     RunPoint,
+    backoff_s,
     default_jobs,
     resolve_jobs,
     run_many,
+    run_with_recovery,
     set_default_jobs,
 )
 
 __all__ = [
+    "BatchReport",
     "JOBS_ENV_VAR",
+    "ON_ERROR_MODES",
     "ParallelRunError",
+    "PointFailure",
     "RunGrid",
     "RunPoint",
+    "backoff_s",
     "default_jobs",
     "resolve_jobs",
     "run_many",
+    "run_with_recovery",
     "set_default_jobs",
 ]

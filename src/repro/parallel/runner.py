@@ -15,32 +15,59 @@ sweep is ``len(loads) × len(strategies)`` of them, the Fig. 10 heatmap is
 Determinism guarantee
 ---------------------
 A point's outcome is a pure function of its parameters: every random
-stream is derived from ``collocation.seed``, and the per-process memo
-caches (gamma quantiles, sojourn times, reserve cores) only ever store
-pure-function results. Worker processes therefore produce bit-identical
+stream is derived from ``collocation.seed``, every fault effect from the
+simulated clock, and the per-process memo caches (gamma quantiles,
+sojourn times, reserve cores) only ever store pure-function results.
+Worker processes therefore produce bit-identical
 :class:`~repro.cluster.run.RunResult` summaries to the serial path, and
-``--jobs 4`` output is byte-identical to ``--jobs 1``.
+``--jobs 4`` output is byte-identical to ``--jobs 1``. Retry backoff is
+attempt-indexed (``base · 2^attempt``) — no wall-clock randomness.
 
-Worker failures are re-raised in the parent as :class:`ParallelRunError`
-with the failing point's parameters attached, chained to the original
-exception.
+Failure handling
+----------------
+``on_error="raise"`` (the default) aborts the batch on the first failing
+point with a :class:`ParallelRunError` that carries the failing point's
+parameters **and** the results completed before the failure
+(``error.completed``), so callers can salvage finished work.
+``on_error="salvage"`` never raises for worker failures: it returns a
+:class:`BatchReport` with results for every succeeding point and a
+structured :class:`PointFailure` record per failing one. Both modes
+honour ``timeout_s`` (per-point, enforced via the pool) and ``retries``
+with deterministic exponential backoff.
 """
 
 from __future__ import annotations
 
+import functools
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass, field
-from typing import Hashable, Iterable, List, Optional, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.cluster.collocation import Collocation
 from repro.cluster.run import RunResult, run_collocation
 from repro.errors import ConfigurationError, ReproError
+from repro.faults.plan import FaultPlan
 from repro.obs.events import CollectingTracer, TraceEvent, Tracer
 from repro.obs.metrics import MetricsRegistry
 
 #: Environment variable consulted when no explicit worker count is given.
 JOBS_ENV_VAR = "REPRO_JOBS"
+
+#: The failure-handling modes :func:`run_many` understands.
+ON_ERROR_MODES = ("raise", "salvage")
 
 #: Process-wide default set by the CLI's ``--jobs`` flag (``None`` defers
 #: to the environment variable, then to ``os.cpu_count()``).
@@ -90,7 +117,9 @@ class RunPoint:
 
     ``warmup_s=None`` defers to :func:`repro.cluster.run.run_collocation`'s
     default (20% of the duration). ``tag`` is an opaque correlation key the
-    caller can use to map results back to grid coordinates.
+    caller can use to map results back to grid coordinates. ``faults``
+    optionally attaches a deterministic
+    :class:`~repro.faults.plan.FaultPlan` to the run.
     """
 
     collocation: Collocation
@@ -98,6 +127,7 @@ class RunPoint:
     duration_s: float = 120.0
     warmup_s: Optional[float] = None
     tag: Optional[Hashable] = None
+    faults: Optional[FaultPlan] = None
 
     def describe(self) -> str:
         """Human-readable parameter summary (used in error messages)."""
@@ -105,23 +135,217 @@ class RunPoint:
         be = ",".join(m.name for m in self.collocation.be)
         warmup = "default" if self.warmup_s is None else f"{self.warmup_s}s"
         tag = "" if self.tag is None else f" tag={self.tag!r}"
+        faults = "" if self.faults is None else f" faults={len(self.faults)}"
         return (
             f"strategy={self.strategy} lc=[{lc}] be=[{be}] "
             f"duration={self.duration_s}s warmup={warmup} "
-            f"seed={self.collocation.seed}{tag}"
+            f"seed={self.collocation.seed}{tag}{faults}"
         )
 
 
 class ParallelRunError(ReproError):
-    """A run point failed; carries the point so callers can identify it."""
+    """A run point failed; carries the point so callers can identify it.
 
-    def __init__(self, index: int, point: RunPoint, cause: BaseException) -> None:
+    ``completed`` maps batch index → :class:`RunResult` for every point
+    that finished before the batch aborted, so a long sweep's surviving
+    work can be salvaged even in the default ``raise`` mode.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        point: RunPoint,
+        cause: BaseException,
+        completed: Optional[Dict[int, RunResult]] = None,
+    ) -> None:
         super().__init__(
             f"run point #{index} ({point.describe()}) failed: "
             f"{type(cause).__name__}: {cause}"
         )
         self.index = index
         self.point = point
+        self.completed: Dict[int, RunResult] = dict(completed or {})
+
+
+@dataclass(frozen=True)
+class PointFailure:
+    """Structured record of one item's final failure in a batch.
+
+    ``attempts`` counts executions including retries; ``timed_out`` marks
+    per-point timeouts (the final attempt exceeded ``timeout_s``).
+    """
+
+    index: int
+    point: Any
+    error_type: str
+    message: str
+    attempts: int = 1
+    timed_out: bool = False
+    #: The final exception object (excluded from equality/repr).
+    error: Optional[BaseException] = field(default=None, repr=False, compare=False)
+
+    def describe(self) -> str:
+        """Human-readable one-liner for reports."""
+        how = "timed out" if self.timed_out else "failed"
+        return (
+            f"point #{self.index} {how} after {self.attempts} attempt(s): "
+            f"{self.error_type}: {self.message}"
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        """A JSON-safe dict (the exception object is omitted)."""
+        return {
+            "index": self.index,
+            "error_type": self.error_type,
+            "message": self.message,
+            "attempts": self.attempts,
+            "timed_out": self.timed_out,
+        }
+
+
+@dataclass(frozen=True)
+class BatchReport:
+    """Partial results plus a structured failure report (salvage mode).
+
+    ``results`` aligns with submission order; failed points hold ``None``.
+    """
+
+    results: Tuple[Optional[RunResult], ...]
+    failures: Tuple[PointFailure, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        """Whether every point succeeded."""
+        return not self.failures
+
+    def completed(self) -> Dict[int, RunResult]:
+        """Map batch index → result for every succeeding point."""
+        return {
+            index: result
+            for index, result in enumerate(self.results)
+            if result is not None
+        }
+
+    def failure_report(self) -> List[Dict[str, Any]]:
+        """The failures as JSON-safe dicts (for logs and artefacts)."""
+        return [failure.as_dict() for failure in self.failures]
+
+
+def backoff_s(base_s: float, attempt: int) -> float:
+    """Deterministic exponential backoff: ``base_s · 2^attempt``.
+
+    Indexed by the attempt number — no wall-clock randomness, so retry
+    schedules are reproducible.
+    """
+    return base_s * (2.0 ** attempt)
+
+
+def _failure(
+    index: int,
+    item: Any,
+    error: BaseException,
+    attempts: int,
+    timed_out: bool = False,
+) -> PointFailure:
+    """Build the :class:`PointFailure` record for one exhausted item."""
+    return PointFailure(
+        index=index,
+        point=item,
+        error_type=type(error).__name__,
+        message=str(error),
+        attempts=attempts,
+        timed_out=timed_out,
+        error=error,
+    )
+
+
+def run_with_recovery(
+    fn: Callable[[Any], Any],
+    items: Sequence[Any],
+    *,
+    jobs: Optional[int] = None,
+    timeout_s: Optional[float] = None,
+    retries: int = 0,
+    retry_backoff_s: float = 0.0,
+    stop_on_failure: bool = False,
+) -> Tuple[List[Optional[Any]], List[PointFailure]]:
+    """Execute ``fn(item)`` for every item with bounded retry and timeout.
+
+    The generic engine underneath :func:`run_many`, usable with any
+    picklable ``fn``. Returns ``(results, failures)``: ``results`` aligns
+    with ``items`` (``None`` where the item ultimately failed), and
+    ``failures`` lists one :class:`PointFailure` per exhausted item in
+    submission order.
+
+    ``retries`` re-executes a failing item up to that many extra times,
+    sleeping :func:`backoff_s` between attempts. ``timeout_s`` bounds each
+    attempt's wall-clock; enforcing it requires a worker process, so a
+    timeout forces the pool path even for ``jobs=1`` (the plain serial
+    path cannot preempt a running call). A timed-out attempt's worker is
+    abandoned, not killed — acceptable for simulation workloads.
+    ``stop_on_failure`` aborts the batch at the first exhausted item
+    (pending work is cancelled; items after the failure stay ``None``).
+    """
+    if retries < 0:
+        raise ConfigurationError(f"retries cannot be negative: {retries}")
+    if retry_backoff_s < 0:
+        raise ConfigurationError(
+            f"retry backoff cannot be negative: {retry_backoff_s}"
+        )
+    if timeout_s is not None and timeout_s <= 0:
+        raise ConfigurationError(f"timeout must be positive: {timeout_s}")
+    batch = list(items)
+    results: List[Optional[Any]] = [None] * len(batch)
+    failures: List[PointFailure] = []
+    if not batch:
+        return results, failures
+
+    workers = min(resolve_jobs(jobs), len(batch))
+    if workers == 1 and timeout_s is None:
+        for index, item in enumerate(batch):
+            last: Optional[BaseException] = None
+            for attempt in range(retries + 1):
+                if attempt and retry_backoff_s:
+                    time.sleep(backoff_s(retry_backoff_s, attempt - 1))
+                try:
+                    results[index] = fn(item)
+                    last = None
+                    break
+                except Exception as exc:
+                    last = exc
+            if last is not None:
+                failures.append(_failure(index, item, last, retries + 1))
+                if stop_on_failure:
+                    break
+        return results, failures
+
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [pool.submit(fn, item) for item in batch]
+        for index, item in enumerate(batch):
+            future = futures[index]
+            failure: Optional[PointFailure] = None
+            for attempt in range(retries + 1):
+                if attempt:
+                    delay = backoff_s(retry_backoff_s, attempt - 1)
+                    if delay:
+                        time.sleep(delay)
+                    future = pool.submit(fn, item)
+                try:
+                    results[index] = future.result(timeout=timeout_s)
+                    failure = None
+                    break
+                except FuturesTimeoutError as exc:
+                    future.cancel()
+                    failure = _failure(index, item, exc, attempt + 1, timed_out=True)
+                except Exception as exc:
+                    failure = _failure(index, item, exc, attempt + 1)
+            if failure is not None:
+                failures.append(failure)
+                if stop_on_failure:
+                    for pending in futures[index + 1 :]:
+                        pending.cancel()
+                    break
+    return results, failures
 
 
 def _execute_point(point: RunPoint) -> RunResult:
@@ -132,7 +356,11 @@ def _execute_point(point: RunPoint) -> RunResult:
 
     scheduler = STRATEGY_FACTORIES[point.strategy]()
     return run_collocation(
-        point.collocation, scheduler, point.duration_s, point.warmup_s
+        point.collocation,
+        scheduler,
+        point.duration_s,
+        point.warmup_s,
+        faults=point.faults,
     )
 
 
@@ -157,6 +385,7 @@ def _execute_point_instrumented(
         point.warmup_s,
         tracer=collector,
         metrics=registry,
+        faults=point.faults,
     )
     events = collector.events if collector is not None else []
     return result, events, registry
@@ -186,21 +415,38 @@ def run_many(
     *,
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRegistry] = None,
-) -> List[RunResult]:
+    on_error: str = "raise",
+    timeout_s: Optional[float] = None,
+    retries: int = 0,
+    retry_backoff_s: float = 0.0,
+):
     """Execute every point, returning results in submission order.
 
     ``jobs=1`` (or a single point) runs serially in-process; anything
     larger uses a ``ProcessPoolExecutor`` with ``min(jobs, len(points))``
-    workers. The first failing point aborts the batch with a
-    :class:`ParallelRunError`; points still pending are cancelled.
+    workers.
+
+    ``on_error="raise"`` (default) aborts at the first failing point with
+    a :class:`ParallelRunError` carrying the already-completed results in
+    its ``completed`` attribute, and returns a plain ``List[RunResult]``
+    when everything succeeds. ``on_error="salvage"`` always returns a
+    :class:`BatchReport`: results for every succeeding point plus a
+    structured failure report — one worker crashing or timing out no
+    longer discards the rest of the sweep. ``timeout_s``, ``retries`` and
+    ``retry_backoff_s`` follow :func:`run_with_recovery`.
 
     When ``tracer`` or ``metrics`` is given, every point runs with its own
     collecting tracer and registry (inside the worker process, when
     pooled); the parent then replays each point's events to ``tracer`` and
     merges its registry into ``metrics`` **in submission order**, so the
     observed stream is identical for every ``jobs`` setting. Multi-point
-    batches namespace merged metrics with :func:`metrics_prefix`.
+    batches namespace merged metrics with :func:`metrics_prefix`; failed
+    points contribute no events or metrics.
     """
+    if on_error not in ON_ERROR_MODES:
+        raise ConfigurationError(
+            f"on_error must be one of {ON_ERROR_MODES}, got {on_error!r}"
+        )
     batch = list(points)
     known = _known_strategies()
     for index, point in enumerate(batch):
@@ -215,57 +461,58 @@ def run_many(
                 f"known strategies: {sorted(known)}"
             )
     if not batch:
-        return []
+        return [] if on_error == "raise" else BatchReport(results=())
 
     instrumented = tracer is not None or metrics is not None
     want_trace = tracer is not None
     want_metrics = metrics is not None
-
-    workers = min(resolve_jobs(jobs), len(batch))
-    if workers == 1:
-        outcomes = []
-        for index, point in enumerate(batch):
-            try:
-                if instrumented:
-                    outcomes.append(
-                        _execute_point_instrumented(point, want_trace, want_metrics)
-                    )
-                else:
-                    outcomes.append(_execute_point(point))
-            except Exception as exc:
-                raise ParallelRunError(index, point, exc) from exc
+    if instrumented:
+        fn = functools.partial(
+            _execute_point_instrumented,
+            want_trace=want_trace,
+            want_metrics=want_metrics,
+        )
     else:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            if instrumented:
-                futures = [
-                    pool.submit(
-                        _execute_point_instrumented, point, want_trace, want_metrics
-                    )
-                    for point in batch
-                ]
-            else:
-                futures = [pool.submit(_execute_point, point) for point in batch]
-            outcomes = []
-            for index, (point, future) in enumerate(zip(batch, futures)):
-                try:
-                    outcomes.append(future.result())
-                except Exception as exc:
-                    for pending in futures[index + 1 :]:
-                        pending.cancel()
-                    raise ParallelRunError(index, point, exc) from exc
+        fn = _execute_point
 
-    if not instrumented:
-        return outcomes
+    outcomes, failures = run_with_recovery(
+        fn,
+        batch,
+        jobs=jobs,
+        timeout_s=timeout_s,
+        retries=retries,
+        retry_backoff_s=retry_backoff_s,
+        stop_on_failure=(on_error == "raise"),
+    )
 
-    results: List[RunResult] = []
+    results: List[Optional[RunResult]] = []
     for index, (point, outcome) in enumerate(zip(batch, outcomes)):
-        result, events, registry = outcome
-        if tracer is not None:
-            for event in events:
-                tracer.emit(event)
-        if metrics is not None and registry is not None:
-            metrics.merge(registry, prefix=metrics_prefix(index, point, len(batch)))
+        if outcome is None:
+            results.append(None)
+            continue
+        if instrumented:
+            result, events, registry = outcome
+            if tracer is not None:
+                for event in events:
+                    tracer.emit(event)
+            if metrics is not None and registry is not None:
+                metrics.merge(
+                    registry, prefix=metrics_prefix(index, point, len(batch))
+                )
+        else:
+            result = outcome
         results.append(result)
+
+    if on_error == "salvage":
+        return BatchReport(results=tuple(results), failures=tuple(failures))
+    if failures:
+        first = failures[0]
+        completed = {
+            index: result for index, result in enumerate(results) if result is not None
+        }
+        raise ParallelRunError(
+            first.index, batch[first.index], first.error, completed=completed
+        ) from first.error
     return results
 
 
@@ -276,12 +523,18 @@ class RunGrid:
     Accumulate points with :meth:`add` (each returns its index), then call
     :meth:`run` for results in insertion order, or :meth:`run_tagged` for
     ``(tag, result)`` pairs — the natural shape for heatmap grids.
+    ``timeout_s``/``retries``/``retry_backoff_s`` and ``on_error`` forward
+    to :func:`run_many`.
     """
 
     jobs: Optional[int] = None
     points: List[RunPoint] = field(default_factory=list)
     tracer: Optional[Tracer] = None
     metrics: Optional[MetricsRegistry] = None
+    on_error: str = "raise"
+    timeout_s: Optional[float] = None
+    retries: int = 0
+    retry_backoff_s: float = 0.0
 
     def add(
         self,
@@ -290,7 +543,9 @@ class RunGrid:
         duration_s: float = 120.0,
         warmup_s: Optional[float] = None,
         tag: Optional[Hashable] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> int:
+        """Append one point; returns its batch index."""
         self.points.append(
             RunPoint(
                 collocation=collocation,
@@ -298,6 +553,7 @@ class RunGrid:
                 duration_s=duration_s,
                 warmup_s=warmup_s,
                 tag=tag,
+                faults=faults,
             )
         )
         return len(self.points) - 1
@@ -305,10 +561,24 @@ class RunGrid:
     def __len__(self) -> int:
         return len(self.points)
 
-    def run(self) -> List[RunResult]:
+    def run(self):
+        """Execute the batch (see :func:`run_many` for the return shape)."""
         return run_many(
-            self.points, jobs=self.jobs, tracer=self.tracer, metrics=self.metrics
+            self.points,
+            jobs=self.jobs,
+            tracer=self.tracer,
+            metrics=self.metrics,
+            on_error=self.on_error,
+            timeout_s=self.timeout_s,
+            retries=self.retries,
+            retry_backoff_s=self.retry_backoff_s,
         )
 
     def run_tagged(self) -> List[Tuple[Optional[Hashable], RunResult]]:
+        """``(tag, result)`` pairs in insertion order (``raise`` mode only)."""
+        if self.on_error != "raise":
+            raise ConfigurationError(
+                "run_tagged() needs on_error='raise'; use run() and "
+                "BatchReport for salvage semantics"
+            )
         return [(point.tag, result) for point, result in zip(self.points, self.run())]

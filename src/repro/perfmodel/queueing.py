@@ -92,6 +92,17 @@ def _unit_gamma_quantile(shape: float, percentile: float) -> float:
     return float(special.gammaincinv(shape, percentile / 100.0))
 
 
+def _require_finite(label: str, value: float) -> None:
+    """Reject NaN/±inf inputs with a :class:`ModelError`.
+
+    Sign checks alone are not enough: every comparison against NaN is
+    False, so ``x < 0`` guards let corrupt telemetry flow straight into
+    the stationary formulas and out as NaN latencies.
+    """
+    if not math.isfinite(value):
+        raise ModelError(f"{label} must be finite, got {value}")
+
+
 def erlang_c(servers: int, offered_load: float) -> float:
     """Erlang-C probability that an arriving request must wait.
 
@@ -104,6 +115,7 @@ def erlang_c(servers: int, offered_load: float) -> float:
     """
     if servers < 1:
         raise ModelError(f"Erlang-C needs at least one server, got {servers}")
+    _require_finite("offered load", offered_load)
     if offered_load < 0:
         raise ModelError(f"offered load cannot be negative: {offered_load}")
     if offered_load >= servers:
@@ -120,6 +132,7 @@ def erlang_c(servers: int, offered_load: float) -> float:
 
 def waiting_probability(servers: float, utilisation: float) -> float:
     """Erlang-C waiting probability with fractional server interpolation."""
+    _require_finite("utilisation", utilisation)
     if servers <= 0:
         return 1.0
     if utilisation >= 1.0:
@@ -149,6 +162,7 @@ def concurrency_waiting_probability(slots: float, concurrency: float) -> float:
     slot counts interpolate between the neighbouring integers; the floor
     of one slot reflects that a single in-flight request never waits.
     """
+    _require_finite("concurrency", concurrency)
     if slots <= 0:
         return 1.0
     if concurrency < 0:
@@ -176,6 +190,8 @@ def service_quantile_ms(
     ``service_cv`` is the coefficient of variation: 1.0 reproduces the
     exponential distribution, values near 0 a deterministic service time.
     """
+    _require_finite("service time", service_time_ms)
+    _require_finite("service CV", service_cv)
     if service_time_ms < 0:
         raise ModelError(f"service time cannot be negative: {service_time_ms}")
     if service_cv < 0:
@@ -222,6 +238,11 @@ class QueueModel:
     service_cv: float = 1.0
 
     def __post_init__(self) -> None:
+        _require_finite("arrival rate", self.arrival_rps)
+        _require_finite("capacity", self.capacity_rps)
+        _require_finite("server count", self.servers)
+        _require_finite("service time", self.service_time_ms)
+        _require_finite("service CV", self.service_cv)
         if self.arrival_rps < 0:
             raise ModelError("arrival rate cannot be negative")
         if self.capacity_rps < 0:
@@ -472,6 +493,10 @@ class OverloadState:
         service_cv: float = 1.0,
     ) -> float:
         """Advance one epoch; returns the p-th percentile latency (ms)."""
+        _require_finite("epoch length", epoch_s)
+        _require_finite("arrival rate", arrival_rps)
+        _require_finite("capacity", capacity_rps)
+        _require_finite("service time", service_time_ms)
         if epoch_s <= 0:
             raise ModelError(f"epoch length must be positive: {epoch_s}")
         if arrival_rps < 0:

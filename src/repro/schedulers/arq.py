@@ -75,6 +75,15 @@ SHARED_FLOOR = {
 #: its own maximum appetite.
 MEMBW_RESERVATION_HEADROOM = 1.5
 
+#: Pseudo-region key under which the telemetry watchdog parks its freeze
+#: in the ordinary cooldown table (``__``-prefixed, so it can never
+#: collide with an application name).
+WATCHDOG_REGION = "__watchdog__"
+
+#: Consecutive unusable-telemetry intervals before the watchdog freezes
+#: adjustments and enters the penalty cooldown.
+WATCHDOG_PATIENCE = 2
+
 
 @dataclass(frozen=True)
 class _Move:
@@ -101,6 +110,7 @@ class ARQScheduler(Scheduler):
         beneficiary_threshold: float = RET_BENEFICIARY_THRESHOLD,
         rollback_epsilon: float = 0.01,
         victim_patience: int = 4,
+        watchdog_patience: int = WATCHDOG_PATIENCE,
         name: Optional[str] = None,
         tracer: Optional[Tracer] = None,
     ) -> None:
@@ -111,6 +121,8 @@ class ARQScheduler(Scheduler):
             raise ValueError("rollback_epsilon cannot be negative")
         if victim_patience < 1:
             raise ValueError("victim_patience must be at least 1")
+        if watchdog_patience < 1:
+            raise ValueError("watchdog_patience must be at least 1")
         if not 0 <= beneficiary_threshold <= victim_threshold:
             raise ValueError(
                 "need 0 <= beneficiary_threshold <= victim_threshold"
@@ -122,12 +134,14 @@ class ARQScheduler(Scheduler):
         self._beneficiary_threshold = beneficiary_threshold
         self._rollback_epsilon = rollback_epsilon
         self._victim_patience = victim_patience
+        self._watchdog_patience = watchdog_patience
         self._fsm = ResourceTypeFSM(on_transition=self._trace_fsm)
         self._previous_entropy = 1.0
         self._is_adjust = False
         self._last_move: Optional[_Move] = None
         self._cooldown_until: Dict[str, float] = {}
         self._tolerant_streak: Dict[str, int] = {}
+        self._gap_streak = 0
         self._now = 0.0
 
     def _trace_fsm(self, old_kind: ResourceKind, new_kind: ResourceKind) -> None:
@@ -143,13 +157,58 @@ class ARQScheduler(Scheduler):
             )
 
     def reset(self) -> None:
+        """Clear Algorithm 1's state, the watchdog and the base sanitizer."""
+        super().reset()
         self._fsm = ResourceTypeFSM(on_transition=self._trace_fsm)
         self._previous_entropy = 1.0
         self._is_adjust = False
         self._last_move = None
         self._cooldown_until = {}
         self._tolerant_streak = {}
+        self._gap_streak = 0
         self._now = 0.0
+
+    # -- telemetry watchdog ---------------------------------------------------
+
+    def on_telemetry_gap(
+        self,
+        context: SchedulerContext,
+        current_plan: RegionPlan,
+        time_s: float,
+    ) -> None:
+        """Count unusable intervals; freeze after ``watchdog_patience``.
+
+        Blind adjustments on stale memory are exactly the class of mistake
+        Algorithm 1's rollback exists to undo — but rollback needs fresh
+        entropy to notice. So after consecutive unusable intervals the
+        watchdog stops adjusting outright and enters the same penalty
+        cooldown (parked under :data:`WATCHDOG_REGION`), discarding any
+        pending move instead of judging it against corrupt telemetry.
+        """
+        self._now = time_s
+        self._gap_streak += 1
+        if self._gap_streak < self._watchdog_patience:
+            return
+        if self._cooldown_until.get(WATCHDOG_REGION, 0.0) > time_s:
+            return
+        until = time_s + max(self._cooldown_s, context.epoch_s)
+        self._cooldown_until[WATCHDOG_REGION] = until
+        self._is_adjust = False
+        self._last_move = None
+        self._fsm.reset()
+        if self.tracing:
+            self.emit(
+                CooldownStart(
+                    time_s=time_s,
+                    scheduler=self.name,
+                    region=WATCHDOG_REGION,
+                    until_s=until,
+                )
+            )
+
+    def on_telemetry_ok(self, time_s: float) -> None:
+        """A usable interval arrived: the gap streak starts over."""
+        self._gap_streak = 0
 
     # -- plan construction ----------------------------------------------------
 
@@ -229,6 +288,13 @@ class ARQScheduler(Scheduler):
         entropy = observation.system_entropy(context.relative_importance)
         previous_entropy = self._previous_entropy
         self._previous_entropy = entropy
+
+        if self._cooldown_until.get(WATCHDOG_REGION, 0.0) > time_s:
+            # Telemetry-watchdog freeze: hold the current plan until the
+            # penalty window lapses (its CooldownEnd is emitted above).
+            self._is_adjust = False
+            self._last_move = None
+            return current_plan
 
         if (
             self._entropy_rollback

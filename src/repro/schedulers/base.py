@@ -15,12 +15,25 @@ the shared region contend for the remaining channel bandwidth unthrottled.
 from __future__ import annotations
 
 import abc
+import math
 from dataclasses import dataclass, field, replace
 from typing import Dict, FrozenSet, Mapping, Optional, Tuple
 
-from repro.entropy.records import SystemObservation
-from repro.errors import SchedulingError
-from repro.obs.events import TraceEvent, Tracer
+from repro.entropy.records import BEObservation, LCObservation, SystemObservation
+from repro.errors import (
+    AllocationError,
+    MeasurementError,
+    ModelError,
+    ReproError,
+    SchedulingError,
+)
+from repro.obs.events import (
+    DecisionSkipped,
+    TelemetryGap,
+    TelemetryRepaired,
+    TraceEvent,
+    Tracer,
+)
 from repro.server.cores import CorePolicy
 from repro.server.node import ServerNode
 from repro.server.resources import ResourceVector, total_of
@@ -141,6 +154,138 @@ class SchedulerContext:
         raise SchedulingError(f"unknown application {name!r}")
 
 
+#: Measured tail latencies above this are rejected as telemetry outliers.
+#: Far above the queueing model's overload sentinel (1e6 ms), so genuinely
+#: saturated systems are never mistaken for corrupt counters.
+OUTLIER_CAP_MS = 1e8
+
+
+@dataclass(frozen=True)
+class SanitizedTelemetry:
+    """The outcome of one :meth:`TelemetrySanitizer.sanitize` pass.
+
+    ``fresh`` counts samples passed through untouched, ``held`` counts
+    samples served from the last good value (dropout or rejected
+    corruption), ``dropped`` counts samples discarded with no replacement
+    available.
+    """
+
+    observation: Optional[SystemObservation]
+    fresh: int = 0
+    held: int = 0
+    dropped: int = 0
+
+    @property
+    def usable(self) -> bool:
+        """Whether the interval carries at least one fresh, finite sample."""
+        return self.observation is not None and self.fresh > 0
+
+    @property
+    def repaired(self) -> bool:
+        """Whether any sample had to be held or dropped."""
+        return self.held > 0 or self.dropped > 0
+
+
+class TelemetrySanitizer:
+    """Hold-last-good telemetry guard shared by every scheduler.
+
+    Replaces non-finite, non-positive or absurdly large samples with the
+    application's last good observation; serves applications missing from
+    an epoch (dropout) from memory too. An epoch with *zero* fresh samples
+    is reported unusable — the scheduler should skip the interval rather
+    than act on pure memory.
+
+    Clean telemetry passes through by identity: when every sample is
+    acceptable, :meth:`sanitize` returns the original observation object,
+    so instrumented clean runs stay byte-identical to unsanitised ones.
+    """
+
+    def __init__(self, outlier_cap_ms: float = OUTLIER_CAP_MS) -> None:
+        self._outlier_cap_ms = outlier_cap_ms
+        self._last_lc: Dict[str, LCObservation] = {}
+        self._last_be: Dict[str, BEObservation] = {}
+
+    def reset(self) -> None:
+        """Forget all last-good state (between runs)."""
+        self._last_lc.clear()
+        self._last_be.clear()
+
+    def _lc_ok(self, sample: LCObservation) -> bool:
+        """Whether an LC sample is finite, positive and plausibly scaled."""
+        values = (sample.ideal_ms, sample.measured_ms, sample.threshold_ms)
+        if not all(math.isfinite(v) and v > 0 for v in values):
+            return False
+        if sample.measured_ms > self._outlier_cap_ms:
+            return False
+        return sample.ideal_ms <= sample.threshold_ms
+
+    @staticmethod
+    def _be_ok(sample: BEObservation) -> bool:
+        """Whether a BE sample carries finite, positive IPC values."""
+        return all(
+            math.isfinite(v) and v > 0 for v in (sample.ipc_solo, sample.ipc_real)
+        )
+
+    def sanitize(
+        self, observation: Optional[SystemObservation]
+    ) -> SanitizedTelemetry:
+        """Sanitise one epoch's telemetry (``None`` = full blackout)."""
+        lc_in = observation.lc if observation is not None else ()
+        be_in = observation.be if observation is not None else ()
+        fresh = held = dropped = 0
+        lc_out = []
+        seen_lc = set()
+        for sample in lc_in:
+            seen_lc.add(sample.name)
+            if self._lc_ok(sample):
+                lc_out.append(sample)
+                self._last_lc[sample.name] = sample
+                fresh += 1
+            elif sample.name in self._last_lc:
+                lc_out.append(self._last_lc[sample.name])
+                held += 1
+            else:
+                dropped += 1
+        be_out = []
+        seen_be = set()
+        for sample in be_in:
+            seen_be.add(sample.name)
+            if self._be_ok(sample):
+                be_out.append(sample)
+                self._last_be[sample.name] = sample
+                fresh += 1
+            elif sample.name in self._last_be:
+                be_out.append(self._last_be[sample.name])
+                held += 1
+            else:
+                dropped += 1
+        # Applications observed in earlier epochs but absent from this one
+        # (telemetry dropout) are served from memory so the observation
+        # keeps its shape. Insertion order of the memory dicts follows
+        # first observation, so the result is deterministic.
+        for name, last in self._last_lc.items():
+            if name not in seen_lc:
+                lc_out.append(last)
+                held += 1
+        for name, last in self._last_be.items():
+            if name not in seen_be:
+                be_out.append(last)
+                held += 1
+
+        if observation is not None and held == 0 and dropped == 0:
+            return SanitizedTelemetry(observation=observation, fresh=fresh)
+        if not lc_out and not be_out:
+            return SanitizedTelemetry(
+                observation=None, fresh=fresh, held=held, dropped=dropped
+            )
+        return SanitizedTelemetry(
+            observation=SystemObservation(lc=tuple(lc_out), be=tuple(be_out)),
+            fresh=fresh,
+            held=held,
+            dropped=dropped,
+        )
+
+
 class Scheduler(abc.ABC):
     """A resource scheduling strategy.
 
@@ -170,6 +315,7 @@ class Scheduler(abc.ABC):
         if name is not None:
             self.name = name
         self._tracer: Optional[Tracer] = tracer
+        self._sanitizer = TelemetrySanitizer()
 
     # -- observability -----------------------------------------------------
 
@@ -209,7 +355,90 @@ class Scheduler(abc.ABC):
         """The plan for the next epoch given this epoch's measurements."""
 
     def reset(self) -> None:
-        """Clear any cross-run internal state (default: stateless)."""
+        """Clear cross-run state (subclasses must call ``super().reset()``)."""
+        self._sanitizer.reset()
+
+    # -- graceful degradation ----------------------------------------------
+
+    def robust_decide(
+        self,
+        context: SchedulerContext,
+        observation: Optional[SystemObservation],
+        current_plan: RegionPlan,
+        time_s: float,
+    ) -> RegionPlan:
+        """Guarded :meth:`decide`: sanitise telemetry, survive failures.
+
+        The production-grade wrapper the run loop calls. Telemetry is
+        passed through :class:`TelemetrySanitizer` (``observation=None``
+        represents a full blackout); an unusable interval is *skipped* —
+        the current plan stands and :meth:`on_telemetry_gap` fires so
+        stateful strategies (ARQ's watchdog) can react. A :meth:`decide`
+        call that raises a library error keeps the current plan, and a
+        decided plan that fails node validation is replaced by
+        :func:`safe_fallback_plan`. Clean telemetry takes exactly the
+        plain ``decide`` path with the original observation object.
+        """
+        report = self._sanitizer.sanitize(observation)
+        if not report.usable:
+            if self.tracing:
+                self.emit(
+                    TelemetryGap(
+                        time_s=time_s,
+                        scheduler=self.name,
+                        held=report.held,
+                        dropped=report.dropped,
+                    )
+                )
+            self.on_telemetry_gap(context, current_plan, time_s)
+            return current_plan
+        self.on_telemetry_ok(time_s)
+        if report.repaired and self.tracing:
+            self.emit(
+                TelemetryRepaired(
+                    time_s=time_s,
+                    scheduler=self.name,
+                    fresh=report.fresh,
+                    held=report.held,
+                    dropped=report.dropped,
+                )
+            )
+        try:
+            next_plan = self.decide(context, report.observation, current_plan, time_s)
+        except (AllocationError, MeasurementError, ModelError, SchedulingError) as exc:
+            if self.tracing:
+                self.emit(
+                    DecisionSkipped(
+                        time_s=time_s,
+                        scheduler=self.name,
+                        reason="decide_failed",
+                        detail=f"{type(exc).__name__}: {exc}",
+                    )
+                )
+            return current_plan
+        if next_plan is not current_plan:
+            try:
+                next_plan.validate(context.node)
+            except ReproError as exc:
+                if self.tracing:
+                    self.emit(
+                        DecisionSkipped(
+                            time_s=time_s,
+                            scheduler=self.name,
+                            reason="invalid_plan",
+                            detail=f"{type(exc).__name__}: {exc}",
+                        )
+                    )
+                return safe_fallback_plan(context, current_plan)
+        return next_plan
+
+    def on_telemetry_gap(
+        self, context: SchedulerContext, current_plan: RegionPlan, time_s: float
+    ) -> None:
+        """Hook: an interval was skipped for unusable telemetry (no-op)."""
+
+    def on_telemetry_ok(self, time_s: float) -> None:
+        """Hook: an interval delivered usable telemetry (no-op)."""
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.name!r}>"
@@ -249,6 +478,47 @@ def even_partition_plan(context: SchedulerContext) -> RegionPlan:
         isolated=isolated,
         shared=ResourceVector(),
         shared_members=frozenset(),
+        shared_policy=CorePolicy.LC_PRIORITY,
+    )
+    plan.validate(context.node)
+    return plan
+
+
+def safe_fallback_plan(
+    context: SchedulerContext, current_plan: Optional[RegionPlan] = None
+) -> RegionPlan:
+    """A guaranteed-valid plan to fall back to when a decision is invalid.
+
+    Keeps ``current_plan`` when it still validates (the usual case — the
+    bad *new* plan is simply discarded). Otherwise reverts to
+    isolated-region minimums: one core and one LLC way per LC application
+    (as far as capacity allows), everything else — including all memory
+    bandwidth — in a shared region open to every application.
+    """
+    if current_plan is not None:
+        try:
+            current_plan.validate(context.node)
+            return current_plan
+        except ReproError:
+            pass
+    capacity = context.node.capacity
+    lc_names = list(context.lc_profiles)
+    isolated: Dict[str, ResourceVector] = {}
+    cores_left = capacity.cores
+    ways_left = capacity.llc_ways
+    for name in lc_names:
+        # Reserve a minimum only while the shared region keeps at least
+        # one unit of each kind for everybody else.
+        cores = 1.0 if cores_left > 1.0 else 0.0
+        ways = 1.0 if ways_left > 1.0 else 0.0
+        isolated[name] = ResourceVector(cores=cores, llc_ways=ways)
+        cores_left -= cores
+        ways_left -= ways
+    shared = capacity.minus(total_of(isolated.values()))
+    plan = RegionPlan(
+        isolated=isolated,
+        shared=shared,
+        shared_members=frozenset(context.app_names),
         shared_policy=CorePolicy.LC_PRIORITY,
     )
     plan.validate(context.node)

@@ -90,6 +90,8 @@ class CLITEScheduler(Scheduler):
         self._dwell_remaining = DWELL_EPOCHS
 
     def reset(self) -> None:
+        """Clear search state and the base class's telemetry sanitizer."""
+        super().reset()
         self._optimizer = None
         self._names = []
         self._current_config = None

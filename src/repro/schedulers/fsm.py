@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional, Sequence
 
-from repro.errors import SchedulingError
+from repro.errors import ReproError, SchedulingError
 from repro.types import ResourceKind
 
 #: The adjustment order used throughout: cores, then LLC ways, then
@@ -68,12 +68,19 @@ class ResourceTypeFSM:
 
         Tries the current kind, then advances through the cycle; returns
         ``None`` when no kind is feasible (the machine is left where it
-        started in that case).
+        started in that case). A predicate that raises a library error for
+        one kind marks that kind infeasible instead of aborting the whole
+        selection — feasibility checks evaluate models over telemetry-derived
+        state, and one kind's bad inputs must not wedge the controller.
         """
         start = self._index
         for offset in range(len(self._order)):
             kind = self._order[(start + offset) % len(self._order)]
-            if feasible(kind):
+            try:
+                ok = feasible(kind)
+            except ReproError:
+                ok = False
+            if ok:
                 self._move_to((start + offset) % len(self._order))
                 return kind
         return None

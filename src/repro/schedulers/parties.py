@@ -86,6 +86,8 @@ class PartiesScheduler(Scheduler):
         self._now = 0.0
 
     def reset(self) -> None:
+        """Clear search state and the base class's telemetry sanitizer."""
+        super().reset()
         self._fsms = {}
         self._pending_downsize = None
         self._relaxed_streak = {}

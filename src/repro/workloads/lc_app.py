@@ -190,12 +190,21 @@ class LCProfile(ApplicationProfile):
         return self.base_latency_ms + model.percentile_ms(self.percentile)
 
     def ideal_latency_ms(self, load_fraction: float) -> float:
-        """``TL_i0``: tail latency with ample resources (solo, full cache)."""
-        return self.tail_latency_ms(
+        """``TL_i0``: tail latency with ample resources (solo, full cache).
+
+        Calibration pins the knee so that ``TL_i0`` meets ``M_i`` exactly
+        at 100% of max load; float round-off can land one ulp above, so
+        the result is clamped to the threshold — the entropy layer treats
+        ``TL_i0 > M_i`` as an unsatisfiable QoS target and rejects it.
+        """
+        latency = self.tail_latency_ms(
             load_fraction,
             cores=float(self.threads),
             effective_ways=self.reference_ways,
         )
+        if load_fraction <= 1.0:
+            return min(latency, self.threshold_ms)
+        return latency
 
     def demand_cores(self, load_fraction: float, headroom: float = 0.1) -> float:
         """CPU time the application actually *consumes* at this load.

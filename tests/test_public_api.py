@@ -35,6 +35,30 @@ EXPECTED_PUBLIC_NAMES = {
     "RunGrid",
     "RunPoint",
     "run_many",
+    "BatchReport",
+    "PointFailure",
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "AllocationError",
+    "SchedulingError",
+    "SimulationError",
+    "MeasurementError",
+    "ModelError",
+    "UnknownApplicationError",
+    "FaultError",
+    "TelemetryCorruptionError",
+    # fault injection
+    "FaultPlan",
+    "FaultSpec",
+    "FaultInjector",
+    "fault_preset",
+    "LoadSpike",
+    "QpsRamp",
+    "TelemetryDropout",
+    "TelemetryCorruption",
+    "CapacityDegradation",
+    "BEBurst",
     # theory
     "LCObservation",
     "BEObservation",

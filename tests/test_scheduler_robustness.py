@@ -1,0 +1,212 @@
+"""Property tests: schedulers survive arbitrary telemetry corruption.
+
+The contract under test is :meth:`repro.schedulers.base.Scheduler.robust_decide`:
+whatever garbage the telemetry path delivers — NaN, infinities, negative
+latencies, partial dropout, full blackout — no scheduler may raise, and
+every plan it returns must validate against the node's capacity.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+import pytest
+
+from repro.entropy.records import BEObservation, LCObservation, SystemObservation
+from repro.experiments.common import STRATEGY_FACTORIES, canonical_mix
+from repro.schedulers.base import (
+    RegionPlan,
+    SchedulerContext,
+    TelemetrySanitizer,
+    safe_fallback_plan,
+)
+from repro.server.resources import ResourceVector
+from repro.sim.rng import RngStreams
+
+LC_NAMES = ("xapian", "moses", "img-dnn")
+BE_NAMES = ("fluidanimate",)
+
+#: Any float at all — the corruption space for LC latency fields.
+any_float = st.floats(allow_nan=True, allow_infinity=True)
+#: BEObservation construction rejects values ≤ 0 but lets NaN/inf through
+#: (see records.py) — mirror exactly what a corrupted sample can carry.
+be_float = st.one_of(
+    st.floats(min_value=1e-6, max_value=1e9),
+    st.just(float("nan")),
+    st.just(float("inf")),
+)
+
+
+def _context() -> SchedulerContext:
+    mix = canonical_mix(0.5, seed=5)
+    return SchedulerContext(
+        node=mix.node,
+        lc_profiles=mix.lc_profiles,
+        be_profiles=mix.be_profiles,
+        rng=RngStreams(5),
+    )
+
+
+def _clean_observation() -> SystemObservation:
+    return SystemObservation(
+        lc=tuple(
+            LCObservation(name, ideal_ms=2.0, measured_ms=3.0, threshold_ms=10.0)
+            for name in LC_NAMES
+        ),
+        be=tuple(
+            BEObservation(name, ipc_solo=2.0, ipc_real=1.5) for name in BE_NAMES
+        ),
+    )
+
+
+@st.composite
+def corrupt_lc(draw, name):
+    return LCObservation(
+        name,
+        ideal_ms=draw(any_float),
+        measured_ms=draw(any_float),
+        threshold_ms=draw(any_float),
+    )
+
+
+@st.composite
+def corrupt_be(draw, name):
+    return BEObservation(name, ipc_solo=draw(be_float), ipc_real=draw(be_float))
+
+
+@st.composite
+def epoch_telemetry(draw):
+    """One epoch's scheduler view: blackout, clean, or corrupted/partial."""
+    shape = draw(st.sampled_from(["blackout", "clean", "corrupt"]))
+    if shape == "blackout":
+        return None
+    if shape == "clean":
+        return _clean_observation()
+    lc = []
+    for name in LC_NAMES:
+        presence = draw(st.sampled_from(["fresh", "corrupt", "absent"]))
+        if presence == "fresh":
+            lc.append(LCObservation(name, 2.0, 3.0, 10.0))
+        elif presence == "corrupt":
+            lc.append(draw(corrupt_lc(name)))
+    be = []
+    for name in BE_NAMES:
+        presence = draw(st.sampled_from(["fresh", "corrupt", "absent"]))
+        if presence == "fresh":
+            be.append(BEObservation(name, 2.0, 1.5))
+        elif presence == "corrupt":
+            be.append(draw(corrupt_be(name)))
+    if not lc and not be:
+        return None  # every sample absent — indistinguishable from a blackout
+    return SystemObservation(lc=tuple(lc), be=tuple(be))
+
+
+@pytest.mark.parametrize("strategy", sorted(STRATEGY_FACTORIES))
+@settings(max_examples=20, deadline=None)
+@given(epochs=st.lists(epoch_telemetry(), min_size=1, max_size=8))
+def test_no_scheduler_raises_and_all_plans_validate(strategy, epochs):
+    context = _context()
+    scheduler = STRATEGY_FACTORIES[strategy]()
+    plan = scheduler.initial_plan(context)
+    plan.validate(context.node)
+    for index, observation in enumerate(epochs):
+        plan = scheduler.robust_decide(context, observation, plan, index * 0.5)
+        plan.validate(context.node)
+
+
+class TestSanitizer:
+    def test_clean_telemetry_passes_through_by_identity(self):
+        sanitizer = TelemetrySanitizer()
+        observation = _clean_observation()
+        report = sanitizer.sanitize(observation)
+        assert report.observation is observation
+        assert report.usable and not report.repaired
+        assert report.fresh == len(LC_NAMES) + len(BE_NAMES)
+
+    def test_blackout_is_unusable(self):
+        report = TelemetrySanitizer().sanitize(None)
+        assert not report.usable
+        assert report.fresh == 0
+
+    def test_corruption_with_no_memory_drops(self):
+        sanitizer = TelemetrySanitizer()
+        bad = SystemObservation(
+            lc=(LCObservation("xapian", 2.0, float("nan"), 10.0),), be=()
+        )
+        report = sanitizer.sanitize(bad)
+        assert not report.usable
+        assert report.dropped == 1
+
+    def test_corruption_after_clean_holds_last_good(self):
+        sanitizer = TelemetrySanitizer()
+        clean = _clean_observation()
+        sanitizer.sanitize(clean)
+        bad = SystemObservation(
+            lc=(
+                LCObservation("xapian", 2.0, float("nan"), 10.0),
+                clean.lc[1],
+                clean.lc[2],
+            ),
+            be=clean.be,
+        )
+        report = sanitizer.sanitize(bad)
+        assert report.usable and report.repaired
+        assert report.held == 1
+        held = {s.name: s for s in report.observation.lc}["xapian"]
+        assert held.measured_ms == clean.lc[0].measured_ms
+
+    def test_absent_app_served_from_memory(self):
+        sanitizer = TelemetrySanitizer()
+        clean = _clean_observation()
+        sanitizer.sanitize(clean)
+        partial = SystemObservation(lc=clean.lc[1:], be=clean.be)
+        report = sanitizer.sanitize(partial)
+        assert report.held == 1
+        assert {s.name for s in report.observation.lc} == set(LC_NAMES)
+
+    @settings(max_examples=50, deadline=None)
+    @given(sample=corrupt_lc("xapian"))
+    def test_rejected_samples_never_reach_the_scheduler(self, sample):
+        sanitizer = TelemetrySanitizer()
+        report = sanitizer.sanitize(SystemObservation(lc=(sample,), be=()))
+        if report.observation is not None:
+            for out in report.observation.lc:
+                assert math.isfinite(out.measured_ms) and out.measured_ms > 0
+
+    def test_genuine_overload_is_not_rejected(self):
+        """The overload sentinel (1e6 ms) sits far below the outlier cap."""
+        sanitizer = TelemetrySanitizer()
+        overloaded = SystemObservation(
+            lc=(LCObservation("xapian", 2.0, 1e6, 10.0),), be=()
+        )
+        report = sanitizer.sanitize(overloaded)
+        assert report.usable and not report.repaired
+
+
+class TestSafeFallback:
+    def test_fallback_without_current_plan_validates(self):
+        context = _context()
+        safe_fallback_plan(context).validate(context.node)
+
+    def test_fallback_keeps_a_valid_current_plan(self):
+        context = _context()
+        current = safe_fallback_plan(context)
+        assert safe_fallback_plan(context, current) is current
+
+    def test_fallback_replaces_an_invalid_current_plan(self):
+        context = _context()
+        capacity = context.node.capacity
+        bloated = RegionPlan(
+            isolated={
+                "xapian": ResourceVector(
+                    cores=capacity.cores * 2, llc_ways=capacity.llc_ways
+                )
+            },
+            shared=capacity,
+            shared_members=frozenset(context.app_names),
+        )
+        plan = safe_fallback_plan(context, bloated)
+        assert plan is not bloated
+        plan.validate(context.node)
