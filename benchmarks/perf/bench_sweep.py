@@ -130,6 +130,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--output", default=str(OUTPUT_PATH))
     args = parser.parse_args(argv)
 
+    # All timings except the explicit "uncached" leg assume memoisation is
+    # live; a stray set_caches_enabled(False) would silently poison them.
+    assert queueing.caches_enabled(), "quantile caching must be enabled"
+
     jobs = args.jobs if args.jobs is not None else max(4, resolve_jobs(None))
     if args.quick:
         loads, run_duration, sweep_duration = [0.1, 0.5, 0.9], 60.0, 30.0

@@ -20,6 +20,14 @@ paper-vs-measured record of every table and figure.
 """
 
 from repro.api import RunConfig, RunSummary, compare, run
+from repro.check import (
+    CheckConfig,
+    CheckingTracer,
+    LittlesLawReport,
+    check_trace,
+    littles_law_report,
+)
+from repro.check.differential import differential_check
 from repro.cluster import (
     BEMember,
     Collocation,
@@ -29,6 +37,7 @@ from repro.cluster import (
 )
 from repro.errors import (
     AllocationError,
+    CheckError,
     ConfigurationError,
     FaultError,
     MeasurementError,
@@ -80,6 +89,7 @@ from repro.schedulers import (
 )
 from repro.obs.events import (
     CollectingTracer,
+    InvariantViolation,
     NullTracer,
     TraceEvent,
     Tracer,
@@ -108,6 +118,9 @@ __all__ = [
     "BatchReport",
     "CLITEScheduler",
     "CapacityDegradation",
+    "CheckConfig",
+    "CheckError",
+    "CheckingTracer",
     "CollectingTracer",
     "Collocation",
     "ConfigurationError",
@@ -117,10 +130,12 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "FluctuatingLoad",
+    "InvariantViolation",
     "LCFirstScheduler",
     "LCMember",
     "LCObservation",
     "LC_APPLICATIONS",
+    "LittlesLawReport",
     "LoadSpike",
     "MeasurementError",
     "MetricsRegistry",
@@ -155,11 +170,14 @@ __all__ = [
     "UnmanagedScheduler",
     "be_entropy",
     "be_profile",
+    "check_trace",
     "compare",
     "compose_tracers",
+    "differential_check",
     "fault_preset",
     "lc_entropy",
     "lc_profile",
+    "littles_law_report",
     "resource_equivalence",
     "run",
     "run_collocation",

@@ -23,8 +23,9 @@ from __future__ import annotations
 
 import json
 from dataclasses import asdict, dataclass, field, replace
-from typing import Dict, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
 
+from repro.check.invariants import CheckConfig
 from repro.cluster.collocation import Collocation
 from repro.cluster.run import RunResult
 from repro.errors import ConfigurationError
@@ -74,6 +75,11 @@ class RunConfig:
         applied on the simulated clock (see :mod:`repro.faults`); fault
         effects are pure functions of time, so faulted runs stay
         bit-reproducible too.
+    checks:
+        Optional runtime verification (see :mod:`repro.check`): ``"warn"``
+        (or a :class:`~repro.check.invariants.CheckConfig`) collects
+        invariant violations on the result, ``"strict"`` raises
+        :class:`~repro.errors.CheckError` at the first one.
     """
 
     strategy: str = "arq"
@@ -85,6 +91,7 @@ class RunConfig:
     warmup_s: Optional[float] = None
     seed: int = 2023
     faults: Optional[FaultPlan] = None
+    checks: Optional[Union[CheckConfig, str]] = None
 
     def __post_init__(self) -> None:
         if self.strategy not in STRATEGY_FACTORIES:
@@ -94,6 +101,9 @@ class RunConfig:
             )
         if not self.lc_loads:
             raise ConfigurationError("a run needs at least one LC application")
+        if self.checks is not None:
+            # Normalise the "warn"/"strict" shorthands once, at the edge.
+            object.__setattr__(self, "checks", CheckConfig.of(self.checks))
 
     def collocation(self) -> Collocation:
         """The :class:`~repro.cluster.collocation.Collocation` described."""
@@ -182,6 +192,7 @@ def run(
         tracer=tracer,
         metrics=metrics,
         faults=config.faults,
+        checks=config.checks,
     )
     return RunSummary.from_result(result)
 
@@ -215,6 +226,7 @@ def compare(
         tracer=tracer,
         metrics=metrics,
         faults=config.faults,
+        checks=config.checks,
     )
     return {
         name: RunSummary.from_result(result) for name, result in results.items()

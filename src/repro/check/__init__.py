@@ -1,0 +1,43 @@
+"""Runtime verification: invariants, differential and golden-trace checks.
+
+Three layers, lowest first:
+
+* :mod:`repro.check.invariants` — the :class:`CheckingTracer`, an online
+  checker that rides every run (resource conservation, entropy
+  lawfulness per Eqs. 5–7 and §II-A, ARQ's Algorithm 1 protocol,
+  Little's-law consistency between the queueing model and the request
+  simulator);
+* :mod:`repro.check.differential` — one seeded scenario across every
+  registered strategy, cross-checking invariants, rerun determinism and
+  the paper's ordering claims;
+* :mod:`repro.check.golden` — golden-trace regression against committed
+  JSONL fixtures under ``tests/golden/``, in byte-identical and
+  tolerance modes.
+
+``python -m repro check [--regen] [--strict]`` drives all three.
+
+This package ``__init__`` deliberately re-exports only the invariant
+layer: :mod:`repro.cluster.run` imports it, while the differential and
+golden layers import the experiment/parallel stack built on top of
+``cluster.run`` — import those submodules explicitly.
+"""
+
+from repro.check.invariants import (
+    AMOUNT_TOLERANCE,
+    CheckConfig,
+    CheckingTracer,
+    LittlesLawReport,
+    check_trace,
+    littles_law_report,
+)
+from repro.errors import CheckError
+
+__all__ = [
+    "AMOUNT_TOLERANCE",
+    "CheckConfig",
+    "CheckError",
+    "CheckingTracer",
+    "LittlesLawReport",
+    "check_trace",
+    "littles_law_report",
+]

@@ -1,0 +1,348 @@
+"""Golden-trace regression: compare runs against committed fixtures.
+
+Every run in this reproduction is a pure function of its seed, so its
+event trace and summary can be committed verbatim and re-derived at any
+time. This module maintains those fixtures under ``tests/golden/``:
+
+* :func:`record_cases` (re)generates them — one ``<strategy>.trace.jsonl``
+  (the canonical JSONL event stream) plus one ``<strategy>.summary.json``
+  per mix/strategy pair;
+* :func:`compare_cases` re-runs the same cases and diffs against the
+  fixtures, either **exact** (byte-identical lines — the determinism
+  guarantee across machines, hash seeds and ``--jobs`` settings) or
+  **tolerance** (structural JSON comparison with relative slack for
+  floats — the mode to reach for if a platform ever exhibits benign
+  last-ulp drift).
+
+Fixture runs always execute with warn-mode invariant checks armed, so a
+regression that breaks an invariant shows up twice: as a trace diff *and*
+as an :class:`~repro.obs.events.InvariantViolation` in the new stream.
+
+``python -m repro check`` (and ``--regen``) is the CLI entry point; the
+regen workflow is documented in ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import pathlib
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.check.invariants import CheckConfig
+from repro.errors import ConfigurationError
+from repro.obs.events import CollectingTracer, RunStarted, TraceEvent
+from repro.obs.export import event_to_json, summary_dict
+from repro.parallel import RunPoint, run_many
+
+#: The mixes golden fixtures are committed for.
+GOLDEN_MIXES: Tuple[str, ...] = ("canonical", "fig8", "fig9")
+#: Short fixture runs: long enough to exercise several scheduler
+#: decisions, short enough that regen and compare stay test-suite fast.
+GOLDEN_DURATION_S = 8.0
+GOLDEN_WARMUP_S = 4.0
+GOLDEN_SEED = 2023
+#: Default float slack for :func:`compare_cases`' tolerance mode.
+GOLDEN_RTOL = 1e-9
+
+#: Repository-relative default fixture root.
+DEFAULT_GOLDEN_DIR = pathlib.Path(__file__).resolve().parents[3] / "tests" / "golden"
+
+#: The comparison modes :func:`compare_cases` understands.
+COMPARE_MODES = ("exact", "tolerance")
+
+
+@dataclass(frozen=True)
+class GoldenCase:
+    """One committed fixture: a mix/strategy pair at fixed duration/seed."""
+
+    mix: str
+    strategy: str
+    duration_s: float = GOLDEN_DURATION_S
+    warmup_s: float = GOLDEN_WARMUP_S
+    seed: int = GOLDEN_SEED
+
+    @property
+    def slug(self) -> str:
+        """Stable identifier used in file names and reports."""
+        return f"{self.mix}/{self.strategy}"
+
+    def trace_path(self, root: pathlib.Path) -> pathlib.Path:
+        """The fixture's JSONL trace file under ``root``."""
+        return pathlib.Path(root) / self.mix / f"{self.strategy}.trace.jsonl"
+
+    def summary_path(self, root: pathlib.Path) -> pathlib.Path:
+        """The fixture's summary JSON file under ``root``."""
+        return pathlib.Path(root) / self.mix / f"{self.strategy}.summary.json"
+
+
+def default_cases(
+    mixes: Sequence[str] = GOLDEN_MIXES,
+    strategies: Optional[Sequence[str]] = None,
+) -> List[GoldenCase]:
+    """The full fixture matrix: every mix × every registered strategy."""
+    from repro.experiments.common import MIX_PRESETS, STRATEGY_ORDER
+
+    for mix in mixes:
+        if mix not in MIX_PRESETS:
+            raise ConfigurationError(
+                f"unknown mix {mix!r}; known mixes: {sorted(MIX_PRESETS)}"
+            )
+    if strategies is None:
+        strategies = STRATEGY_ORDER
+    return [GoldenCase(mix=mix, strategy=s) for mix in mixes for s in strategies]
+
+
+def split_runs(events: Sequence[TraceEvent]) -> List[List[TraceEvent]]:
+    """Split a concatenated event stream at :class:`RunStarted` boundaries."""
+    runs: List[List[TraceEvent]] = []
+    for event in events:
+        if isinstance(event, RunStarted) or not runs:
+            runs.append([])
+        runs[-1].append(event)
+    return runs
+
+
+def trace_lines(events: Iterable[TraceEvent]) -> List[str]:
+    """Canonical JSONL lines for an event sequence (no trailing newline)."""
+    return [event_to_json(event) for event in events]
+
+
+def trace_digest(events: Iterable[TraceEvent]) -> str:
+    """SHA-256 over the canonical JSONL form of an event sequence."""
+    digest = hashlib.sha256()
+    for line in trace_lines(events):
+        digest.update(line.encode("utf-8"))
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+def run_cases(
+    cases: Sequence[GoldenCase], jobs: Optional[int] = None
+) -> List[Tuple[GoldenCase, "object", List[TraceEvent]]]:
+    """Execute every case once (one batch) with warn-mode checks armed.
+
+    Returns ``(case, result, events)`` triples in case order. Events come
+    back via the parallel runner's deterministic replay, so the stream is
+    identical for every ``jobs`` setting.
+    """
+    from repro.experiments.common import mix_collocation
+
+    collector = CollectingTracer()
+    points = [
+        RunPoint(
+            collocation=mix_collocation(case.mix, seed=case.seed),
+            strategy=case.strategy,
+            duration_s=case.duration_s,
+            warmup_s=case.warmup_s,
+            checks=CheckConfig(strict=False),
+        )
+        for case in cases
+    ]
+    results = run_many(points, jobs=jobs, tracer=collector)
+    runs = split_runs(collector.events)
+    if len(runs) != len(cases):
+        raise ConfigurationError(
+            f"expected {len(cases)} event runs, collected {len(runs)}"
+        )
+    return list(zip(cases, results, runs))
+
+
+def summary_text(result) -> str:
+    """The committed form of a run summary: pretty, sorted, newline-terminated."""
+    return json.dumps(summary_dict(result), sort_keys=True, indent=2) + "\n"
+
+
+def record_cases(
+    cases: Sequence[GoldenCase],
+    root: pathlib.Path = DEFAULT_GOLDEN_DIR,
+    jobs: Optional[int] = None,
+) -> List[pathlib.Path]:
+    """(Re)generate the fixture files for every case; returns written paths."""
+    root = pathlib.Path(root)
+    written: List[pathlib.Path] = []
+    for case, result, events in run_cases(cases, jobs=jobs):
+        trace_path = case.trace_path(root)
+        trace_path.parent.mkdir(parents=True, exist_ok=True)
+        trace_path.write_text(
+            "".join(line + "\n" for line in trace_lines(events))
+        )
+        summary_path = case.summary_path(root)
+        summary_path.write_text(summary_text(result))
+        written.extend([trace_path, summary_path])
+    return written
+
+
+@dataclass(frozen=True)
+class GoldenMismatch:
+    """One fixture discrepancy found by :func:`compare_cases`."""
+
+    slug: str
+    path: str
+    detail: str
+
+    def describe(self) -> str:
+        """Human-readable one-liner for reports."""
+        return f"{self.slug}: {self.path}: {self.detail}"
+
+
+@dataclass(frozen=True)
+class GoldenReport:
+    """Outcome of one golden comparison sweep."""
+
+    mode: str
+    cases: Tuple[GoldenCase, ...]
+    mismatches: Tuple[GoldenMismatch, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        """Whether every fixture matched."""
+        return not self.mismatches
+
+    def describe(self) -> str:
+        """Multi-line summary suitable for console output."""
+        if self.ok:
+            return (
+                f"golden[{self.mode}]: {len(self.cases)} case(s) match"
+            )
+        lines = [
+            f"golden[{self.mode}]: {len(self.mismatches)} mismatch(es) "
+            f"across {len(self.cases)} case(s):"
+        ]
+        lines.extend(f"  {m.describe()}" for m in self.mismatches)
+        return "\n".join(lines)
+
+
+def _approx_equal(expected, actual, rtol: float) -> bool:
+    """Structural equality with relative slack for (non-bool) numbers."""
+    # bool is a subclass of int — compare identities before numbers.
+    if isinstance(expected, bool) or isinstance(actual, bool):
+        return expected is actual
+    if isinstance(expected, (int, float)) and isinstance(actual, (int, float)):
+        return math.isclose(expected, actual, rel_tol=rtol, abs_tol=rtol)
+    if isinstance(expected, dict) and isinstance(actual, dict):
+        return expected.keys() == actual.keys() and all(
+            _approx_equal(value, actual[key], rtol)
+            for key, value in expected.items()
+        )
+    if isinstance(expected, (list, tuple)) and isinstance(actual, (list, tuple)):
+        return len(expected) == len(actual) and all(
+            _approx_equal(e, a, rtol) for e, a in zip(expected, actual)
+        )
+    return expected == actual
+
+
+def _compare_lines(
+    slug: str,
+    path: pathlib.Path,
+    expected_lines: List[str],
+    actual_lines: List[str],
+    mode: str,
+    rtol: float,
+) -> List[GoldenMismatch]:
+    mismatches: List[GoldenMismatch] = []
+    if len(expected_lines) != len(actual_lines):
+        mismatches.append(
+            GoldenMismatch(
+                slug=slug,
+                path=str(path),
+                detail=(
+                    f"fixture has {len(expected_lines)} event(s), "
+                    f"run produced {len(actual_lines)}"
+                ),
+            )
+        )
+        return mismatches
+    for number, (expected, actual) in enumerate(
+        zip(expected_lines, actual_lines), start=1
+    ):
+        if expected == actual:
+            continue
+        if mode == "tolerance" and _approx_equal(
+            json.loads(expected), json.loads(actual), rtol
+        ):
+            continue
+        mismatches.append(
+            GoldenMismatch(
+                slug=slug,
+                path=str(path),
+                detail=(
+                    f"line {number} differs: fixture {expected!r} "
+                    f"vs run {actual!r}"
+                ),
+            )
+        )
+        if len(mismatches) >= 3:
+            mismatches.append(
+                GoldenMismatch(
+                    slug=slug, path=str(path), detail="further diffs elided"
+                )
+            )
+            break
+    return mismatches
+
+
+def compare_cases(
+    cases: Sequence[GoldenCase],
+    root: pathlib.Path = DEFAULT_GOLDEN_DIR,
+    mode: str = "tolerance",
+    jobs: Optional[int] = None,
+    rtol: float = GOLDEN_RTOL,
+) -> GoldenReport:
+    """Re-run every case and diff traces + summaries against the fixtures.
+
+    ``mode="exact"`` demands byte-identical lines; ``mode="tolerance"``
+    falls back to a structural JSON comparison with ``rtol`` slack on
+    numbers for lines whose bytes differ. Missing fixture files are
+    reported as mismatches (run ``--regen`` to create them).
+    """
+    if mode not in COMPARE_MODES:
+        raise ConfigurationError(
+            f"mode must be one of {COMPARE_MODES}, got {mode!r}"
+        )
+    root = pathlib.Path(root)
+    mismatches: List[GoldenMismatch] = []
+    for case, result, events in run_cases(cases, jobs=jobs):
+        trace_path = case.trace_path(root)
+        summary_path = case.summary_path(root)
+        missing = [p for p in (trace_path, summary_path) if not p.exists()]
+        if missing:
+            for path in missing:
+                mismatches.append(
+                    GoldenMismatch(
+                        slug=case.slug,
+                        path=str(path),
+                        detail="fixture missing (run `repro check --regen`)",
+                    )
+                )
+            continue
+        mismatches.extend(
+            _compare_lines(
+                case.slug,
+                trace_path,
+                trace_path.read_text().splitlines(),
+                trace_lines(events),
+                mode,
+                rtol,
+            )
+        )
+        expected_summary = summary_path.read_text()
+        actual_summary = summary_text(result)
+        if expected_summary != actual_summary and not (
+            mode == "tolerance"
+            and _approx_equal(
+                json.loads(expected_summary), json.loads(actual_summary), rtol
+            )
+        ):
+            mismatches.append(
+                GoldenMismatch(
+                    slug=case.slug,
+                    path=str(summary_path),
+                    detail="summary differs from fixture",
+                )
+            )
+    return GoldenReport(
+        mode=mode, cases=tuple(cases), mismatches=tuple(mismatches)
+    )

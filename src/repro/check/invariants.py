@@ -1,0 +1,614 @@
+"""Online invariant checking: the :class:`CheckingTracer`.
+
+The paper's claims are only as good as the invariants the implementation
+actually maintains. This module makes them machine-checked, every epoch,
+while a run executes:
+
+* **Resource conservation** — a plan's isolated regions plus the shared
+  region never exceed the node's capacity
+  (:meth:`~repro.server.node.ServerNode.validate_partition`), a shared
+  region with members is never empty, and ARQ's shared region honours its
+  per-kind floor (:data:`repro.schedulers.arq.SHARED_FLOOR`).
+* **Entropy lawfulness** — ``E_LC``/``E_BE``/``E_S`` lie in ``[0, 1]``
+  (§II-A property ①, via :func:`repro.entropy.properties.check_dimensionless`),
+  and every reported :class:`~repro.entropy.records.EntropyBreakdown` is
+  recomputed from its raw observation through
+  :mod:`repro.entropy.aggregate` — Eq. (5), Eq. (6) and
+  Eq. (7) ``E_S = RI·E_LC + (1−RI)·E_BE`` must agree to ≤ 1e-9.
+* **ARQ protocol compliance** (Algorithm 1) — at most one move *or*
+  rollback per 500 ms monitoring interval, moves of exactly one
+  :data:`~repro.server.resources.DEFAULT_UNIT_SIZES` unit (up to
+  :data:`~repro.schedulers.arq.URGENT_UNITS` units when flagged urgent),
+  the 60 s penalty cooldown honoured for named victim regions, the
+  telemetry-watchdog freeze respected, and every rollback the exact
+  reverse of the most recent move.
+* **Little's law** — :func:`littles_law_report` cross-checks the analytic
+  :class:`~repro.perfmodel.queueing.QueueModel` against the request-level
+  simulator :func:`~repro.sim.request_sim.simulate_queue`:
+  ``L = λ·W`` must agree between model and simulation, and completed
+  throughput must balance the arrival rate.
+
+Violations become typed :class:`~repro.obs.events.InvariantViolation`
+trace events; in strict mode (:attr:`CheckConfig.strict`) the first one
+raises :class:`~repro.errors.CheckError` on the spot.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.entropy import aggregate, properties
+from repro.entropy.records import EntropyBreakdown, SystemObservation
+from repro.errors import AllocationError, CheckError, ConfigurationError, ModelError
+from repro.obs.events import (
+    CooldownEnd,
+    CooldownStart,
+    EpochMeasured,
+    InvariantViolation,
+    ResourceMove,
+    Rollback,
+    RunStarted,
+    TraceEvent,
+    Tracer,
+)
+from repro.perfmodel.queueing import QueueModel
+from repro.schedulers.arq import SHARED_FLOOR, URGENT_UNITS, WATCHDOG_REGION
+from repro.schedulers.base import SHARED, RegionPlan
+from repro.server.node import ServerNode
+from repro.server.resources import DEFAULT_UNIT_SIZES
+from repro.sim.request_sim import simulate_queue
+from repro.types import ResourceKind
+
+#: Absolute slack for resource-amount comparisons (floating-point moves).
+AMOUNT_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class CheckConfig:
+    """Which invariant families to verify, and how hard to fail.
+
+    ``strict=True`` raises :class:`~repro.errors.CheckError` at the first
+    violation; otherwise violations accumulate on
+    :attr:`CheckingTracer.violations` (and on
+    :attr:`~repro.cluster.run.RunResult.check_violations`) and surface as
+    trace events. The config is frozen and picklable, so it rides on
+    :class:`~repro.parallel.RunPoint` into worker processes.
+    """
+
+    strict: bool = False
+    resource_conservation: bool = True
+    entropy_lawfulness: bool = True
+    arq_protocol: bool = True
+    eq7_tolerance: float = 1e-9
+
+    def __post_init__(self) -> None:
+        if self.eq7_tolerance < 0:
+            raise ConfigurationError(
+                f"eq7_tolerance cannot be negative: {self.eq7_tolerance}"
+            )
+
+    @classmethod
+    def of(cls, value: Union["CheckConfig", str]) -> "CheckConfig":
+        """Normalise the shorthands ``"warn"``/``"strict"`` to a config."""
+        if isinstance(value, cls):
+            return value
+        if value == "warn":
+            return cls(strict=False)
+        if value == "strict":
+            return cls(strict=True)
+        raise ConfigurationError(
+            f"checks must be a CheckConfig, 'warn' or 'strict', got {value!r}"
+        )
+
+
+class CheckingTracer:
+    """A composable :class:`~repro.obs.events.Tracer` that verifies runs.
+
+    Two input channels feed it:
+
+    * :meth:`emit` — the ordinary trace stream. Stream-level checks run
+      here: entropy bounds from :class:`~repro.obs.events.EpochMeasured`
+      and the full ARQ protocol from
+      ``ResourceMove``/``Rollback``/``CooldownStart``/``CooldownEnd``
+      events. This channel alone suffices to verify a recorded trace
+      offline (:func:`check_trace`).
+    * :meth:`observe_record` — called by the run loop with each
+      :class:`~repro.cluster.epoch.EpochRecord`. Deep checks needing the
+      live objects run here: plan validation against the node and the
+      Eq. (5)–(7) recomputation from the raw observation.
+
+    Violations append to :attr:`violations`, forward to the optional
+    ``sink`` tracer as :class:`~repro.obs.events.InvariantViolation`
+    events, and raise :class:`~repro.errors.CheckError` immediately when
+    the config is strict.
+    """
+
+    def __init__(
+        self,
+        *,
+        config: Optional[CheckConfig] = None,
+        node: Optional[ServerNode] = None,
+        relative_importance: Optional[float] = None,
+        arq_schedulers: Iterable[str] = ("arq",),
+        sink: Optional[Tracer] = None,
+    ) -> None:
+        self.config = config if config is not None else CheckConfig()
+        self.violations: List[InvariantViolation] = []
+        self._sink = sink
+        self._node = node
+        self._relative_importance = relative_importance
+        self._arq = set(arq_schedulers)
+        self._scheduler = ""
+        self._epoch = -1
+        # ARQ protocol stream state, keyed by scheduler name.
+        self._cooldowns: Dict[str, Dict[str, float]] = {}
+        self._last_move: Dict[str, ResourceMove] = {}
+        self._action_time: Dict[str, float] = {}
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def ok(self) -> bool:
+        """Whether no violation has been found so far."""
+        return not self.violations
+
+    def begin_run(
+        self,
+        *,
+        node: Optional[ServerNode] = None,
+        relative_importance: Optional[float] = None,
+        scheduler: Optional[str] = None,
+        is_arq: bool = False,
+    ) -> None:
+        """Arm the checker for one run: context facts plus a state reset.
+
+        The run loop calls this before the first epoch with the facts only
+        it knows (the node, the ``RI``, whether the scheduler is an
+        :class:`~repro.schedulers.arq.ARQScheduler` instance). Per-run
+        stream state resets; found :attr:`violations` accumulate across
+        runs so one checker can verify a whole batch.
+        """
+        if node is not None:
+            self._node = node
+        if relative_importance is not None:
+            self._relative_importance = relative_importance
+        if scheduler is not None:
+            self._scheduler = scheduler
+            if is_arq:
+                self._arq.add(scheduler)
+            else:
+                self._arq.discard(scheduler)
+        self._reset_stream_state()
+
+    def _reset_stream_state(self) -> None:
+        self._epoch = -1
+        self._cooldowns.clear()
+        self._last_move.clear()
+        self._action_time.clear()
+
+    def raise_if_violated(self) -> None:
+        """Raise :class:`~repro.errors.CheckError` if any violation exists."""
+        if self.violations:
+            first = self.violations[0]
+            raise CheckError(
+                f"{len(self.violations)} invariant violation(s); first: "
+                f"{first.invariant} at t={first.time_s:g}s: {first.detail}"
+            )
+
+    # -- the Tracer protocol ----------------------------------------------
+
+    def emit(self, event: TraceEvent) -> None:
+        """Receive one trace event and run the stream-level checks."""
+        if isinstance(event, RunStarted):
+            self._scheduler = event.scheduler
+            self._reset_stream_state()
+        elif isinstance(event, EpochMeasured):
+            self._epoch = event.epoch
+            if self.config.entropy_lawfulness:
+                self._check_bounds(
+                    (("E_LC", event.e_lc), ("E_BE", event.e_be), ("E_S", event.e_s)),
+                    event.time_s,
+                    event.epoch,
+                )
+        elif not self.config.arq_protocol:
+            return
+        elif isinstance(event, (ResourceMove, Rollback)):
+            if event.scheduler in self._arq:
+                self._observe_arq_action(event)
+        elif isinstance(event, CooldownStart):
+            if event.scheduler in self._arq:
+                self._cooldowns.setdefault(event.scheduler, {})[event.region] = (
+                    event.until_s
+                )
+        elif isinstance(event, CooldownEnd):
+            if event.scheduler in self._arq:
+                self._cooldowns.get(event.scheduler, {}).pop(event.region, None)
+
+    # -- deep per-epoch checks --------------------------------------------
+
+    def observe_record(self, record) -> None:
+        """Verify one :class:`~repro.cluster.epoch.EpochRecord` in depth."""
+        self.check_plan(
+            record.plan, time_s=record.time_s, epoch=record.index
+        )
+        self.check_entropy(
+            record.observation,
+            record.breakdown,
+            time_s=record.time_s,
+            epoch=record.index,
+        )
+
+    def check_plan(
+        self, plan: RegionPlan, *, time_s: float = 0.0, epoch: int = -1
+    ) -> None:
+        """Resource conservation: capacity, shared-region floor/non-emptiness."""
+        if not self.config.resource_conservation:
+            return
+        if self._node is not None:
+            try:
+                plan.validate(self._node)
+            except AllocationError as exc:
+                self._flag(time_s, "resource_conservation", str(exc), epoch=epoch)
+        if plan.shared_members and plan.shared.is_zero:
+            self._flag(
+                time_s,
+                "shared_region_nonempty",
+                f"shared region has members {sorted(plan.shared_members)} "
+                "but holds no resources",
+                epoch=epoch,
+            )
+        if self._scheduler in self._arq and plan.shared_members:
+            for kind, floor in SHARED_FLOOR.items():
+                held = plan.shared.get(kind)
+                if held < floor - AMOUNT_TOLERANCE:
+                    self._flag(
+                        time_s,
+                        "arq_shared_floor",
+                        f"shared region holds {held:g} {kind.value}, below "
+                        f"ARQ's floor of {floor:g}",
+                        epoch=epoch,
+                    )
+
+    def check_entropy(
+        self,
+        observation: SystemObservation,
+        breakdown: EntropyBreakdown,
+        *,
+        time_s: float = 0.0,
+        epoch: int = -1,
+    ) -> None:
+        """Entropy lawfulness: bounds plus the Eq. (5)–(7) recomputation."""
+        if not self.config.entropy_lawfulness:
+            return
+        self._check_bounds(
+            (
+                ("E_LC", breakdown.e_lc),
+                ("E_BE", breakdown.e_be),
+                ("E_S", breakdown.e_s),
+            ),
+            time_s,
+            epoch,
+        )
+        ri = breakdown.relative_importance
+        if not 0.0 <= ri <= 1.0:
+            self._flag(
+                time_s,
+                "entropy_bounds",
+                f"relative importance out of [0, 1]: {ri}",
+                epoch=epoch,
+            )
+            return
+        expected_ri = observation._effective_ri(self._relative_importance)
+        if abs(ri - expected_ri) > self.config.eq7_tolerance:
+            self._flag(
+                time_s,
+                "entropy_eq7",
+                f"breakdown used RI={ri!r}, expected {expected_ri!r}",
+                epoch=epoch,
+            )
+        try:
+            e_lc = observation.lc_entropy()
+            e_be = observation.be_entropy()
+            e_s = aggregate.system_entropy(
+                min(1.0, max(0.0, e_lc)), min(1.0, max(0.0, e_be)), ri
+            )
+        except ModelError as exc:
+            self._flag(
+                time_s,
+                "entropy_bounds",
+                f"entropy recomputation rejected the raw observation: {exc}",
+                epoch=epoch,
+            )
+            return
+        tolerance = self.config.eq7_tolerance
+        for name, reported, recomputed in (
+            ("entropy_eq5", breakdown.e_lc, e_lc),
+            ("entropy_eq6", breakdown.e_be, e_be),
+            ("entropy_eq7", breakdown.e_s, e_s),
+        ):
+            if abs(reported - recomputed) > tolerance:
+                self._flag(
+                    time_s,
+                    name,
+                    f"reported {reported!r} but the raw observation gives "
+                    f"{recomputed!r} (|Δ| = {abs(reported - recomputed):.3e} "
+                    f"> {tolerance:g})",
+                    epoch=epoch,
+                )
+
+    # -- internals ---------------------------------------------------------
+
+    def _check_bounds(
+        self,
+        labelled: Sequence[Tuple[str, float]],
+        time_s: float,
+        epoch: int,
+    ) -> None:
+        for label, value in labelled:
+            for violation in properties.check_dimensionless([value]):
+                # detail is "sample 0 out of [0, 1]: <value>"; relabel it.
+                self._flag(
+                    time_s,
+                    "entropy_bounds",
+                    f"{label} {violation.detail.split(' ', 2)[2]}",
+                    epoch=epoch,
+                )
+
+    def _observe_arq_action(self, event: TraceEvent) -> None:
+        """Check one ARQ ``ResourceMove``/``Rollback`` against Algorithm 1."""
+        name = event.scheduler
+        time_s = event.time_s
+        cooldowns = self._cooldowns.setdefault(name, {})
+        verb = "move" if isinstance(event, ResourceMove) else "rollback"
+        watchdog_until = cooldowns.get(WATCHDOG_REGION, 0.0)
+        if watchdog_until > time_s:
+            self._flag(
+                time_s,
+                "arq_watchdog_freeze",
+                f"{verb} while the telemetry watchdog freeze holds until "
+                f"{watchdog_until:g}s",
+                scheduler=name,
+            )
+        last_action = self._action_time.get(name)
+        if last_action is not None and time_s == last_action:
+            self._flag(
+                time_s,
+                "arq_move_budget",
+                f"second {verb} within one monitoring interval "
+                f"(Algorithm 1 allows at most one adjustment per epoch)",
+                scheduler=name,
+            )
+        self._action_time[name] = time_s
+
+        if isinstance(event, ResourceMove):
+            try:
+                unit = DEFAULT_UNIT_SIZES[ResourceKind(event.resource)]
+            except ValueError:
+                self._flag(
+                    time_s,
+                    "arq_unit_size",
+                    f"move names unknown resource kind {event.resource!r}",
+                    scheduler=name,
+                )
+                return
+            if event.reason == "urgent":
+                lawful = (
+                    AMOUNT_TOLERANCE < event.amount
+                    <= URGENT_UNITS * unit + AMOUNT_TOLERANCE
+                )
+            else:
+                lawful = abs(event.amount - unit) <= AMOUNT_TOLERANCE
+            if not lawful:
+                self._flag(
+                    time_s,
+                    "arq_unit_size",
+                    f"moved {event.amount:g} {event.resource} "
+                    f"(reason={event.reason!r}); one unit is {unit:g}, "
+                    f"urgent cap {URGENT_UNITS * unit:g}",
+                    scheduler=name,
+                )
+            cooldown_until = cooldowns.get(event.source, 0.0)
+            if event.source != SHARED and cooldown_until > time_s:
+                self._flag(
+                    time_s,
+                    "arq_cooldown",
+                    f"victim region {event.source!r} penalised during its "
+                    f"cooldown (until {cooldown_until:g}s)",
+                    scheduler=name,
+                )
+            self._last_move[name] = event
+        else:
+            last = self._last_move.pop(name, None)
+            reverses = (
+                last is not None
+                and event.source == last.destination
+                and event.destination == last.source
+                and event.resource == last.resource
+                and abs(event.amount - last.amount) <= AMOUNT_TOLERANCE
+            )
+            if not reverses:
+                was = (
+                    "no prior move"
+                    if last is None
+                    else f"last move was {last.amount:g} {last.resource} "
+                    f"{last.source} -> {last.destination}"
+                )
+                self._flag(
+                    time_s,
+                    "arq_rollback_mismatch",
+                    f"rollback of {event.amount:g} {event.resource} "
+                    f"{event.source} -> {event.destination} does not reverse "
+                    f"the previous adjustment ({was})",
+                    scheduler=name,
+                )
+
+    def _flag(
+        self,
+        time_s: float,
+        invariant: str,
+        detail: str,
+        *,
+        scheduler: Optional[str] = None,
+        epoch: Optional[int] = None,
+    ) -> None:
+        event = InvariantViolation(
+            time_s=time_s,
+            invariant=invariant,
+            scheduler=self._scheduler if scheduler is None else scheduler,
+            epoch=self._epoch if epoch is None else epoch,
+            detail=detail,
+        )
+        self.violations.append(event)
+        if self._sink is not None:
+            self._sink.emit(event)
+        if self.config.strict:
+            raise CheckError(
+                f"invariant {invariant!r} violated at t={time_s:g}s "
+                f"(epoch {event.epoch}): {detail}"
+            )
+
+
+def check_trace(
+    events: Iterable[TraceEvent],
+    config: Optional[CheckConfig] = None,
+    *,
+    node: Optional[ServerNode] = None,
+    relative_importance: Optional[float] = None,
+    arq_schedulers: Iterable[str] = ("arq",),
+) -> CheckingTracer:
+    """Verify a recorded event stream offline; returns the used checker.
+
+    Only the stream-level invariants run (entropy bounds, ARQ protocol) —
+    a serialised trace does not carry the raw plan/observation objects the
+    deep checks need. Strategies whose scheduler name appears in
+    ``arq_schedulers`` are held to Algorithm 1's protocol.
+    """
+    checker = CheckingTracer(
+        config=config,
+        node=node,
+        relative_importance=relative_importance,
+        arq_schedulers=arq_schedulers,
+    )
+    for event in events:
+        checker.emit(event)
+    return checker
+
+
+# -- Little's law -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LittlesLawReport:
+    """Outcome of one Little's-law consistency check (``L = λ·W``).
+
+    ``l_sim``/``l_model`` are the mean number of requests in system
+    implied by the simulated and analytic mean sojourn times; violations
+    list every failed consistency condition.
+    """
+
+    arrival_rps: float
+    service_time_ms: float
+    servers: int
+    duration_s: float
+    seed: int
+    sim_mean_ms: float
+    model_mean_ms: float
+    sim_throughput_rps: float
+    l_sim: float
+    l_model: float
+    rtol: float
+    violations: Tuple[InvariantViolation, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        """Whether every consistency condition held."""
+        return not self.violations
+
+
+def littles_law_report(
+    arrival_rps: float = 400.0,
+    service_time_ms: float = 5.0,
+    servers: int = 4,
+    duration_s: float = 60.0,
+    *,
+    service_cv: float = 1.0,
+    seed: int = 7,
+    rtol: float = 0.15,
+    flow_rtol: float = 0.05,
+) -> LittlesLawReport:
+    """Cross-check the analytic queue model against the request simulator.
+
+    Runs :func:`~repro.sim.request_sim.simulate_queue` (ground truth) and
+    the :class:`~repro.perfmodel.queueing.QueueModel` approximation at the
+    same operating point, then checks:
+
+    * the mean sojourn times — and hence, by Little's law, the mean
+      number in system ``L = λ·W`` — agree within ``rtol``;
+    * completed throughput balances the arrival rate within ``flow_rtol``
+      (every admitted request is eventually served).
+    """
+    if not math.isfinite(arrival_rps) or arrival_rps <= 0:
+        raise ConfigurationError(f"arrival rate must be positive: {arrival_rps}")
+    capacity_rps = servers * 1e3 / service_time_ms
+    model = QueueModel(
+        arrival_rps=arrival_rps,
+        capacity_rps=capacity_rps,
+        servers=float(servers),
+        service_time_ms=service_time_ms,
+        service_cv=service_cv,
+    )
+    model_mean_ms = model.mean_sojourn_ms()
+    sim = simulate_queue(
+        arrival_rps=arrival_rps,
+        service_time_ms=service_time_ms,
+        servers=servers,
+        duration_s=duration_s,
+        service_cv=service_cv,
+        seed=seed,
+    )
+    sim_mean_ms = sim.mean_ms()
+    violations: List[InvariantViolation] = []
+    relative_gap = abs(sim_mean_ms - model_mean_ms) / max(sim_mean_ms, model_mean_ms)
+    if relative_gap > rtol:
+        violations.append(
+            InvariantViolation(
+                time_s=duration_s,
+                invariant="littles_law_latency",
+                scheduler="queueing-model",
+                detail=(
+                    f"mean sojourn disagrees: simulated {sim_mean_ms:.3f}ms vs "
+                    f"model {model_mean_ms:.3f}ms "
+                    f"(relative gap {relative_gap:.1%} > {rtol:.1%})"
+                ),
+            )
+        )
+    flow_gap = abs(sim.throughput_rps - arrival_rps) / arrival_rps
+    if flow_gap > flow_rtol:
+        violations.append(
+            InvariantViolation(
+                time_s=duration_s,
+                invariant="littles_law_flow",
+                scheduler="queueing-model",
+                detail=(
+                    f"throughput {sim.throughput_rps:.1f}rps does not balance "
+                    f"arrivals {arrival_rps:.1f}rps "
+                    f"(relative gap {flow_gap:.1%} > {flow_rtol:.1%})"
+                ),
+            )
+        )
+    return LittlesLawReport(
+        arrival_rps=arrival_rps,
+        service_time_ms=service_time_ms,
+        servers=servers,
+        duration_s=duration_s,
+        seed=seed,
+        sim_mean_ms=sim_mean_ms,
+        model_mean_ms=model_mean_ms,
+        sim_throughput_rps=sim.throughput_rps,
+        l_sim=arrival_rps * sim_mean_ms / 1e3,
+        l_model=arrival_rps * model_mean_ms / 1e3,
+        rtol=rtol,
+        violations=tuple(violations),
+    )

@@ -10,8 +10,9 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
+from repro.check.invariants import CheckConfig, CheckingTracer
 from repro.cluster.collocation import Collocation
 from repro.cluster.contention import ContentionState, resolve_contention
 from repro.cluster.epoch import BEMeasurement, EpochRecord, LCMeasurement
@@ -24,6 +25,7 @@ from repro.faults.plan import FaultPlan
 from repro.obs.events import (
     CallbackTracer,
     EpochMeasured,
+    InvariantViolation,
     QoSViolation,
     RunFinished,
     RunStarted,
@@ -34,6 +36,7 @@ from repro.obs.events import (
 )
 from repro.obs.metrics import MetricsRegistry
 from repro.perfmodel.queueing import OverloadState
+from repro.schedulers.arq import ARQScheduler
 from repro.schedulers.base import Scheduler, SchedulerContext
 from repro.sim.rng import RngStreams
 
@@ -50,6 +53,12 @@ class RunResult:
     #: excluded from equality so instrumented and plain results compare.
     metrics: Optional[MetricsRegistry] = field(
         default=None, repr=False, compare=False
+    )
+    #: Invariant violations found when the run was started with ``checks``
+    #: (empty for clean or unchecked runs); excluded from equality so
+    #: checked and unchecked results compare.
+    check_violations: Tuple[InvariantViolation, ...] = field(
+        default=(), repr=False, compare=False
     )
 
     # -- windows -----------------------------------------------------------
@@ -149,6 +158,7 @@ def run_collocation(
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRegistry] = None,
     faults: Optional[FaultPlan] = None,
+    checks: Optional[Union[CheckConfig, CheckingTracer, str]] = None,
 ) -> RunResult:
     """Run ``scheduler`` on ``collocation`` for ``duration_s`` seconds.
 
@@ -177,6 +187,16 @@ def run_collocation(
     :meth:`~repro.schedulers.base.Scheduler.robust_decide` guard absorbs
     them. Fault effects are pure functions of simulation time, so a seeded
     faulted run is exactly as deterministic as a clean one.
+
+    ``checks`` arms the runtime invariant checker
+    (:class:`~repro.check.invariants.CheckingTracer`): pass ``"warn"`` or a
+    :class:`~repro.check.invariants.CheckConfig` to collect violations on
+    :attr:`RunResult.check_violations` (and as
+    :class:`~repro.obs.events.InvariantViolation` trace events), or
+    ``"strict"`` to raise :class:`~repro.errors.CheckError` at the first
+    violation. A pre-built checker instance can be passed to accumulate
+    across runs. Checking only observes the run — results are identical
+    with and without it.
     """
     if duration_s <= 0:
         raise ConfigurationError(f"duration must be positive: {duration_s}")
@@ -198,6 +218,23 @@ def run_collocation(
     )
     monitor = NoisyMonitor(streams.stream("monitor"), collocation.noise_sigma)
 
+    # The invariant checker joins the trace stream (so it sees scheduler
+    # moves, cooldowns and epoch summaries) and additionally receives each
+    # finished EpochRecord for the deep plan/entropy checks.
+    checker: Optional[CheckingTracer] = None
+    if checks is not None:
+        if isinstance(checks, CheckingTracer):
+            checker = checks
+        else:
+            checker = CheckingTracer(config=CheckConfig.of(checks), sink=tracer)
+        checker.begin_run(
+            node=collocation.node,
+            relative_importance=collocation.relative_importance,
+            scheduler=scheduler.name,
+            is_arq=isinstance(scheduler, ARQScheduler),
+        )
+        tracer = compose_tracers(tracer, checker)
+
     # The scheduler sees the caller's tracer plus (when metrics are on) a
     # counting tracer; its constructor-attached tracer is restored on exit.
     previous_tracer = scheduler.tracer
@@ -218,10 +255,12 @@ def run_collocation(
     try:
         result = _run_loop(
             collocation, scheduler, duration_s, warmup_s, context, monitor,
-            tracer, metrics, injector,
+            tracer, metrics, injector, checker,
         )
     finally:
         scheduler.attach_tracer(previous_tracer)
+    if checker is not None:
+        result.check_violations = tuple(checker.violations)
     return result
 
 
@@ -235,6 +274,7 @@ def _run_loop(
     tracer: Optional[Tracer],
     metrics: Optional[MetricsRegistry],
     injector: Optional[FaultInjector] = None,
+    checker: Optional[CheckingTracer] = None,
 ) -> RunResult:
     """The measure → entropy → decide loop (tracer already attached)."""
     plan = scheduler.initial_plan(context)
@@ -426,20 +466,21 @@ def _run_loop(
                         f"ipc/{name}", "post-warm-up best-effort IPC"
                     ).observe(measurement.ipc)
 
-        result.records.append(
-            EpochRecord(
-                index=index,
-                time_s=time_s,
-                plan=plan,
-                loads=dict(loads),
-                lc=lc_measurements,
-                be=be_measurements,
-                resources=resources,
-                observation=observation,
-                breakdown=breakdown,
-                plan_changed=plan_changed,
-            )
+        record = EpochRecord(
+            index=index,
+            time_s=time_s,
+            plan=plan,
+            loads=dict(loads),
+            lc=lc_measurements,
+            be=be_measurements,
+            resources=resources,
+            observation=observation,
+            breakdown=breakdown,
+            plan_changed=plan_changed,
         )
+        result.records.append(record)
+        if checker is not None:
+            checker.observe_record(record)
         plan = next_plan
 
     if tracer is not None:

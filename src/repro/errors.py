@@ -35,6 +35,17 @@ class ModelError(ReproError):
     """An analytic model was evaluated outside its domain."""
 
 
+class CheckError(ReproError):
+    """A runtime invariant check failed in strict mode (see ``repro.check``).
+
+    Deliberately a *direct* :class:`ReproError` subclass: the scheduler
+    hardening in ``Scheduler.robust_decide`` swallows
+    ``AllocationError``/``MeasurementError``/``ModelError``/``SchedulingError``
+    to keep runs alive, and a strict verification failure must never be
+    absorbed by that containment.
+    """
+
+
 class FaultError(ReproError):
     """A fault plan is invalid or a fault could not be applied."""
 

@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.check.invariants import CheckConfig
 from repro.cluster.collocation import BEMember, Collocation, LCMember
 from repro.cluster.run import RunResult, run_collocation
 from repro.faults.plan import FaultPlan
@@ -37,6 +38,44 @@ STRATEGY_FACTORIES: Dict[str, Callable[[], Scheduler]] = {
 
 #: Presentation order used throughout the paper's figures.
 STRATEGY_ORDER = ("unmanaged", "lc-first", "parties", "clite", "arq")
+
+#: Named mix presets: name → (LC loads, BE applications). ``fig8``/``fig9``
+#: are the paper's canonical three-LC mixes at mid load; ``fig12`` is the
+#: 6-LC + 2-BE stress collocation. Shared by the CLI's ``--mix`` flag and
+#: the verification harness (:mod:`repro.check`).
+MIX_PRESETS: Dict[str, Tuple[Dict[str, float], List[str]]] = {
+    "canonical": (
+        {"xapian": 0.5, "moses": 0.2, "img-dnn": 0.2},
+        ["fluidanimate"],
+    ),
+    "fig8": (
+        {"xapian": 0.5, "moses": 0.2, "img-dnn": 0.2},
+        ["fluidanimate"],
+    ),
+    "fig9": (
+        {"xapian": 0.5, "moses": 0.2, "img-dnn": 0.2},
+        ["stream"],
+    ),
+    "fig12": (
+        {
+            name: 0.2
+            for name in ("moses", "xapian", "img-dnn", "sphinx", "masstree", "silo")
+        },
+        ["fluidanimate", "streamcluster"],
+    ),
+}
+
+
+def mix_collocation(name: str, seed: int = 2023) -> Collocation:
+    """Build the named :data:`MIX_PRESETS` mix as a collocation."""
+    if name not in MIX_PRESETS:
+        from repro.errors import ConfigurationError
+
+        raise ConfigurationError(
+            f"unknown mix {name!r}; known mixes: {sorted(MIX_PRESETS)}"
+        )
+    lc_loads, be_names = MIX_PRESETS[name]
+    return make_collocation(dict(lc_loads), list(be_names), seed=seed)
 
 #: Process-wide quick-mode switch, set by the CLI's ``--quick`` flag.
 #: Experiment modules consult :func:`quick_mode` to shrink their sweeps
@@ -96,6 +135,7 @@ def run_strategy(
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRegistry] = None,
     faults: Optional[FaultPlan] = None,
+    checks: Optional[Union[CheckConfig, str]] = None,
 ) -> RunResult:
     """Run one named strategy on a collocation."""
     scheduler = STRATEGY_FACTORIES[strategy]()
@@ -107,6 +147,7 @@ def run_strategy(
         tracer=tracer,
         metrics=metrics,
         faults=faults,
+        checks=checks,
     )
 
 
@@ -120,6 +161,7 @@ def run_strategies(
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRegistry] = None,
     faults: Optional[FaultPlan] = None,
+    checks: Optional[Union[CheckConfig, str]] = None,
 ) -> Dict[str, RunResult]:
     """Run several strategies on the same collocation.
 
@@ -128,10 +170,16 @@ def run_strategies(
     identical to the serial path and keyed in ``strategies`` order.
     ``tracer``/``metrics`` follow :func:`repro.parallel.run_many`'s
     deterministic aggregation rules. ``faults`` applies the same
-    deterministic fault plan to every strategy's run.
+    deterministic fault plan to every strategy's run; ``checks`` arms the
+    invariant checker in every run (see
+    :func:`repro.cluster.run.run_collocation`).
     """
+    check_config = None if checks is None else CheckConfig.of(checks)
     points = [
-        RunPoint(collocation, name, duration_s, warmup_s, faults=faults)
+        RunPoint(
+            collocation, name, duration_s, warmup_s, faults=faults,
+            checks=check_config,
+        )
         for name in strategies
     ]
     return dict(

@@ -335,6 +335,28 @@ class DecisionSkipped(TraceEvent):
     detail: str = ""
 
 
+# -- verification ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class InvariantViolation(TraceEvent):
+    """A runtime invariant failed (emitted by ``repro.check``'s tracer).
+
+    ``invariant`` is a stable identifier (``resource_conservation``,
+    ``entropy_eq7``, ``arq_move_budget``, ...), ``scheduler`` names the
+    strategy under check, ``epoch`` the monitoring interval (-1 when the
+    violation is not tied to one) and ``detail`` the human-readable
+    evidence.
+    """
+
+    kind: ClassVar[str] = "invariant_violation"
+
+    invariant: str = ""
+    scheduler: str = ""
+    epoch: int = -1
+    detail: str = ""
+
+
 # -- discrete-event engine ---------------------------------------------------
 
 

@@ -37,6 +37,7 @@ from repro.obs.events import (
     FaultCleared,
     FaultInjected,
     FSMTransition,
+    InvariantViolation,
     QoSViolation,
     ResourceMove,
     Rollback,
@@ -376,6 +377,11 @@ class NarratorTracer:
         if isinstance(event, DecisionSkipped):
             detail = f": {event.detail}" if event.detail else ""
             return f"{t} {event.scheduler}: decision skipped ({event.reason}){detail}"
+        if isinstance(event, InvariantViolation):
+            return (
+                f"{t} INVARIANT {event.invariant} [{event.scheduler}] "
+                f"epoch {event.epoch}: {event.detail}"
+            )
         return None
 
 

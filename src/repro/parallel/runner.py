@@ -56,6 +56,7 @@ from typing import (
     Tuple,
 )
 
+from repro.check.invariants import CheckConfig
 from repro.cluster.collocation import Collocation
 from repro.cluster.run import RunResult, run_collocation
 from repro.errors import ConfigurationError, ReproError
@@ -119,7 +120,9 @@ class RunPoint:
     default (20% of the duration). ``tag`` is an opaque correlation key the
     caller can use to map results back to grid coordinates. ``faults``
     optionally attaches a deterministic
-    :class:`~repro.faults.plan.FaultPlan` to the run.
+    :class:`~repro.faults.plan.FaultPlan` to the run; ``checks`` arms the
+    invariant checker inside the worker (violations travel back on
+    :attr:`~repro.cluster.run.RunResult.check_violations`).
     """
 
     collocation: Collocation
@@ -128,6 +131,7 @@ class RunPoint:
     warmup_s: Optional[float] = None
     tag: Optional[Hashable] = None
     faults: Optional[FaultPlan] = None
+    checks: Optional[CheckConfig] = None
 
     def describe(self) -> str:
         """Human-readable parameter summary (used in error messages)."""
@@ -136,10 +140,13 @@ class RunPoint:
         warmup = "default" if self.warmup_s is None else f"{self.warmup_s}s"
         tag = "" if self.tag is None else f" tag={self.tag!r}"
         faults = "" if self.faults is None else f" faults={len(self.faults)}"
+        checks = "" if self.checks is None else (
+            " checks=strict" if self.checks.strict else " checks=warn"
+        )
         return (
             f"strategy={self.strategy} lc=[{lc}] be=[{be}] "
             f"duration={self.duration_s}s warmup={warmup} "
-            f"seed={self.collocation.seed}{tag}{faults}"
+            f"seed={self.collocation.seed}{tag}{faults}{checks}"
         )
 
 
@@ -361,6 +368,7 @@ def _execute_point(point: RunPoint) -> RunResult:
         point.duration_s,
         point.warmup_s,
         faults=point.faults,
+        checks=point.checks,
     )
 
 
@@ -386,6 +394,7 @@ def _execute_point_instrumented(
         tracer=collector,
         metrics=registry,
         faults=point.faults,
+        checks=point.checks,
     )
     events = collector.events if collector is not None else []
     return result, events, registry
@@ -544,6 +553,7 @@ class RunGrid:
         warmup_s: Optional[float] = None,
         tag: Optional[Hashable] = None,
         faults: Optional[FaultPlan] = None,
+        checks: Optional[CheckConfig] = None,
     ) -> int:
         """Append one point; returns its batch index."""
         self.points.append(
@@ -554,6 +564,7 @@ class RunGrid:
                 warmup_s=warmup_s,
                 tag=tag,
                 faults=faults,
+                checks=checks,
             )
         )
         return len(self.points) - 1

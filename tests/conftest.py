@@ -1,6 +1,14 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+Markers (registered in ``pyproject.toml``): ``slow`` for long-running
+simulator validation, ``golden`` for tests that read the committed
+fixtures under ``tests/golden/``. Both run by default; deselect with
+``pytest -m "not slow and not golden"`` for the fastest loop.
+"""
 
 from __future__ import annotations
+
+import pathlib
 
 import pytest
 
@@ -10,6 +18,12 @@ from repro.server.node import ServerNode
 from repro.server.spec import PAPER_NODE
 from repro.sim.rng import RngStreams
 from repro.workloads.catalog import be_profile, lc_profile
+
+
+@pytest.fixture(scope="session")
+def golden_dir() -> pathlib.Path:
+    """The committed golden-fixture root (``tests/golden/``)."""
+    return pathlib.Path(__file__).resolve().parent / "golden"
 
 
 @pytest.fixture

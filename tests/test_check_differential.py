@@ -1,0 +1,103 @@
+"""Differential verification (``repro.check.differential``) and the
+``python -m repro check`` CLI entry point.
+
+Differential checks compare strategies against each other *now* (rerun
+determinism, cross-strategy ordering, armed invariants) rather than
+against committed fixtures; the CLI ties golden + differential +
+Little's-law together behind one exit code.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.check.differential import (
+    DIFFERENTIAL_SEED,
+    DifferentialReport,
+    differential_check,
+)
+from repro.cli import main
+from repro.experiments.common import STRATEGY_ORDER
+
+
+@pytest.fixture(autouse=True)
+def _restore_process_defaults():
+    """In-process ``main()`` calls set process-wide defaults (``--jobs``,
+    ``--quiet``); undo them so other test modules see a clean slate."""
+    yield
+    from repro.obs.export import set_quiet
+    from repro.parallel import set_default_jobs
+
+    set_default_jobs(None)
+    set_quiet(False)
+
+
+@pytest.mark.slow
+def test_differential_check_passes_on_the_canonical_mix():
+    report = differential_check("canonical", jobs=1)
+    assert report.ok, report.describe()
+    assert set(report.entropies) == set(STRATEGY_ORDER)
+    assert set(report.digests) == set(STRATEGY_ORDER)
+    # Digests are real SHA-256 hex and differ across strategies.
+    assert all(len(d) == 64 for d in report.digests.values())
+    assert len(set(report.digests.values())) == len(STRATEGY_ORDER)
+    assert "ok" in report.describe()
+
+
+def test_ordering_regression_is_detected():
+    """With zero slack, the mild canonical mix (where Unmanaged happens to
+    sit slightly below ARQ) trips the ordering cross-check — proving the
+    claim is actually enforced, not vacuous."""
+    report = differential_check(
+        "canonical",
+        strategies=("unmanaged", "arq"),
+        duration_s=8.0,
+        warmup_s=4.0,
+        jobs=1,
+        ordering_tolerance=0.0,
+    )
+    assert not report.ok
+    assert any("ordering" in problem for problem in report.problems)
+    assert "FAILED" in report.describe()
+
+
+def test_report_ok_accounting():
+    clean = DifferentialReport(mix="m", duration_s=1.0, entropies={}, digests={})
+    assert clean.ok
+    broken = DifferentialReport(
+        mix="m", duration_s=1.0, entropies={}, digests={}, problems=("boom",)
+    )
+    assert not broken.ok
+
+
+def test_seed_is_pinned():
+    """The differential scenario is seeded; changing this breaks golden
+    comparability across sessions and must be deliberate."""
+    assert DIFFERENTIAL_SEED == 2023
+
+
+@pytest.mark.golden
+@pytest.mark.slow
+def test_cli_check_regen_then_strict_pass_then_tamper_fail(tmp_path, capsys):
+    root = tmp_path / "golden"
+    base = ["check", "--mix", "fig9", "--golden-dir", str(root), "--jobs", "1"]
+
+    assert main(base + ["--regen", "--quiet"]) == 0
+    traces = sorted(root.glob("fig9/*.trace.jsonl"))
+    assert len(traces) == len(STRATEGY_ORDER)
+
+    assert main(base + ["--strict"]) == 0
+    out = capsys.readouterr().out
+    assert "check: PASS" in out
+    assert "littles-law: ok" in out
+
+    # Corrupt one fixture line; strict (exact) comparison must now fail.
+    lines = traces[0].read_text().splitlines()
+    payload = json.loads(lines[1])
+    payload["time_s"] = payload["time_s"] + 1.0
+    lines[1] = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    traces[0].write_text("".join(line + "\n" for line in lines))
+    assert main(base + ["--strict"]) == 1
+    assert "check: FAIL" in capsys.readouterr().out

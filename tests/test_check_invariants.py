@@ -1,0 +1,359 @@
+"""The runtime invariant checker (``repro.check.invariants``).
+
+Two directions, both load-bearing:
+
+* corrupted inputs — over-capacity plans, entropy samples that break
+  Eqs. 5–7 or leave [0, 1], ARQ protocol violations — must *always* be
+  flagged with a typed :class:`~repro.obs.events.InvariantViolation`
+  (and raise :class:`~repro.errors.CheckError` in strict mode);
+* clean seeded runs must *never* be flagged, for every strategy and
+  across seeds (no false positives).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.check.invariants import (
+    CheckConfig,
+    CheckingTracer,
+    check_trace,
+    littles_law_report,
+)
+from repro.cluster.run import run_collocation
+from repro.errors import (
+    AllocationError,
+    CheckError,
+    ConfigurationError,
+    MeasurementError,
+    ModelError,
+    ReproError,
+    SchedulingError,
+)
+from repro.experiments.common import (
+    STRATEGY_FACTORIES,
+    STRATEGY_ORDER,
+    mix_collocation,
+)
+from repro.obs.events import (
+    CooldownStart,
+    InvariantViolation,
+    ResourceMove,
+    Rollback,
+    event_from_dict,
+)
+from repro.schedulers.arq import WATCHDOG_REGION
+from repro.schedulers.base import SHARED
+from repro.server.resources import ResourceVector
+
+
+def _clean_run(strategy: str = "arq", duration_s: float = 4.0, seed: int = 2023):
+    collocation = mix_collocation("canonical", seed=seed)
+    scheduler = STRATEGY_FACTORIES[strategy]()
+    return run_collocation(
+        collocation, scheduler, duration_s, 2.0, checks="warn"
+    ), collocation
+
+
+def _armed_checker(collocation, strict: bool = False) -> CheckingTracer:
+    checker = CheckingTracer(config=CheckConfig(strict=strict))
+    checker.begin_run(
+        node=collocation.node,
+        relative_importance=collocation.relative_importance,
+        scheduler="arq",
+        is_arq=True,
+    )
+    return checker
+
+
+# -- config -------------------------------------------------------------------
+
+
+def test_config_shorthands():
+    assert CheckConfig.of("warn") == CheckConfig(strict=False)
+    assert CheckConfig.of("strict") == CheckConfig(strict=True)
+    config = CheckConfig(strict=True)
+    assert CheckConfig.of(config) is config
+    with pytest.raises(ConfigurationError):
+        CheckConfig.of("loose")
+    with pytest.raises(ConfigurationError):
+        CheckConfig(eq7_tolerance=-1.0)
+
+
+def test_check_error_escapes_robust_decide_containment():
+    """CheckError must not be one of the exception types robust_decide eats."""
+    assert issubclass(CheckError, ReproError)
+    for contained in (AllocationError, MeasurementError, ModelError, SchedulingError):
+        assert not issubclass(CheckError, contained)
+
+
+# -- clean runs: no false positives ------------------------------------------
+
+
+@pytest.mark.parametrize("strategy", STRATEGY_ORDER)
+def test_clean_runs_are_never_flagged(strategy):
+    for seed in (7, 2023):
+        result, _ = _clean_run(strategy, seed=seed)
+        assert result.check_violations == ()
+
+
+def test_checked_run_equals_unchecked_run():
+    """Checking only observes: results are identical with checks on or off."""
+    collocation = mix_collocation("canonical")
+    checked = run_collocation(
+        collocation, STRATEGY_FACTORIES["arq"](), 4.0, 2.0, checks="warn"
+    )
+    plain = run_collocation(collocation, STRATEGY_FACTORIES["arq"](), 4.0, 2.0)
+    assert checked == plain
+
+
+def test_check_trace_accepts_a_clean_recorded_stream():
+    from repro.obs.events import CollectingTracer
+
+    collocation = mix_collocation("canonical")
+    collector = CollectingTracer()
+    run_collocation(
+        collocation, STRATEGY_FACTORIES["arq"](), 4.0, 2.0, tracer=collector
+    )
+    checker = check_trace(collector.events, node=collocation.node)
+    assert checker.ok
+    checker.raise_if_violated()  # no-op when clean
+
+
+# -- corrupted plans ----------------------------------------------------------
+
+
+def test_over_capacity_plan_is_flagged_with_typed_event():
+    result, collocation = _clean_run()
+    plan = result.records[-1].plan
+    corrupt = dataclasses.replace(
+        plan, shared=plan.shared.plus(ResourceVector(cores=1000.0))
+    )
+    checker = _armed_checker(collocation)
+    checker.check_plan(corrupt, time_s=1.0, epoch=2)
+    assert not checker.ok
+    violation = checker.violations[0]
+    assert isinstance(violation, InvariantViolation)
+    assert violation.invariant == "resource_conservation"
+    assert violation.epoch == 2
+    # The typed event serialises through the trace round-trip.
+    assert event_from_dict(violation.to_dict()) == violation
+
+
+def test_empty_shared_region_with_members_is_flagged():
+    result, collocation = _clean_run()
+    plan = result.records[-1].plan
+    assert plan.shared_members
+    corrupt = dataclasses.replace(plan, shared=ResourceVector())
+    checker = _armed_checker(collocation)
+    checker.check_plan(corrupt, time_s=0.5)
+    names = {v.invariant for v in checker.violations}
+    assert "shared_region_nonempty" in names
+
+
+def test_arq_shared_floor_is_enforced():
+    result, collocation = _clean_run()
+    plan = result.records[-1].plan
+    corrupt = dataclasses.replace(
+        plan, shared=ResourceVector(cores=0.5, llc_ways=0.5, membw_gbps=1.0)
+    )
+    checker = _armed_checker(collocation)
+    checker.check_plan(corrupt, time_s=0.5)
+    assert "arq_shared_floor" in {v.invariant for v in checker.violations}
+
+
+def test_strict_mode_raises_check_error():
+    result, collocation = _clean_run()
+    plan = result.records[-1].plan
+    corrupt = dataclasses.replace(
+        plan, shared=plan.shared.plus(ResourceVector(cores=1000.0))
+    )
+    checker = _armed_checker(collocation, strict=True)
+    with pytest.raises(CheckError, match="resource_conservation"):
+        checker.check_plan(corrupt, time_s=1.0)
+
+
+#: Lazily-built clean run shared by the hypothesis properties (one short
+#: simulation instead of one per generated example).
+_HYPOTHESIS_RUN = {}
+
+
+def _hypothesis_fixture():
+    if not _HYPOTHESIS_RUN:
+        result, collocation = _clean_run()
+        _HYPOTHESIS_RUN["record"] = result.records[-1]
+        _HYPOTHESIS_RUN["collocation"] = collocation
+    return _HYPOTHESIS_RUN
+
+
+@given(extra_cores=st.floats(min_value=100.0, max_value=1e6))
+@settings(max_examples=25, deadline=None)
+def test_any_over_capacity_plan_is_flagged(extra_cores):
+    fixture = _hypothesis_fixture()
+    plan = fixture["record"].plan
+    corrupt = dataclasses.replace(
+        plan, shared=plan.shared.plus(ResourceVector(cores=extra_cores))
+    )
+    checker = _armed_checker(fixture["collocation"])
+    checker.check_plan(corrupt, time_s=0.0)
+    assert "resource_conservation" in {v.invariant for v in checker.violations}
+
+
+# -- corrupted entropy --------------------------------------------------------
+
+
+def test_eq7_mismatch_is_flagged():
+    result, collocation = _clean_run()
+    record = result.records[-1]
+    corrupted_e_s = min(1.0, record.breakdown.e_s + 0.25)
+    corrupt = dataclasses.replace(record.breakdown, e_s=corrupted_e_s)
+    checker = _armed_checker(collocation)
+    checker.check_entropy(record.observation, corrupt, time_s=record.time_s)
+    assert "entropy_eq7" in {v.invariant for v in checker.violations}
+
+
+def test_out_of_bounds_entropy_is_flagged():
+    result, collocation = _clean_run()
+    record = result.records[-1]
+    corrupt = dataclasses.replace(record.breakdown, e_lc=1.5)
+    checker = _armed_checker(collocation)
+    checker.check_entropy(record.observation, corrupt, time_s=record.time_s)
+    assert "entropy_bounds" in {v.invariant for v in checker.violations}
+
+
+@given(
+    delta=st.floats(min_value=1e-6, max_value=2.0),
+    sign=st.sampled_from([-1.0, 1.0]),
+    component=st.sampled_from(["e_lc", "e_be", "e_s"]),
+)
+@settings(max_examples=50, deadline=None)
+def test_any_corrupted_entropy_sample_is_flagged(delta, sign, component):
+    """Every perturbation beyond the tolerance is caught, one way or another:
+    in [0, 1] it breaks the Eq. 5/6/7 recomputation, outside it breaks
+    bounds — either path must produce a violation."""
+    fixture = _hypothesis_fixture()
+    record = fixture["record"]
+    corrupt = dataclasses.replace(
+        record.breakdown,
+        **{component: getattr(record.breakdown, component) + sign * delta},
+    )
+    checker = _armed_checker(fixture["collocation"])
+    checker.check_entropy(record.observation, corrupt, time_s=record.time_s)
+    assert checker.violations
+
+
+# -- ARQ protocol (synthetic event streams) ----------------------------------
+
+
+def _move(time_s, source="moses", destination="xapian", amount=1.0, reason="adjust"):
+    return ResourceMove(
+        time_s=time_s,
+        scheduler="arq",
+        resource="cores",
+        source=source,
+        destination=destination,
+        amount=amount,
+        reason=reason,
+    )
+
+
+def test_lawful_arq_sequence_is_clean():
+    events = [
+        _move(0.5),
+        Rollback(
+            time_s=1.0,
+            scheduler="arq",
+            resource="cores",
+            source="xapian",
+            destination="moses",
+            amount=1.0,
+            reason="entropy_increased",
+        ),
+        _move(61.0, amount=3.0, reason="urgent"),
+    ]
+    assert check_trace(events).ok
+
+
+def test_two_moves_in_one_interval_break_the_budget():
+    checker = check_trace([_move(0.5), _move(0.5)])
+    assert "arq_move_budget" in {v.invariant for v in checker.violations}
+
+
+def test_oversized_move_breaks_unit_size():
+    checker = check_trace([_move(0.5, amount=2.5)])
+    assert "arq_unit_size" in {v.invariant for v in checker.violations}
+    # urgent moves may batch up to URGENT_UNITS units…
+    assert check_trace([_move(0.5, amount=3.0, reason="urgent")]).ok
+    # …but not beyond.
+    checker = check_trace([_move(0.5, amount=3.5, reason="urgent")])
+    assert "arq_unit_size" in {v.invariant for v in checker.violations}
+
+
+def test_penalising_a_region_under_cooldown_is_flagged():
+    events = [
+        CooldownStart(time_s=0.5, scheduler="arq", region="moses", until_s=60.5),
+        _move(10.0, source="moses"),
+    ]
+    checker = check_trace(events)
+    assert "arq_cooldown" in {v.invariant for v in checker.violations}
+
+
+def test_shared_region_is_exempt_from_cooldown():
+    """ARQ's victim search falls through to SHARED regardless of cooldowns."""
+    events = [
+        CooldownStart(time_s=0.5, scheduler="arq", region=SHARED, until_s=60.5),
+        _move(10.0, source=SHARED),
+    ]
+    assert check_trace(events).ok
+
+
+def test_moving_during_watchdog_freeze_is_flagged():
+    events = [
+        CooldownStart(
+            time_s=0.5, scheduler="arq", region=WATCHDOG_REGION, until_s=100.0
+        ),
+        _move(10.0),
+    ]
+    checker = check_trace(events)
+    assert "arq_watchdog_freeze" in {v.invariant for v in checker.violations}
+
+
+def test_rollback_must_reverse_the_last_move():
+    stray = Rollback(
+        time_s=1.0,
+        scheduler="arq",
+        resource="cores",
+        source="xapian",
+        destination="moses",
+        amount=1.0,
+    )
+    checker = check_trace([stray])
+    assert "arq_rollback_mismatch" in {v.invariant for v in checker.violations}
+    mismatched = check_trace([_move(0.5), dataclasses.replace(stray, amount=2.0)])
+    assert "arq_rollback_mismatch" in {
+        v.invariant for v in mismatched.violations
+    }
+
+
+def test_non_arq_schedulers_are_not_held_to_the_protocol():
+    event = dataclasses.replace(_move(0.5, amount=4.0), scheduler="parties")
+    assert check_trace([event]).ok
+
+
+# -- Little's law -------------------------------------------------------------
+
+def test_littles_law_holds_at_moderate_load():
+    report = littles_law_report(duration_s=30.0)
+    assert report.ok
+    assert report.l_sim == pytest.approx(
+        report.arrival_rps * report.sim_mean_ms / 1e3
+    )
+
+
+def test_littles_law_rejects_bad_arrival_rate():
+    with pytest.raises(ConfigurationError):
+        littles_law_report(arrival_rps=0.0)

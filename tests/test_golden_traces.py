@@ -1,0 +1,171 @@
+"""Golden-trace regression (``repro.check.golden``).
+
+The committed fixtures under ``tests/golden/`` must match a fresh run in
+both comparison modes, tampering must be caught, and regeneration must be
+byte-identical across interpreter hash seeds (the determinism guarantee
+golden fixtures rest on). Regen workflow: ``python -m repro check --regen``
+(see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+
+import pytest
+
+from repro.check.golden import (
+    GOLDEN_MIXES,
+    GoldenCase,
+    compare_cases,
+    default_cases,
+    record_cases,
+    split_runs,
+    trace_digest,
+)
+from repro.errors import ConfigurationError
+from repro.experiments.common import STRATEGY_ORDER
+from repro.obs.events import RunStarted
+
+pytestmark = pytest.mark.golden
+
+
+def test_default_cases_cover_every_mix_and_strategy():
+    cases = default_cases()
+    assert len(cases) == len(GOLDEN_MIXES) * len(STRATEGY_ORDER)
+    assert {c.mix for c in cases} == set(GOLDEN_MIXES)
+    assert {c.strategy for c in cases} == set(STRATEGY_ORDER)
+    with pytest.raises(ConfigurationError):
+        default_cases(["nonexistent-mix"])
+
+
+def test_committed_fixtures_exist(golden_dir):
+    for case in default_cases():
+        assert case.trace_path(golden_dir).exists(), case.slug
+        assert case.summary_path(golden_dir).exists(), case.slug
+
+
+def test_fixtures_match_in_tolerance_mode(golden_dir):
+    report = compare_cases(default_cases(), golden_dir, mode="tolerance", jobs=1)
+    assert report.ok, report.describe()
+
+
+def test_fixtures_match_in_exact_mode(golden_dir):
+    report = compare_cases(default_cases(), golden_dir, mode="exact", jobs=1)
+    assert report.ok, report.describe()
+    assert "match" in report.describe()
+
+
+def test_unknown_mode_is_rejected(golden_dir):
+    with pytest.raises(ConfigurationError):
+        compare_cases(default_cases(), golden_dir, mode="fuzzy")
+
+
+@pytest.fixture
+def tampered_dir(golden_dir, tmp_path):
+    """A copy of the canonical fixtures with one trace line corrupted."""
+    root = tmp_path / "golden"
+    shutil.copytree(golden_dir / "canonical", root / "canonical")
+    case = GoldenCase(mix="canonical", strategy="arq")
+    trace_path = case.trace_path(root)
+    lines = trace_path.read_text().splitlines()
+    payload = json.loads(lines[1])
+    assert payload["kind"] == "epoch_measured"
+    payload["e_s"] = min(1.0, payload["e_s"] + 0.25)
+    lines[1] = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    trace_path.write_text("".join(line + "\n" for line in lines))
+    return root
+
+
+def test_tampered_fixture_is_caught_in_both_modes(tampered_dir):
+    cases = [GoldenCase(mix="canonical", strategy="arq")]
+    for mode in ("exact", "tolerance"):
+        report = compare_cases(cases, tampered_dir, mode=mode, jobs=1)
+        assert not report.ok
+        assert any("line 2" in m.detail for m in report.mismatches)
+
+
+def test_tolerance_mode_forgives_last_ulp_drift(golden_dir, tmp_path):
+    """A fixture with ~1e-12 float drift fails exact but passes tolerance."""
+    root = tmp_path / "golden"
+    shutil.copytree(golden_dir / "canonical", root / "canonical")
+    case = GoldenCase(mix="canonical", strategy="unmanaged")
+    trace_path = case.trace_path(root)
+    lines = trace_path.read_text().splitlines()
+    payload = json.loads(lines[1])
+    payload["e_s"] = payload["e_s"] * (1.0 + 1e-12) + 1e-15
+    lines[1] = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    trace_path.write_text("".join(line + "\n" for line in lines))
+
+    exact = compare_cases([case], root, mode="exact", jobs=1)
+    assert not exact.ok
+    tolerant = compare_cases([case], root, mode="tolerance", jobs=1)
+    assert tolerant.ok, tolerant.describe()
+
+
+def test_missing_fixture_reports_mismatch(tmp_path):
+    report = compare_cases(
+        [GoldenCase(mix="canonical", strategy="arq")], tmp_path, jobs=1
+    )
+    assert not report.ok
+    assert all("missing" in m.detail for m in report.mismatches)
+
+
+def test_split_runs_partitions_at_run_boundaries(golden_dir):
+    from repro.obs.export import read_trace
+
+    case_a = GoldenCase(mix="canonical", strategy="arq")
+    case_b = GoldenCase(mix="canonical", strategy="unmanaged")
+    events_a = read_trace(case_a.trace_path(golden_dir))
+    events_b = read_trace(case_b.trace_path(golden_dir))
+    runs = split_runs(events_a + events_b)
+    assert len(runs) == 2
+    assert all(isinstance(run[0], RunStarted) for run in runs)
+    assert trace_digest(runs[0]) == trace_digest(events_a)
+    assert trace_digest(runs[0]) != trace_digest(runs[1])
+
+
+@pytest.mark.slow
+def test_regen_is_byte_identical_across_hash_seeds(tmp_path):
+    """Acceptance: regen under different PYTHONHASHSEEDs produces the same
+    bytes (fixtures are machine- and hash-seed-independent)."""
+    roots = {}
+    for hash_seed in ("0", "42"):
+        root = tmp_path / f"seed{hash_seed}"
+        env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+        subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "check",
+                "--regen",
+                "--mix",
+                "canonical",
+                "--golden-dir",
+                str(root),
+                "--quiet",
+                "--jobs",
+                "1",
+            ],
+            check=True,
+            env=env,
+            cwd=os.getcwd(),
+        )
+        roots[hash_seed] = root
+    for case in default_cases(["canonical"]):
+        for path_of in (case.trace_path, case.summary_path):
+            assert (
+                path_of(roots["0"]).read_bytes() == path_of(roots["42"]).read_bytes()
+            ), case.slug
+
+
+def test_regen_round_trips_through_compare(tmp_path):
+    cases = [GoldenCase(mix="canonical", strategy="lc-first")]
+    written = record_cases(cases, tmp_path, jobs=1)
+    assert len(written) == 2
+    report = compare_cases(cases, tmp_path, mode="exact", jobs=1)
+    assert report.ok, report.describe()

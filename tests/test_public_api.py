@@ -83,6 +83,15 @@ EXPECTED_PUBLIC_NAMES = {
     "CollectingTracer",
     "compose_tracers",
     "MetricsRegistry",
+    # verification
+    "CheckConfig",
+    "CheckError",
+    "CheckingTracer",
+    "InvariantViolation",
+    "LittlesLawReport",
+    "check_trace",
+    "differential_check",
+    "littles_law_report",
     # platform + workloads
     "NodeSpec",
     "PAPER_NODE",
