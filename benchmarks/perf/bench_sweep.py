@@ -7,7 +7,10 @@ regressions:
 * **quantile caching** — one `run` (canonical mix, ARQ) with the
   gamma-quantile/sojourn memoisation disabled vs enabled;
 * **process fan-out** — a Fig. 10-style sweep grid executed with
-  ``jobs=1`` vs ``jobs=N`` (default 4, or ``$REPRO_JOBS``);
+  ``jobs=1`` vs ``jobs=N`` (default: the core count, or ``$REPRO_JOBS``);
+* **pool overhead** — the same points through the in-process serial
+  shortcut vs forced through a one-worker warm pool (``force_pool``),
+  the honest parallel-runner metric on a single-core box;
 * **decide() profile** — every strategy's per-epoch decision wall time,
   read from the ``decide_time_s`` histogram the run loop feeds into a
   :class:`repro.obs.metrics.MetricsRegistry`.
@@ -16,9 +19,12 @@ Usage::
 
     PYTHONPATH=src python benchmarks/perf/bench_sweep.py [--quick] [--jobs N]
 
-The recorded wall times are machine-dependent; the JSON captures the CPU
-count and library versions alongside the timings so cross-PR comparisons
-stay honest. The parallel speedup only materialises on multi-core boxes.
+The recorded wall times are machine-dependent; the JSON records the CPU
+count at the *top level* (plus library versions under ``machine``) so
+cross-PR comparisons stay honest: the fan-out speedup is bounded by
+``min(jobs, cpu_count)`` and only materialises on multi-core boxes — a
+single-core run should be compared on ``pool_overhead`` and the decide()
+profile instead.
 """
 
 from __future__ import annotations
@@ -82,23 +88,90 @@ def _sweep_points(loads: List[float], duration_s: float) -> List[RunPoint]:
     return points
 
 
-def bench_decide_profile(duration_s: float) -> Dict[str, Dict[str, float]]:
+def bench_pool_overhead(
+    loads: List[float], duration_s: float, repeats: int = 5
+) -> Dict[str, float]:
+    """Warm-pool dispatch tax at ``jobs=1``: pool path vs serial shortcut.
+
+    On a single-core machine the fan-out speedup cannot materialise, so
+    the honest parallel-runner number is how little the pool machinery
+    *costs*: the sweep grid executed in process vs forced through a
+    one-worker warm pool (``force_pool=True``). Each leg takes the best
+    of ``repeats`` to shed scheduler noise; ``perf_gate.py`` holds
+    ``overhead_ratio`` below 1.1×.
+
+    Two pool numbers are reported. ``pool_wall_s`` is the dispatch tax
+    proper — submit, simulate in the worker, ship results back columnar
+    (epoch records cross as float arrays and decode lazily, so this leg
+    pays pickling and transport but not object rebuild). The
+    ``materialised`` leg additionally touches every result's
+    ``.records``, forcing the lazy decode — what a consumer that
+    inspects every epoch of every result pays end to end.
+    """
+    points = _sweep_points(loads, duration_s)
+    # Full-grid warmup on BOTH paths: the serial leg memoises quantile
+    # caches in this process, the pool leg in the (persistent) worker —
+    # worker spawn and first-touch cache fills are one-off costs the
+    # reusable pool exists to amortise, so neither belongs in the ratio.
+    run_many(points, jobs=1)
+    run_many(points, jobs=1, force_pool=True)
+    # The three legs are interleaved within every repeat (not run as
+    # three back-to-back blocks) so slow drift in background load biases
+    # none of them; the min over repeats then sheds the remaining noise.
+    serial_s = pool_s = materialised_s = float("inf")
+    for _ in range(repeats):
+        serial_s = min(serial_s, _time(points, jobs=1))
+        start = time.perf_counter()
+        run_many(points, jobs=1, force_pool=True)
+        pool_s = min(pool_s, time.perf_counter() - start)
+        start = time.perf_counter()
+        for result in run_many(points, jobs=1, force_pool=True):
+            result.records
+        materialised_s = min(materialised_s, time.perf_counter() - start)
+    return {
+        "grid_points": len(points),
+        "duration_s": duration_s,
+        "repeats": repeats,
+        "serial_wall_s": serial_s,
+        "pool_wall_s": pool_s,
+        "overhead_ratio": pool_s / serial_s if serial_s > 0 else float("inf"),
+        "materialised_wall_s": materialised_s,
+        "materialised_ratio": (
+            materialised_s / serial_s if serial_s > 0 else float("inf")
+        ),
+    }
+
+
+def bench_decide_profile(
+    duration_s: float, repeats: int = 3
+) -> Dict[str, Dict[str, float]]:
     """Per-strategy ``decide()`` wall-time summary, via the metrics registry.
 
-    One canonical-mix run per strategy; the run loop times every decision
+    Canonical-mix runs per strategy; the run loop times every decision
     into the ``decide_time_s`` histogram, whose summary (p50/p99, count)
     is the comparison the paper's overhead discussion cares about.
+
+    Each strategy runs ``repeats`` times and the repetition with the
+    lowest mean is reported: the simulator is deterministic, so run-to-run
+    spread is scheduler/interpreter noise that only ever adds time, and
+    the minimum is the faithful estimate on a shared box.
     """
     points = [
         RunPoint(canonical_mix(0.5), strategy, duration_s, duration_s / 2)
         for strategy in STRATEGY_ORDER
+        for _ in range(repeats)
     ]
     registry = MetricsRegistry()
     run_many(points, jobs=1, metrics=registry)
     profile: Dict[str, Dict[str, float]] = {}
     for index, strategy in enumerate(STRATEGY_ORDER):
-        name = f"run{index:03d}.{strategy}/decide_time_s"
-        profile[strategy] = registry.histogram(name).summary()
+        best: Optional[Dict[str, float]] = None
+        for rep in range(repeats):
+            name = f"run{index * repeats + rep:03d}.{strategy}/decide_time_s"
+            summary = registry.histogram(name).summary()
+            if best is None or summary["mean"] < best["mean"]:
+                best = summary
+        profile[strategy] = best
     return profile
 
 
@@ -134,7 +207,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     # live; a stray set_caches_enabled(False) would silently poison them.
     assert queueing.caches_enabled(), "quantile caching must be enabled"
 
-    jobs = args.jobs if args.jobs is not None else max(4, resolve_jobs(None))
+    cores = os.cpu_count() or 1
+    jobs = args.jobs if args.jobs is not None else resolve_jobs(None)
     if args.quick:
         loads, run_duration, sweep_duration = [0.1, 0.5, 0.9], 60.0, 30.0
     else:
@@ -149,11 +223,25 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
 
     sweep = bench_sweep(loads, sweep_duration, jobs)
+    # The fan-out speedup is bounded by the narrower of worker count and
+    # physical cores; record the bound so a 1.0x on a 1-core box reads as
+    # expected rather than as a regression.
+    sweep["expected_max_speedup"] = min(jobs, cores)
     print(
         f"sweep ({sweep['grid_points']} points × {sweep_duration:.0f}s sim): "
         f"serial {sweep['serial_wall_s']:.3f}s → "
         f"jobs={jobs} {sweep['parallel_wall_s']:.3f}s "
-        f"({sweep['speedup']:.2f}x from fan-out)"
+        f"({sweep['speedup']:.2f}x from fan-out, "
+        f"ceiling {sweep['expected_max_speedup']}x on {cores} core(s))"
+    )
+
+    pool = bench_pool_overhead(loads, sweep_duration)
+    print(
+        f"pool overhead (jobs=1, {pool['grid_points']} points): "
+        f"serial {pool['serial_wall_s']:.3f}s → "
+        f"warm pool {pool['pool_wall_s']:.3f}s "
+        f"({pool['overhead_ratio']:.3f}x dispatch, "
+        f"{pool['materialised_ratio']:.3f}x with records materialised)"
     )
 
     decide = bench_decide_profile(sweep_duration)
@@ -168,16 +256,20 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     record = {
         "generated_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        # Top-level on purpose: the first thing a cross-PR comparison
+        # must check before reading any speedup below.
+        "cpu_count": cores,
         "machine": {
             "platform": platform.platform(),
             "python": platform.python_version(),
-            "cpu_count": os.cpu_count(),
+            "cpu_count": cores,
             "numpy": numpy.__version__,
             "scipy": scipy.__version__,
         },
         "quick": args.quick,
         "single_run": single,
         "sweep": sweep,
+        "pool_overhead": pool,
         "decide_profile": decide,
     }
     output = pathlib.Path(args.output)

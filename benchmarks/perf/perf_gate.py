@@ -1,0 +1,151 @@
+"""CI perf gate: fail fast when a hot-path number regresses.
+
+A quick smoke (~seconds, not the full ``bench_sweep.py`` refresh) that
+holds the two regression-prone numbers from ISSUE/ROADMAP item 1 to
+their targets:
+
+* **CLITE decide()** — mean ≤ 50 µs and p99 ≤ 500 µs per epoch. CLITE
+  is the strategy whose decision used to cost an O(n³) GP refit per
+  epoch; this keeps the incremental-Cholesky path honest.
+* **Pool dispatch overhead** — the sweep grid forced through a
+  one-worker warm pool must stay within 1.1× of the in-process serial
+  path. On a single-core CI runner a speedup is impossible, so overhead
+  is the honest parallel-runner metric (see ``bench_sweep.py``).
+
+Methodology matches the bench: full-grid warmup on both paths first
+(worker spawn and cache fills are one-off costs the warm pool exists to
+amortise), legs interleaved within every repeat so background-load
+drift biases none of them, and the **minimum** over repeats reported —
+the simulator is deterministic, so run-to-run spread is scheduler noise
+that only ever adds time.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/perf_gate.py [--repeats N]
+
+Exit status 0 when every gate holds, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments.common import canonical_mix, make_collocation
+from repro.obs.metrics import MetricsRegistry
+from repro.parallel import RunPoint, run_many
+
+DECIDE_MEAN_BUDGET_US = 50.0
+DECIDE_P99_BUDGET_US = 500.0
+POOL_OVERHEAD_BUDGET = 1.1
+
+
+def gate_clite_decide(duration_s: float, repeats: int) -> List[str]:
+    """CLITE per-epoch decide() cost, best-of-``repeats`` means."""
+    points = [
+        RunPoint(canonical_mix(0.5), "clite", duration_s, duration_s / 2)
+        for _ in range(repeats)
+    ]
+    run_many(points[:1], jobs=1)  # warm imports, catalog, quantile caches
+    registry = MetricsRegistry()
+    run_many(points, jobs=1, metrics=registry)
+    summaries = [
+        registry.histogram(f"run{rep:03d}.clite/decide_time_s").summary()
+        for rep in range(repeats)
+    ]
+    best = min(summaries, key=lambda summary: summary["mean"])
+    mean_us = best["mean"] * 1e6
+    p99_us = best["p99"] * 1e6
+    print(
+        f"clite decide(): mean {mean_us:.1f}µs p99 {p99_us:.1f}µs "
+        f"over {best['count']:.0f} epochs (best of {repeats})"
+    )
+    failures = []
+    if mean_us > DECIDE_MEAN_BUDGET_US:
+        failures.append(
+            f"CLITE decide() mean {mean_us:.1f}µs exceeds the "
+            f"{DECIDE_MEAN_BUDGET_US:.0f}µs budget"
+        )
+    if p99_us > DECIDE_P99_BUDGET_US:
+        failures.append(
+            f"CLITE decide() p99 {p99_us:.1f}µs exceeds the "
+            f"{DECIDE_P99_BUDGET_US:.0f}µs budget"
+        )
+    return failures
+
+
+def gate_pool_overhead(duration_s: float, repeats: int) -> List[str]:
+    """Warm-pool dispatch tax at jobs=1 vs the in-process serial path."""
+    points = [
+        RunPoint(
+            make_collocation(
+                {"xapian": xapian, "moses": 0.2, "img-dnn": imgdnn}, ["stream"]
+            ),
+            strategy,
+            duration_s,
+            duration_s / 2,
+        )
+        for xapian in (0.1, 0.5, 0.9)
+        for imgdnn in (0.1, 0.5, 0.9)
+        for strategy in ("parties", "arq")
+    ]
+    run_many(points, jobs=1)
+    run_many(points, jobs=1, force_pool=True)
+    serial_s = pool_s = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run_many(points, jobs=1)
+        serial_s = min(serial_s, time.perf_counter() - start)
+        start = time.perf_counter()
+        run_many(points, jobs=1, force_pool=True)
+        pool_s = min(pool_s, time.perf_counter() - start)
+    ratio = pool_s / serial_s if serial_s > 0 else float("inf")
+    print(
+        f"pool overhead (jobs=1, {len(points)} points): "
+        f"serial {serial_s:.3f}s → warm pool {pool_s:.3f}s ({ratio:.3f}x)"
+    )
+    if ratio > POOL_OVERHEAD_BUDGET:
+        return [
+            f"pool dispatch overhead {ratio:.3f}x exceeds the "
+            f"{POOL_OVERHEAD_BUDGET}x budget"
+        ]
+    return []
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="best-of repeats per gate (more repeats, less noise)",
+    )
+    parser.add_argument(
+        "--decide-duration",
+        type=float,
+        default=90.0,
+        help="simulated seconds per decide()-profile run (matches the "
+        "committed BENCH_sweep.json profile)",
+    )
+    parser.add_argument(
+        "--pool-duration",
+        type=float,
+        default=60.0,
+        help="simulated seconds per pool-overhead grid point",
+    )
+    args = parser.parse_args(argv)
+
+    failures = gate_clite_decide(args.decide_duration, args.repeats)
+    failures += gate_pool_overhead(args.pool_duration, args.repeats)
+    if failures:
+        for failure in failures:
+            print(f"PERF GATE FAILED: {failure}", file=sys.stderr)
+        return 1
+    print("perf gate: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

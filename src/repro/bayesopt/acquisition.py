@@ -3,9 +3,29 @@
 from __future__ import annotations
 
 import numpy as np
-from scipy import stats
+from scipy.special import ndtr
 
 from repro.errors import ModelError
+
+#: ``scipy.stats.norm`` constant: the standard normal density is
+#: ``exp(−z²/2) / √(2π)``.
+_NORM_PDF_C = np.sqrt(2.0 * np.pi)
+
+
+def _norm_cdf(z: np.ndarray) -> np.ndarray:
+    """Standard normal CDF via the ``ndtr`` ufunc.
+
+    Bit-identical to ``scipy.stats.norm.cdf`` (whose ``_cdf`` is exactly
+    ``special.ndtr``) without the distribution framework's per-call
+    argument processing — worth hundreds of microseconds on the EI hot
+    path.
+    """
+    return ndtr(z)
+
+
+def _norm_pdf(z: np.ndarray) -> np.ndarray:
+    """Standard normal PDF, same formula as ``scipy.stats.norm.pdf``."""
+    return np.exp(-(z**2) / 2.0) / _NORM_PDF_C
 
 
 def expected_improvement(
@@ -27,9 +47,15 @@ def expected_improvement(
     if exploration < 0:
         raise ModelError("exploration cannot be negative")
     improvement = mean - best_observed - exploration
-    with np.errstate(divide="ignore", invalid="ignore"):
-        z = np.where(std > 0, improvement / std, 0.0)
-    ei = improvement * stats.norm.cdf(z) + std * stats.norm.pdf(z)
+    positive = std > 0
+    if positive.all():
+        # The common case (GP posterior std is clamped strictly positive):
+        # same division, no errstate save/restore round trip per call.
+        z = improvement / std
+    else:
+        with np.errstate(divide="ignore", invalid="ignore"):
+            z = np.where(positive, improvement / std, 0.0)
+    ei = improvement * _norm_cdf(z) + std * _norm_pdf(z)
     return np.where(std > 1e-12, np.maximum(ei, 0.0), np.maximum(improvement, 0.0))
 
 

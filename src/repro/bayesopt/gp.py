@@ -1,13 +1,92 @@
-"""Gaussian-process regression with a Cholesky solve."""
+"""Gaussian-process regression with incremental Cholesky maintenance.
+
+The posterior is maintained through a Cholesky factor of the noisy Gram
+matrix. :meth:`GaussianProcess.fit` computes it from scratch (O(n³));
+:meth:`GaussianProcess.update` *appends* observations with a rank-1
+extension of the existing factor (O(n²) per point), and
+:meth:`GaussianProcess.downdate_oldest` removes the oldest observation
+with a rank-1 update of the trailing block — together they give a
+bounded sliding window without ever refitting. Both incremental paths
+fall back to a full refit when the extension would be numerically
+ill-conditioned (:attr:`GaussianProcess.refit_fallbacks` counts how
+often).
+
+This is what makes CLITE's per-epoch ``decide()`` cheap: instead of an
+O(n³) refit for every new observation, the optimiser pays O(n²) per
+``observe`` and the standardised targets are cached so the log marginal
+likelihood never rebuilds the Gram matrix.
+"""
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
+from scipy.linalg import get_lapack_funcs, solve_triangular
 
 from repro.bayesopt.kernels import Kernel, Matern52Kernel
 from repro.errors import ModelError
+
+#: The LAPACK routine behind ``scipy.linalg.solve_triangular``, resolved
+#: once. The wrapper's per-call validation costs ~14 µs — an order of
+#: magnitude more than the n≤40 solves on the decide() hot path.
+_TRTRS = get_lapack_funcs(("trtrs",), (np.empty((1, 1)), np.empty(1)))[0]
+
+
+def _forward_solve(chol: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``L x = b`` — bitwise-identical to ``solve_triangular(..., lower=True)``.
+
+    For a C-contiguous factor scipy flips to a transposed upper solve on
+    ``Lᵀ`` (which is Fortran-contiguous, so LAPACK takes it without a
+    copy); doing that flip here keeps the bits identical while skipping
+    the wrapper.
+    """
+    if not chol.flags.c_contiguous:
+        return solve_triangular(chol, b, lower=True)
+    x, info = _TRTRS(chol.T, b, lower=0, trans=1)
+    if info != 0:
+        raise ModelError(f"triangular solve failed (LAPACK info={info})")
+    return x
+
+
+def _backward_solve(chol: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``Lᵀ x = b`` — bitwise-identical to ``solve_triangular(chol.T, b)``."""
+    if not chol.flags.c_contiguous:
+        return solve_triangular(chol.T, b, lower=False)
+    x, info = _TRTRS(chol.T, b, lower=0, trans=0)
+    if info != 0:
+        raise ModelError(f"triangular solve failed (LAPACK info={info})")
+    return x
+
+#: Relative floor on the squared new Cholesky diagonal entry: an append
+#: whose Schur complement falls at or below ``_RANK1_TOL · k(x, x)`` is
+#: considered ill-conditioned and routed through a full refit instead.
+_RANK1_TOL = 1e-9
+
+
+def _cholesky_rank1_update(chol: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """In-place lower Cholesky update: factor of ``L Lᵀ + v vᵀ``.
+
+    The classic hyperbolic-rotation-free algorithm (Golub & Van Loan
+    §6.5.4): one pass over the columns, O(n²). Raises
+    :class:`~repro.errors.ModelError` if the update loses positive
+    definiteness (cannot happen in exact arithmetic for a +vvᵀ update,
+    but guards against NaN propagation from corrupt inputs).
+    """
+    n = chol.shape[0]
+    v = v.copy()
+    for k in range(n):
+        diag = chol[k, k]
+        r = np.hypot(diag, v[k])
+        if not np.isfinite(r) or r <= 0.0:
+            raise ModelError("rank-1 Cholesky update lost positive definiteness")
+        c = r / diag
+        s = v[k] / diag
+        chol[k, k] = r
+        if k + 1 < n:
+            chol[k + 1 :, k] = (chol[k + 1 :, k] + s * v[k + 1 :]) / c
+            v[k + 1 :] = c * v[k + 1 :] - s * chol[k + 1 :, k]
+    return chol
 
 
 class GaussianProcess:
@@ -15,7 +94,14 @@ class GaussianProcess:
 
     Targets are standardised internally (zero mean, unit variance) so the
     default kernel variance of 1 is a reasonable prior regardless of the
-    objective's scale.
+    objective's scale. Standardisation constants are recomputed from the
+    raw targets after every fit/update/retarget (lazily, on the next
+    query), so the posterior is always identical (to rounding) to a
+    from-scratch ``fit`` on the same data.
+
+    ``max_points`` bounds the observation window: once reached, every
+    :meth:`update` first drops the oldest observation via
+    :meth:`downdate_oldest` (``None`` keeps everything).
     """
 
     def __init__(
@@ -23,26 +109,76 @@ class GaussianProcess:
         kernel: Optional[Kernel] = None,
         noise: float = 1e-4,
         jitter: float = 1e-8,
+        max_points: Optional[int] = None,
     ) -> None:
         if noise < 0:
             raise ModelError("noise cannot be negative")
         if jitter <= 0:
             raise ModelError("jitter must be positive")
+        if max_points is not None and max_points < 1:
+            raise ModelError("max_points must be positive")
         self.kernel = kernel if kernel is not None else Matern52Kernel()
         self.noise = noise
         self.jitter = jitter
+        self.max_points = max_points
+        #: Full refits forced by ill-conditioned incremental updates.
+        self.refit_fallbacks = 0
         self._x: Optional[np.ndarray] = None
         self._alpha: Optional[np.ndarray] = None
         self._chol: Optional[np.ndarray] = None
+        self._y_raw: Optional[np.ndarray] = None
+        self._standardised: Optional[np.ndarray] = None
         self._y_mean = 0.0
         self._y_std = 1.0
+        #: Target-dependent state (standardisation + alpha) is refreshed
+        #: lazily: writes mark it dirty, queries recompute on first use.
+        #: A burst of observations between queries then pays one O(n²)
+        #: re-solve instead of one per write.
+        self._targets_dirty = False
+        #: Counts structural rebuilds of the factor (full fits and
+        #: downdates). Appends do NOT count: the candidate cache below can
+        #: extend itself incrementally across appends but must recompute
+        #: from scratch after any rebuild.
+        self._rebuilds = 0
+        self._cand: Optional[np.ndarray] = None
+        self._cand_prior: Optional[np.ndarray] = None
+        self._cand_cross: Optional[np.ndarray] = None
+        self._cand_v: Optional[np.ndarray] = None
+        self._cand_sd: Optional[np.ndarray] = None
+        self._cand_cross_buf: Optional[np.ndarray] = None
+        self._cand_v_buf: Optional[np.ndarray] = None
+        self._cand_n = 0
+        self._cand_rebuilds = -1
+        self._cand_gram: Optional[np.ndarray] = None
+        #: Candidate row each training row came from, when the caller
+        #: declares it (``None`` once any row is of unknown origin). With
+        #: a precomputed candidate Gram this turns every steady-state
+        #: kernel evaluation into a gather.
+        self._x_rows: Optional[List[int]] = None
 
     @property
     def is_fitted(self) -> bool:
         return self._x is not None
 
-    def fit(self, x: np.ndarray, y: np.ndarray) -> "GaussianProcess":
-        """Fit the posterior to observations ``(x, y)``."""
+    @property
+    def n_observations(self) -> int:
+        """Number of observations currently in the window."""
+        return 0 if self._x is None else int(self._x.shape[0])
+
+    # -- batch fit -----------------------------------------------------------
+
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        candidate_rows: Optional[Sequence[int]] = None,
+    ) -> "GaussianProcess":
+        """Fit the posterior to observations ``(x, y)`` from scratch.
+
+        ``candidate_rows`` optionally declares, per row of ``x``, which
+        registered candidate (see :meth:`attach_candidates`) the row is —
+        it only affects performance, never the posterior.
+        """
         x = np.atleast_2d(np.asarray(x, dtype=float))
         y = np.asarray(y, dtype=float).ravel()
         if x.shape[0] != y.shape[0]:
@@ -51,11 +187,17 @@ class GaussianProcess:
             )
         if x.shape[0] == 0:
             raise ModelError("cannot fit a GP to zero observations")
-        self._y_mean = float(np.mean(y))
-        self._y_std = float(np.std(y))
-        if self._y_std < 1e-12:
-            self._y_std = 1.0
-        standardised = (y - self._y_mean) / self._y_std
+        rows = list(candidate_rows) if candidate_rows is not None else None
+        if rows is not None and len(rows) != x.shape[0]:
+            raise ModelError(
+                f"candidate_rows has {len(rows)} entries for "
+                f"{x.shape[0]} observations"
+            )
+        if self.max_points is not None and x.shape[0] > self.max_points:
+            x = x[-self.max_points :]
+            y = y[-self.max_points :]
+            if rows is not None:
+                rows = rows[-self.max_points :]
 
         gram = self.kernel(x, x)
         gram[np.diag_indices_from(gram)] += self.noise + self.jitter
@@ -63,22 +205,317 @@ class GaussianProcess:
             chol = np.linalg.cholesky(gram)
         except np.linalg.LinAlgError as error:
             raise ModelError(f"kernel matrix not positive definite: {error}") from error
-        alpha = np.linalg.solve(chol.T, np.linalg.solve(chol, standardised))
 
         self._x = x
         self._chol = chol
-        self._alpha = alpha
+        self._y_raw = y
+        self._x_rows = rows
+        self._targets_dirty = True
+        self._rebuilds += 1
         return self
+
+    # -- incremental maintenance ---------------------------------------------
+
+    def update(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        candidate_rows: Optional[Sequence[int]] = None,
+    ) -> "GaussianProcess":
+        """Append observations without refitting (rank-1 extensions).
+
+        Accepts a single point (``x`` of shape ``(d,)``, scalar ``y``) or
+        a batch of rows; each is appended with an O(n²) extension of the
+        Cholesky factor. When ``max_points`` is set, the oldest
+        observation is downdated away first so the window stays bounded.
+        Ill-conditioned extensions (Schur complement at or below
+        ``1e-9 · k(x, x)``) fall back to a full refit of the combined
+        data — same posterior, just paid at O(n³).
+
+        ``candidate_rows`` optionally names the registered candidate each
+        row is (performance only, see :meth:`attach_candidates`).
+        """
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        y = np.atleast_1d(np.asarray(y, dtype=float)).ravel()
+        if x.shape[0] != y.shape[0]:
+            raise ModelError(
+                f"x has {x.shape[0]} rows but y has {y.shape[0]} values"
+            )
+        if not self.is_fitted:
+            return self.fit(x, y, candidate_rows=candidate_rows)
+        if x.shape[1] != self._x.shape[1]:
+            raise ModelError(
+                f"update dimension {x.shape[1]} does not match fitted "
+                f"dimension {self._x.shape[1]}"
+            )
+        rows = candidate_rows if candidate_rows is not None else [None] * len(y)
+        for row, value, cand_row in zip(x, y, rows):
+            self._append_one(row, float(value), cand_row)
+        return self
+
+    def _gram_usable(self) -> bool:
+        """Whether the candidate Gram can stand in for kernel calls."""
+        return self._cand_gram is not None and self._x_rows is not None
+
+    def _append_one(
+        self, row: np.ndarray, value: float, cand_row: Optional[int] = None
+    ) -> None:
+        if self.max_points is not None and self.n_observations >= self.max_points:
+            self.downdate_oldest()
+        point = row[None, :]
+        if self._gram_usable() and cand_row is not None:
+            cross = self._cand_gram[self._x_rows, cand_row]
+        else:
+            cross = self.kernel(self._x, point).ravel()
+        # k(x, x) is exactly the prior variance; ``diag`` returns it
+        # without the (noisy, and slower) pairwise-distance round trip.
+        kss = float(self.kernel.diag(point)[0]) + self.noise + self.jitter
+        l12 = _forward_solve(self._chol, cross)
+        l22_sq = kss - float(l12 @ l12)
+        if not l22_sq > _RANK1_TOL * kss:
+            # Cancellation ate the Schur complement (near-duplicate point
+            # or an accumulated loss of precision): refit from scratch.
+            self.refit_fallbacks += 1
+            rows = (
+                self._x_rows + [cand_row]
+                if self._x_rows is not None and cand_row is not None
+                else None
+            )
+            self.fit(
+                np.vstack([self._x, point]),
+                np.append(self._y_raw, value),
+                candidate_rows=rows,
+            )
+            return
+        n = self._chol.shape[0]
+        chol = np.zeros((n + 1, n + 1))
+        chol[:n, :n] = self._chol
+        chol[n, :n] = l12
+        chol[n, n] = np.sqrt(l22_sq)
+        self._chol = chol
+        self._x = np.vstack([self._x, point])
+        self._y_raw = np.append(self._y_raw, value)
+        if self._x_rows is not None:
+            if cand_row is not None:
+                self._x_rows.append(cand_row)
+            else:
+                self._x_rows = None
+        self._targets_dirty = True
+
+    def downdate_oldest(self) -> "GaussianProcess":
+        """Drop the oldest observation with a rank-1 downdate (O(n²)).
+
+        Removing row/column 0 from ``K = L Lᵀ`` leaves a trailing block
+        whose factor is the rank-1 *update* of ``L``'s trailing block by
+        its first column — no refit needed. Falls back to a full refit if
+        the update loses positive definiteness numerically.
+        """
+        if not self.is_fitted:
+            raise ModelError("downdate_oldest() before fit()")
+        if self.n_observations == 1:
+            raise ModelError("cannot downdate the last remaining observation")
+        first_col = self._chol[1:, 0].copy()
+        trailing = self._chol[1:, 1:].copy()
+        try:
+            chol = _cholesky_rank1_update(trailing, first_col)
+        except ModelError:
+            self.refit_fallbacks += 1
+            rows = self._x_rows[1:] if self._x_rows is not None else None
+            return self.fit(self._x[1:], self._y_raw[1:], candidate_rows=rows)
+        self._chol = chol
+        self._x = self._x[1:]
+        self._y_raw = self._y_raw[1:]
+        if self._x_rows is not None:
+            self._x_rows = self._x_rows[1:]
+        self._targets_dirty = True
+        self._rebuilds += 1
+        return self
+
+    def update_target(self, index: int, value: float) -> "GaussianProcess":
+        """Replace one raw target in place (repeat-observation averaging).
+
+        The Gram matrix only depends on the inputs, so changing a target
+        re-uses the cached Cholesky factor: re-standardise and re-solve
+        for alpha at O(n²).
+        """
+        if not self.is_fitted:
+            raise ModelError("update_target() before fit()")
+        if not 0 <= index < self.n_observations:
+            raise ModelError(
+                f"target index {index} out of range for "
+                f"{self.n_observations} observations"
+            )
+        self._y_raw[index] = float(value)
+        self._targets_dirty = True
+        return self
+
+    def _ensure_targets(self) -> None:
+        """Refresh target-dependent state if any write dirtied it."""
+        if self._targets_dirty:
+            self._refresh_targets()
+            self._targets_dirty = False
+
+    def _refresh_targets(self) -> None:
+        """Recompute standardisation and alpha from the cached factor."""
+        y = self._y_raw
+        self._y_mean = float(np.mean(y))
+        self._y_std = float(np.std(y))
+        if self._y_std < 1e-12:
+            self._y_std = 1.0
+        self._standardised = (y - self._y_mean) / self._y_std
+        self._alpha = _backward_solve(
+            self._chol, _forward_solve(self._chol, self._standardised)
+        )
+
+    # -- candidate cache -----------------------------------------------------
+
+    def attach_candidates(
+        self, points: np.ndarray, gram: Optional[np.ndarray] = None
+    ) -> "GaussianProcess":
+        """Register a fixed candidate set for :meth:`predict_candidates`.
+
+        For a discrete search space queried every epoch, the expensive
+        parts of :meth:`predict` — the cross-kernel against the training
+        inputs and the triangular solve — depend only on the candidate
+        set and the factor, not on the targets. Registering the set lets
+        the GP keep both cached and extend them by a single row per
+        appended observation instead of recomputing an m×n kernel and an
+        O(n²m) solve on every query.
+
+        ``gram`` optionally supplies the precomputed candidate Gram
+        ``kernel(points, points)``: when the caller also declares, per
+        observation, which candidate it is (``candidate_rows`` on
+        :meth:`fit`/:meth:`update`), every steady-state kernel evaluation
+        — append cross-columns and cache syncs alike — becomes a gather
+        from this matrix. Pass it when the same candidate set outlives
+        the GP (e.g. across restarts) so the O(m²) kernel is paid once.
+        """
+        points = np.atleast_2d(np.asarray(points, dtype=float))
+        if gram is not None:
+            gram = np.asarray(gram, dtype=float)
+            if gram.shape != (points.shape[0], points.shape[0]):
+                raise ModelError(
+                    f"gram shape {gram.shape} does not match "
+                    f"{points.shape[0]} candidates"
+                )
+        self._cand = points
+        self._cand_gram = gram
+        self._cand_prior = self.kernel.diag(points)
+        self._cand_cross = None
+        self._cand_v = None
+        self._cand_sd = None
+        self._cand_cross_buf = None
+        self._cand_v_buf = None
+        self._cand_n = 0
+        self._cand_rebuilds = -1
+        return self
+
+    def _ensure_candidate_capacity(self, n: int) -> None:
+        """Grow the cache buffers to hold ``n`` training columns.
+
+        The buffers are over-allocated (powers of two, min 64) so the
+        per-append sync writes in place instead of reallocating and
+        copying an m×n matrix pair on every observation.
+        """
+        buf = self._cand_cross_buf
+        if buf is not None and buf.shape[1] >= n:
+            return
+        capacity = 64
+        while capacity < n:
+            capacity *= 2
+        m = self._cand.shape[0]
+        cross_buf = np.empty((m, capacity))
+        v_buf = np.empty((capacity, m))
+        if buf is not None and self._cand_n:
+            valid = self._cand_n
+            cross_buf[:, :valid] = buf[:, :valid]
+            v_buf[:valid] = self._cand_v_buf[:valid]
+        self._cand_cross_buf = cross_buf
+        self._cand_v_buf = v_buf
+
+    def _sync_candidates(self) -> None:
+        """Bring the candidate cross/solve cache up to date with the factor.
+
+        Three cases: a structural rebuild (fit or downdate) invalidates
+        everything → full recompute; appends since the last sync extend
+        the cross matrix by the new columns and the solve by forward
+        substitution, one O(n·m) row each; already current → no-op.
+        """
+        n = self._x.shape[0]
+        gram_ok = self._gram_usable()
+        if self._cand_rebuilds != self._rebuilds or self._cand_n == 0:
+            if gram_ok:
+                cross = self._cand_gram[:, self._x_rows]
+            else:
+                cross = self.kernel(self._cand, self._x)
+            v = _forward_solve(self._chol, cross.T)
+            self._ensure_candidate_capacity(n)
+            self._cand_cross_buf[:, :n] = cross
+            self._cand_v_buf[:n] = v
+            self._cand_rebuilds = self._rebuilds
+        else:
+            if self._cand_n == n:
+                return
+            self._ensure_candidate_capacity(n)
+            v_buf = self._cand_v_buf
+            for j in range(self._cand_n, n):
+                if gram_ok:
+                    col = self._cand_gram[:, self._x_rows[j]]
+                else:
+                    col = self.kernel(self._cand, self._x[j : j + 1]).ravel()
+                self._cand_cross_buf[:, j] = col
+                # Forward substitution, one new row of L⁻¹ Kᵀ.
+                v_buf[j] = (col - self._chol[j, :j] @ v_buf[:j]) / self._chol[j, j]
+        self._cand_n = n
+        self._cand_cross = self._cand_cross_buf[:, :n]
+        self._cand_v = self._cand_v_buf[:n]
+        # The posterior sd depends only on the factor — not the targets —
+        # so it is cached per sync and merely gathered at query time.
+        v = self._cand_v
+        self._cand_sd = np.sqrt(
+            np.maximum(self._cand_prior - np.sum(v * v, axis=0), 1e-12)
+        )
+
+    def predict_candidates(
+        self, indices: Union[Sequence[int], np.ndarray]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Posterior mean/std at the registered candidates ``indices``.
+
+        ``indices`` is anything numpy fancy-indexing accepts — an index
+        sequence or a boolean mask over the registered set.
+
+        Same posterior as ``predict(candidates[indices])`` (to rounding:
+        the cached solve extends row-by-row, which can differ from a
+        fresh blocked triangular solve in the last ulp), but amortised:
+        no kernel evaluation and no triangular solve on the steady-state
+        path — just two slices and a matmul.
+        """
+        if not self.is_fitted:
+            raise ModelError("predict_candidates() before fit()")
+        if self._cand is None:
+            raise ModelError("predict_candidates() before attach_candidates()")
+        self._ensure_targets()
+        self._sync_candidates()
+        # One full-set gemv then a gather: cheaper than gathering the
+        # cross rows first, and the sd is already cached by the sync.
+        mean = (self._cand_cross @ self._alpha)[indices]
+        return (
+            mean * self._y_std + self._y_mean,
+            self._cand_sd[indices] * self._y_std,
+        )
+
+    # -- queries -------------------------------------------------------------
 
     def predict(self, x_new: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         """Posterior mean and standard deviation at ``x_new``."""
         if not self.is_fitted:
             raise ModelError("predict() before fit()")
+        self._ensure_targets()
         x_new = np.atleast_2d(np.asarray(x_new, dtype=float))
         cross = self.kernel(x_new, self._x)
         mean = cross @ self._alpha
-        v = np.linalg.solve(self._chol, cross.T)
-        prior_var = np.diag(self.kernel(x_new, x_new))
+        v = _forward_solve(self._chol, cross.T)
+        prior_var = self.kernel.diag(x_new)
         var = np.maximum(prior_var - np.sum(v * v, axis=0), 1e-12)
         return (
             mean * self._y_std + self._y_mean,
@@ -86,17 +523,15 @@ class GaussianProcess:
         )
 
     def log_marginal_likelihood(self) -> float:
-        """Log marginal likelihood of the fitted data (model selection)."""
+        """Log marginal likelihood of the fitted data (model selection).
+
+        Uses the standardised targets cached at fit/update time — the
+        Gram matrix is never rebuilt here.
+        """
         if not self.is_fitted:
             raise ModelError("log_marginal_likelihood() before fit()")
+        self._ensure_targets()
         n = self._x.shape[0]
-        # y^T K^{-1} y = y^T alpha, with y recovered as K alpha.
-        data_fit = -0.5 * float(np.dot(self._standardised_targets(), self._alpha))
+        data_fit = -0.5 * float(np.dot(self._standardised, self._alpha))
         complexity = -float(np.sum(np.log(np.diag(self._chol))))
         return data_fit + complexity - 0.5 * n * np.log(2.0 * np.pi)
-
-    def _standardised_targets(self) -> np.ndarray:
-        """Recover the standardised targets from alpha: ``y = K alpha``."""
-        gram = self.kernel(self._x, self._x)
-        gram[np.diag_indices_from(gram)] += self.noise + self.jitter
-        return gram @ self._alpha

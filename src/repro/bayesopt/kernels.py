@@ -31,9 +31,33 @@ class Kernel(abc.ABC):
     def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Covariance matrix between the rows of ``a`` and ``b``."""
 
+    def diag(self, a: np.ndarray) -> np.ndarray:
+        """``diag(k(a, a))`` without building the full matrix.
+
+        The generic fallback materialises the Gram matrix; stationary
+        kernels override this with their constant prior variance — the GP
+        predict path calls it once per candidate batch, so the O(m²)
+        default matters.
+        """
+        a = np.atleast_2d(np.asarray(a, dtype=float))
+        return np.diag(self(a, a))
+
+
+class _StationaryDiagMixin:
+    """Stationary kernels have ``k(x, x) = variance`` exactly.
+
+    This is the *exact* prior variance — the Gram-diagonal route can
+    return values a few ulp off it when the pairwise-distance computation
+    leaves cancellation residue on the diagonal.
+    """
+
+    def diag(self, a: np.ndarray) -> np.ndarray:
+        a = np.atleast_2d(np.asarray(a, dtype=float))
+        return np.full(a.shape[0], self.variance)
+
 
 @dataclass(frozen=True)
-class RBFKernel(Kernel):
+class RBFKernel(_StationaryDiagMixin, Kernel):
     """Squared-exponential kernel ``σ² exp(−d²/2ℓ²)``."""
 
     length_scale: float = 1.0
@@ -51,7 +75,7 @@ class RBFKernel(Kernel):
 
 
 @dataclass(frozen=True)
-class Matern52Kernel(Kernel):
+class Matern52Kernel(_StationaryDiagMixin, Kernel):
     """Matérn-5/2 kernel — the standard choice for BO over rough objectives."""
 
     length_scale: float = 1.0

@@ -1,10 +1,16 @@
 """The sample-then-model Bayesian-optimisation loop.
 
 CLITE's search (§V): evaluate a handful of random configurations first,
-then repeatedly fit a GP to everything observed and evaluate the candidate
+then model everything observed with a GP and evaluate the candidate
 maximising expected improvement. Duplicate suggestions are avoided so the
 scarce evaluation budget (one configuration per monitoring interval) is
 never wasted re-measuring a known point.
+
+The GP is maintained *incrementally*: the first post-sampling ``suggest``
+fits it once, and every subsequent ``observe`` appends the new point with
+a rank-1 Cholesky extension (or, for a repeat observation, re-solves the
+targets against the cached factor) — O(n²) per epoch instead of the
+O(n³) refit-from-scratch the loop used to pay.
 """
 
 from __future__ import annotations
@@ -43,16 +49,41 @@ class BayesianOptimizer:
         self._rng = rng
         self._initial_samples = min(initial_samples, len(self._candidates))
         self._exploration = exploration
-        self._gp = GaussianProcess(
-            kernel=Matern52Kernel(length_scale=length_scale), noise=noise
-        )
+        self._length_scale = length_scale
+        self._noise = noise
         self._observed: Dict[Tuple[float, ...], float] = {}
+        #: Candidate → row index inside the fitted GP (insertion order).
+        self._gp_rows: Dict[Tuple[float, ...], int] = {}
         self._history: List[Tuple[Tuple[float, ...], float]] = []
         # Normalisation bounds for GP inputs.
         matrix = np.asarray(self._candidates)
         self._low = matrix.min(axis=0)
         span = matrix.max(axis=0) - self._low
         self._span = np.where(span > 0, span, 1.0)
+        #: Every candidate, normalised once — ``suggest`` slices this
+        #: instead of rebuilding (and re-normalising) a fresh array from
+        #: hundreds of tuples every epoch. Attached to the GP so the
+        #: cross-kernel/solve cache can be maintained incrementally.
+        self._normalised = self._normalise(matrix)
+        #: One stateless kernel shared by every GP this optimiser makes,
+        #: and the candidate Gram under it, computed once: observations
+        #: always come from the candidate set, so the GP never has to
+        #: evaluate the kernel again — appends and cache syncs gather
+        #: from this matrix (and restarts reuse it wholesale).
+        self._kernel = Matern52Kernel(length_scale=self._length_scale)
+        self._cand_gram = self._kernel(self._normalised, self._normalised)
+        self._gp = self._fresh_gp()
+        #: Boolean mask of candidates not yet observed, plus its popcount;
+        #: flipped off on observation rather than rebuilt per suggest, and
+        #: usable directly as a fancy index (ascending candidate order).
+        self._unexplored_mask = np.ones(len(self._candidates), dtype=bool)
+        self._n_unexplored = len(self._candidates)
+        #: Candidate → every index it occupies (duplicates included), so
+        #: pruning clears exactly the observed candidate's slots without
+        #: a full membership sweep.
+        self._candidate_indices: Dict[Tuple[float, ...], List[int]] = {}
+        for index, candidate in enumerate(self._candidates):
+            self._candidate_indices.setdefault(candidate, []).append(index)
 
     @property
     def evaluations(self) -> int:
@@ -65,27 +96,57 @@ class BayesianOptimizer:
     def _normalise(self, points: np.ndarray) -> np.ndarray:
         return (np.asarray(points, dtype=float) - self._low) / self._span
 
+    def _fresh_gp(self) -> GaussianProcess:
+        return GaussianProcess(
+            kernel=self._kernel,
+            noise=self._noise,
+        ).attach_candidates(self._normalised, gram=self._cand_gram)
+
+    def _ensure_gp_fitted(self) -> None:
+        """Fit the GP once on everything observed (insertion order).
+
+        Subsequent observations are folded in incrementally by
+        :meth:`observe`, so this full fit happens exactly once per search
+        (and once more after every :meth:`restart`).
+        """
+        if self._gp.is_fitted:
+            return
+        xs = np.asarray(list(self._observed))
+        ys = np.asarray(list(self._observed.values()))
+        self._gp.fit(
+            self._normalise(xs),
+            ys,
+            candidate_rows=[
+                self._candidate_indices[key][0] for key in self._observed
+            ],
+        )
+        self._gp_rows = {key: row for row, key in enumerate(self._observed)}
+
     def suggest(self) -> Tuple[float, ...]:
         """The next candidate to evaluate."""
-        unexplored = [c for c in self._candidates if c not in self._observed]
-        if not unexplored:
+        if not self._n_unexplored:
             return self.best()[0]
+        unexplored = np.flatnonzero(self._unexplored_mask)
         if len(self._observed) < self._initial_samples:
-            index = int(self._rng.integers(len(unexplored)))
-            return unexplored[index]
+            index = int(self._rng.integers(self._n_unexplored))
+            return self._candidates[int(unexplored[index])]
 
-        xs = np.asarray(list(self._observed))
-        ys = np.asarray([self._observed[tuple(x)] for x in xs])
-        self._gp.fit(self._normalise(xs), ys)
-        pool = np.asarray(unexplored)
-        mean, std = self._gp.predict(self._normalise(pool))
+        self._ensure_gp_fitted()
+        mean, std = self._gp.predict_candidates(self._unexplored_mask)
+        best_observed = max(self._observed.values())
         scores = expected_improvement(
-            mean, std, float(ys.max()), self._exploration
+            mean, std, float(best_observed), self._exploration
         )
-        return unexplored[int(np.argmax(scores))]
+        return self._candidates[int(unexplored[int(np.argmax(scores))])]
 
     def observe(self, candidate: Tuple[float, ...], value: float) -> None:
-        """Record an evaluation (repeat observations average)."""
+        """Record an evaluation (repeat observations average).
+
+        Once the GP is live, the observation is folded in incrementally:
+        a new candidate appends a row via a rank-1 Cholesky extension; a
+        repeat candidate re-solves the cached factor against the averaged
+        target — no refit either way.
+        """
         key = tuple(float(v) for v in candidate)
         if key not in self._candidate_set:
             raise ModelError(f"candidate {key} is not in the search space")
@@ -93,7 +154,25 @@ class BayesianOptimizer:
             self._observed[key] = 0.5 * (self._observed[key] + value)
         else:
             self._observed[key] = value
+            for index in self._candidate_indices[key]:
+                if self._unexplored_mask[index]:
+                    self._unexplored_mask[index] = False
+                    self._n_unexplored -= 1
         self._history.append((key, value))
+        if self._gp.is_fitted:
+            if key in self._gp_rows:
+                self._gp.update_target(self._gp_rows[key], self._observed[key])
+            else:
+                self._gp_rows[key] = len(self._gp_rows)
+                # The normalised coordinates already exist — row `index` of
+                # the precomputed candidate matrix is bitwise identical to
+                # re-normalising the point, without the array round trip.
+                index = self._candidate_indices[key][0]
+                self._gp.update(
+                    self._normalised[index],
+                    self._observed[key],
+                    candidate_rows=[index],
+                )
 
     def best(self) -> Tuple[Tuple[float, ...], float]:
         """The best (candidate, value) observed so far."""
@@ -105,4 +184,8 @@ class BayesianOptimizer:
     def restart(self) -> None:
         """Forget everything (workload shift re-exploration)."""
         self._observed = {}
+        self._gp_rows = {}
         self._history = []
+        self._gp = self._fresh_gp()
+        self._unexplored_mask[:] = True
+        self._n_unexplored = len(self._candidates)

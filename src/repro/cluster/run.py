@@ -15,7 +15,13 @@ from typing import Dict, List, Optional, Tuple, Union
 from repro.check.invariants import CheckConfig, CheckingTracer
 from repro.cluster.collocation import Collocation
 from repro.cluster.contention import ContentionState, resolve_contention
-from repro.cluster.epoch import BEMeasurement, EpochRecord, LCMeasurement
+from repro.cluster.epoch import (
+    BEMeasurement,
+    EpochRecord,
+    LCMeasurement,
+    pack_records,
+    unpack_records,
+)
 from repro.cluster.monitor import NoisyMonitor
 from repro.entropy.aggregate import mean_entropy
 from repro.entropy.records import BEObservation, LCObservation, SystemObservation
@@ -60,6 +66,46 @@ class RunResult:
     check_violations: Tuple[InvariantViolation, ...] = field(
         default=(), repr=False, compare=False
     )
+
+    # -- wire format -------------------------------------------------------
+    #
+    # A result crosses a process boundary once per sweep point, and its
+    # epoch records are nearly the whole payload. Two things keep that
+    # round trip off the parallel runner's critical path: the records
+    # pickle *columnar* (see repro.cluster.epoch — float arrays instead
+    # of thousands of tiny objects, bit-exact either way), and an
+    # unpickled result defers rebuilding the record objects until the
+    # first time ``.records`` is actually read. Consumers that only poke
+    # summaries or ignore some results never pay the rebuild; equality,
+    # repr, asdict and every method materialise transparently via
+    # ``__getattr__``.
+
+    def __getstate__(self) -> Dict[str, object]:
+        state = dict(self.__dict__)
+        packed = state.pop("_packed_records", None)
+        if packed is not None:
+            state["records"] = packed  # never materialised: pass through
+        else:
+            state["records"] = pack_records(state["records"])
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        state = dict(state)
+        state["_packed_records"] = state.pop("records")
+        self.__dict__.update(state)
+
+    def __getattr__(self, name: str) -> object:
+        # Only ever called for attributes missing from __dict__ — i.e.
+        # for ``records`` on a result restored by __setstate__ above.
+        if name == "records":
+            packed = self.__dict__.pop("_packed_records", None)
+            if packed is not None:
+                records = unpack_records(packed)
+                self.__dict__["records"] = records
+                return records
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
 
     # -- windows -----------------------------------------------------------
 
@@ -284,6 +330,33 @@ def _run_loop(
     backlogs = {name: OverloadState() for name in collocation.lc_profiles}
     ideal_cache: Dict[Tuple[str, float], float] = {}
 
+    # Consecutive epochs usually see identical load and resource maps
+    # (loads are piecewise-constant, resources only move when the plan or
+    # loads do). Interning equal snapshots makes the repeats one shared
+    # object, so a pickled RunResult memoises them once instead of
+    # serialising ~600 redundant bytes per epoch — that serialisation is
+    # most of the warm pool's dispatch tax at jobs=1.
+    prev_loads: Optional[Dict[str, float]] = None
+    prev_resources = None
+
+    # Per-run constants hoisted out of the epoch loop: the application set
+    # is fixed for the whole run, so the per-epoch work below iterates
+    # plain lists and never re-resolves profiles or metric handles.
+    epoch_s = collocation.epoch_s
+    lc_items = list(collocation.lc_profiles.items())
+    be_items = list(collocation.be_profiles.items())
+    if metrics is not None:
+        epochs_counter = metrics.counter("epochs", "monitoring epochs executed")
+        decide_hist = metrics.histogram(
+            "decide_time_s", "decide() wall-clock seconds"
+        )
+        # Post-warm-up histograms are bound on first use so a run that
+        # never reaches the measurement window registers exactly the same
+        # metric names as before.
+        entropy_hists: Optional[tuple] = None
+        tail_hists: Dict[str, object] = {}
+        ipc_hists: Dict[str, object] = {}
+
     result = RunResult(
         scheduler_name=scheduler.name,
         collocation=collocation,
@@ -306,7 +379,7 @@ def _run_loop(
             )
         )
     for index in range(epochs):
-        time_s = index * collocation.epoch_s
+        time_s = index * epoch_s
         if injector is not None:
             injector.begin_epoch(time_s)
         loads = collocation.loads_at(time_s)
@@ -318,9 +391,14 @@ def _run_loop(
                 time_s, resources, tuple(collocation.lc_profiles)
             )
 
-        lc_measurements: Dict[str, LCMeasurement] = {}
-        lc_observations = []
-        for name, profile in collocation.lc_profiles.items():
+        # True per-app state first (the backlog step is stateful and must
+        # run in application order), then ONE batched noise draw per
+        # application class. The batch draw consumes the monitor stream
+        # exactly like the former per-app scalar draws, so traces are
+        # bit-identical to the interleaved loop this replaces.
+        lc_true: List[float] = []
+        lc_ideals: List[float] = []
+        for name, profile in lc_items:
             load = loads[name]
             eff = resources[name]
             capacity = profile.capacity_rps(
@@ -337,19 +415,24 @@ def _run_loop(
                 capacity_rps=capacity,
                 servers=min(eff.cores, float(profile.threads)),
                 service_time_ms=profile.service_time_ms * stretch,
-                epoch_s=collocation.epoch_s,
+                epoch_s=epoch_s,
                 percentile=profile.percentile,
                 service_cv=profile.service_cv,
             )
-            measured_tail = monitor.latency_ms(true_tail)
             key = (name, round(load, 6))
             if key not in ideal_cache:
                 ideal_cache[key] = profile.ideal_latency_ms(load)
-            ideal = ideal_cache[key]
-            measured_tail = max(measured_tail, ideal)
+            lc_true.append(true_tail)
+            lc_ideals.append(ideal_cache[key])
+        lc_noisy = monitor.latency_batch(lc_true)
+
+        lc_measurements: Dict[str, LCMeasurement] = {}
+        lc_observations = []
+        for (name, profile), noisy, ideal in zip(lc_items, lc_noisy, lc_ideals):
+            measured_tail = max(noisy, ideal)
             lc_measurements[name] = LCMeasurement(
                 name=name,
-                load_fraction=load,
+                load_fraction=loads[name],
                 tail_ms=measured_tail,
                 ideal_ms=ideal,
                 threshold_ms=profile.threshold_ms,
@@ -363,14 +446,23 @@ def _run_loop(
                 )
             )
 
+        be_true: List[float] = []
+        for name, profile in be_items:
+            eff = resources[name]
+            be_true.append(
+                profile.ipc(
+                    eff.cores,
+                    eff.ways,
+                    eff.bandwidth_multiplier,
+                    eff.transient_penalty,
+                )
+            )
+        be_noisy = monitor.ipc_batch(be_true)
+
         be_measurements: Dict[str, BEMeasurement] = {}
         be_observations = []
-        for name, profile in collocation.be_profiles.items():
-            eff = resources[name]
-            true_ipc = profile.ipc(
-                eff.cores, eff.ways, eff.bandwidth_multiplier, eff.transient_penalty
-            )
-            measured_ipc = min(monitor.ipc(true_ipc), profile.ipc_solo)
+        for (name, profile), noisy in zip(be_items, be_noisy):
+            measured_ipc = min(noisy, profile.ipc_solo)
             be_measurements[name] = BEMeasurement(
                 name=name, ipc=measured_ipc, ipc_solo=profile.ipc_solo
             )
@@ -422,9 +514,7 @@ def _run_loop(
             decide_started = time.perf_counter()
         next_plan = scheduler.robust_decide(context, scheduler_view, plan, time_s)
         if metrics is not None:
-            metrics.histogram(
-                "decide_time_s", "decide() wall-clock seconds"
-            ).observe(time.perf_counter() - decide_started)
+            decide_hist.observe(time.perf_counter() - decide_started)
         plan_changed = next_plan is not plan
         if plan_changed:
             next_plan.validate(context.node)
@@ -440,7 +530,7 @@ def _run_loop(
                 )
             )
         if metrics is not None:
-            metrics.counter("epochs", "monitoring epochs executed").inc()
+            epochs_counter.inc()
             if violations:
                 metrics.counter(
                     "qos_violations", "epoch × application QoS misses"
@@ -448,29 +538,47 @@ def _run_loop(
             if plan_changed:
                 metrics.counter("plan_changes", "epochs with a new plan").inc()
             if time_s >= warmup_s:
-                metrics.histogram("e_s", "per-epoch system entropy").observe(
-                    breakdown.e_s
-                )
-                metrics.histogram("e_lc", "per-epoch LC entropy").observe(
-                    breakdown.e_lc
-                )
-                metrics.histogram("e_be", "per-epoch BE entropy").observe(
-                    breakdown.e_be
-                )
+                if entropy_hists is None:
+                    entropy_hists = (
+                        metrics.histogram("e_s", "per-epoch system entropy"),
+                        metrics.histogram("e_lc", "per-epoch LC entropy"),
+                        metrics.histogram("e_be", "per-epoch BE entropy"),
+                    )
+                    tail_hists = {
+                        name: metrics.histogram(
+                            f"tail_ms/{name}", "post-warm-up tail latency"
+                        )
+                        for name, _ in lc_items
+                    }
+                    ipc_hists = {
+                        name: metrics.histogram(
+                            f"ipc/{name}", "post-warm-up best-effort IPC"
+                        )
+                        for name, _ in be_items
+                    }
+                e_s_hist, e_lc_hist, e_be_hist = entropy_hists
+                e_s_hist.observe(breakdown.e_s)
+                e_lc_hist.observe(breakdown.e_lc)
+                e_be_hist.observe(breakdown.e_be)
                 for name, measurement in lc_measurements.items():
-                    metrics.histogram(
-                        f"tail_ms/{name}", "post-warm-up tail latency"
-                    ).observe(measurement.tail_ms)
+                    tail_hists[name].observe(measurement.tail_ms)
                 for name, measurement in be_measurements.items():
-                    metrics.histogram(
-                        f"ipc/{name}", "post-warm-up best-effort IPC"
-                    ).observe(measurement.ipc)
+                    ipc_hists[name].observe(measurement.ipc)
 
+        loads_snapshot = dict(loads)
+        if loads_snapshot == prev_loads:
+            loads_snapshot = prev_loads
+        else:
+            prev_loads = loads_snapshot
+        if resources == prev_resources:
+            resources = prev_resources
+        else:
+            prev_resources = resources
         record = EpochRecord(
             index=index,
             time_s=time_s,
             plan=plan,
-            loads=dict(loads),
+            loads=loads_snapshot,
             lc=lc_measurements,
             be=be_measurements,
             resources=resources,

@@ -9,11 +9,14 @@ from repro.parallel.runner import (
     RunGrid,
     RunPoint,
     backoff_s,
+    chunk_spans,
     default_jobs,
+    estimate_point_cost_s,
     resolve_jobs,
     run_many,
     run_with_recovery,
     set_default_jobs,
+    shutdown_pool,
 )
 
 __all__ = [
@@ -25,9 +28,12 @@ __all__ = [
     "RunGrid",
     "RunPoint",
     "backoff_s",
+    "chunk_spans",
     "default_jobs",
+    "estimate_point_cost_s",
     "resolve_jobs",
     "run_many",
     "run_with_recovery",
     "set_default_jobs",
+    "shutdown_pool",
 ]

@@ -34,14 +34,41 @@ parameters **and** the results completed before the failure
 structured :class:`PointFailure` record per failing one. Both modes
 honour ``timeout_s`` (per-point, enforced via the pool) and ``retries``
 with deterministic exponential backoff.
+
+Dispatch architecture
+---------------------
+The pool path is built for sweeps of many small points:
+
+* **Warm workers** — one ``ProcessPoolExecutor`` is created lazily and
+  *reused* across every ``run_many``/``run_with_recovery`` call with the
+  same worker count, with an initializer that pre-imports the strategy
+  factories and workload calibration so the pool spin-up and module
+  loading are paid once per process, not once per batch.
+* **Chunked batches** — points are submitted as contiguous chunks (a few
+  per worker) instead of one future each, so ``fn`` and the dispatch
+  round-trip are pickled per *chunk*. Results are re-assembled by index,
+  preserving submission-ordered, byte-identical trace replay.
+* **Cheap-batch heuristic** — :func:`run_many` estimates a batch's
+  simulation work from its points' epoch counts and stays on the serial
+  in-process path when the whole batch is cheaper than the dispatch
+  overhead; serial and pooled paths are bit-identical, so this is purely
+  a scheduling decision.
+* **Stuck-worker recycling** — a per-point timeout cannot kill a running
+  worker, so after a timeout the pool is *recycled* (abandoned workers
+  terminated, fresh pool built) before anything is resubmitted; retries
+  therefore always land on live workers. An item whose original worker
+  was abandoned mid-run may execute twice — acceptable for the pure
+  simulation workloads this module exists for.
 """
 
 from __future__ import annotations
 
+import atexit
 import functools
+import math
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass, field
 from typing import (
@@ -73,6 +100,115 @@ ON_ERROR_MODES = ("raise", "salvage")
 #: Process-wide default set by the CLI's ``--jobs`` flag (``None`` defers
 #: to the environment variable, then to ``os.cpu_count()``).
 _default_jobs: Optional[int] = None
+
+#: Chunks submitted per worker: small enough to amortise dispatch, large
+#: enough that a straggler chunk cannot idle the rest of the pool.
+CHUNKS_PER_WORKER = 4
+
+#: Rough wall-clock cost of one simulated epoch (seconds), calibrated
+#: from ``benchmarks/perf/BENCH_sweep.json`` (a 180-epoch run costs
+#: ~60 ms warm). Only used to *rank* batches against the dispatch
+#: overhead, so an order-of-magnitude estimate is plenty.
+EPOCH_COST_ESTIMATE_S = 3e-4
+
+#: Batches whose estimated total work falls below this stay serial: the
+#: pool round-trip (pickling, queue hops, result marshalling) costs more
+#: than it saves. Serial and pooled execution are bit-identical, so this
+#: is purely a scheduling decision.
+MIN_PARALLEL_WORK_S = 0.25
+
+
+def _warm_worker() -> None:
+    """Pool initializer: preload shared read-only state in each worker.
+
+    Importing the strategy factories pulls in the workload catalog and
+    calibration tables, so the first chunk a worker receives does not pay
+    module-import latency, and none of that state rides along in every
+    pickled point.
+    """
+    from repro.experiments import common  # noqa: F401
+
+
+class _WarmPoolManager:
+    """A process pool created once and reused across batches.
+
+    ``acquire`` hands out the live pool (rebuilding it when the worker
+    count changes or the pool broke); ``recycle`` abandons a pool whose
+    worker may be stuck — per-point timeouts cannot preempt a running
+    task — terminating its processes best-effort and building a fresh
+    pool so retries land on live workers.
+    """
+
+    def __init__(self) -> None:
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._workers = 0
+
+    def acquire(self, workers: int) -> ProcessPoolExecutor:
+        pool = self._pool
+        if (
+            pool is not None
+            and self._workers == workers
+            and not getattr(pool, "_broken", False)
+        ):
+            return pool
+        self.shutdown(wait=False)
+        self._pool = ProcessPoolExecutor(
+            max_workers=workers, initializer=_warm_worker
+        )
+        self._workers = workers
+        return self._pool
+
+    def recycle(self, workers: int) -> ProcessPoolExecutor:
+        """Abandon the current pool (stuck/broken workers) and rebuild."""
+        self.shutdown(wait=False, terminate=True)
+        return self.acquire(workers)
+
+    def shutdown(self, wait: bool = True, terminate: bool = False) -> None:
+        pool = self._pool
+        self._pool = None
+        self._workers = 0
+        if pool is None:
+            return
+        if terminate:
+            # A stuck worker never drains its queue, so it is terminated
+            # rather than waited for — and then *joined* (with a SIGKILL
+            # escalation for workers that catch SIGTERM): tearing the old
+            # executor down concurrently with building its replacement is
+            # racy, so the abandoned processes must be confirmed dead
+            # before this returns. Once they are, waiting on the executor
+            # itself is safe and settles its management thread too.
+            processes = list(getattr(pool, "_processes", {}).values())
+            for process in processes:
+                try:
+                    process.terminate()
+                except Exception:
+                    pass
+            for process in processes:
+                try:
+                    process.join(timeout=5.0)
+                    if process.is_alive():
+                        process.kill()
+                        process.join(timeout=5.0)
+                except Exception:
+                    pass
+            wait = not any(process.is_alive() for process in processes)
+        pool.shutdown(wait=wait, cancel_futures=True)
+
+
+_pools = _WarmPoolManager()
+
+
+def shutdown_pool() -> None:
+    """Shut down the warm worker pool (it is rebuilt lazily on next use).
+
+    Call after changing process-wide toggles that workers snapshot at
+    creation time (cache switches, default jobs): warm workers inherit
+    the parent state of the moment the pool was built.
+    """
+    _pools.shutdown(wait=False, terminate=True)
+
+
+atexit.register(shutdown_pool)
 
 
 def _validate_jobs(jobs: int, origin: str) -> int:
@@ -275,6 +411,7 @@ def run_with_recovery(
     retries: int = 0,
     retry_backoff_s: float = 0.0,
     stop_on_failure: bool = False,
+    force_pool: bool = False,
 ) -> Tuple[List[Optional[Any]], List[PointFailure]]:
     """Execute ``fn(item)`` for every item with bounded retry and timeout.
 
@@ -285,13 +422,26 @@ def run_with_recovery(
     submission order.
 
     ``retries`` re-executes a failing item up to that many extra times,
-    sleeping :func:`backoff_s` between attempts. ``timeout_s`` bounds each
-    attempt's wall-clock; enforcing it requires a worker process, so a
-    timeout forces the pool path even for ``jobs=1`` (the plain serial
-    path cannot preempt a running call). A timed-out attempt's worker is
-    abandoned, not killed — acceptable for simulation workloads.
+    sleeping :func:`backoff_s` between retry passes. ``timeout_s`` bounds
+    each attempt's wall-clock; enforcing it requires a worker process, so
+    a timeout forces the pool path even for ``jobs=1`` (the plain serial
+    path cannot preempt a running call). A timed-out attempt's worker may
+    be stuck, so the warm pool is **recycled** before anything is
+    resubmitted — the stuck process is terminated best-effort and the
+    retry runs on a fresh worker (an abandoned item may as a result
+    execute twice; ``fn`` should be effectively pure).
     ``stop_on_failure`` aborts the batch at the first exhausted item
     (pending work is cancelled; items after the failure stay ``None``).
+    ``force_pool`` routes even a one-worker no-timeout batch through the
+    warm process pool — the two paths are bit-identical, so this exists
+    purely so benchmarks and determinism tests can measure/exercise the
+    pool machinery directly.
+
+    Without a timeout, the pool path submits **chunks** of consecutive
+    items (a few per worker) to the warm pool and re-assembles results by
+    index; failing items are then retried individually in batched retry
+    passes. With a timeout, items are submitted one future each so the
+    per-item deadline stays enforceable.
     """
     if retries < 0:
         raise ConfigurationError(f"retries cannot be negative: {retries}")
@@ -308,7 +458,7 @@ def run_with_recovery(
         return results, failures
 
     workers = min(resolve_jobs(jobs), len(batch))
-    if workers == 1 and timeout_s is None:
+    if workers == 1 and timeout_s is None and not force_pool:
         for index, item in enumerate(batch):
             last: Optional[BaseException] = None
             for attempt in range(retries + 1):
@@ -326,33 +476,176 @@ def run_with_recovery(
                     break
         return results, failures
 
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = [pool.submit(fn, item) for item in batch]
-        for index, item in enumerate(batch):
-            future = futures[index]
-            failure: Optional[PointFailure] = None
-            for attempt in range(retries + 1):
-                if attempt:
-                    delay = backoff_s(retry_backoff_s, attempt - 1)
-                    if delay:
-                        time.sleep(delay)
-                    future = pool.submit(fn, item)
-                try:
-                    results[index] = future.result(timeout=timeout_s)
-                    failure = None
-                    break
-                except FuturesTimeoutError as exc:
-                    future.cancel()
-                    failure = _failure(index, item, exc, attempt + 1, timed_out=True)
-                except Exception as exc:
-                    failure = _failure(index, item, exc, attempt + 1)
-            if failure is not None:
-                failures.append(failure)
-                if stop_on_failure:
-                    for pending in futures[index + 1 :]:
-                        pending.cancel()
-                    break
+    if timeout_s is not None:
+        _run_pooled_timeout(
+            fn, batch, workers, timeout_s, retries, retry_backoff_s,
+            stop_on_failure, results, failures,
+        )
+    else:
+        _run_pooled_chunked(
+            fn, batch, workers, retries, retry_backoff_s,
+            stop_on_failure, results, failures,
+        )
     return results, failures
+
+
+def chunk_spans(count: int, workers: int) -> List[Tuple[int, int]]:
+    """Contiguous ``[start, stop)`` spans covering ``count`` items.
+
+    Chunk size targets :data:`CHUNKS_PER_WORKER` chunks per worker — big
+    enough to amortise pickling ``fn`` and the dispatch round-trip, small
+    enough that one slow chunk cannot idle the rest of the pool. A single
+    worker has no pool-mates to balance against, so it gets exactly one
+    chunk: every extra boundary is a worker idle gap while the executor
+    wakes, feeds the next chunk through the call queue and round-trips
+    results — measurably several ms each on a busy one-core host.
+    """
+    if workers <= 1:
+        return [(0, count)]
+    size = max(1, math.ceil(count / (workers * CHUNKS_PER_WORKER)))
+    return [(start, min(start + size, count)) for start in range(0, count, size)]
+
+
+def _run_chunk(
+    fn: Callable[[Any], Any], items: Sequence[Any]
+) -> List[Tuple[bool, Any]]:
+    """Worker-side chunk executor: one ``(ok, payload)`` pair per item.
+
+    Items run in submission order and failures are captured per item, so
+    one bad point never discards its chunk-mates' finished work.
+    """
+    outcomes: List[Tuple[bool, Any]] = []
+    for item in items:
+        try:
+            outcomes.append((True, fn(item)))
+        except Exception as exc:
+            outcomes.append((False, exc))
+    return outcomes
+
+
+def _run_pooled_chunked(
+    fn: Callable[[Any], Any],
+    batch: List[Any],
+    workers: int,
+    retries: int,
+    retry_backoff_s: float,
+    stop_on_failure: bool,
+    results: List[Optional[Any]],
+    failures: List[PointFailure],
+) -> None:
+    """Chunked execution on the warm pool (the no-timeout fast path)."""
+    count = len(batch)
+    pool = _pools.acquire(workers)
+    chunk_futures = [
+        (start, stop, pool.submit(_run_chunk, fn, batch[start:stop]))
+        for start, stop in chunk_spans(count, workers)
+    ]
+    errors: Dict[int, BaseException] = {}
+    for start, stop, future in chunk_futures:
+        try:
+            outcomes = future.result()
+        except Exception as exc:
+            # The chunk died wholesale (broken pool, unpicklable result):
+            # every item in it failed with the same cause.
+            outcomes = [(False, exc)] * (stop - start)
+        for offset, (ok, payload) in enumerate(outcomes):
+            if ok:
+                results[start + offset] = payload
+            else:
+                errors[start + offset] = payload
+
+    attempts = {index: 1 for index in errors}
+    for retry_pass in range(1, retries + 1):
+        if not errors:
+            break
+        delay = backoff_s(retry_backoff_s, retry_pass - 1)
+        if delay:
+            time.sleep(delay)
+        pool = _pools.acquire(workers)  # rebuilt automatically if broken
+        retry_futures = [
+            (index, pool.submit(fn, batch[index])) for index in sorted(errors)
+        ]
+        errors = {}
+        for index, future in retry_futures:
+            attempts[index] += 1
+            try:
+                results[index] = future.result()
+            except Exception as exc:
+                errors[index] = exc
+
+    for index in sorted(errors):
+        failures.append(_failure(index, batch[index], errors[index], attempts[index]))
+    if stop_on_failure and failures:
+        # Match the serial path's contract: nothing after the first
+        # exhausted failure is reported, even if its chunk already ran.
+        del failures[1:]
+        for index in range(failures[0].index + 1, count):
+            results[index] = None
+
+
+def _run_pooled_timeout(
+    fn: Callable[[Any], Any],
+    batch: List[Any],
+    workers: int,
+    timeout_s: float,
+    retries: int,
+    retry_backoff_s: float,
+    stop_on_failure: bool,
+    results: List[Optional[Any]],
+    failures: List[PointFailure],
+) -> None:
+    """Per-item futures with a deadline; recycles the pool on timeouts."""
+    count = len(batch)
+    pool = _pools.acquire(workers)
+    pending = {index: pool.submit(fn, batch[index]) for index in range(count)}
+
+    def resubmit_not_done(from_index: int) -> None:
+        # After a recycle: futures that already completed keep their
+        # results; everything else belonged to the abandoned pool and is
+        # resubmitted to the fresh one. "Completed" must be checked
+        # against the *outcome*, not just done(): the abandoned
+        # executor's teardown fails every future still pending there
+        # with BrokenProcessPool — those are poisoned, not finished,
+        # and keeping them would fail the whole tail of the batch.
+        for j in range(from_index, count):
+            future = pending[j]
+            if future.done() and not future.cancelled():
+                error = future.exception()
+                if error is None or not isinstance(error, BrokenExecutor):
+                    continue  # a real result or a genuine work failure
+            pending[j] = pool.submit(fn, batch[j])
+
+    for index, item in enumerate(batch):
+        failure: Optional[PointFailure] = None
+        for attempt in range(retries + 1):
+            if attempt:
+                delay = backoff_s(retry_backoff_s, attempt - 1)
+                if delay:
+                    time.sleep(delay)
+                pending[index] = pool.submit(fn, item)
+            try:
+                results[index] = pending[index].result(timeout=timeout_s)
+                failure = None
+                break
+            except FuturesTimeoutError as exc:
+                failure = _failure(index, item, exc, attempt + 1, timed_out=True)
+                # The worker behind this future may be stuck; a retry on
+                # the same pool could queue behind it forever. Recycle,
+                # then move the not-yet-done tail onto live workers.
+                pool = _pools.recycle(workers)
+                resubmit_not_done(index + 1)
+            except BrokenExecutor as exc:
+                failure = _failure(index, item, exc, attempt + 1)
+                pool = _pools.recycle(workers)
+                resubmit_not_done(index + 1)
+            except Exception as exc:
+                failure = _failure(index, item, exc, attempt + 1)
+        if failure is not None:
+            failures.append(failure)
+            if stop_on_failure:
+                for j in range(index + 1, count):
+                    pending[j].cancel()
+                return
 
 
 def _execute_point(point: RunPoint) -> RunResult:
@@ -400,6 +693,17 @@ def _execute_point_instrumented(
     return result, events, registry
 
 
+def estimate_point_cost_s(point: RunPoint) -> float:
+    """Estimated wall-clock cost of one point (seconds, order of magnitude).
+
+    A run's work is proportional to its epoch count; the constant comes
+    from the committed bench numbers. Used only to decide whether a batch
+    is worth dispatching to worker processes at all.
+    """
+    epochs = point.duration_s / point.collocation.epoch_s
+    return max(0.0, epochs) * EPOCH_COST_ESTIMATE_S
+
+
 def metrics_prefix(index: int, point: RunPoint, batch_size: int) -> str:
     """The metric-name prefix for point ``index`` of a ``run_many`` batch.
 
@@ -428,6 +732,7 @@ def run_many(
     timeout_s: Optional[float] = None,
     retries: int = 0,
     retry_backoff_s: float = 0.0,
+    force_pool: bool = False,
 ):
     """Execute every point, returning results in submission order.
 
@@ -451,6 +756,13 @@ def run_many(
     observed stream is identical for every ``jobs`` setting. Multi-point
     batches namespace merged metrics with :func:`metrics_prefix`; failed
     points contribute no events or metrics.
+
+    Batches whose estimated work (:func:`estimate_point_cost_s`) falls
+    below :data:`MIN_PARALLEL_WORK_S` stay on the serial in-process path
+    regardless of ``jobs`` — dispatch overhead would dominate, and the
+    two paths produce bit-identical results anyway. ``force_pool``
+    overrides both that heuristic and the ``jobs=1`` serial shortcut so
+    the pool path itself can be benchmarked and tested.
     """
     if on_error not in ON_ERROR_MODES:
         raise ConfigurationError(
@@ -484,14 +796,21 @@ def run_many(
     else:
         fn = _execute_point
 
+    effective_jobs = jobs
+    if not force_pool and timeout_s is None and resolve_jobs(jobs) > 1:
+        estimated_work_s = sum(estimate_point_cost_s(point) for point in batch)
+        if estimated_work_s < MIN_PARALLEL_WORK_S:
+            effective_jobs = 1
+
     outcomes, failures = run_with_recovery(
         fn,
         batch,
-        jobs=jobs,
+        jobs=effective_jobs,
         timeout_s=timeout_s,
         retries=retries,
         retry_backoff_s=retry_backoff_s,
         stop_on_failure=(on_error == "raise"),
+        force_pool=force_pool,
     )
 
     results: List[Optional[RunResult]] = []

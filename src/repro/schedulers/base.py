@@ -45,6 +45,11 @@ from repro.workloads.lc_app import LCProfile
 #: Region key denoting the shared region in move operations.
 SHARED = "__shared__"
 
+#: The zero vector, shared: ``isolated_of`` misses (and hits — the default
+#: argument is evaluated unconditionally) would otherwise construct and
+#: validate a fresh frozen instance on every lookup.
+_ZERO_VECTOR = ResourceVector()
+
 
 @dataclass(frozen=True)
 class RegionPlan:
@@ -56,7 +61,7 @@ class RegionPlan:
     shared_policy: CorePolicy = CorePolicy.LC_PRIORITY
 
     def isolated_of(self, name: str) -> ResourceVector:
-        return self.isolated.get(name, ResourceVector())
+        return self.isolated.get(name, _ZERO_VECTOR)
 
     def total_allocated(self) -> ResourceVector:
         return total_of(self.isolated.values()).plus(self.shared)
@@ -212,18 +217,28 @@ class TelemetrySanitizer:
 
     def _lc_ok(self, sample: LCObservation) -> bool:
         """Whether an LC sample is finite, positive and plausibly scaled."""
-        values = (sample.ideal_ms, sample.measured_ms, sample.threshold_ms)
-        if not all(math.isfinite(v) and v > 0 for v in values):
-            return False
-        if sample.measured_ms > self._outlier_cap_ms:
-            return False
-        return sample.ideal_ms <= sample.threshold_ms
+        # Chained comparisons, no tuple/generator: this runs per sample
+        # per epoch for every scheduler, so allocation here is measurable.
+        ideal = sample.ideal_ms
+        measured = sample.measured_ms
+        threshold = sample.threshold_ms
+        return (
+            math.isfinite(ideal)
+            and math.isfinite(measured)
+            and math.isfinite(threshold)
+            and ideal > 0
+            and threshold > 0
+            and 0 < measured <= self._outlier_cap_ms
+            and ideal <= threshold
+        )
 
     @staticmethod
     def _be_ok(sample: BEObservation) -> bool:
         """Whether a BE sample carries finite, positive IPC values."""
-        return all(
-            math.isfinite(v) and v > 0 for v in (sample.ipc_solo, sample.ipc_real)
+        solo = sample.ipc_solo
+        real = sample.ipc_real
+        return (
+            math.isfinite(solo) and math.isfinite(real) and solo > 0 and real > 0
         )
 
     def sanitize(

@@ -103,25 +103,28 @@ class CLITEScheduler(Scheduler):
     # -- configuration space -----------------------------------------------------
 
     def _random_config(
-        self, context: SchedulerContext, rng: np.random.Generator
+        self,
+        context: SchedulerContext,
+        rng: np.random.Generator,
+        uniform_p: np.ndarray,
+        weighted_p: np.ndarray,
     ) -> Tuple[float, ...]:
         """A random partition: ≥1 core and ≥1 way per application.
 
         Half the draws are uniform across applications, half are
         thread-weighted — seeding the pool with configurations in the
         plausible neighbourhood speeds up the GP's search dramatically in
-        an 8-plus-dimensional space.
+        an 8-plus-dimensional space. Both probability vectors are
+        constants of the application mix, so the pool-generation loop
+        computes them once and passes them in.
         """
         n = len(self._names)
         cores_total = int(context.node.capacity.cores)
         ways_total = int(context.node.capacity.llc_ways)
         if rng.random() < 0.5:
-            probabilities = np.full(n, 1.0 / n)
+            probabilities = uniform_p
         else:
-            weights = np.asarray(
-                [float(context.threads_of(name)) for name in self._names]
-            )
-            probabilities = weights / weights.sum()
+            probabilities = weighted_p
         cores = 1 + rng.multinomial(cores_total - n, probabilities)
         ways = 1 + rng.multinomial(ways_total - n, probabilities)
         cores = self._respect_thread_caps(context, cores)
@@ -234,6 +237,11 @@ class CLITEScheduler(Scheduler):
             )
         pool = {self._current_config}
         pool.update(self._heavy_configs(context))
+        uniform_p = np.full(n, 1.0 / n)
+        weights = np.asarray(
+            [float(context.threads_of(name)) for name in self._names]
+        )
+        weighted_p = weights / weights.sum()
         # The sampling loop is attempt-bounded: on small nodes the whole
         # configuration space can hold fewer distinct points than the pool
         # target (a 4-core node with four applications admits exactly one
@@ -241,7 +249,7 @@ class CLITEScheduler(Scheduler):
         for _ in range(self._candidate_pool * 25):
             if len(pool) >= self._candidate_pool:
                 break
-            pool.add(self._random_config(context, rng))
+            pool.add(self._random_config(context, rng, uniform_p, weighted_p))
         self._optimizer = BayesianOptimizer(
             candidates=sorted(pool),
             rng=rng,
@@ -291,6 +299,12 @@ class CLITEScheduler(Scheduler):
         cores = self._weighted_units(cores_total, weights)
         ways = self._weighted_units(ways_total, weights)
         self._current_config = tuple(float(v) for v in cores + ways)
+        # Build the candidate pool at placement time: generating hundreds
+        # of random partitions costs milliseconds, which belongs in setup,
+        # not inside the first epoch's decide(). The "clite" RNG stream is
+        # consumed in exactly the same order as when decide() built it, so
+        # runs are bit-identical either way.
+        self._ensure_optimizer(context)
         return self._config_to_plan(context, self._current_config)
 
     @staticmethod

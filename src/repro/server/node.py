@@ -40,6 +40,14 @@ class ServerNode:
         """
         used = total_of(isolated.values()).plus(shared)
         capacity = self.capacity
+        # Component comparisons inline (no items()/get() indirection): the
+        # schedulers validate every candidate plan, so this is hot.
+        if (
+            used.cores <= capacity.cores + 1e-9
+            and used.llc_ways <= capacity.llc_ways + 1e-9
+            and used.membw_gbps <= capacity.membw_gbps + 1e-9
+        ):
+            return
         for kind, amount in used.items():
             if amount > capacity.get(kind) + 1e-9:
                 raise AllocationError(

@@ -39,11 +39,16 @@ class ResourceVector:
     membw_gbps: float = 0.0
 
     def __post_init__(self) -> None:
-        for kind, value in self.items():
-            if value < 0:
-                raise AllocationError(
-                    f"resource component {kind.value} cannot be negative: {value}"
-                )
+        # Three direct comparisons, not an items() loop: this runs on every
+        # construction, which the schedulers and the epoch loop do tens of
+        # thousands of times per run — a generator here is measurable.
+        if self.cores < 0 or self.llc_ways < 0 or self.membw_gbps < 0:
+            for kind, value in self.items():
+                if value < 0:
+                    raise AllocationError(
+                        f"resource component {kind.value} cannot be negative: "
+                        f"{value}"
+                    )
 
     # -- accessors ---------------------------------------------------------
 
@@ -145,7 +150,12 @@ class ResourceVector:
 
 def total_of(vectors) -> ResourceVector:
     """Sum an iterable of resource vectors."""
-    total = ResourceVector()
+    # Accumulate plain floats and construct once: each component is added
+    # in iteration order, exactly as a chain of plus() calls would, but
+    # without an intermediate frozen instance (and validation) per element.
+    cores = llc_ways = membw_gbps = 0.0
     for vector in vectors:
-        total = total.plus(vector)
-    return total
+        cores += vector.cores
+        llc_ways += vector.llc_ways
+        membw_gbps += vector.membw_gbps
+    return ResourceVector(cores=cores, llc_ways=llc_ways, membw_gbps=membw_gbps)

@@ -1,0 +1,149 @@
+"""Incremental GP maintenance agrees with from-scratch fits.
+
+The rank-1 Cholesky append/downdate paths and the candidate-prediction
+cache are pure optimisations: every posterior they produce must match a
+from-scratch ``fit`` on the same data to tight tolerance. Hypothesis
+drives the agreement properties over random data sets and split points;
+the deterministic tests pin the ill-conditioned fallback and the
+bounded-window semantics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bayesopt.gp import GaussianProcess
+from repro.bayesopt.kernels import Matern52Kernel
+
+TOL = 1e-9
+
+
+def _make_data(raw, dims):
+    """Shape hypothesis floats into an (n, dims) input matrix + targets."""
+    values = np.asarray(raw, dtype=float)
+    n = len(raw) // (dims + 1)
+    x = values[: n * dims].reshape(n, dims)
+    y = values[n * dims : n * (dims + 1)]
+    return x, y
+
+
+coords = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+datasets = st.tuples(
+    st.integers(min_value=1, max_value=3),  # dims
+    st.lists(coords, min_size=12, max_size=48),
+    st.integers(min_value=1, max_value=10),  # split position (clamped)
+)
+
+
+class TestIncrementalAgreement:
+    @settings(max_examples=30, deadline=None)
+    @given(datasets)
+    def test_fit_plus_update_matches_full_fit(self, data):
+        dims, raw, split_raw = data
+        x, y = _make_data(raw, dims)
+        if x.shape[0] < 3:
+            return
+        split = 1 + split_raw % (x.shape[0] - 1)
+        query = np.linspace(0.0, 1.0, 7)[:, None].repeat(dims, axis=1)
+
+        full = GaussianProcess(kernel=Matern52Kernel()).fit(x, y)
+        incremental = GaussianProcess(kernel=Matern52Kernel()).fit(
+            x[:split], y[:split]
+        )
+        incremental.update(x[split:], y[split:])
+
+        mean_a, std_a = full.predict(query)
+        mean_b, std_b = incremental.predict(query)
+        np.testing.assert_allclose(mean_b, mean_a, rtol=TOL, atol=TOL)
+        np.testing.assert_allclose(std_b, std_a, rtol=TOL, atol=TOL)
+        assert incremental.log_marginal_likelihood() == pytest.approx(
+            full.log_marginal_likelihood(), abs=TOL, rel=TOL
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(datasets)
+    def test_candidate_cache_matches_plain_predict(self, data):
+        dims, raw, split_raw = data
+        x, y = _make_data(raw, dims)
+        if x.shape[0] < 3:
+            return
+        split = 1 + split_raw % (x.shape[0] - 1)
+        kernel = Matern52Kernel()
+        candidates = np.linspace(0.0, 1.0, 9)[:, None].repeat(dims, axis=1)
+
+        cached = GaussianProcess(kernel=kernel).attach_candidates(
+            candidates, gram=kernel(candidates, candidates)
+        )
+        cached.fit(x[:split], y[:split])
+        cached.update(x[split:], y[split:])
+        plain = GaussianProcess(kernel=kernel).fit(x, y)
+
+        indices = np.arange(len(candidates)) % 2 == 0
+        mean_a, std_a = plain.predict(candidates[indices])
+        mean_b, std_b = cached.predict_candidates(indices)
+        np.testing.assert_allclose(mean_b, mean_a, rtol=TOL, atol=TOL)
+        np.testing.assert_allclose(std_b, std_a, rtol=TOL, atol=TOL)
+
+
+class TestIllConditionedFallback:
+    def test_duplicate_append_falls_back_to_refit(self):
+        # With noise 0 and tiny jitter, appending an exact duplicate
+        # leaves a Schur complement below the rank-1 tolerance: the GP
+        # must refit rather than extend a numerically dead factor.
+        gp = GaussianProcess(
+            kernel=Matern52Kernel(), noise=0.0, jitter=1e-10
+        )
+        gp.fit(np.array([[0.25], [0.75]]), np.array([1.0, 2.0]))
+        gp.update(np.array([0.25]), 1.5)
+        assert gp.refit_fallbacks == 1
+        assert gp.n_observations == 3
+
+        reference = GaussianProcess(
+            kernel=Matern52Kernel(), noise=0.0, jitter=1e-10
+        ).fit(np.array([[0.25], [0.75], [0.25]]), np.array([1.0, 2.0, 1.5]))
+        query = np.array([[0.1], [0.5], [0.9]])
+        np.testing.assert_allclose(
+            gp.predict(query)[0], reference.predict(query)[0], rtol=TOL, atol=TOL
+        )
+
+
+class TestBoundedWindow:
+    def test_window_matches_fit_on_the_tail(self):
+        rng = np.random.default_rng(7)
+        x = rng.random((12, 2))
+        y = rng.random(12)
+        window = 5
+
+        gp = GaussianProcess(kernel=Matern52Kernel(), max_points=window)
+        gp.fit(x[:window], y[:window])
+        for row, value in zip(x[window:], y[window:]):
+            gp.update(row, value)
+        assert gp.n_observations == window
+
+        reference = GaussianProcess(kernel=Matern52Kernel()).fit(
+            x[-window:], y[-window:]
+        )
+        query = rng.random((6, 2))
+        mean_a, std_a = reference.predict(query)
+        mean_b, std_b = gp.predict(query)
+        np.testing.assert_allclose(mean_b, mean_a, rtol=0, atol=1e-8)
+        np.testing.assert_allclose(std_b, std_a, rtol=0, atol=1e-8)
+
+    def test_target_rewrite_matches_fit_with_rewritten_target(self):
+        x = np.array([[0.2], [0.5], [0.8]])
+        gp = GaussianProcess(kernel=Matern52Kernel()).fit(
+            x, np.array([1.0, 2.0, 3.0])
+        )
+        gp.update_target(1, 2.5)
+        reference = GaussianProcess(kernel=Matern52Kernel()).fit(
+            x, np.array([1.0, 2.5, 3.0])
+        )
+        query = np.array([[0.35], [0.65]])
+        np.testing.assert_allclose(
+            gp.predict(query)[0],
+            reference.predict(query)[0],
+            rtol=0,
+            atol=TOL,
+        )

@@ -1,0 +1,123 @@
+"""The columnar epoch-record wire format and lazy result decoding.
+
+The parallel runner ships every :class:`RunResult` across a process
+boundary; ``repro.cluster.epoch`` packs the epoch records into float
+arrays (bit-exact) and the result defers rebuilding the record objects
+until ``.records`` is first read. These tests pin the codec's contract:
+byte-exact round trips, raw-list fallback for anything nonconforming,
+and pickling semantics that never materialise what nobody reads.
+"""
+
+from __future__ import annotations
+
+import copy
+import pickle
+
+import pytest
+
+from repro.cluster.epoch import (
+    _RAW_TAG,
+    _WIRE_TAG,
+    EpochRecord,
+    pack_records,
+    unpack_records,
+)
+from repro.experiments.common import canonical_mix
+from repro.parallel import RunPoint, run_many
+
+DURATION_S = 20.0
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_many(
+        [RunPoint(canonical_mix(0.5), "arq", DURATION_S, DURATION_S / 2)],
+        jobs=1,
+    )[0]
+
+
+class TestRoundTrip:
+    def test_real_records_take_the_columnar_path(self, result):
+        tag, _ = pack_records(result.records)
+        assert tag == _WIRE_TAG
+
+    def test_round_trip_is_equal(self, result):
+        restored = unpack_records(pack_records(result.records))
+        assert restored == result.records
+
+    def test_round_trip_is_bit_exact_and_typed(self, result):
+        restored = unpack_records(pack_records(result.records))
+        for ours, theirs in zip(restored, result.records):
+            assert type(ours) is EpochRecord
+            assert isinstance(ours.index, int)
+            assert isinstance(ours.time_s, float)
+            assert isinstance(ours.plan_changed, bool)
+            # Float fields must survive with their exact bits, not a
+            # close-enough repr round trip.
+            assert ours.time_s == theirs.time_s
+            assert ours.breakdown.e_s == theirs.breakdown.e_s
+            for name, sample in ours.lc.items():
+                assert sample.tail_ms == theirs.lc[name].tail_ms
+            for name, res in ours.resources.items():
+                assert res.transient_penalty == theirs.resources[name].transient_penalty
+
+    def test_plans_and_loads_survive_by_value(self, result):
+        restored = unpack_records(pack_records(result.records))
+        for ours, theirs in zip(restored, result.records):
+            assert ours.plan == theirs.plan
+            assert ours.loads == theirs.loads
+            assert ours.observation == theirs.observation
+
+
+class TestFallback:
+    def test_empty_list_round_trips_raw(self):
+        wire = pack_records([])
+        assert wire[0] == _RAW_TAG
+        assert unpack_records(wire) == []
+
+    def test_foreign_objects_fall_back_raw(self, result):
+        records = list(result.records) + ["not a record"]
+        wire = pack_records(records)
+        assert wire[0] == _RAW_TAG
+        assert unpack_records(wire) == records
+
+    def test_tampered_record_falls_back_raw(self, result):
+        tampered = copy.copy(result.records[0])
+        object.__setattr__(tampered, "extra_attribute", 1)
+        wire = pack_records([tampered] + list(result.records[1:]))
+        assert wire[0] == _RAW_TAG
+
+    def test_unknown_tag_is_rejected(self):
+        with pytest.raises(ValueError):
+            unpack_records(("epoch-records/v999", {}))
+
+
+class TestLazyResultDecoding:
+    def test_unpickled_result_defers_record_decode(self, result):
+        loaded = pickle.loads(pickle.dumps(result))
+        assert "records" not in loaded.__dict__
+        assert "_packed_records" in loaded.__dict__
+        # First touch materialises; afterwards it is a plain attribute.
+        records = loaded.records
+        assert "records" in loaded.__dict__
+        assert "_packed_records" not in loaded.__dict__
+        assert records == result.records
+
+    def test_repickling_passes_the_wire_through(self, result):
+        loaded = pickle.loads(pickle.dumps(result))
+        # No .records access in between: the second dumps must reuse the
+        # packed wire rather than decoding and re-encoding.
+        again = pickle.loads(pickle.dumps(loaded))
+        assert "records" not in again.__dict__
+        assert again == result
+
+    def test_equality_and_methods_materialise_transparently(self, result):
+        loaded = pickle.loads(pickle.dumps(result))
+        assert loaded == result
+        loaded = pickle.loads(pickle.dumps(result))
+        assert loaded.mean_e_s() == result.mean_e_s()
+
+    def test_unknown_attribute_still_raises(self, result):
+        loaded = pickle.loads(pickle.dumps(result))
+        with pytest.raises(AttributeError):
+            loaded.no_such_attribute

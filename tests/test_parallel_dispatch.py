@@ -1,0 +1,120 @@
+"""Chunked dispatch, warm-pool recycling and pool-path determinism."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.experiments.common import canonical_mix
+from repro.parallel import RunPoint, run_many, run_with_recovery
+from repro.parallel.runner import CHUNKS_PER_WORKER, chunk_spans, shutdown_pool
+
+DURATION_S = 20.0
+
+
+def _double(x):
+    return 2 * x
+
+
+def _hang_on_marker(x):
+    if x == "hang":
+        time.sleep(3600.0)
+    return x
+
+
+class TestChunkSpans:
+    def test_single_worker_gets_one_chunk(self):
+        # One worker has no pool-mates to load-balance against; every
+        # extra chunk boundary is pure dispatch overhead.
+        assert chunk_spans(17, 1) == [(0, 17)]
+        assert chunk_spans(1, 1) == [(0, 1)]
+
+    @pytest.mark.parametrize("count", [1, 5, 16, 17, 100])
+    @pytest.mark.parametrize("workers", [2, 3, 8])
+    def test_spans_cover_batch_contiguously(self, count, workers):
+        spans = chunk_spans(count, workers)
+        assert spans[0][0] == 0
+        assert spans[-1][1] == count
+        for (_, stop), (start, _) in zip(spans, spans[1:]):
+            assert stop == start
+
+    def test_chunk_count_targets_chunks_per_worker(self):
+        workers = 4
+        spans = chunk_spans(1000, workers)
+        assert len(spans) == workers * CHUNKS_PER_WORKER
+
+    def test_never_more_chunks_than_items(self):
+        assert len(chunk_spans(3, 8)) == 3
+
+
+class TestPoolPathDeterminism:
+    def test_forced_pool_matches_serial_bit_for_bit(self):
+        mix = canonical_mix(0.5)
+        points = [
+            RunPoint(mix, strategy, DURATION_S, DURATION_S / 2)
+            for strategy in ("arq", "parties")
+        ]
+        serial = run_many(points, jobs=1)
+        pooled_one = run_many(points, jobs=1, force_pool=True)
+        pooled_two = run_many(points, jobs=2, force_pool=True)
+        # Equality walks every field including the epoch records, so this
+        # also forces the lazy columnar decode of the pooled results.
+        assert pooled_one == serial
+        assert pooled_two == serial
+
+    def test_forced_pool_records_are_materialised_types(self):
+        mix = canonical_mix(0.5)
+        point = RunPoint(mix, "arq", DURATION_S, DURATION_S / 2)
+        serial = run_many([point], jobs=1)[0]
+        pooled = run_many([point], jobs=1, force_pool=True)[0]
+        for ours, theirs in zip(pooled.records, serial.records):
+            assert type(ours) is type(theirs)
+            assert ours == theirs
+            assert isinstance(ours.index, int)
+            assert isinstance(ours.time_s, float)
+            assert isinstance(ours.plan_changed, bool)
+
+
+class TestStuckWorkerRecycling:
+    """A per-point timeout cannot preempt a running worker; the pool must
+    be recycled so the batch's tail and any retries land on live workers."""
+
+    def test_tail_completes_after_a_hanging_point(self):
+        results, failures = run_with_recovery(
+            _hang_on_marker,
+            [1, "hang", 2, 3],
+            jobs=1,
+            timeout_s=1.0,
+        )
+        assert results == [1, None, 2, 3]
+        assert len(failures) == 1
+        assert failures[0].index == 1
+        assert failures[0].timed_out
+
+    def test_retry_of_a_hanging_point_runs_on_a_fresh_worker(self):
+        results, failures = run_with_recovery(
+            _hang_on_marker,
+            ["hang", 5],
+            jobs=1,
+            timeout_s=1.0,
+            retries=1,
+        )
+        # The retry executed (attempts=2) rather than queueing forever
+        # behind the stuck worker, and the healthy item still finished.
+        assert results == [None, 5]
+        assert failures[0].attempts == 2
+        assert failures[0].timed_out
+
+    def test_pool_is_healthy_after_recycling(self):
+        run_with_recovery(_hang_on_marker, ["hang"], jobs=1, timeout_s=1.0)
+        results, failures = run_with_recovery(
+            _double, [1, 2, 3], jobs=1, force_pool=True
+        )
+        assert results == [2, 4, 6]
+        assert failures == []
+
+    def teardown_method(self):
+        # Hanging workers are terminated by the recycle; make sure no
+        # stragglers outlive this test class either way.
+        shutdown_pool()
