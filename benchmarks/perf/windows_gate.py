@@ -1,0 +1,155 @@
+"""CI perf gate: the windowed tracer must stay O(K) on long traces.
+
+The streaming-observability contract (ROADMAP item 4) is that
+:class:`repro.obs.windows.WindowedTracer` folds arbitrarily long event
+streams at bounded memory: the ring keeps ``keep`` windows, so peak
+tracer allocation is a function of ``keep`` — never of the event count.
+This smoke synthesises a million-event trace (epoch measurements, QoS
+violations, scheduler decisions and fault markers in realistic
+proportions) and holds two ceilings:
+
+* **Peak RSS** after folding must stay under
+  :data:`PEAK_RSS_BUDGET_MB` (``resource.getrusage``; the
+  CollectingTracer equivalent holds ~10⁶ event objects — hundreds of
+  MB — so the ceiling fails loudly if anyone reintroduces buffering);
+* **Fold throughput** must stay above
+  :data:`MIN_EVENTS_PER_S` events/second so windowed tracing stays
+  cheap enough to leave on for every run.
+
+RSS is used rather than ``tracemalloc`` because tracing slows
+allocation several-fold and would poison the wall-time leg (the
+fine-grained O(K) property is covered by
+``tests/test_obs_windows.py``'s tracemalloc test). Events are
+synthesised by a generator — nothing buffers the stream, so the
+measurement isolates the tracer itself. The run also cross-checks
+correctness: the summary must count every event, keep exactly ``keep``
+windows, and report the injected fault interval.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/windows_gate.py [--events N]
+
+Exit status 0 when every gate holds, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import resource
+import sys
+import time
+from typing import Iterator, List
+
+from repro.obs.events import (
+    EpochMeasured,
+    FaultInjected,
+    QoSViolation,
+    SchedulerDecision,
+    TraceEvent,
+)
+from repro.obs.windows import WindowConfig, WindowedTracer
+
+DEFAULT_EVENTS = 1_000_000
+PEAK_RSS_BUDGET_MB = 300.0
+MIN_EVENTS_PER_S = 25_000.0
+KEEP = 256
+
+
+def _peak_rss_mb() -> float:
+    """Peak resident set size of this process in MB (Linux: KiB units)."""
+    ru_maxrss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    scale = 1024.0 if sys.platform != "darwin" else 1.0
+    return ru_maxrss * scale / 1e6
+
+
+def synthetic_stream(count: int) -> Iterator[TraceEvent]:
+    """``count`` events over a long simulated timeline (dt = 50 ms)."""
+    apps = ("xapian", "masstree")
+    for i in range(count):
+        t = i * 0.05
+        slot = i % 10
+        if slot < 7:
+            tail = 5.0 + (i % 13) * 0.4
+            yield EpochMeasured(
+                time_s=t,
+                epoch=i,
+                e_s=0.3 + (i % 7) * 0.01,
+                e_lc=0.15,
+                e_be=0.15,
+                loads={apps[0]: 0.5, apps[1]: 0.3},
+                tails_ms={apps[0]: tail, apps[1]: tail * 2},
+                ipcs={apps[0]: 1.2, apps[1]: 0.9},
+                violations=0,
+            )
+        elif slot < 9:
+            yield SchedulerDecision(
+                time_s=t, epoch=i, scheduler="arq", plan_changed=(slot == 8)
+            )
+        elif i % 1000 == 999:
+            yield FaultInjected(
+                time_s=t, fault="load_spike", targets=(apps[0],), until_s=t + 5.0
+            )
+        else:
+            yield QoSViolation(
+                time_s=t, epoch=i, application=apps[0], tail_ms=60.0, threshold_ms=8.0
+            )
+
+
+def gate_windowed_fold(events: int) -> List[str]:
+    """Fold ``events`` synthetic events; check memory, speed, counts."""
+    failures: List[str] = []
+    tracer = WindowedTracer(config=WindowConfig(dt_s=1.0, keep=KEEP))
+    started = time.perf_counter()
+    for event in synthetic_stream(events):
+        tracer.emit(event)
+    elapsed = time.perf_counter() - started
+    peak_mb = _peak_rss_mb()
+
+    summary = tracer.summary()
+    rate = events / elapsed
+    print(
+        f"windowed fold: {events} events in {elapsed:.2f}s "
+        f"({rate:,.0f} ev/s), peak RSS {peak_mb:.1f} MB, "
+        f"{len(summary.windows)} windows kept, "
+        f"evicted through {summary.evicted_through}"
+    )
+    if peak_mb > PEAK_RSS_BUDGET_MB:
+        failures.append(
+            f"peak RSS {peak_mb:.1f} MB exceeds "
+            f"{PEAK_RSS_BUDGET_MB:.0f} MB — the ring is leaking"
+        )
+    if rate < MIN_EVENTS_PER_S:
+        failures.append(
+            f"fold rate {rate:,.0f} ev/s below {MIN_EVENTS_PER_S:,.0f} ev/s"
+        )
+    if summary.events != events:
+        failures.append(f"summary counted {summary.events} of {events} events")
+    if len(summary.windows) != KEEP:
+        failures.append(
+            f"ring holds {len(summary.windows)} windows, expected {KEEP}"
+        )
+    if not summary.faults:
+        failures.append("no fault interval recorded from the injected markers")
+    return failures
+
+
+def main(argv: List[str] | None = None) -> int:
+    """Run the gate; 0 when every ceiling holds."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--events",
+        type=int,
+        default=DEFAULT_EVENTS,
+        help=f"events to synthesise (default {DEFAULT_EVENTS})",
+    )
+    args = parser.parse_args(argv)
+    failures = gate_windowed_fold(args.events)
+    for failure in failures:
+        print(f"GATE FAILED: {failure}", file=sys.stderr)
+    if not failures:
+        print("all window gates hold")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

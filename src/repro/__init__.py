@@ -11,9 +11,10 @@ The public API in one import::
     )
 
 Observability lives in :mod:`repro.obs`: structured trace events
-(``repro.obs.events``), a metrics registry (``repro.obs.metrics``) and
-exporters (``repro.obs.export``); the most-used entry points are
-re-exported here.
+(``repro.obs.events``), a metrics registry (``repro.obs.metrics``),
+bounded streaming time windows with the ``why_slow`` provenance query
+(``repro.obs.windows``/``repro.obs.stream``) and exporters
+(``repro.obs.export``); the most-used entry points are re-exported here.
 
 See ``DESIGN.md`` for the module inventory and ``EXPERIMENTS.md`` for the
 paper-vs-measured record of every table and figure.
@@ -96,6 +97,14 @@ from repro.obs.events import (
     compose_tracers,
 )
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.windows import (
+    WhySlowReport,
+    WindowConfig,
+    WindowSummary,
+    WindowedTracer,
+    merge_window_summaries,
+    why_slow,
+)
 from repro.server import NodeSpec, PAPER_NODE, ResourceVector, ServerNode
 from repro.workloads import (
     BE_APPLICATIONS,
@@ -168,6 +177,10 @@ __all__ = [
     "Tracer",
     "UnknownApplicationError",
     "UnmanagedScheduler",
+    "WhySlowReport",
+    "WindowConfig",
+    "WindowSummary",
+    "WindowedTracer",
     "be_entropy",
     "be_profile",
     "check_trace",
@@ -178,9 +191,11 @@ __all__ = [
     "lc_entropy",
     "lc_profile",
     "littles_law_report",
+    "merge_window_summaries",
     "resource_equivalence",
     "run",
     "run_collocation",
     "run_many",
     "system_entropy",
+    "why_slow",
 ]

@@ -40,6 +40,7 @@ from repro.experiments.common import (
 from repro.faults.plan import FaultPlan
 from repro.obs.events import Tracer
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.windows import WindowConfig, WindowSummary
 
 #: The canonical three-LC mix at mid load (the paper's workhorse).
 DEFAULT_LC_LOADS: Mapping[str, float] = {
@@ -80,6 +81,14 @@ class RunConfig:
         (or a :class:`~repro.check.invariants.CheckConfig`) collects
         invariant violations on the result, ``"strict"`` raises
         :class:`~repro.errors.CheckError` at the first one.
+    windows:
+        Optional bounded streaming aggregation (see
+        :mod:`repro.obs.windows`): a
+        :class:`~repro.obs.windows.WindowConfig` (or a bare ``dt_s``
+        number) folds the run's event stream into a ring of fixed-``Δ``
+        time windows at O(``keep``) memory, returned via
+        :meth:`RunSummary.windows` and queryable with
+        :func:`~repro.obs.windows.why_slow`.
     """
 
     strategy: str = "arq"
@@ -92,6 +101,7 @@ class RunConfig:
     seed: int = 2023
     faults: Optional[FaultPlan] = None
     checks: Optional[Union[CheckConfig, str]] = None
+    windows: Optional[Union[WindowConfig, int, float]] = None
 
     def __post_init__(self) -> None:
         if self.strategy not in STRATEGY_FACTORIES:
@@ -104,6 +114,9 @@ class RunConfig:
         if self.checks is not None:
             # Normalise the "warn"/"strict" shorthands once, at the edge.
             object.__setattr__(self, "checks", CheckConfig.of(self.checks))
+        if self.windows is not None:
+            # Same edge normalisation for the window shorthand.
+            object.__setattr__(self, "windows", WindowConfig.of(self.windows))
 
     def collocation(self) -> Collocation:
         """The :class:`~repro.cluster.collocation.Collocation` described."""
@@ -154,6 +167,22 @@ class RunSummary:
             result=result,
         )
 
+    def windows(self) -> WindowSummary:
+        """The run's bounded window summary (requires ``windows=`` config).
+
+        Raises :class:`~repro.errors.ConfigurationError` when the run was
+        not started with window aggregation — pass
+        ``RunConfig(windows=WindowConfig(dt_s=..., keep=...))`` (or a bare
+        ``dt_s`` number) to arm it.
+        """
+        report = self.result.window_report if self.result is not None else None
+        if report is None:
+            raise ConfigurationError(
+                "this run was not window-aggregated; set RunConfig.windows "
+                "(e.g. windows=WindowConfig(dt_s=1.0, keep=256))"
+            )
+        return report
+
     def to_dict(self) -> Dict[str, object]:
         """A JSON-ready dict (the ``result`` drill-down is omitted)."""
         payload = asdict(self)
@@ -193,6 +222,7 @@ def run(
         metrics=metrics,
         faults=config.faults,
         checks=config.checks,
+        windows=config.windows,
     )
     return RunSummary.from_result(result)
 
@@ -227,6 +257,7 @@ def compare(
         metrics=metrics,
         faults=config.faults,
         checks=config.checks,
+        windows=config.windows,
     )
     return {
         name: RunSummary.from_result(result) for name, result in results.items()

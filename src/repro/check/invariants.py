@@ -484,6 +484,12 @@ def check_trace(
     a serialised trace does not carry the raw plan/observation objects the
     deep checks need. Strategies whose scheduler name appears in
     ``arq_schedulers`` are held to Algorithm 1's protocol.
+
+    ``events`` may be any iterable, including a lazy generator: the
+    checker consumes one event at a time and never materialises the
+    stream, so pairing it with :func:`repro.obs.stream.iter_trace`
+    verifies million-event traces at O(1) event memory — no
+    :class:`~repro.obs.events.CollectingTracer` required.
     """
     checker = CheckingTracer(
         config=config,

@@ -9,7 +9,10 @@ Four commands:
 * ``check`` — the verification harness: golden-trace regression,
   differential cross-checks and Little's-law consistency
   (``--regen`` rewrites the fixtures, ``--strict`` demands
-  byte-identical traces).
+  byte-identical traces);
+* ``windows`` — streaming window analytics over a recorded trace:
+  ``windows why-slow`` ranks the causes of a tail-latency spike,
+  ``windows dump`` exports bounded per-window aggregates.
 
 Examples::
 
@@ -20,6 +23,9 @@ Examples::
     python -m repro experiment fig10 --jobs 4
     python -m repro check --strict --jobs 2
     python -m repro check --regen --mix canonical
+    python -m repro run --mix fig8 --window 1.0 --windows-out w.csv
+    python -m repro windows why-slow trace.jsonl --t0 30 --t1 40
+    python -m repro windows dump trace.jsonl --out windows.jsonl
 
 ``--jobs N`` (or ``REPRO_JOBS=N``) fans independent runs across N worker
 processes; results are bit-identical for any worker count. The default is
@@ -29,7 +35,10 @@ Observability flags (``run``/``compare``): ``--trace PATH`` writes the
 structured event stream as JSONL, ``--metrics PATH`` writes the run's
 metric registry (``.csv`` or Prometheus text by extension), ``--verbose``
 narrates scheduler activity live, and ``--quiet`` suppresses all stdout
-reporting (exports still happen).
+reporting (exports still happen). ``--window DT`` folds the event stream
+into bounded time windows as the run executes (``--window-keep K`` sets
+the ring size) and ``--windows-out PATH`` dumps the per-window aggregates
+(``.csv``/``.jsonl``/Prometheus by extension).
 
 Fault injection (``run``/``compare``): ``--faults plan.json`` loads a
 :class:`~repro.faults.plan.FaultPlan` from disk, while
@@ -78,8 +87,15 @@ from repro.obs.export import (
     write_csv,
     write_json,
     write_metrics,
+    write_windows,
 )
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.stream import fold_trace
+from repro.obs.windows import (
+    WindowConfig,
+    merge_window_summaries,
+    why_slow,
+)
 from repro.parallel import set_default_jobs
 
 #: Experiment name → zero-argument callable printing the artefact.
@@ -163,6 +179,35 @@ def _observability_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="suppress all stdout reporting (file exports still happen)",
     )
+    parser.add_argument(
+        "--window",
+        type=float,
+        default=None,
+        metavar="DT",
+        help="fold the event stream into DT-second windows (bounded memory)",
+    )
+    parser.add_argument(
+        "--window-keep",
+        type=int,
+        default=256,
+        metavar="K",
+        help="ring size: keep only the last K windows (default 256)",
+    )
+    parser.add_argument(
+        "--windows-out",
+        metavar="PATH",
+        default=None,
+        help="write per-window aggregates (.csv/.jsonl, else Prometheus); "
+        "implies --window 1.0 when --window is not given",
+    )
+
+
+def _window_config(args: argparse.Namespace) -> Optional[WindowConfig]:
+    """Resolve the ``--window``/``--window-keep`` flags to a config."""
+    if args.window is None and args.windows_out is None:
+        return None
+    dt_s = args.window if args.window is not None else 1.0
+    return WindowConfig(dt_s=dt_s, keep=args.window_keep)
 
 
 def _fault_arguments(parser: argparse.ArgumentParser) -> None:
@@ -267,7 +312,59 @@ def _build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress stdout reporting"
     )
 
+    windows_parser = commands.add_parser(
+        "windows",
+        help="streaming window analytics over a recorded JSONL trace",
+    )
+    window_commands = windows_parser.add_subparsers(
+        dest="windows_command", required=True
+    )
+
+    why_parser = window_commands.add_parser(
+        "why-slow",
+        help="rank the causes of a tail-latency spike in a trace",
+    )
+    why_parser.add_argument("trace", help="JSONL trace file to fold")
+    why_parser.add_argument(
+        "--t0", type=float, default=None, metavar="S",
+        help="spike range start (simulated seconds); omit to auto-detect",
+    )
+    why_parser.add_argument(
+        "--t1", type=float, default=None, metavar="S",
+        help="spike range end (simulated seconds); omit to auto-detect",
+    )
+    why_parser.add_argument(
+        "--app", default=None, metavar="NAME",
+        help="restrict spike statistics to one LC application",
+    )
+    _windowing_arguments(why_parser)
+
+    dump_parser = window_commands.add_parser(
+        "dump", help="fold a trace and export its per-window aggregates"
+    )
+    dump_parser.add_argument("trace", help="JSONL trace file to fold")
+    dump_parser.add_argument(
+        "--out", required=True, metavar="PATH",
+        help="output path (.csv/.jsonl, else Prometheus text)",
+    )
+    dump_parser.add_argument(
+        "--append", action="store_true",
+        help="append to the output file instead of overwriting",
+    )
+    _windowing_arguments(dump_parser)
+
     return parser
+
+
+def _windowing_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--window", type=float, default=1.0, metavar="DT",
+        help="window width in simulated seconds (default 1.0)",
+    )
+    parser.add_argument(
+        "--window-keep", type=int, default=4096, metavar="K",
+        help="ring size: keep only the last K windows (default 4096)",
+    )
 
 
 def _collocation(args: argparse.Namespace):
@@ -292,7 +389,7 @@ def _observability(
     (when not ``None``) after the run so the JSONL file is flushed.
     """
     set_quiet(bool(args.quiet))
-    writer = JsonlTraceWriter(args.trace) if args.trace else None
+    writer = JsonlTraceWriter(path=args.trace) if args.trace else None
     narrator = NarratorTracer() if args.verbose and not args.quiet else None
     tracer = compose_tracers(writer, narrator)
     metrics = MetricsRegistry() if args.metrics else None
@@ -316,6 +413,7 @@ def _command_run(args: argparse.Namespace) -> int:
     warmup = args.warmup if args.warmup is not None else args.duration * 0.5
     faults = _fault_plan(args)
     tracer, metrics, writer = _observability(args)
+    window_config = _window_config(args)
     try:
         result = run_collocation(
             collocation,
@@ -325,6 +423,7 @@ def _command_run(args: argparse.Namespace) -> int:
             tracer=tracer,
             metrics=metrics,
             faults=faults,
+            windows=window_config,
         )
     finally:
         if writer is not None:
@@ -347,6 +446,11 @@ def _command_run(args: argparse.Namespace) -> int:
         say(f"wrote {args.trace}")
     if metrics is not None:
         say(f"wrote {write_metrics(metrics, args.metrics)}")
+    if result.window_report is not None:
+        say("")
+        say(result.window_report.describe())
+        if args.windows_out:
+            say(f"wrote {write_windows(result.window_report, path=args.windows_out)}")
     return 0
 
 
@@ -355,6 +459,7 @@ def _command_compare(args: argparse.Namespace) -> int:
     warmup = args.warmup if args.warmup is not None else args.duration * 0.5
     faults = _fault_plan(args)
     tracer, metrics, writer = _observability(args)
+    window_config = _window_config(args)
     try:
         results = run_strategies(
             collocation,
@@ -365,6 +470,7 @@ def _command_compare(args: argparse.Namespace) -> int:
             tracer=tracer,
             metrics=metrics,
             faults=faults,
+            windows=window_config,
         )
     finally:
         if writer is not None:
@@ -392,6 +498,12 @@ def _command_compare(args: argparse.Namespace) -> int:
         say(f"wrote {args.trace}")
     if metrics is not None:
         say(f"wrote {write_metrics(metrics, args.metrics)}")
+    if window_config is not None and args.windows_out:
+        merged = merge_window_summaries(
+            (result.window_report for result in results.values()),
+            config=window_config,
+        )
+        say(f"wrote {write_windows(merged, path=args.windows_out)}")
     return 0
 
 
@@ -449,6 +561,41 @@ def _command_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_windows(args: argparse.Namespace) -> int:
+    config = WindowConfig(dt_s=args.window, keep=args.window_keep)
+    summary = fold_trace(args.trace, config)
+    if args.windows_command == "dump":
+        path = write_windows(summary, path=args.out, append=bool(args.append))
+        say(summary.describe())
+        say(f"wrote {path}")
+        return 0
+
+    # why-slow: explicit range, or auto-detect the worst spike window.
+    t0, t1 = args.t0, args.t1
+    if (t0 is None) != (t1 is None):
+        say("why-slow: give both --t0 and --t1, or neither (auto-detect)")
+        return 2
+    if t0 is None:
+        spikes = summary.spike_windows()
+        if not spikes:
+            say(summary.describe())
+            say("why-slow: no tail-latency spike detected "
+                "(p99 stays near the run median); pass --t0/--t1 explicitly")
+            return 1
+        worst = max(
+            spikes,
+            key=lambda w: max(
+                (s.percentile(99.0) for s in w.tails.values() if s.n),
+                default=0.0,
+            ),
+        )
+        t0, t1 = worst.start_s, worst.end_s
+        say(f"auto-detected spike window [{t0:g}s, {t1:g}s)")
+    report = why_slow(summary, t0, t1, app=args.app)
+    say(report.describe())
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point (``python -m repro``)."""
     args = _build_parser().parse_args(argv)
@@ -461,6 +608,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "compare": _command_compare,
         "experiment": _command_experiment,
         "check": _command_check,
+        "windows": _command_windows,
     }
     return handlers[args.command](args)
 

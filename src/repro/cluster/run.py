@@ -41,6 +41,7 @@ from repro.obs.events import (
     compose_tracers,
 )
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.windows import WindowConfig, WindowedTracer, WindowSummary
 from repro.perfmodel.queueing import OverloadState
 from repro.schedulers.arq import ARQScheduler
 from repro.schedulers.base import Scheduler, SchedulerContext
@@ -65,6 +66,12 @@ class RunResult:
     #: checked and unchecked results compare.
     check_violations: Tuple[InvariantViolation, ...] = field(
         default=(), repr=False, compare=False
+    )
+    #: Bounded window summary, filled when the run was started with
+    #: ``windows``; excluded from equality so windowed and plain results
+    #: compare. Memory is O(config.keep) windows, not O(events).
+    window_report: Optional[WindowSummary] = field(
+        default=None, repr=False, compare=False
     )
 
     # -- wire format -------------------------------------------------------
@@ -205,6 +212,7 @@ def run_collocation(
     metrics: Optional[MetricsRegistry] = None,
     faults: Optional[FaultPlan] = None,
     checks: Optional[Union[CheckConfig, CheckingTracer, str]] = None,
+    windows: Optional[Union[WindowConfig, WindowedTracer, int, float]] = None,
 ) -> RunResult:
     """Run ``scheduler`` on ``collocation`` for ``duration_s`` seconds.
 
@@ -233,6 +241,16 @@ def run_collocation(
     :meth:`~repro.schedulers.base.Scheduler.robust_decide` guard absorbs
     them. Fault effects are pure functions of simulation time, so a seeded
     faulted run is exactly as deterministic as a clean one.
+
+    ``windows`` arms bounded streaming aggregation
+    (:class:`~repro.obs.windows.WindowedTracer`): pass a
+    :class:`~repro.obs.windows.WindowConfig` (or a bare ``dt_s`` number)
+    to fold the run's event stream into a ring of the last ``keep``
+    fixed-``Δ`` time windows, stored on :attr:`RunResult.window_report`.
+    Peak memory is O(``keep``) windows however long the run is; a
+    pre-built :class:`~repro.obs.windows.WindowedTracer` can be passed to
+    accumulate across runs. Query the result with
+    :func:`~repro.obs.windows.why_slow`.
 
     ``checks`` arms the runtime invariant checker
     (:class:`~repro.check.invariants.CheckingTracer`): pass ``"warn"`` or a
@@ -263,6 +281,16 @@ def run_collocation(
         rng=streams,
     )
     monitor = NoisyMonitor(streams.stream("monitor"), collocation.noise_sigma)
+
+    # The window folder joins the trace stream first so it also sees the
+    # checker's InvariantViolation events (emitted into the same chain).
+    windower: Optional[WindowedTracer] = None
+    if windows is not None:
+        if isinstance(windows, WindowedTracer):
+            windower = windows
+        else:
+            windower = WindowedTracer(config=WindowConfig.of(windows))
+        tracer = compose_tracers(tracer, windower)
 
     # The invariant checker joins the trace stream (so it sees scheduler
     # moves, cooldowns and epoch summaries) and additionally receives each
@@ -307,6 +335,8 @@ def run_collocation(
         scheduler.attach_tracer(previous_tracer)
     if checker is not None:
         result.check_violations = tuple(checker.violations)
+    if windower is not None:
+        result.window_report = windower.summary()
     return result
 
 

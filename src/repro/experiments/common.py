@@ -10,6 +10,7 @@ from repro.cluster.run import RunResult, run_collocation
 from repro.faults.plan import FaultPlan
 from repro.obs.events import Tracer
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.windows import WindowConfig, WindowedTracer
 from repro.parallel import RunPoint, run_many
 from repro.schedulers.arq import ARQScheduler
 from repro.schedulers.base import Scheduler
@@ -136,6 +137,7 @@ def run_strategy(
     metrics: Optional[MetricsRegistry] = None,
     faults: Optional[FaultPlan] = None,
     checks: Optional[Union[CheckConfig, str]] = None,
+    windows: Optional[Union[WindowConfig, WindowedTracer, int, float]] = None,
 ) -> RunResult:
     """Run one named strategy on a collocation."""
     scheduler = STRATEGY_FACTORIES[strategy]()
@@ -148,6 +150,7 @@ def run_strategy(
         metrics=metrics,
         faults=faults,
         checks=checks,
+        windows=windows,
     )
 
 
@@ -162,6 +165,7 @@ def run_strategies(
     metrics: Optional[MetricsRegistry] = None,
     faults: Optional[FaultPlan] = None,
     checks: Optional[Union[CheckConfig, str]] = None,
+    windows: Optional[Union[WindowConfig, int, float]] = None,
 ) -> Dict[str, RunResult]:
     """Run several strategies on the same collocation.
 
@@ -172,13 +176,16 @@ def run_strategies(
     deterministic aggregation rules. ``faults`` applies the same
     deterministic fault plan to every strategy's run; ``checks`` arms the
     invariant checker in every run (see
-    :func:`repro.cluster.run.run_collocation`).
+    :func:`repro.cluster.run.run_collocation`); ``windows`` arms bounded
+    streaming window aggregation in every run (each result carries its
+    own :attr:`~repro.cluster.run.RunResult.window_report`).
     """
     check_config = None if checks is None else CheckConfig.of(checks)
+    window_config = None if windows is None else WindowConfig.of(windows)
     points = [
         RunPoint(
             collocation, name, duration_s, warmup_s, faults=faults,
-            checks=check_config,
+            checks=check_config, windows=window_config,
         )
         for name in strategies
     ]

@@ -21,10 +21,16 @@ Design rules:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import asdict, dataclass, fields
 from typing import Any, Callable, ClassVar, Dict, List, Mapping, Optional, Tuple
 
 from repro.errors import ConfigurationError
+
+#: Event count past which :class:`CollectingTracer` warns that
+#: collect-everything tracing should give way to the bounded
+#: :class:`~repro.obs.windows.WindowedTracer`.
+COLLECT_WARN_THRESHOLD = 200_000
 
 try:  # Python 3.8+: typing.Protocol
     from typing import Protocol, runtime_checkable
@@ -382,14 +388,56 @@ class NullTracer:
 
 
 class CollectingTracer:
-    """A tracer that appends every event to an in-memory list."""
+    """A tracer that appends every event to an in-memory list.
 
-    def __init__(self) -> None:
+    Memory grows with the event count — O(events), unbounded by default —
+    which cannot survive million-event traces. Crossing
+    :data:`COLLECT_WARN_THRESHOLD` events raises a
+    :class:`DeprecationWarning` (once per instance) pointing at the
+    bounded replacement, :class:`~repro.obs.windows.WindowedTracer`, and
+    the streaming helpers in :mod:`repro.obs.stream`. ``max_events`` puts
+    a hard cap on the collection: events past it raise
+    :class:`~repro.errors.MeasurementError` instead of silently eating
+    the heap.
+
+    Keep using it for short runs and tests (the parallel runner still
+    collects per-point events worker-side, where a point's stream is
+    small); switch to windows for anything long.
+    """
+
+    def __init__(self, *, max_events: Optional[int] = None) -> None:
+        if max_events is not None and max_events < 1:
+            from repro.errors import ConfigurationError
+
+            raise ConfigurationError(
+                f"max_events must be positive: {max_events}"
+            )
         self.events: List[TraceEvent] = []
+        self.max_events = max_events
+        self._warned = False
 
     def emit(self, event: TraceEvent) -> None:
-        """Append the event to :attr:`events`."""
+        """Append the event to :attr:`events` (bounded by ``max_events``)."""
+        if self.max_events is not None and len(self.events) >= self.max_events:
+            from repro.errors import MeasurementError
+
+            raise MeasurementError(
+                f"CollectingTracer exceeded max_events={self.max_events}; "
+                "use repro.obs.windows.WindowedTracer for bounded-memory "
+                "aggregation of long runs"
+            )
         self.events.append(event)
+        if not self._warned and len(self.events) > COLLECT_WARN_THRESHOLD:
+            self._warned = True
+            warnings.warn(
+                f"CollectingTracer holds over {COLLECT_WARN_THRESHOLD} events "
+                "in memory; collect-everything tracing is deprecated for "
+                "long runs — fold into bounded windows with "
+                "repro.obs.windows.WindowedTracer (or stream to disk with "
+                "repro.obs.export.JsonlTraceWriter)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
 
     def __len__(self) -> int:
         return len(self.events)

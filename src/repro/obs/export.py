@@ -9,6 +9,10 @@ Three families live here:
 * **Metric exporters** — :func:`write_metrics_prometheus` (Prometheus text
   exposition format) and :func:`write_metrics_csv` for a
   :class:`~repro.obs.metrics.MetricsRegistry`.
+* **Window exporters** — :func:`write_windows_csv` /
+  :func:`write_windows_jsonl` / :func:`write_windows_prometheus` dump a
+  :class:`~repro.obs.windows.WindowSummary`'s bounded per-window
+  aggregates; all share the keyword-only ``path``/``append`` tail.
 * **The console and narrator** — :class:`Console` is the single stdout
   gate for the whole package (``--quiet`` silences it);
   :class:`NarratorTracer` renders the event stream as human-readable
@@ -26,7 +30,8 @@ import csv
 import json
 import pathlib
 import sys
-from typing import TYPE_CHECKING, Dict, IO, Iterable, List, Optional, Union
+import warnings
+from typing import TYPE_CHECKING, Any, Dict, IO, Iterable, List, Optional, Union
 
 from repro.errors import ConfigurationError
 from repro.obs.events import (
@@ -51,11 +56,45 @@ from repro.obs.events import (
     event_from_dict,
 )
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.windows import WindowSummary
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (run.py emits events)
     from repro.cluster.run import RunResult
 
 PathLike = Union[str, pathlib.Path]
+
+
+def _adopt_positional(
+    cls_name: str,
+    names: tuple,
+    args: tuple,
+    kwargs: Dict[str, Any],
+) -> Dict[str, Any]:
+    """Map deprecated positional constructor arguments onto keywords.
+
+    Every exporter constructor shares the keyword-only convention (the
+    same redesign the schedulers went through: a common ``path``/
+    ``append`` tail). Old positional call sites keep working through this
+    shim, with a :class:`DeprecationWarning` naming the replacement.
+    """
+    if not args:
+        return kwargs
+    if len(args) > len(names):
+        raise TypeError(
+            f"{cls_name} takes at most {len(names)} arguments ({len(args)} given)"
+        )
+    warnings.warn(
+        f"positional {cls_name}(...) arguments are deprecated; use keyword "
+        f"arguments: {cls_name}({', '.join(f'{n}=...' for n in names[:len(args)])})",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    for name, value in zip(names, args):
+        if name in kwargs:
+            raise TypeError(f"{cls_name} got multiple values for argument {name!r}")
+        kwargs[name] = value
+    return kwargs
+
 
 # -- trace I/O ---------------------------------------------------------------
 
@@ -73,11 +112,34 @@ class JsonlTraceWriter:
     Usable as a context manager; :meth:`close` is idempotent. Lines are
     written in emission order with sorted keys, so two traces of the same
     run are byte-identical.
+
+    Arguments are keyword-only (``path=...``, ``append=...``) — the
+    common exporter tail; positional calls still work behind a
+    :class:`DeprecationWarning`. ``append=True`` opens the file in append
+    mode so several runs can share one trace file.
     """
 
-    def __init__(self, path: PathLike) -> None:
-        self.path = pathlib.Path(path)
-        self._handle: Optional[IO[str]] = self.path.open("w")
+    def __init__(
+        self,
+        *args: Any,
+        path: Optional[PathLike] = None,
+        append: Optional[bool] = None,
+    ) -> None:
+        given: Dict[str, Any] = {}
+        if path is not None:
+            given["path"] = path
+        if append is not None:
+            given["append"] = append
+        resolved = _adopt_positional(
+            "JsonlTraceWriter", ("path", "append"), args, given
+        )
+        if resolved.get("path") is None:
+            raise TypeError("JsonlTraceWriter requires a path= argument")
+        self.path = pathlib.Path(resolved["path"])
+        self.append = bool(resolved.get("append", False))
+        self._handle: Optional[IO[str]] = self.path.open(
+            "a" if self.append else "w"
+        )
         self.events_written = 0
 
     def emit(self, event: TraceEvent) -> None:
@@ -225,12 +287,25 @@ class Console:
     Experiments and the CLI route everything through :func:`say` so that
     one flag (``--quiet``) silences the whole package. The default stream
     is resolved at call time (so pytest's ``capsys`` and shell
-    redirections behave normally).
+    redirections behave normally). Arguments are keyword-only
+    (``stream=...``, ``quiet=...``); positional calls still work behind a
+    :class:`DeprecationWarning`.
     """
 
-    def __init__(self, stream: Optional[IO[str]] = None, quiet: bool = False) -> None:
-        self.quiet = quiet
-        self._stream = stream
+    def __init__(
+        self,
+        *args: Any,
+        stream: Optional[IO[str]] = None,
+        quiet: Optional[bool] = None,
+    ) -> None:
+        given: Dict[str, Any] = {}
+        if stream is not None:
+            given["stream"] = stream
+        if quiet is not None:
+            given["quiet"] = quiet
+        resolved = _adopt_positional("Console", ("stream", "quiet"), args, given)
+        self.quiet = bool(resolved.get("quiet", False))
+        self._stream = resolved.get("stream")
 
     @property
     def stream(self) -> IO[str]:
@@ -278,13 +353,30 @@ class NarratorTracer:
     watch ARQ's move/rollback/cooldown decisions, PARTIES' FSM cycling or
     per-epoch entropy as the run unfolds — the CLI's ``--verbose`` flag
     does exactly this.
+
+    The narrator renders each event as it arrives and keeps **nothing**
+    in memory — it narrates million-event runs at O(1) space (unlike
+    :class:`~repro.obs.events.CollectingTracer`). Arguments are
+    keyword-only (``sink=...``, ``every_epoch=...``); positional calls
+    still work behind a :class:`DeprecationWarning`.
     """
 
     def __init__(
-        self, sink: Optional[Console] = None, every_epoch: bool = False
+        self,
+        *args: Any,
+        sink: Optional[Console] = None,
+        every_epoch: Optional[bool] = None,
     ) -> None:
-        self._sink = sink if sink is not None else _CONSOLE
-        self._every_epoch = every_epoch
+        given: Dict[str, Any] = {}
+        if sink is not None:
+            given["sink"] = sink
+        if every_epoch is not None:
+            given["every_epoch"] = every_epoch
+        resolved = _adopt_positional(
+            "NarratorTracer", ("sink", "every_epoch"), args, given
+        )
+        self._sink = resolved.get("sink") or _CONSOLE
+        self._every_epoch = bool(resolved.get("every_epoch", False))
 
     def emit(self, event: TraceEvent) -> None:
         """Render one event (quiet epochs are elided unless asked for)."""
@@ -506,3 +598,181 @@ def write_json(result: RunResult, path: PathLike) -> pathlib.Path:
     }
     path.write_text(json.dumps(payload, indent=2, default=str))
     return path
+
+
+# -- window exporters --------------------------------------------------------
+
+#: Column order of the per-window CSV.
+WINDOW_COLUMNS = [
+    "window",
+    "start_s",
+    "end_s",
+    "signal",
+    "application",
+    "count",
+    "min",
+    "max",
+    "mean",
+    "p50",
+    "p95",
+    "p99",
+]
+
+
+def window_rows(summary: WindowSummary) -> List[Dict[str, object]]:
+    """One flat dict per (window × signal × application) aggregate.
+
+    Signals: ``events`` (total folded), ``violations`` and
+    ``plan_changes`` (counts), the entropy series (``e_s``/``e_lc``/
+    ``e_be``), and the per-app distributions ``tail_ms``/``load``/
+    ``ipc``/``slowdown`` with their count/min/max/mean/p50/p95/p99.
+    """
+    rows: List[Dict[str, object]] = []
+    for window in summary.ordered():
+        base = {
+            "window": window.index,
+            "start_s": window.start_s,
+            "end_s": window.end_s,
+        }
+        rows.append(
+            {**base, "signal": "events", "application": "",
+             "count": window.event_total()}
+        )
+        if window.plan_changes:
+            rows.append(
+                {**base, "signal": "plan_changes", "application": "",
+                 "count": window.plan_changes}
+            )
+        for app, count in sorted(window.violations.items()):
+            rows.append(
+                {**base, "signal": "violations", "application": app,
+                 "count": count}
+            )
+        for name, stats in sorted(window.entropy.items()):
+            rows.append(
+                {**base, "signal": name, "application": "", **stats.summary()}
+            )
+        for signal, mapping in (
+            ("tail_ms", window.tails),
+            ("load", window.loads),
+            ("ipc", window.ipcs),
+            ("slowdown", window.slowdowns),
+        ):
+            for app, stats in sorted(mapping.items()):
+                rows.append(
+                    {**base, "signal": signal, "application": app,
+                     **stats.summary()}
+                )
+    return rows
+
+
+def write_windows_csv(
+    summary: WindowSummary, *, path: PathLike, append: bool = False
+) -> pathlib.Path:
+    """Write the window aggregates as CSV; returns the path.
+
+    Keyword-only ``path``/``append`` tail like every exporter here;
+    ``append=True`` skips the header when the file already has content.
+    """
+    path = pathlib.Path(path)
+    mode = "a" if append else "w"
+    fresh = not (append and path.exists() and path.stat().st_size > 0)
+    with path.open(mode, newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=WINDOW_COLUMNS)
+        if fresh:
+            writer.writeheader()
+        for row in window_rows(summary):
+            writer.writerow({key: row.get(key) for key in WINDOW_COLUMNS})
+    return path
+
+
+def write_windows_jsonl(
+    summary: WindowSummary, *, path: PathLike, append: bool = False
+) -> pathlib.Path:
+    """Write one canonical JSON line per window; returns the path.
+
+    Lines are sorted-key compact JSON of each window's full mergeable
+    state, so window dumps are byte-identical across ``--jobs`` settings
+    and diff cleanly — the same property the event traces have.
+    """
+    path = pathlib.Path(path)
+    with path.open("a" if append else "w") as handle:
+        for window in summary.ordered():
+            handle.write(
+                json.dumps(
+                    window.to_dict(),
+                    sort_keys=True,
+                    separators=(",", ":"),
+                    allow_nan=False,
+                )
+                + "\n"
+            )
+    return path
+
+
+def windows_to_prometheus(summary: WindowSummary) -> str:
+    """Render the window aggregates in Prometheus text exposition format.
+
+    Each window is a labelled sample set (``window="<index>"``): event
+    totals, per-app violation counts, and per-app tail-latency quantiles.
+    """
+    lines: List[str] = [
+        "# HELP repro_window_events trace events folded into the window",
+        "# TYPE repro_window_events gauge",
+    ]
+    ordered = summary.ordered()
+    for window in ordered:
+        lines.append(f'repro_window_events{{window="{window.index}"}} '
+                     f"{window.event_total()}")
+    lines.append("# HELP repro_window_violations QoS violations in the window")
+    lines.append("# TYPE repro_window_violations gauge")
+    for window in ordered:
+        for app, count in sorted(window.violations.items()):
+            lines.append(
+                f'repro_window_violations{{app="{app}",window="{window.index}"}} '
+                f"{count}"
+            )
+    lines.append("# HELP repro_window_tail_ms per-app tail latency quantiles")
+    lines.append("# TYPE repro_window_tail_ms summary")
+    for window in ordered:
+        for app, stats in sorted(window.tails.items()):
+            if not stats.n:
+                continue
+            for q in (0.5, 0.95, 0.99):
+                value = stats.percentile(q * 100.0)
+                lines.append(
+                    f'repro_window_tail_ms{{app="{app}",quantile="{q:g}",'
+                    f'window="{window.index}"}} {value:.17g}'
+                )
+    return "\n".join(lines) + "\n"
+
+
+def write_windows_prometheus(
+    summary: WindowSummary, *, path: PathLike, append: bool = False
+) -> pathlib.Path:
+    """Write the window aggregates as Prometheus text; returns the path."""
+    path = pathlib.Path(path)
+    text = windows_to_prometheus(summary)
+    if append:
+        with path.open("a") as handle:
+            handle.write(text)
+    else:
+        path.write_text(text)
+    return path
+
+
+def write_windows(
+    summary: WindowSummary, *, path: PathLike, append: bool = False
+) -> pathlib.Path:
+    """Write windows, picking the format from the extension.
+
+    ``.csv`` selects CSV, ``.jsonl`` the per-window JSON-lines dump;
+    anything else (``.prom``, ``.txt``, …) the Prometheus text format.
+    """
+    path = pathlib.Path(path)
+    suffix = path.suffix.lower()
+    if suffix == ".csv":
+        return write_windows_csv(summary, path=path, append=append)
+    if suffix == ".jsonl":
+        return write_windows_jsonl(summary, path=path, append=append)
+    return write_windows_prometheus(summary, path=path, append=append)

@@ -70,7 +70,7 @@ import os
 import time
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import (
     Any,
     Callable,
@@ -90,6 +90,7 @@ from repro.errors import ConfigurationError, ReproError
 from repro.faults.plan import FaultPlan
 from repro.obs.events import CollectingTracer, TraceEvent, Tracer
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.windows import WindowConfig
 
 #: Environment variable consulted when no explicit worker count is given.
 JOBS_ENV_VAR = "REPRO_JOBS"
@@ -258,7 +259,11 @@ class RunPoint:
     optionally attaches a deterministic
     :class:`~repro.faults.plan.FaultPlan` to the run; ``checks`` arms the
     invariant checker inside the worker (violations travel back on
-    :attr:`~repro.cluster.run.RunResult.check_violations`).
+    :attr:`~repro.cluster.run.RunResult.check_violations`); ``windows``
+    arms bounded streaming window aggregation inside the worker (the
+    summary travels back on
+    :attr:`~repro.cluster.run.RunResult.window_report`, O(keep) sized
+    however long the run is).
     """
 
     collocation: Collocation
@@ -268,6 +273,7 @@ class RunPoint:
     tag: Optional[Hashable] = None
     faults: Optional[FaultPlan] = None
     checks: Optional[CheckConfig] = None
+    windows: Optional[WindowConfig] = None
 
     def describe(self) -> str:
         """Human-readable parameter summary (used in error messages)."""
@@ -279,10 +285,13 @@ class RunPoint:
         checks = "" if self.checks is None else (
             " checks=strict" if self.checks.strict else " checks=warn"
         )
+        windows = "" if self.windows is None else (
+            f" windows=dt{self.windows.dt_s:g}s×{self.windows.keep}"
+        )
         return (
             f"strategy={self.strategy} lc=[{lc}] be=[{be}] "
             f"duration={self.duration_s}s warmup={warmup} "
-            f"seed={self.collocation.seed}{tag}{faults}{checks}"
+            f"seed={self.collocation.seed}{tag}{faults}{checks}{windows}"
         )
 
 
@@ -662,6 +671,7 @@ def _execute_point(point: RunPoint) -> RunResult:
         point.warmup_s,
         faults=point.faults,
         checks=point.checks,
+        windows=point.windows,
     )
 
 
@@ -688,6 +698,7 @@ def _execute_point_instrumented(
         metrics=registry,
         faults=point.faults,
         checks=point.checks,
+        windows=point.windows,
     )
     events = collector.events if collector is not None else []
     return result, events, registry
@@ -733,6 +744,7 @@ def run_many(
     retries: int = 0,
     retry_backoff_s: float = 0.0,
     force_pool: bool = False,
+    windows: Optional[WindowConfig] = None,
 ):
     """Execute every point, returning results in submission order.
 
@@ -756,6 +768,17 @@ def run_many(
     observed stream is identical for every ``jobs`` setting. Multi-point
     batches namespace merged metrics with :func:`metrics_prefix`; failed
     points contribute no events or metrics.
+
+    ``windows`` applies a batch-wide
+    :class:`~repro.obs.windows.WindowConfig` to every point that does not
+    carry its own: each worker folds its run's events into a bounded
+    window summary locally (never shipping the raw event stream), and the
+    summary returns on each result's
+    :attr:`~repro.cluster.run.RunResult.window_report`. Window folding is
+    an exact merge of per-event integer counts, so a point's summary is
+    byte-identical at any ``jobs`` setting; merge summaries across points
+    with :func:`~repro.obs.windows.merge_window_summaries` (submission
+    order — though the merge is grouping-independent by construction).
 
     Batches whose estimated work (:func:`estimate_point_cost_s`) falls
     below :data:`MIN_PARALLEL_WORK_S` stay on the serial in-process path
@@ -783,6 +806,12 @@ def run_many(
             )
     if not batch:
         return [] if on_error == "raise" else BatchReport(results=())
+    if windows is not None:
+        config = WindowConfig.of(windows)
+        batch = [
+            point if point.windows is not None else replace(point, windows=config)
+            for point in batch
+        ]
 
     instrumented = tracer is not None or metrics is not None
     want_trace = tracer is not None
@@ -863,6 +892,7 @@ class RunGrid:
     timeout_s: Optional[float] = None
     retries: int = 0
     retry_backoff_s: float = 0.0
+    windows: Optional[WindowConfig] = None
 
     def add(
         self,
@@ -873,6 +903,7 @@ class RunGrid:
         tag: Optional[Hashable] = None,
         faults: Optional[FaultPlan] = None,
         checks: Optional[CheckConfig] = None,
+        windows: Optional[WindowConfig] = None,
     ) -> int:
         """Append one point; returns its batch index."""
         self.points.append(
@@ -884,6 +915,7 @@ class RunGrid:
                 tag=tag,
                 faults=faults,
                 checks=checks,
+                windows=windows,
             )
         )
         return len(self.points) - 1
@@ -902,6 +934,7 @@ class RunGrid:
             timeout_s=self.timeout_s,
             retries=self.retries,
             retry_backoff_s=self.retry_backoff_s,
+            windows=self.windows,
         )
 
     def run_tagged(self) -> List[Tuple[Optional[Hashable], RunResult]]:

@@ -256,7 +256,7 @@ class TestTraceExport:
             read_trace(path)
 
     def test_writer_rejects_emit_after_close(self, tmp_path):
-        writer = JsonlTraceWriter(tmp_path / "t.jsonl")
+        writer = JsonlTraceWriter(path=tmp_path / "t.jsonl")
         writer.emit(RunStarted(time_s=0.0))
         writer.close()
         with pytest.raises(ConfigurationError):
@@ -281,7 +281,7 @@ class TestParallelTraceDeterminism:
 
     def _trace_bytes(self, points, jobs, tmp_path, label):
         path = tmp_path / f"{label}.jsonl"
-        writer = JsonlTraceWriter(path)
+        writer = JsonlTraceWriter(path=path)
         metrics = MetricsRegistry()
         try:
             run_many(points, jobs=jobs, tracer=writer, metrics=metrics)

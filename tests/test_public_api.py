@@ -83,6 +83,13 @@ EXPECTED_PUBLIC_NAMES = {
     "CollectingTracer",
     "compose_tracers",
     "MetricsRegistry",
+    # streaming windows + provenance
+    "WindowConfig",
+    "WindowSummary",
+    "WindowedTracer",
+    "WhySlowReport",
+    "merge_window_summaries",
+    "why_slow",
     # verification
     "CheckConfig",
     "CheckError",
