@@ -10,6 +10,13 @@ The public API in one import::
         system_entropy, lc_entropy, be_entropy  # the theory
     )
 
+Datacenter scale lives in :mod:`repro.datacenter`: placements pack a
+population of members onto nodes, :class:`Datacenter` shards the node
+runs over the warm worker pool (byte-identical at any ``jobs``), and
+:class:`EntropyGuidedMigration` rebalances between global epochs using
+measured per-node ``E_S`` as the interference score — the headline names
+are re-exported here.
+
 Observability lives in :mod:`repro.obs`: structured trace events
 (``repro.obs.events``), a metrics registry (``repro.obs.metrics``),
 bounded streaming time windows with the ``why_slow`` provenance query
@@ -35,6 +42,20 @@ from repro.cluster import (
     LCMember,
     RunResult,
     run_collocation,
+)
+from repro.datacenter import (
+    Assignment,
+    BinPackingPlacement,
+    Datacenter,
+    DatacenterResult,
+    DatacenterTimeline,
+    EntropyAwarePlacement,
+    EntropyGuidedMigration,
+    MigrationPolicy,
+    Move,
+    Placement,
+    RoundRobinPlacement,
+    migration_policy,
 )
 from repro.errors import (
     AllocationError,
@@ -110,7 +131,9 @@ from repro.workloads import (
     BE_APPLICATIONS,
     LC_APPLICATIONS,
     ConstantLoad,
+    DiurnalLoad,
     FluctuatingLoad,
+    TimeShiftedLoad,
     be_profile,
     lc_profile,
 )
@@ -120,11 +143,13 @@ __version__ = "1.0.0"
 __all__ = [
     "ARQScheduler",
     "AllocationError",
+    "Assignment",
     "BEBurst",
     "BEMember",
     "BEObservation",
     "BE_APPLICATIONS",
     "BatchReport",
+    "BinPackingPlacement",
     "CLITEScheduler",
     "CapacityDegradation",
     "CheckConfig",
@@ -134,6 +159,12 @@ __all__ = [
     "Collocation",
     "ConfigurationError",
     "ConstantLoad",
+    "Datacenter",
+    "DatacenterResult",
+    "DatacenterTimeline",
+    "DiurnalLoad",
+    "EntropyAwarePlacement",
+    "EntropyGuidedMigration",
     "FaultError",
     "FaultInjector",
     "FaultPlan",
@@ -148,17 +179,21 @@ __all__ = [
     "LoadSpike",
     "MeasurementError",
     "MetricsRegistry",
+    "MigrationPolicy",
     "ModelError",
+    "Move",
     "NodeSpec",
     "NullTracer",
     "PAPER_NODE",
     "ParallelRunError",
     "PartiesScheduler",
+    "Placement",
     "PointFailure",
     "QpsRamp",
     "RegionPlan",
     "ReproError",
     "ResourceVector",
+    "RoundRobinPlacement",
     "RunConfig",
     "RunGrid",
     "RunPoint",
@@ -173,6 +208,7 @@ __all__ = [
     "TelemetryCorruption",
     "TelemetryCorruptionError",
     "TelemetryDropout",
+    "TimeShiftedLoad",
     "TraceEvent",
     "Tracer",
     "UnknownApplicationError",
@@ -192,6 +228,7 @@ __all__ = [
     "lc_profile",
     "littles_law_report",
     "merge_window_summaries",
+    "migration_policy",
     "resource_equivalence",
     "run",
     "run_collocation",

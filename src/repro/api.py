@@ -28,6 +28,19 @@ from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
 from repro.check.invariants import CheckConfig
 from repro.cluster.collocation import Collocation
 from repro.cluster.run import RunResult
+
+# Datacenter-scale entry points, re-exported so facade users can scale
+# from one collocation to a sharded cluster without a second import home.
+from repro.datacenter import (  # noqa: F401
+    BinPackingPlacement,
+    Datacenter,
+    DatacenterResult,
+    DatacenterTimeline,
+    EntropyAwarePlacement,
+    EntropyGuidedMigration,
+    RoundRobinPlacement,
+    migration_policy,
+)
 from repro.errors import ConfigurationError
 from repro.experiments.common import (
     DEFAULT_DURATION_S,

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four commands:
+Six commands:
 
 * ``run`` — run one strategy on a named mix and print the summary
   (optionally exporting per-epoch samples, traces and metrics);
@@ -12,7 +12,11 @@ Four commands:
   byte-identical traces);
 * ``windows`` — streaming window analytics over a recorded trace:
   ``windows why-slow`` ranks the causes of a tail-latency spike,
-  ``windows dump`` exports bounded per-window aggregates.
+  ``windows dump`` exports bounded per-window aggregates;
+* ``datacenter`` — the sharded global epoch loop: a diurnal population
+  on ``--nodes`` machines, optional ``--migration entropy``
+  rebalancing, results byte-identical at any ``--jobs``
+  (``--json PATH`` dumps the canonical timeline for diffing).
 
 Examples::
 
@@ -21,11 +25,14 @@ Examples::
     python -m repro compare --xapian 0.9 --duration 120
     python -m repro experiment table2
     python -m repro experiment fig10 --jobs 4
+    python -m repro experiment fig15 --quick
     python -m repro check --strict --jobs 2
     python -m repro check --regen --mix canonical
     python -m repro run --mix fig8 --window 1.0 --windows-out w.csv
     python -m repro windows why-slow trace.jsonl --t0 30 --t1 40
     python -m repro windows dump trace.jsonl --out windows.jsonl
+    python -m repro datacenter --nodes 200 --epochs 4 --jobs 4
+    python -m repro datacenter --nodes 200 --migration entropy --json dc.json
 
 ``--jobs N`` (or ``REPRO_JOBS=N``) fans independent runs across N worker
 processes; results are bit-identical for any worker count. The default is
@@ -74,6 +81,7 @@ from repro.experiments.common import (
     run_strategies,
     set_quick,
 )
+from repro.datacenter.migration import MIGRATION_POLICIES
 from repro.faults.plan import FAULT_PRESETS, FaultPlan, fault_preset
 from repro.experiments.reporting import ascii_table
 from repro.cluster.run import run_collocation
@@ -114,6 +122,7 @@ _EXPERIMENTS: Dict[str, str] = {
     "fig12": "repro.experiments.fig12_eight_apps",
     "fig13": "repro.experiments.fig13_fluctuating",
     "fig14": "repro.experiments.fig14_resilience",
+    "fig15": "repro.experiments.fig15_datacenter",
 }
 
 #: ``--mix`` presets — canonically defined in
@@ -309,6 +318,47 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _jobs_argument(check_parser)
     check_parser.add_argument(
+        "--quiet", action="store_true", help="suppress stdout reporting"
+    )
+
+    datacenter_parser = commands.add_parser(
+        "datacenter",
+        help="run the sharded diurnal datacenter simulation",
+    )
+    datacenter_parser.add_argument(
+        "--nodes", type=int, default=200, help="cluster size (default 200)"
+    )
+    datacenter_parser.add_argument(
+        "--epochs", type=int, default=4, help="global epochs (default 4)"
+    )
+    datacenter_parser.add_argument(
+        "--epoch-duration", type=float, default=30.0, metavar="S",
+        help="simulated seconds per global epoch (default 30)",
+    )
+    datacenter_parser.add_argument(
+        "--strategy", choices=sorted(STRATEGY_FACTORIES), default="arq",
+        help="per-node scheduling strategy (default arq)",
+    )
+    datacenter_parser.add_argument(
+        "--migration", choices=sorted(MIGRATION_POLICIES), default="none",
+        help="between-epoch rebalancing policy (default none)",
+    )
+    datacenter_parser.add_argument(
+        "--budget", type=int, default=None, metavar="N",
+        help="migration moves per epoch (default: one per eight nodes)",
+    )
+    datacenter_parser.add_argument(
+        "--hysteresis", type=float, default=0.02, metavar="GAP",
+        help="minimum donor-recipient E_S gap to justify a move",
+    )
+    datacenter_parser.add_argument("--seed", type=int, default=2023)
+    datacenter_parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the canonical timeline JSON (sorted keys — "
+        "byte-identical at any --jobs; '-' for stdout)",
+    )
+    _jobs_argument(datacenter_parser)
+    datacenter_parser.add_argument(
         "--quiet", action="store_true", help="suppress stdout reporting"
     )
 
@@ -561,6 +611,60 @@ def _command_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_datacenter(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.datacenter import (
+        BinPackingPlacement,
+        Datacenter,
+        migration_policy,
+    )
+    from repro.experiments.fig15_datacenter import build_population
+    from repro.server.spec import NodeSpec
+
+    set_quiet(bool(args.quiet))
+    budget = args.budget if args.budget is not None else max(2, args.nodes // 8)
+    policy = migration_policy(
+        args.migration, budget=budget, hysteresis=args.hysteresis
+    ) if args.migration != "none" else None
+    datacenter = Datacenter(specs=(NodeSpec(),) * args.nodes)
+    timeline = datacenter.run_epochs(
+        build_population(args.nodes),
+        BinPackingPlacement(),
+        STRATEGY_FACTORIES[args.strategy],
+        epochs=args.epochs,
+        epoch_duration_s=args.epoch_duration,
+        seed=args.seed,
+        jobs=args.jobs,
+        migration=policy,
+    )
+    breakdown = timeline.breakdown()
+    rows = [
+        ["nodes", args.nodes],
+        ["epochs", f"{args.epochs} x {args.epoch_duration:g}s"],
+        ["strategy", args.strategy],
+        ["migration", timeline.migration_name],
+        ["pooled E_S", breakdown.e_s],
+        ["pooled E_LC", breakdown.e_lc],
+        ["pooled E_BE", breakdown.e_be],
+        ["mean node E_S", timeline.mean_node_e_s()],
+        ["QoS violations", timeline.violations()],
+        ["moves", timeline.total_moves()],
+    ]
+    say(ascii_table(["metric", "value"], rows, precision=4, title="datacenter"))
+    if args.json:
+        payload = json_module.dumps(
+            timeline.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+            say(f"wrote {args.json}")
+    return 0
+
+
 def _command_windows(args: argparse.Namespace) -> int:
     config = WindowConfig(dt_s=args.window, keep=args.window_keep)
     summary = fold_trace(args.trace, config)
@@ -609,6 +713,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiment": _command_experiment,
         "check": _command_check,
         "windows": _command_windows,
+        "datacenter": _command_datacenter,
     }
     return handlers[args.command](args)
 

@@ -4,26 +4,72 @@ The paper quantifies interference *within* a datacenter but evaluates on a
 single node; this package scales the machinery out:
 
 * :mod:`repro.datacenter.placement` — strategies assigning applications to
-  nodes (round-robin, reservation-aware bin packing, and entropy-probed
-  greedy placement that uses ``E_S`` itself as the placement signal);
+  nodes (round-robin, reservation-aware bin packing with horizon-aware
+  peak-load pressure, and entropy-probed greedy placement that uses
+  ``E_S`` itself as the placement signal);
+* :mod:`repro.datacenter.shard` — sharded node execution over the warm
+  worker pool: :class:`NodeRun` items in, compact exact
+  :class:`NodeEpochSummary` records out, byte-identical at any ``--jobs``;
+* :mod:`repro.datacenter.migration` — interference-aware rebalancing
+  between global epochs (:class:`EntropyGuidedMigration`: per-node
+  ``E_S`` scores in, budgeted hysteretic BE moves out);
 * :mod:`repro.datacenter.cluster` — :class:`Datacenter`: run every node's
-  collocation under a scheduling strategy and aggregate the observations
-  into datacenter-level ``E_LC``/``E_BE``/``E_S``.
+  collocation under a scheduling strategy (one shot, or as a global epoch
+  loop with admission and migration → :class:`DatacenterTimeline`) and
+  aggregate the observations into datacenter-level
+  ``E_LC``/``E_BE``/``E_S``.
 """
 
-from repro.datacenter.cluster import Datacenter, DatacenterResult
+from repro.datacenter.cluster import (
+    Datacenter,
+    DatacenterResult,
+    DatacenterTimeline,
+    GlobalEpoch,
+)
+from repro.datacenter.migration import (
+    EntropyGuidedMigration,
+    MigrationPolicy,
+    Move,
+    StaticPolicy,
+    migration_policy,
+)
 from repro.datacenter.placement import (
+    Assignment,
     BinPackingPlacement,
     EntropyAwarePlacement,
     Placement,
     RoundRobinPlacement,
+    node_pressure,
+    peak_load,
+)
+from repro.datacenter.shard import (
+    NodeEpochSummary,
+    NodeOutcome,
+    NodeRun,
+    run_shards,
+    summarize_node,
 )
 
 __all__ = [
+    "Assignment",
     "BinPackingPlacement",
     "Datacenter",
     "DatacenterResult",
+    "DatacenterTimeline",
     "EntropyAwarePlacement",
+    "EntropyGuidedMigration",
+    "GlobalEpoch",
+    "MigrationPolicy",
+    "Move",
+    "NodeEpochSummary",
+    "NodeOutcome",
+    "NodeRun",
     "Placement",
     "RoundRobinPlacement",
+    "StaticPolicy",
+    "migration_policy",
+    "node_pressure",
+    "peak_load",
+    "run_shards",
+    "summarize_node",
 ]

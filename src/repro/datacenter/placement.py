@@ -12,6 +12,16 @@ nodes. Three strategies, in increasing awareness:
   short simulation under the target scheduling strategy. This is the
   paper's metric applied one level up: the same single figure of merit
   that ranks strategies also ranks placements.
+
+Pressure scoring is **horizon-aware**: an LC application's core
+reservation is evaluated at its *peak* load over ``horizon_s`` seconds of
+its load trace, not at ``t=0`` — a diurnal or ramping workload that idles
+at the start of the run would otherwise be scored as nearly free and
+packed onto an already-busy node.
+
+All placements are deterministic: the heaviest-first ordering is a stable
+sort (equal-pressure members keep their input order) and node selection
+breaks pressure ties by the lowest node index.
 """
 
 from __future__ import annotations
@@ -25,28 +35,68 @@ from repro.cluster.run import run_collocation
 from repro.errors import ConfigurationError
 from repro.schedulers.base import Scheduler
 from repro.server.spec import NodeSpec
+from repro.workloads.loadgen import LoadTrace
 
 Member = Union[LCMember, BEMember]
+
+#: Default look-ahead for pressure scoring: long enough to cover a full
+#: :class:`~repro.workloads.loadgen.FluctuatingLoad` staircase or a
+#: short diurnal period. Constant loads are horizon-independent.
+DEFAULT_PRESSURE_HORIZON_S = 600.0
+
+#: Load-trace samples taken across the pressure horizon (plus ``t=0``).
+#: Piecewise/diurnal traces move on second-to-minute scales, so a fixed
+#: grid this dense recovers their peak exactly in practice.
+PRESSURE_SAMPLES = 64
 
 
 def _is_lc(member: Member) -> bool:
     return isinstance(member, LCMember)
 
 
-def _member_pressure(member: Member, spec: NodeSpec) -> float:
+def peak_load(trace: LoadTrace, horizon_s: float, samples: int = PRESSURE_SAMPLES) -> float:
+    """Peak load fraction of ``trace`` over ``[0, horizon_s]``.
+
+    Sampled on a fixed grid (``samples`` points plus ``t=0``), so the
+    result is a deterministic pure function of the trace. A non-positive
+    horizon degenerates to the instantaneous ``trace(0)``.
+    """
+    if horizon_s <= 0:
+        return trace(0.0)
+    step = horizon_s / samples
+    return max(trace(i * step) for i in range(samples + 1))
+
+
+def _member_pressure(
+    member: Member, spec: NodeSpec, horizon_s: float = DEFAULT_PRESSURE_HORIZON_S
+) -> float:
     """Scalar packing pressure of one application on one node.
 
     The max of its normalised core reservation and bandwidth appetite —
-    whichever dimension it stresses more.
+    whichever dimension it stresses more. LC core reservation is scored
+    at the member's **peak** load over ``horizon_s`` (see
+    :func:`peak_load`): scoring at ``t=0`` underestimates diurnal and
+    ramping workloads, which was exactly how
+    :class:`BinPackingPlacement` used to overpack nodes that only get
+    busy later in the run.
     """
     profile = member.profile
     if _is_lc(member):
-        cores = member.profile.reserve_cores(member.load(0.0))
+        cores = profile.reserve_cores(peak_load(member.load, horizon_s))
     else:
         cores = float(profile.threads)
     core_share = cores / spec.cores
     bw_share = profile.membw_ref_gbps / spec.membw_gbps
     return max(core_share, bw_share)
+
+
+def node_pressure(
+    members: Sequence[Member],
+    spec: NodeSpec,
+    horizon_s: float = DEFAULT_PRESSURE_HORIZON_S,
+) -> float:
+    """Total packing pressure of a member list on one node."""
+    return sum(_member_pressure(member, spec, horizon_s) for member in members)
 
 
 @dataclass(frozen=True)
@@ -55,23 +105,49 @@ class Assignment:
 
     per_node: Tuple[Tuple[Member, ...], ...]
 
-    def collocations(
+    def indexed_collocations(
         self, specs: Sequence[NodeSpec], seed: int = 2023
-    ) -> List[Collocation]:
-        """Materialise per-node collocations (empty nodes are skipped)."""
-        collocations = []
+    ) -> List[Tuple[int, Collocation]]:
+        """Materialise ``(node_index, collocation)`` pairs for busy nodes.
+
+        Empty nodes contribute nothing, but every returned collocation
+        stays paired with the node index it runs on — consumers must use
+        these indices (not list positions) to line results up with
+        :attr:`per_node` and :meth:`node_of`. Each node's seed is
+        ``seed + node_index``, so per-node random streams stay distinct
+        and stable however many nodes are empty.
+        """
+        pairs: List[Tuple[int, Collocation]] = []
         for index, members in enumerate(self.per_node):
             if not members:
                 continue
-            collocations.append(
-                Collocation(
-                    lc=tuple(m for m in members if _is_lc(m)),
-                    be=tuple(m for m in members if not _is_lc(m)),
-                    spec=specs[index],
-                    seed=seed + index,
+            pairs.append(
+                (
+                    index,
+                    Collocation(
+                        lc=tuple(m for m in members if _is_lc(m)),
+                        be=tuple(m for m in members if not _is_lc(m)),
+                        spec=specs[index],
+                        seed=seed + index,
+                    ),
                 )
             )
-        return collocations
+        return pairs
+
+    def collocations(
+        self, specs: Sequence[NodeSpec], seed: int = 2023
+    ) -> List[Collocation]:
+        """Materialise per-node collocations (empty nodes are skipped).
+
+        .. warning:: The returned list positions do **not** line up with
+           node indices once any node is empty — use
+           :meth:`indexed_collocations` when results must be traced back
+           to nodes.
+        """
+        return [
+            collocation
+            for _, collocation in self.indexed_collocations(specs, seed=seed)
+        ]
 
     def node_of(self, name: str) -> int:
         """Index of the node hosting application ``name``."""
@@ -79,6 +155,53 @@ class Assignment:
             if any(m.name == name for m in members):
                 return index
         raise ConfigurationError(f"application {name!r} was not placed")
+
+    def members(self) -> List[Member]:
+        """All placed members, in node order then per-node order."""
+        return [member for bucket in self.per_node for member in bucket]
+
+    def busy_nodes(self) -> Tuple[int, ...]:
+        """Indices of nodes hosting at least one application."""
+        return tuple(
+            index for index, bucket in enumerate(self.per_node) if bucket
+        )
+
+    def moved(self, name: str, target: int) -> "Assignment":
+        """A new assignment with application ``name`` moved to ``target``.
+
+        Raises :class:`~repro.errors.ConfigurationError` when the
+        application is unplaced or the target index is out of range; the
+        move is order-preserving (the member is appended to the target
+        bucket, everything else keeps its position).
+        """
+        if not 0 <= target < len(self.per_node):
+            raise ConfigurationError(
+                f"target node {target} out of range 0..{len(self.per_node) - 1}"
+            )
+        source = self.node_of(name)
+        if source == target:
+            return self
+        moved_member = next(
+            m for m in self.per_node[source] if m.name == name
+        )
+        buckets = [list(bucket) for bucket in self.per_node]
+        buckets[source] = [m for m in buckets[source] if m.name != name]
+        buckets[target].append(moved_member)
+        return Assignment(per_node=tuple(tuple(b) for b in buckets))
+
+    def with_admitted(self, member: Member, node: int) -> "Assignment":
+        """A new assignment with ``member`` added to node ``node``."""
+        if not 0 <= node < len(self.per_node):
+            raise ConfigurationError(
+                f"admission node {node} out of range 0..{len(self.per_node) - 1}"
+            )
+        if any(m.name == member.name for bucket in self.per_node for m in bucket):
+            raise ConfigurationError(
+                f"application {member.name!r} is already placed"
+            )
+        buckets = [list(bucket) for bucket in self.per_node]
+        buckets[node].append(member)
+        return Assignment(per_node=tuple(tuple(b) for b in buckets))
 
 
 class Placement(abc.ABC):
@@ -111,6 +234,7 @@ class RoundRobinPlacement(Placement):
     def assign(
         self, members: Sequence[Member], specs: Sequence[NodeSpec]
     ) -> Assignment:
+        """Deal members across nodes in input order."""
         self._validate(members, specs)
         buckets: List[List[Member]] = [[] for _ in specs]
         for index, member in enumerate(members):
@@ -118,29 +242,41 @@ class RoundRobinPlacement(Placement):
         return Assignment(per_node=tuple(tuple(b) for b in buckets))
 
 
+@dataclass(frozen=True)
 class BinPackingPlacement(Placement):
-    """Greedy worst-fit on the pressure score (heaviest first)."""
+    """Greedy worst-fit on the pressure score (heaviest first).
 
-    name = "bin-packing"
+    ``horizon_s`` is the load-trace look-ahead for pressure scoring (see
+    :func:`peak_load`); constant-load members score identically at any
+    horizon. Ordering is fully deterministic: the heaviest-first sort is
+    stable and node selection breaks ties by the lowest node index.
+    """
+
+    horizon_s: float = DEFAULT_PRESSURE_HORIZON_S
+    name: str = field(default="bin-packing")
 
     def assign(
         self, members: Sequence[Member], specs: Sequence[NodeSpec]
     ) -> Assignment:
+        """Greedily pack members onto the least-pressured node."""
         self._validate(members, specs)
         buckets: List[List[Member]] = [[] for _ in specs]
         loads = [0.0 for _ in specs]
         ordered = sorted(
             members,
-            key=lambda m: max(_member_pressure(m, spec) for spec in specs),
+            key=lambda m: max(
+                _member_pressure(m, spec, self.horizon_s) for spec in specs
+            ),
             reverse=True,
         )
         for member in ordered:
             target = min(
                 range(len(specs)),
-                key=lambda i: loads[i] + _member_pressure(member, specs[i]),
+                key=lambda i: loads[i]
+                + _member_pressure(member, specs[i], self.horizon_s),
             )
             buckets[target].append(member)
-            loads[target] += _member_pressure(member, specs[target])
+            loads[target] += _member_pressure(member, specs[target], self.horizon_s)
         return Assignment(per_node=tuple(tuple(b) for b in buckets))
 
 
@@ -158,6 +294,7 @@ class EntropyAwarePlacement(Placement):
     scheduler_factory: Callable[[], Scheduler] = None
     probe_duration_s: float = 15.0
     seed: int = 2023
+    horizon_s: float = DEFAULT_PRESSURE_HORIZON_S
     name: str = field(default="entropy-aware")
 
     def __post_init__(self) -> None:
@@ -171,11 +308,14 @@ class EntropyAwarePlacement(Placement):
     def assign(
         self, members: Sequence[Member], specs: Sequence[NodeSpec]
     ) -> Assignment:
+        """Place each member where its probed ``E_S`` lands lowest."""
         self._validate(members, specs)
         buckets: List[List[Member]] = [[] for _ in specs]
         ordered = sorted(
             members,
-            key=lambda m: max(_member_pressure(m, spec) for spec in specs),
+            key=lambda m: max(
+                _member_pressure(m, spec, self.horizon_s) for spec in specs
+            ),
             reverse=True,
         )
         for member in ordered:

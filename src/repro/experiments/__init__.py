@@ -22,5 +22,7 @@ fig10_heatmap             Fig. 10 — Xapian × Img-dnn load heatmaps
 fig11_sphinx_mix          Fig. 11 — Img-dnn sweep with Moses+Sphinx+Stream
 fig12_eight_apps          Fig. 12 — six LC + two BE applications
 fig13_fluctuating         Fig. 13 — fluctuating Xapian load time-series
+fig14_resilience          Fig. 14 (ext.) — strategies under fault injection
+fig15_datacenter          Fig. 15 (ext.) — 1000-node sharded diurnal cluster
 ========================  =====================================================
 """

@@ -26,10 +26,12 @@ from repro.workloads.catalog import (
 from repro.workloads.lc_app import LCProfile, calibrate_lc_profile
 from repro.workloads.loadgen import (
     ConstantLoad,
+    DiurnalLoad,
     FluctuatingLoad,
     LoadTrace,
     PiecewiseLoad,
     StepLoad,
+    TimeShiftedLoad,
 )
 
 __all__ = [
@@ -37,12 +39,14 @@ __all__ = [
     "BEProfile",
     "BE_APPLICATIONS",
     "ConstantLoad",
+    "DiurnalLoad",
     "FluctuatingLoad",
     "LCProfile",
     "LC_APPLICATIONS",
     "LoadTrace",
     "PiecewiseLoad",
     "StepLoad",
+    "TimeShiftedLoad",
     "be_profile",
     "calibrate_lc_profile",
     "lc_profile",

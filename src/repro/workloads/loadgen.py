@@ -133,6 +133,24 @@ class FluctuatingLoad(LoadTrace):
 
 
 @dataclass(frozen=True)
+class TimeShiftedLoad(LoadTrace):
+    """A view of another trace advanced by ``offset_s`` seconds.
+
+    ``TimeShiftedLoad(trace, offset_s=o)(t) == trace(t + o)``. The
+    datacenter's global epoch loop uses this to hand each epoch's node
+    runs the *next segment* of one long load trace (epoch ``e`` sees
+    ``[e·Δ, (e+1)·Δ)``), and phase-staggered diurnal populations are
+    built by shifting one :class:`DiurnalLoad` per group.
+    """
+
+    trace: LoadTrace
+    offset_s: float = 0.0
+
+    def fraction(self, time_s: float) -> float:
+        return self.trace.fraction(time_s + self.offset_s)
+
+
+@dataclass(frozen=True)
 class DiurnalLoad(LoadTrace):
     """Smooth day/night oscillation: high in the "daytime", low at "night".
 

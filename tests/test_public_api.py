@@ -37,6 +37,19 @@ EXPECTED_PUBLIC_NAMES = {
     "run_many",
     "BatchReport",
     "PointFailure",
+    # datacenter scale
+    "Assignment",
+    "BinPackingPlacement",
+    "Datacenter",
+    "DatacenterResult",
+    "DatacenterTimeline",
+    "EntropyAwarePlacement",
+    "EntropyGuidedMigration",
+    "MigrationPolicy",
+    "Move",
+    "Placement",
+    "RoundRobinPlacement",
+    "migration_policy",
     # errors
     "ReproError",
     "ConfigurationError",
@@ -110,6 +123,8 @@ EXPECTED_PUBLIC_NAMES = {
     "be_profile",
     "ConstantLoad",
     "FluctuatingLoad",
+    "DiurnalLoad",
+    "TimeShiftedLoad",
 }
 
 def _heracles():
