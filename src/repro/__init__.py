@@ -46,15 +46,26 @@ from repro.cluster import (
 from repro.datacenter import (
     Assignment,
     BinPackingPlacement,
+    ClusterFaultPlan,
     Datacenter,
+    DatacenterCheckpoint,
     DatacenterResult,
     DatacenterTimeline,
     EntropyAwarePlacement,
     EntropyGuidedMigration,
     MigrationPolicy,
     Move,
+    NodeCrash,
+    NodeFaultSpec,
+    NodeFlap,
+    NodeStraggle,
     Placement,
+    Quarantine,
     RoundRobinPlacement,
+    ShardReport,
+    SummaryCorruption,
+    SummaryLoss,
+    cluster_fault_preset,
     migration_policy,
 )
 from repro.errors import (
@@ -110,8 +121,11 @@ from repro.schedulers import (
     UnmanagedScheduler,
 )
 from repro.obs.events import (
+    CheckpointWritten,
     CollectingTracer,
     InvariantViolation,
+    NodeQuarantined,
+    NodeRecovered,
     NullTracer,
     TraceEvent,
     Tracer,
@@ -155,11 +169,14 @@ __all__ = [
     "CheckConfig",
     "CheckError",
     "CheckingTracer",
+    "CheckpointWritten",
+    "ClusterFaultPlan",
     "CollectingTracer",
     "Collocation",
     "ConfigurationError",
     "ConstantLoad",
     "Datacenter",
+    "DatacenterCheckpoint",
     "DatacenterResult",
     "DatacenterTimeline",
     "DiurnalLoad",
@@ -182,7 +199,13 @@ __all__ = [
     "MigrationPolicy",
     "ModelError",
     "Move",
+    "NodeCrash",
+    "NodeFaultSpec",
+    "NodeFlap",
+    "NodeQuarantined",
+    "NodeRecovered",
     "NodeSpec",
+    "NodeStraggle",
     "NullTracer",
     "PAPER_NODE",
     "ParallelRunError",
@@ -190,6 +213,7 @@ __all__ = [
     "Placement",
     "PointFailure",
     "QpsRamp",
+    "Quarantine",
     "RegionPlan",
     "ReproError",
     "ResourceVector",
@@ -202,8 +226,11 @@ __all__ = [
     "Scheduler",
     "SchedulingError",
     "ServerNode",
+    "ShardReport",
     "SimulationError",
     "StaticScheduler",
+    "SummaryCorruption",
+    "SummaryLoss",
     "SystemObservation",
     "TelemetryCorruption",
     "TelemetryCorruptionError",
@@ -220,6 +247,7 @@ __all__ = [
     "be_entropy",
     "be_profile",
     "check_trace",
+    "cluster_fault_preset",
     "compare",
     "compose_tracers",
     "differential_check",

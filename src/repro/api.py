@@ -33,12 +33,16 @@ from repro.cluster.run import RunResult
 # from one collocation to a sharded cluster without a second import home.
 from repro.datacenter import (  # noqa: F401
     BinPackingPlacement,
+    ClusterFaultPlan,
     Datacenter,
+    DatacenterCheckpoint,
     DatacenterResult,
     DatacenterTimeline,
     EntropyAwarePlacement,
     EntropyGuidedMigration,
+    Quarantine,
     RoundRobinPlacement,
+    cluster_fault_preset,
     migration_policy,
 )
 from repro.errors import ConfigurationError

@@ -17,6 +17,11 @@ Six commands:
   on ``--nodes`` machines, optional ``--migration entropy``
   rebalancing, results byte-identical at any ``--jobs``
   (``--json PATH`` dumps the canonical timeline for diffing).
+  ``--chaos SPEC`` (a preset name or a fault-plan JSON file) runs the
+  degraded-mode loop — crashed nodes are quarantined and their tenants
+  failed over; ``--retries N`` retries transient node failures;
+  ``--checkpoint PATH``/``--checkpoint-every K``/``--resume`` snapshot
+  the loop every K epochs and resume byte-identically after a kill.
 
 Examples::
 
@@ -33,6 +38,9 @@ Examples::
     python -m repro windows dump trace.jsonl --out windows.jsonl
     python -m repro datacenter --nodes 200 --epochs 4 --jobs 4
     python -m repro datacenter --nodes 200 --migration entropy --json dc.json
+    python -m repro datacenter --nodes 48 --chaos rolling --retries 1
+    python -m repro datacenter --checkpoint ck.json --checkpoint-every 2
+    python -m repro datacenter --epochs 8 --checkpoint ck.json --resume
 
 ``--jobs N`` (or ``REPRO_JOBS=N``) fans independent runs across N worker
 processes; results are bit-identical for any worker count. The default is
@@ -81,6 +89,7 @@ from repro.experiments.common import (
     run_strategies,
     set_quick,
 )
+from repro.datacenter.chaos import CLUSTER_FAULT_PRESETS
 from repro.datacenter.migration import MIGRATION_POLICIES
 from repro.faults.plan import FAULT_PRESETS, FaultPlan, fault_preset
 from repro.experiments.reporting import ascii_table
@@ -123,6 +132,7 @@ _EXPERIMENTS: Dict[str, str] = {
     "fig13": "repro.experiments.fig13_fluctuating",
     "fig14": "repro.experiments.fig14_resilience",
     "fig15": "repro.experiments.fig15_datacenter",
+    "fig16": "repro.experiments.fig16_chaos",
 }
 
 #: ``--mix`` presets — canonically defined in
@@ -352,6 +362,29 @@ def _build_parser() -> argparse.ArgumentParser:
         help="minimum donor-recipient E_S gap to justify a move",
     )
     datacenter_parser.add_argument("--seed", type=int, default=2023)
+    datacenter_parser.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="per-node retry attempts on transient failure (default 0)",
+    )
+    datacenter_parser.add_argument(
+        "--chaos", metavar="SPEC", default=None,
+        help="cluster fault plan: a JSON file path, or a preset name "
+        f"({', '.join(sorted(CLUSTER_FAULT_PRESETS))}); enables the "
+        "degraded-mode loop (quarantine + failover)",
+    )
+    datacenter_parser.add_argument(
+        "--checkpoint", metavar="PATH", default=None,
+        help="write a canonical-JSON epoch checkpoint to PATH",
+    )
+    datacenter_parser.add_argument(
+        "--checkpoint-every", type=int, default=1, metavar="K",
+        help="checkpoint every K global epochs (default 1)",
+    )
+    datacenter_parser.add_argument(
+        "--resume", action="store_true",
+        help="resume from --checkpoint if it exists (byte-identical to "
+        "an uninterrupted run at any --jobs)",
+    )
     datacenter_parser.add_argument(
         "--json", metavar="PATH", default=None,
         help="write the canonical timeline JSON (sorted keys — "
@@ -611,6 +644,24 @@ def _command_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _chaos_plan(args: argparse.Namespace):
+    """Resolve the ``--chaos`` flag to a :class:`ClusterFaultPlan`."""
+    import os
+
+    from repro.datacenter.chaos import ClusterFaultPlan, cluster_fault_preset
+
+    if args.chaos is None:
+        return None
+    if args.chaos in CLUSTER_FAULT_PRESETS:
+        return cluster_fault_preset(args.chaos, args.nodes)
+    if os.path.exists(args.chaos):
+        return ClusterFaultPlan.load(args.chaos)
+    raise FaultError(
+        f"--chaos {args.chaos!r}: not a preset "
+        f"({', '.join(sorted(CLUSTER_FAULT_PRESETS))}) or an existing file"
+    )
+
+
 def _command_datacenter(args: argparse.Namespace) -> int:
     import json as json_module
 
@@ -627,6 +678,7 @@ def _command_datacenter(args: argparse.Namespace) -> int:
     policy = migration_policy(
         args.migration, budget=budget, hysteresis=args.hysteresis
     ) if args.migration != "none" else None
+    chaos = _chaos_plan(args)
     datacenter = Datacenter(specs=(NodeSpec(),) * args.nodes)
     timeline = datacenter.run_epochs(
         build_population(args.nodes),
@@ -637,6 +689,11 @@ def _command_datacenter(args: argparse.Namespace) -> int:
         seed=args.seed,
         jobs=args.jobs,
         migration=policy,
+        retries=args.retries,
+        chaos=chaos,
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        resume=args.resume,
     )
     breakdown = timeline.breakdown()
     rows = [
@@ -651,6 +708,19 @@ def _command_datacenter(args: argparse.Namespace) -> int:
         ["QoS violations", timeline.violations()],
         ["moves", timeline.total_moves()],
     ]
+    if chaos is not None:
+        quarantined = sum(len(e.quarantined) for e in timeline.epochs)
+        failovers = sum(len(e.failovers) for e in timeline.epochs)
+        parked = sum(len(e.parked) for e in timeline.epochs)
+        rows.extend(
+            [
+                ["quarantines", quarantined],
+                ["failovers", failovers],
+                ["parked tenant-epochs", parked],
+            ]
+        )
+    if args.checkpoint:
+        rows.append(["checkpoint", args.checkpoint])
     say(ascii_table(["metric", "value"], rows, precision=4, title="datacenter"))
     if args.json:
         payload = json_module.dumps(

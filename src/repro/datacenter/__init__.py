@@ -17,9 +17,28 @@ single node; this package scales the machinery out:
   collocation under a scheduling strategy (one shot, or as a global epoch
   loop with admission and migration → :class:`DatacenterTimeline`) and
   aggregate the observations into datacenter-level
-  ``E_LC``/``E_BE``/``E_S``.
+  ``E_LC``/``E_BE``/``E_S``;
+* :mod:`repro.datacenter.chaos` — deterministic cluster-level fault
+  plans (:class:`ClusterFaultPlan`: node crash, straggle, flap, summary
+  loss/corruption on half-open epoch windows, JSON round-trip);
+* :mod:`repro.datacenter.recovery` — the degraded-mode machinery:
+  :class:`Quarantine` (with probation, strike backoff and stale-score
+  holding), failover migration of a dead node's tenants, and
+  :class:`DatacenterCheckpoint` for byte-identical checkpoint/resume.
 """
 
+from repro.datacenter.chaos import (
+    CLUSTER_FAULT_PRESETS,
+    ClusterFaultPlan,
+    NodeCrash,
+    NodeFaultSpec,
+    NodeFlap,
+    NodeStraggle,
+    SummaryCorruption,
+    SummaryLoss,
+    cluster_fault_from_dict,
+    cluster_fault_preset,
+)
 from repro.datacenter.cluster import (
     Datacenter,
     DatacenterResult,
@@ -42,10 +61,17 @@ from repro.datacenter.placement import (
     node_pressure,
     peak_load,
 )
+from repro.datacenter.recovery import (
+    DatacenterCheckpoint,
+    Quarantine,
+    failover_moves,
+    summary_is_sane,
+)
 from repro.datacenter.shard import (
     NodeEpochSummary,
     NodeOutcome,
     NodeRun,
+    ShardReport,
     run_shards,
     summarize_node,
 )
@@ -53,7 +79,10 @@ from repro.datacenter.shard import (
 __all__ = [
     "Assignment",
     "BinPackingPlacement",
+    "CLUSTER_FAULT_PRESETS",
+    "ClusterFaultPlan",
     "Datacenter",
+    "DatacenterCheckpoint",
     "DatacenterResult",
     "DatacenterTimeline",
     "EntropyAwarePlacement",
@@ -61,15 +90,27 @@ __all__ = [
     "GlobalEpoch",
     "MigrationPolicy",
     "Move",
+    "NodeCrash",
     "NodeEpochSummary",
+    "NodeFaultSpec",
+    "NodeFlap",
     "NodeOutcome",
     "NodeRun",
+    "NodeStraggle",
     "Placement",
+    "Quarantine",
     "RoundRobinPlacement",
+    "ShardReport",
     "StaticPolicy",
+    "SummaryCorruption",
+    "SummaryLoss",
+    "cluster_fault_from_dict",
+    "cluster_fault_preset",
+    "failover_moves",
     "migration_policy",
     "node_pressure",
     "peak_load",
     "run_shards",
     "summarize_node",
+    "summary_is_sane",
 ]

@@ -23,6 +23,7 @@ Two execution shapes:
 
 from __future__ import annotations
 
+import os
 import warnings
 from dataclasses import dataclass, field, replace
 from typing import (
@@ -32,6 +33,7 @@ from typing import (
     Mapping,
     Optional,
     Sequence,
+    Set,
     Tuple,
     Union,
 )
@@ -39,12 +41,20 @@ from typing import (
 from repro.check.invariants import CheckConfig
 from repro.cluster.collocation import Collocation
 from repro.cluster.run import RunResult
+from repro.datacenter.chaos import ClusterFaultPlan
 from repro.datacenter.migration import MigrationPolicy, Move
 from repro.datacenter.placement import Assignment, Member, Placement, _is_lc
+from repro.datacenter.recovery import (
+    DatacenterCheckpoint,
+    Quarantine,
+    failover_moves,
+    summary_is_sane,
+)
 from repro.datacenter.shard import (
     NodeEpochSummary,
     NodeOutcome,
     NodeRun,
+    ShardReport,
     run_shards,
     summarize_node,
 )
@@ -56,7 +66,12 @@ from repro.entropy.records import (
 )
 from repro.errors import ConfigurationError
 from repro.faults.plan import FaultPlan
-from repro.obs.events import Tracer
+from repro.obs.events import (
+    CheckpointWritten,
+    NodeQuarantined,
+    NodeRecovered,
+    Tracer,
+)
 from repro.obs.windows import (
     WindowConfig,
     WindowSummary,
@@ -243,6 +258,16 @@ class GlobalEpoch:
     after its measurements (they shape the next epoch). ``admitted``
     lists applications admitted at this epoch's start, with the node each
     landed on.
+
+    The degraded-mode fields record the epoch's failure story:
+    ``quarantined`` are the nodes out of service this epoch,
+    ``failed``/``lost`` the nodes whose run failed (or missed the
+    deadline) / whose summary was dropped as lost or corrupt,
+    ``recovered`` the nodes that re-entered service at epoch start,
+    ``failovers`` the evacuation moves applied before the run, and
+    ``parked`` the applications stranded on down nodes (they did not run
+    this epoch). ``scores`` may contain **held** entries for dark nodes
+    (their last good ``E_S``, up to the staleness cap).
     """
 
     epoch: int
@@ -252,6 +277,12 @@ class GlobalEpoch:
     scores: Mapping[int, float]
     moves: Tuple[Move, ...] = ()
     admitted: Tuple[Tuple[str, int], ...] = ()
+    quarantined: Tuple[int, ...] = ()
+    failed: Tuple[int, ...] = ()
+    recovered: Tuple[int, ...] = ()
+    lost: Tuple[int, ...] = ()
+    failovers: Tuple[Move, ...] = ()
+    parked: Tuple[str, ...] = ()
 
     def mean_score(self) -> Optional[float]:
         """Unweighted mean of this epoch's node interference scores."""
@@ -268,6 +299,12 @@ class GlobalEpoch:
             "moves": [move.to_dict() for move in self.moves],
             "admitted": [[name, node] for name, node in self.admitted],
             "node_summaries": [s.to_dict() for s in self.node_summaries],
+            "quarantined": list(self.quarantined),
+            "failed": list(self.failed),
+            "recovered": list(self.recovered),
+            "lost": list(self.lost),
+            "failovers": [move.to_dict() for move in self.failovers],
+            "parked": list(self.parked),
         }
 
 
@@ -342,6 +379,73 @@ class DatacenterTimeline:
         }
 
 
+def _replay_epochs(
+    payloads: Sequence[Mapping[str, object]],
+    assignment: Assignment,
+    arrivals: Optional[Mapping[int, Sequence[Member]]],
+) -> Tuple[List[GlobalEpoch], Assignment]:
+    """Reconstruct checkpointed epochs and the assignment they left behind.
+
+    Replays each recorded epoch's assignment mutations in exactly the
+    order the live loop applied them — failovers, then admissions, then
+    (after capturing the epoch's run assignment) migration moves — so a
+    resumed run continues from the same placement the uninterrupted run
+    would hold. Admitted applications are looked up by name in
+    ``arrivals``; the resumed call must pass the same mapping the
+    checkpointed run used.
+    """
+    pool: Dict[str, Member] = {
+        member.name: member
+        for members in (arrivals or {}).values()
+        for member in members
+    }
+    timeline: List[GlobalEpoch] = []
+    for payload in payloads:
+        failovers = tuple(
+            Move(**dict(entry)) for entry in payload.get("failovers", ())
+        )
+        for move in failovers:
+            assignment = assignment.moved(move.member, move.target)
+        admitted: List[Tuple[str, int]] = []
+        for name, node in payload.get("admitted", ()):
+            member = pool.get(name)
+            if member is None:
+                raise ConfigurationError(
+                    f"resume: admitted application {name!r} is not in the "
+                    f"arrivals mapping — resume with the same arrivals the "
+                    f"checkpointed run used"
+                )
+            assignment = assignment.with_admitted(member, node)
+            admitted.append((name, node))
+        moves = tuple(Move(**dict(entry)) for entry in payload.get("moves", ()))
+        timeline.append(
+            GlobalEpoch(
+                epoch=payload["epoch"],
+                start_s=payload["start_s"],
+                assignment=assignment,
+                node_summaries=tuple(
+                    NodeEpochSummary.from_dict(entry)
+                    for entry in payload.get("node_summaries", ())
+                ),
+                scores={
+                    int(node): score
+                    for node, score in payload.get("scores", {}).items()
+                },
+                moves=moves,
+                admitted=tuple(admitted),
+                quarantined=tuple(payload.get("quarantined", ())),
+                failed=tuple(payload.get("failed", ())),
+                recovered=tuple(payload.get("recovered", ())),
+                lost=tuple(payload.get("lost", ())),
+                failovers=failovers,
+                parked=tuple(payload.get("parked", ())),
+            )
+        )
+        for move in moves:
+            assignment = assignment.moved(move.member, move.target)
+    return timeline, assignment
+
+
 def _shifted_members(
     members: Sequence[Member], offset_s: float
 ) -> Tuple[Member, ...]:
@@ -407,8 +511,15 @@ class Datacenter:
         keep_records: bool,
         timeout_s: Optional[float],
         offset_s: float = 0.0,
-    ) -> Tuple[Tuple[int, ...], List[NodeOutcome]]:
-        """Shard one assignment over the pool; outcomes in node order."""
+        retries: int = 0,
+        on_error: str = "raise",
+    ) -> Tuple[Tuple[int, ...], Union[List[NodeOutcome], ShardReport]]:
+        """Shard one assignment over the pool; outcomes in node order.
+
+        ``on_error="salvage"`` returns a
+        :class:`~repro.datacenter.shard.ShardReport` instead of a plain
+        outcome list (the degraded epoch loop's mode).
+        """
         check_config = None if checks is None else CheckConfig.of(checks)
         window_config = None if windows is None else WindowConfig.of(windows)
         run_assignment = assignment
@@ -438,11 +549,24 @@ class Datacenter:
             )
             for index, collocation in indexed
         ]
-        outcomes = run_shards(items, jobs=jobs, timeout_s=timeout_s)
+        outcomes = run_shards(
+            items,
+            jobs=jobs,
+            timeout_s=timeout_s,
+            retries=retries,
+            on_error=on_error,
+        )
         if tracer is not None:
             # Replay per-node events in node-index order: the sharded
             # trace is byte-identical to the serial one at any --jobs.
-            for outcome in outcomes:
+            flat = (
+                outcomes.outcomes
+                if isinstance(outcomes, ShardReport)
+                else outcomes
+            )
+            for outcome in flat:
+                if outcome is None:
+                    continue
                 for event in outcome.events:
                     tracer.emit(event)
         return tuple(index for index, _ in indexed), outcomes
@@ -463,6 +587,7 @@ class Datacenter:
         windows: Optional[Union[WindowConfig, int, float]] = None,
         keep_records: bool = True,
         timeout_s: Optional[float] = None,
+        retries: int = 0,
     ) -> DatacenterResult:
         """Place ``members``, run every busy node (sharded), aggregate.
 
@@ -477,6 +602,10 @@ class Datacenter:
         every node's events, replayed in node order.
         ``keep_records=False`` exchanges only compact per-node summaries
         with the workers (no epoch records cross the process boundary).
+        ``timeout_s``/``retries`` bound and re-attempt each node's run
+        (see :func:`~repro.datacenter.shard.run_shards`) — a node that
+        fails transiently succeeds on a retry instead of sinking the
+        whole datacenter run.
         """
         assignment = placement.assign(members, self.specs)
         node_indices, outcomes = self._run_assignment(
@@ -492,6 +621,7 @@ class Datacenter:
             windows=windows,
             keep_records=keep_records,
             timeout_s=timeout_s,
+            retries=retries,
         )
         summaries = tuple(outcome.summary for outcome in outcomes)
         results = tuple(
@@ -557,6 +687,13 @@ class Datacenter:
         checks: Optional[Union[CheckConfig, str]] = None,
         windows: Optional[Union[WindowConfig, int, float]] = None,
         timeout_s: Optional[float] = None,
+        retries: int = 0,
+        chaos: Optional[ClusterFaultPlan] = None,
+        quarantine: Optional[Quarantine] = None,
+        tracer: Optional[Tracer] = None,
+        checkpoint_path: Optional[str] = None,
+        checkpoint_every: int = 1,
+        resume: bool = False,
     ) -> DatacenterTimeline:
         """The global epoch loop: run, score, admit, migrate, repeat.
 
@@ -576,6 +713,28 @@ class Datacenter:
         proposes bounded, hysteretic BE moves that reshape the next
         epoch's assignment. ``warmup_s`` (default 20% of the epoch)
         trims each node run's convergence transient.
+
+        **Degraded mode** arms when ``chaos`` (a
+        :class:`~repro.datacenter.chaos.ClusterFaultPlan`) or
+        ``quarantine`` (a :class:`~repro.datacenter.recovery.Quarantine`
+        guard) is given: node failures no longer abort the run. Down
+        nodes are quarantined with probation on release, their tenants
+        fail over onto the lowest-``E_S`` feasible survivors (unless the
+        guard disables failover), their last good summary keeps scoring
+        for them up to a staleness cap, and corrupt or missing summaries
+        are detected and dropped. Without a guard, any node failure
+        still raises :class:`~repro.parallel.runner.ParallelRunError`
+        (after ``retries`` re-attempts).
+
+        **Checkpointing** arms when ``checkpoint_path`` is given: every
+        ``checkpoint_every`` epochs the loop atomically writes a
+        :class:`~repro.datacenter.recovery.DatacenterCheckpoint`;
+        ``resume=True`` continues from that file (a missing file starts
+        fresh), producing a timeline byte-identical to an uninterrupted
+        run at any ``jobs`` — seeds are a function of the absolute epoch
+        number, so skipped epochs stay aligned. ``tracer`` receives
+        ``NodeQuarantined``/``NodeRecovered``/``CheckpointWritten``
+        events as the loop degrades and recovers.
         """
         if epochs < 1:
             raise ConfigurationError(f"need at least one global epoch: {epochs}")
@@ -583,22 +742,139 @@ class Datacenter:
             raise ConfigurationError(
                 f"epoch duration must be positive: {epoch_duration_s}"
             )
+        if checkpoint_every < 1:
+            raise ConfigurationError(
+                f"checkpoint_every must be >= 1: {checkpoint_every}"
+            )
+        if resume and checkpoint_path is None:
+            raise ConfigurationError("resume=True needs a checkpoint_path")
         epoch_warmup_s = (
             0.2 * epoch_duration_s if warmup_s is None else warmup_s
         )
-        if migration is not None:
-            migration.reset()
+        guard = quarantine
+        if guard is None and chaos is not None:
+            guard = Quarantine()
+        config = {
+            "seed": seed,
+            "epoch_duration_s": epoch_duration_s,
+            "warmup_s": epoch_warmup_s,
+            "nodes": len(self.specs),
+            "placement": placement.name,
+            "migration": migration.name if migration is not None else "static",
+            "members": sorted(m.name for m in members),
+            "chaos": chaos.to_dict() if chaos is not None else None,
+            "quarantine": guard.config_dict() if guard is not None else None,
+        }
         assignment = placement.assign(members, self.specs)
         timeline: List[GlobalEpoch] = []
         scores: Dict[int, float] = {}
-        for epoch in range(epochs):
+        start_epoch = 0
+        if (
+            resume
+            and checkpoint_path is not None
+            and os.path.exists(checkpoint_path)
+        ):
+            checkpoint = DatacenterCheckpoint.load(checkpoint_path)
+            checkpoint.validate_config(config)
+            if checkpoint.next_epoch > epochs:
+                raise ConfigurationError(
+                    f"checkpoint already covers {checkpoint.next_epoch} "
+                    f"epochs; the requested target is only {epochs}"
+                )
+            timeline, assignment = _replay_epochs(
+                checkpoint.epochs, assignment, arrivals
+            )
+            scores = dict(checkpoint.scores)
+            start_epoch = checkpoint.next_epoch
+            if migration is not None:
+                migration.reset()
+                migration.load_state(checkpoint.migration_state)
+            if guard is not None:
+                guard.load_state(checkpoint.quarantine_state)
+        else:
+            if migration is not None:
+                migration.reset()
+        for epoch in range(start_epoch, epochs):
+            epoch_start_s = epoch * epoch_duration_s
+            epoch_end_s = (epoch + 1) * epoch_duration_s
+            recovered: List[int] = []
+            down: Set[int] = set()
+            failovers: Tuple[Move, ...] = ()
+            parked: Tuple[str, ...] = ()
+            if guard is not None:
+                plan_down = (
+                    set(chaos.down_nodes(epoch)) if chaos is not None else set()
+                )
+                for node in guard.begin_epoch():
+                    if node in plan_down:
+                        # Still down per the plan: keep it sitting, no
+                        # recovery churn (defeats spurious flap strikes).
+                        guard.refresh(node)
+                    else:
+                        recovered.append(node)
+                        if tracer is not None:
+                            tracer.emit(
+                                NodeRecovered(
+                                    time_s=epoch_start_s,
+                                    node=node,
+                                    epoch=epoch,
+                                    probation_epochs=guard.probation_epochs,
+                                )
+                            )
+                for node in sorted(plan_down):
+                    if guard.is_quarantined(node):
+                        guard.refresh(node)
+                    else:
+                        sentence = guard.report_failure(node)
+                        if tracer is not None:
+                            tracer.emit(
+                                NodeQuarantined(
+                                    time_s=epoch_start_s,
+                                    node=node,
+                                    epoch=epoch,
+                                    until_epoch=epoch + sentence,
+                                    reason="crash",
+                                )
+                            )
+                down = plan_down | set(guard.active())
+                if guard.failover and down:
+                    proposals = failover_moves(
+                        assignment,
+                        sorted(down),
+                        scores,
+                        self.specs,
+                        now_s=epoch_start_s,
+                        horizon_s=epoch_duration_s,
+                    )
+                    for move in proposals:
+                        assignment = assignment.moved(move.member, move.target)
+                    failovers = tuple(proposals)
             admitted: List[Tuple[str, int]] = []
             for member in (arrivals or {}).get(epoch, ()):  # admission
-                node = self._admission_node(scores, assignment)
+                node = self._admission_node(scores, assignment, excluded=down)
                 assignment = assignment.with_admitted(member, node)
                 admitted.append((member.name, node))
-            node_indices, outcomes = self._run_assignment(
-                assignment,
+            missed: Set[int] = set()
+            if chaos is not None and guard is not None:
+                missed = {
+                    node
+                    for node in assignment.busy_nodes()
+                    if node not in down
+                    and chaos.straggle_factor(node, epoch)
+                    >= guard.straggle_threshold
+                }
+            if guard is not None:
+                parked = tuple(
+                    member.name
+                    for node in sorted(down)
+                    if node < len(assignment.per_node)
+                    for member in assignment.per_node[node]
+                )
+            run_assignment = assignment
+            if down or missed:
+                run_assignment = assignment.cleared(sorted(down | missed))
+            _, outcomes = self._run_assignment(
+                run_assignment,
                 scheduler_factory,
                 epoch_duration_s,
                 epoch_warmup_s,
@@ -611,44 +887,164 @@ class Datacenter:
                 keep_records=False,
                 timeout_s=timeout_s,
                 offset_s=epoch * epoch_duration_s,
+                retries=retries,
+                on_error="salvage" if guard is not None else "raise",
             )
-            summaries = tuple(outcome.summary for outcome in outcomes)
-            scores = {
-                summary.node_index: summary.mean_e_s
-                for summary in summaries
-                if summary.mean_e_s is not None
-            }
+            failed: Tuple[int, ...] = ()
+            lost: Tuple[int, ...] = ()
+            if guard is not None:
+                assert isinstance(outcomes, ShardReport)
+                for node in sorted(missed):
+                    sentence = guard.report_failure(node)
+                    if tracer is not None:
+                        tracer.emit(
+                            NodeQuarantined(
+                                time_s=epoch_start_s,
+                                node=node,
+                                epoch=epoch,
+                                until_epoch=epoch + sentence,
+                                reason="straggler",
+                                detail=(
+                                    f"latency x"
+                                    f"{chaos.straggle_factor(node, epoch):g} "
+                                    f"missed the epoch deadline"
+                                ),
+                            )
+                        )
+                failed_run = set(outcomes.failed_nodes())
+                details = {
+                    outcomes.items[failure.index].node_index: failure.describe()
+                    for failure in outcomes.failures
+                }
+                for node in sorted(failed_run):
+                    sentence = guard.report_failure(node)
+                    if tracer is not None:
+                        tracer.emit(
+                            NodeQuarantined(
+                                time_s=epoch_end_s,
+                                node=node,
+                                epoch=epoch,
+                                until_epoch=epoch + sentence,
+                                reason="run_failed",
+                                detail=details.get(node, ""),
+                            )
+                        )
+                failed = tuple(sorted(failed_run | missed))
+                completed = outcomes.completed()
+                lost_plan = (
+                    set(chaos.lost_summaries(epoch))
+                    if chaos is not None
+                    else set()
+                )
+                dropped: List[int] = []
+                kept: List[NodeEpochSummary] = []
+                for node in sorted(completed):
+                    summary = completed[node].summary
+                    if chaos is not None:
+                        corruption = chaos.corruption_for(node, epoch)
+                        if corruption is not None:
+                            summary = corruption.corrupt(summary)
+                    if node in lost_plan or not summary_is_sane(summary):
+                        dropped.append(node)
+                        continue
+                    kept.append(summary)
+                    guard.hold(node, summary)
+                lost = tuple(dropped)
+                summaries = tuple(kept)
+                scores = {
+                    summary.node_index: summary.mean_e_s
+                    for summary in summaries
+                    if summary.mean_e_s is not None
+                }
+                # Dark nodes keep scoring from their last good summary,
+                # up to the guard's staleness cap.
+                for node in sorted(down | set(lost) | set(failed)):
+                    if node in scores:
+                        continue
+                    held = guard.held_score(node)
+                    if held is not None:
+                        scores[node] = held
+            else:
+                summaries = tuple(outcome.summary for outcome in outcomes)
+                scores = {
+                    summary.node_index: summary.mean_e_s
+                    for summary in summaries
+                    if summary.mean_e_s is not None
+                }
             moves: Tuple[Move, ...] = ()
             if migration is not None and epoch + 1 < epochs:
+                # Down and freshly-failed nodes are untouchable: their
+                # held scores keep the books, not the migration plan.
+                untouchable = down | set(failed)
+                eligible = {
+                    node: score
+                    for node, score in scores.items()
+                    if node not in untouchable
+                }
                 moves = tuple(
                     migration.propose(
-                        scores,
+                        eligible,
                         assignment,
                         self.specs,
-                        now_s=(epoch + 1) * epoch_duration_s,
+                        now_s=epoch_end_s,
                         horizon_s=epoch_duration_s,
                     )
                 )
             timeline.append(
                 GlobalEpoch(
                     epoch=epoch,
-                    start_s=epoch * epoch_duration_s,
+                    start_s=epoch_start_s,
                     assignment=assignment,
                     node_summaries=summaries,
                     scores=scores,
                     moves=moves,
                     admitted=tuple(admitted),
+                    quarantined=tuple(sorted(down)),
+                    failed=failed,
+                    recovered=tuple(recovered),
+                    lost=lost,
+                    failovers=failovers,
+                    parked=parked,
                 )
             )
+            if guard is not None:
+                guard.tick()
             for move in moves:
                 assignment = assignment.moved(move.member, move.target)
+            if (
+                checkpoint_path is not None
+                and (epoch + 1) % checkpoint_every == 0
+            ):
+                DatacenterCheckpoint(
+                    next_epoch=epoch + 1,
+                    config=config,
+                    epochs=tuple(entry.to_dict() for entry in timeline),
+                    scores=scores,
+                    prior_down=tuple(sorted(down)),
+                    migration_state=(
+                        migration.state_dict() if migration is not None else {}
+                    ),
+                    quarantine_state=(
+                        guard.state_dict() if guard is not None else {}
+                    ),
+                ).save(checkpoint_path)
+                if tracer is not None:
+                    tracer.emit(
+                        CheckpointWritten(
+                            time_s=epoch_end_s,
+                            path=checkpoint_path,
+                            next_epoch=epoch + 1,
+                            epochs=len(timeline),
+                        )
+                    )
+        scheduler_name = "n/a"
+        for entry in timeline:
+            if entry.node_summaries:
+                scheduler_name = entry.node_summaries[0].scheduler_name
+                break
         return DatacenterTimeline(
             placement_name=placement.name,
-            scheduler_name=(
-                timeline[0].node_summaries[0].scheduler_name
-                if timeline and timeline[0].node_summaries
-                else "n/a"
-            ),
+            scheduler_name=scheduler_name,
             migration_name=migration.name if migration is not None else "static",
             epoch_duration_s=epoch_duration_s,
             epochs=tuple(timeline),
@@ -657,16 +1053,30 @@ class Datacenter:
 
     @staticmethod
     def _admission_node(
-        scores: Mapping[int, float], assignment: Assignment
+        scores: Mapping[int, float],
+        assignment: Assignment,
+        excluded: Sequence[int] = (),
     ) -> int:
         """Interference-aware admission: the lowest-scoring node.
 
         Before any scores exist (epoch 0), fall back to the node with
         the fewest members. Ties break on the lower node index.
+        ``excluded`` nodes (quarantined) are never admitted onto unless
+        *every* node is excluded, in which case the exclusion is waived
+        — an arrival must land somewhere.
         """
-        if scores:
-            return min(sorted(scores), key=lambda node: scores[node])
+        exclude = set(excluded)
+        candidates = [
+            node
+            for node in range(len(assignment.per_node))
+            if node not in exclude
+        ]
+        if not candidates:
+            candidates = list(range(len(assignment.per_node)))
+        scored = sorted(node for node in candidates if node in scores)
+        if scored:
+            return min(scored, key=lambda node: scores[node])
         return min(
-            range(len(assignment.per_node)),
+            candidates,
             key=lambda node: (len(assignment.per_node[node]), node),
         )

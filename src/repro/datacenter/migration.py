@@ -117,6 +117,19 @@ class MigrationPolicy(abc.ABC):
     def reset(self) -> None:
         """Clear any internal state (cooldowns) before a fresh timeline."""
 
+    def state_dict(self) -> Dict[str, object]:
+        """The policy's mutable state as a JSON-safe dict.
+
+        Stateless policies return ``{}``. Stateful ones (cooldowns)
+        override so the datacenter checkpoint can capture and restore
+        them — resumed timelines must propose the same moves the
+        uninterrupted run would have.
+        """
+        return {}
+
+    def load_state(self, state: Mapping[str, object]) -> None:
+        """Restore state previously captured with :meth:`state_dict`."""
+
 
 class StaticPolicy(MigrationPolicy):
     """The do-nothing baseline: placements never change."""
@@ -175,6 +188,21 @@ class EntropyGuidedMigration(MigrationPolicy):
     def reset(self) -> None:
         """Forget every node's cooldown."""
         self._cooldowns.clear()
+
+    def state_dict(self) -> Dict[str, object]:
+        """The cooldown table as a JSON-safe dict (checkpoint support)."""
+        return {
+            "cooldowns": {
+                str(node): left for node, left in sorted(self._cooldowns.items())
+            }
+        }
+
+    def load_state(self, state: Mapping[str, object]) -> None:
+        """Restore cooldowns captured with :meth:`state_dict`."""
+        self._cooldowns = {
+            int(node): left
+            for node, left in state.get("cooldowns", {}).items()
+        }
 
     def propose(
         self,

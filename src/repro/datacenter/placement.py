@@ -189,6 +189,25 @@ class Assignment:
         buckets[target].append(moved_member)
         return Assignment(per_node=tuple(tuple(b) for b in buckets))
 
+    def cleared(self, nodes: Sequence[int]) -> "Assignment":
+        """A new assignment with the given nodes' buckets emptied.
+
+        The degraded-mode epoch loop uses this to keep quarantined
+        nodes' parked tenants out of an epoch run without forgetting
+        where they live: the cleared copy is what *runs*, the original
+        keeps the book-keeping. Out-of-range indices are ignored (a
+        fault plan may name nodes a smaller cluster doesn't have).
+        """
+        exclude = {node for node in nodes if 0 <= node < len(self.per_node)}
+        if not exclude:
+            return self
+        return Assignment(
+            per_node=tuple(
+                () if index in exclude else bucket
+                for index, bucket in enumerate(self.per_node)
+            )
+        )
+
     def with_admitted(self, member: Member, node: int) -> "Assignment":
         """A new assignment with ``member`` added to node ``node``."""
         if not 0 <= node < len(self.per_node):

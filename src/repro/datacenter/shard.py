@@ -24,7 +24,16 @@ serial path.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.check.invariants import CheckConfig
 from repro.cluster.collocation import Collocation
@@ -34,7 +43,13 @@ from repro.errors import ConfigurationError, MeasurementError
 from repro.faults.plan import FaultPlan
 from repro.obs.events import CollectingTracer, TraceEvent
 from repro.obs.windows import WindowConfig, WindowSummary
-from repro.parallel.runner import ParallelRunError, resolve_jobs, run_with_recovery
+from repro.parallel.runner import (
+    ParallelRunError,
+    PointFailure,
+    resolve_jobs,
+    run_with_recovery,
+    summarize_failures,
+)
 from repro.schedulers.base import Scheduler
 
 
@@ -93,6 +108,45 @@ class NodeEpochSummary:
             1 for obs in self.lc if obs.measured_ms <= obs.threshold_ms
         )
         return satisfied / len(self.lc)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "NodeEpochSummary":
+        """Rebuild a summary from :meth:`to_dict` output.
+
+        The inverse of the wire dict up to the window report (which
+        ``to_dict`` deliberately omits): every scoring field — means,
+        violation counts, per-application observations — round-trips
+        exactly, which is what checkpoint/resume byte-identity rests on.
+        """
+        return cls(
+            node_index=payload["node_index"],
+            scheduler_name=payload["scheduler"],
+            seed=payload["seed"],
+            epochs=payload["epochs"],
+            measured_epochs=payload["measured_epochs"],
+            mean_e_s=payload["mean_e_s"],
+            mean_e_lc=payload["mean_e_lc"],
+            mean_e_be=payload["mean_e_be"],
+            violations=payload["violations"],
+            check_violation_count=payload.get("check_violations", 0),
+            lc=tuple(
+                LCObservation(
+                    name=obs["name"],
+                    ideal_ms=obs["ideal_ms"],
+                    measured_ms=obs["measured_ms"],
+                    threshold_ms=obs["threshold_ms"],
+                )
+                for obs in payload.get("lc", ())
+            ),
+            be=tuple(
+                BEObservation(
+                    name=obs["name"],
+                    ipc_solo=obs["ipc_solo"],
+                    ipc_real=obs["ipc_real"],
+                )
+                for obs in payload.get("be", ())
+            ),
+        )
 
     def to_dict(self) -> Dict[str, object]:
         """A JSON-ready dict (window report omitted — export separately)."""
@@ -247,26 +301,86 @@ def _run_node(item: NodeRun) -> NodeOutcome:
     )
 
 
+#: Failure policies :func:`run_shards` accepts.
+ON_ERROR_MODES = ("raise", "salvage")
+
+
+@dataclass(frozen=True)
+class ShardReport:
+    """Partial node outcomes plus a structured per-node failure report.
+
+    The datacenter-shaped sibling of
+    :class:`~repro.parallel.runner.BatchReport`, returned by
+    :func:`run_shards` in ``on_error="salvage"`` mode. ``outcomes``
+    aligns with submission order (``None`` where the node's run
+    ultimately failed); :meth:`completed` re-keys survivors by their
+    **node index** — the currency of the datacenter layer — and
+    ``failed_nodes`` names the casualties the degraded epoch loop feeds
+    into quarantine.
+    """
+
+    items: Tuple[NodeRun, ...]
+    outcomes: Tuple[Optional[NodeOutcome], ...]
+    failures: Tuple[PointFailure, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        """Whether every node run succeeded."""
+        return not self.failures
+
+    def completed(self) -> Dict[int, NodeOutcome]:
+        """Map node index → outcome for every node that succeeded."""
+        return {
+            item.node_index: outcome
+            for item, outcome in zip(self.items, self.outcomes)
+            if outcome is not None
+        }
+
+    def failed_nodes(self) -> Tuple[int, ...]:
+        """Sorted node indices whose runs exhausted every attempt."""
+        return tuple(
+            sorted(self.items[failure.index].node_index for failure in self.failures)
+        )
+
+    def failure_report(self) -> List[Dict[str, object]]:
+        """JSON-safe failure dicts, each tagged with its node index."""
+        report = summarize_failures(self.failures)
+        for entry, failure in zip(report, self.failures):
+            entry["node_index"] = self.items[failure.index].node_index
+        return report
+
+
 def run_shards(
     items: Sequence[NodeRun],
     jobs: Optional[int] = None,
     *,
     timeout_s: Optional[float] = None,
     retries: int = 0,
-) -> List[NodeOutcome]:
+    on_error: str = "raise",
+) -> Union[List[NodeOutcome], ShardReport]:
     """Execute every node run, returning outcomes in submission order.
 
     ``jobs=1`` runs serially in-process through the *same* worker
     function the pool uses, so the two paths are byte-identical.
     ``timeout_s``/``retries`` follow
     :func:`repro.parallel.runner.run_with_recovery` (per-node timeout,
-    deterministic backoff, stuck-worker recycling). The first exhausted
-    failure raises :class:`~repro.parallel.runner.ParallelRunError`
-    carrying the failing node's parameters and every outcome completed
-    before it.
+    deterministic backoff, stuck-worker recycling).
+
+    ``on_error="raise"`` (default) raises
+    :class:`~repro.parallel.runner.ParallelRunError` at the first
+    exhausted failure, carrying the failing node's parameters and every
+    outcome completed before it, and returns a plain outcome list when
+    everything succeeds. ``on_error="salvage"`` never raises for node
+    failures: every item runs to completion and a :class:`ShardReport`
+    ships the partial outcomes plus a structured per-node failure
+    report — the mode the degraded-mode epoch loop runs in.
     """
+    if on_error not in ON_ERROR_MODES:
+        raise ConfigurationError(
+            f"on_error must be one of {ON_ERROR_MODES}, got {on_error!r}"
+        )
     if not items:
-        return []
+        return ShardReport(items=(), outcomes=()) if on_error == "salvage" else []
     workers = min(resolve_jobs(jobs), len(items))
     outcomes, failures = run_with_recovery(
         _run_node,
@@ -274,8 +388,14 @@ def run_shards(
         jobs=workers,
         timeout_s=timeout_s,
         retries=retries,
-        stop_on_failure=True,
+        stop_on_failure=on_error == "raise",
     )
+    if on_error == "salvage":
+        return ShardReport(
+            items=tuple(items),
+            outcomes=tuple(outcomes),
+            failures=tuple(failures),
+        )
     if failures:
         first = failures[0]
         completed = {

@@ -1,0 +1,257 @@
+"""Fig. 16 (extension): the diurnal datacenter under a crash schedule.
+
+Not a figure from the paper — the robustness companion to Fig. 15. The
+paper's global perspective (§VII) assumes every node keeps reporting;
+real clusters lose machines mid-epoch. This experiment runs the same
+1000-node diurnal population under a deterministic
+:class:`~repro.datacenter.chaos.ClusterFaultPlan` (node crashes plus a
+deadline-missing straggler) and compares two control planes on
+identical populations, seeds and fault schedules:
+
+* **static** — faults are detected and the dead nodes quarantined, but
+  their tenants stay *parked* (no failover) and no migration runs: the
+  cluster simply loses the crashed capacity until the node returns;
+* **quarantine+failover** — the degraded-mode loop at full power:
+  crashed nodes are quarantined with probation,
+  :func:`~repro.datacenter.recovery.failover_moves` re-homes their
+  tenants onto the lowest-``E_S`` feasible survivors, and
+  :class:`~repro.datacenter.migration.EntropyGuidedMigration`
+  rebalances between epochs.
+
+The rendered tables report pooled ``E_S``/``E_LC``/``E_BE``, SLO
+violations, parked tenant-epochs (service lost to the crash) and the
+per-crash service outage — epochs the crashed node's tenants sat
+parked. Failover re-homes tenants in the crash epoch itself, so
+the recovering plane's parked count stays at zero while the static
+plane parks every tenant of the dead node for the whole quarantine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.datacenter.chaos import ClusterFaultPlan, NodeCrash, NodeStraggle
+from repro.datacenter.cluster import Datacenter, DatacenterTimeline
+from repro.datacenter.migration import EntropyGuidedMigration
+from repro.datacenter.placement import BinPackingPlacement
+from repro.datacenter.recovery import Quarantine
+from repro.experiments.common import STRATEGY_FACTORIES, quick_mode
+from repro.experiments.fig15_datacenter import build_population
+from repro.experiments.reporting import ascii_table
+from repro.obs.export import say
+from repro.server.spec import NodeSpec
+
+DEFAULT_NODES = 1000
+DEFAULT_EPOCHS = 8
+DEFAULT_EPOCH_S = 30.0
+QUICK_NODES = 40
+QUICK_EPOCHS = 5
+QUICK_EPOCH_S = 10.0
+
+
+def build_chaos_plan(nodes: int) -> ClusterFaultPlan:
+    """The Fig. 16 fault schedule for a ``nodes``-machine cluster.
+
+    A function of the cluster size *only* (never the epoch target), so a
+    checkpointed prefix and its resumed continuation construct the same
+    plan byte for byte. Two spaced crashes (two epochs of downtime
+    each) plus one deadline-missing straggler; faults scheduled past the
+    epoch target simply never fire.
+    """
+    if nodes < 4:
+        raise ValueError(f"fig16 needs at least 4 nodes, got {nodes}")
+    return ClusterFaultPlan(
+        faults=(
+            NodeCrash(node=nodes // 3, epoch=1, duration_epochs=2),
+            NodeCrash(node=(2 * nodes) // 3, epoch=4, duration_epochs=2),
+            NodeStraggle(node=nodes // 5, epoch=2, duration_epochs=1, factor=6.0),
+        )
+    )
+
+
+@dataclass(frozen=True)
+class Fig16Result:
+    """The chaos comparison: one timeline per control plane."""
+
+    nodes: int
+    epochs: int
+    epoch_duration_s: float
+    strategy: str
+    plan: ClusterFaultPlan
+    timelines: Dict[str, DatacenterTimeline]
+
+    def parked_tenant_epochs(self, policy: str) -> int:
+        """Tenant-epochs of service lost to parking under one plane."""
+        return sum(len(e.parked) for e in self.timelines[policy].epochs)
+
+    def recovery_epochs(self, policy: str, crash: NodeCrash) -> int:
+        """Epochs of service outage attributable to ``crash``.
+
+        Counts the epochs at or after the crash during which the crashed
+        node is out of service *and* tenants sit parked — with failover
+        the tenants are evacuated in the crash epoch itself, so the
+        count is 0; without, it spans the whole quarantine sentence.
+        Overlapping crashes are scoped apart by the node-down condition.
+        """
+        timeline = self.timelines[policy]
+        return sum(
+            1
+            for entry in timeline.epochs
+            if entry.epoch >= crash.epoch
+            and crash.node in entry.quarantined
+            and entry.parked
+        )
+
+    def recovery_censored(self, policy: str, crash: NodeCrash) -> bool:
+        """True when the outage from ``crash`` outlives the run.
+
+        The run's last epoch still has the crashed node down with parked
+        tenants, so :meth:`recovery_epochs` is a lower bound.
+        """
+        timeline = self.timelines[policy]
+        if not timeline.epochs:
+            return False
+        last = timeline.epochs[-1]
+        return bool(crash.node in last.quarantined and last.parked)
+
+    def failovers(self, policy: str) -> int:
+        """Total failover moves executed by one plane."""
+        return sum(len(e.failovers) for e in self.timelines[policy].epochs)
+
+
+def run_fig16(
+    nodes: Optional[int] = None,
+    epochs: Optional[int] = None,
+    epoch_duration_s: Optional[float] = None,
+    strategy: str = "arq",
+    seed: int = 2023,
+    jobs: Optional[int] = None,
+    specs: Optional[Sequence[NodeSpec]] = None,
+) -> Fig16Result:
+    """Run the static-vs-recovering chaos comparison.
+
+    Both planes share the population, placement, node seeds, epoch grid
+    and fault plan — the only difference is whether the degraded-mode
+    loop fails tenants over (plus between-epoch migration), so the gap
+    in parked tenant-epochs and pooled entropy is attributable to the
+    recovery machinery alone.
+    """
+    if nodes is None:
+        nodes = QUICK_NODES if quick_mode() else DEFAULT_NODES
+    if epochs is None:
+        epochs = QUICK_EPOCHS if quick_mode() else DEFAULT_EPOCHS
+    if epoch_duration_s is None:
+        epoch_duration_s = QUICK_EPOCH_S if quick_mode() else DEFAULT_EPOCH_S
+    datacenter = Datacenter(
+        specs=tuple(specs) if specs is not None else (NodeSpec(),) * nodes
+    )
+    members = build_population(nodes)
+    placement = BinPackingPlacement()
+    factory = STRATEGY_FACTORIES[strategy]
+    plan = build_chaos_plan(nodes)
+    planes: Tuple[Tuple[str, Quarantine, Optional[EntropyGuidedMigration]], ...] = (
+        ("static", Quarantine(failover=False), None),
+        (
+            "quarantine+failover",
+            Quarantine(),
+            EntropyGuidedMigration(budget=max(2, nodes // 8)),
+        ),
+    )
+    timelines: Dict[str, DatacenterTimeline] = {}
+    for name, guard, migration in planes:
+        timelines[name] = datacenter.run_epochs(
+            members,
+            placement,
+            factory,
+            epochs=epochs,
+            epoch_duration_s=epoch_duration_s,
+            seed=seed,
+            jobs=jobs,
+            migration=migration,
+            chaos=plan,
+            quarantine=guard,
+        )
+    return Fig16Result(
+        nodes=nodes,
+        epochs=epochs,
+        epoch_duration_s=epoch_duration_s,
+        strategy=strategy,
+        plan=plan,
+        timelines=timelines,
+    )
+
+
+def render(result: Fig16Result) -> str:
+    """Render the chaos comparison tables."""
+    rows = []
+    for policy, timeline in result.timelines.items():
+        breakdown = timeline.breakdown()
+        rows.append(
+            [
+                policy,
+                breakdown.e_s,
+                breakdown.e_lc,
+                breakdown.e_be,
+                timeline.violations(),
+                result.parked_tenant_epochs(policy),
+                result.failovers(policy),
+                timeline.total_moves(),
+            ]
+        )
+    comparison = ascii_table(
+        [
+            "policy",
+            "E_S",
+            "E_LC",
+            "E_BE",
+            "violations",
+            "parked",
+            "failovers",
+            "moves",
+        ],
+        rows,
+        precision=4,
+        title=(
+            f"Fig. 16 — {result.nodes}-node diurnal datacenter under chaos, "
+            f"{result.epochs} x {result.epoch_duration_s:g}s global epochs "
+            f"under '{result.strategy}' (pooled over all epochs x nodes)"
+        ),
+    )
+    crash_rows: List[List[object]] = []
+    for crash in result.plan.crashes():
+        if crash.epoch >= result.epochs:
+            continue
+        for policy in result.timelines:
+            recovery = result.recovery_epochs(policy, crash)
+            censored = result.recovery_censored(policy, crash)
+            crash_rows.append(
+                [
+                    f"node {crash.node} @ epoch {crash.epoch}",
+                    policy,
+                    f">={recovery}" if censored else recovery,
+                ]
+            )
+    recovery_table = ascii_table(
+        ["crash", "policy", "outage (epochs)"],
+        crash_rows,
+        title="Service outage per crash: epochs the crashed node's "
+        "tenants sat parked",
+    )
+    static_parked = result.parked_tenant_epochs("static")
+    recovering_parked = result.parked_tenant_epochs("quarantine+failover")
+    gain = (
+        f"Quarantine+failover parks {recovering_parked} tenant-epochs vs "
+        f"{static_parked} for the static plane "
+        f"({result.failovers('quarantine+failover')} failover moves)."
+    )
+    return "\n\n".join([comparison, recovery_table, gain])
+
+
+def main() -> None:
+    """CLI entry point."""
+    say(render(run_fig16()))
+
+
+if __name__ == "__main__":
+    main()

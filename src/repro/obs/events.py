@@ -341,6 +341,58 @@ class DecisionSkipped(TraceEvent):
     detail: str = ""
 
 
+# -- datacenter / cluster recovery -------------------------------------------
+
+
+@dataclass(frozen=True)
+class NodeQuarantined(TraceEvent):
+    """The coordinator quarantined a node after a failure or deadline miss.
+
+    ``node`` is the global node index, ``reason`` a stable cause tag
+    (``"crash"``, ``"straggler"``, ``"run_failed"``, ...), ``until_epoch``
+    the first global epoch the node may serve again (its probation
+    start) and ``epoch`` the global epoch the decision was made at.
+    """
+
+    kind: ClassVar[str] = "node_quarantined"
+
+    node: int = 0
+    epoch: int = 0
+    until_epoch: int = 0
+    reason: str = ""
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class NodeRecovered(TraceEvent):
+    """A quarantined node served its sentence and re-entered service.
+
+    Emitted at the start of the global epoch the node rejoins at; the
+    node runs on probation for ``probation_epochs`` further epochs.
+    """
+
+    kind: ClassVar[str] = "node_recovered"
+
+    node: int = 0
+    epoch: int = 0
+    probation_epochs: int = 0
+
+
+@dataclass(frozen=True)
+class CheckpointWritten(TraceEvent):
+    """The epoch loop persisted a resumable checkpoint snapshot.
+
+    ``next_epoch`` is where a resumed run would continue; ``epochs`` the
+    number of completed epoch records the snapshot carries.
+    """
+
+    kind: ClassVar[str] = "checkpoint_written"
+
+    path: str = ""
+    next_epoch: int = 0
+    epochs: int = 0
+
+
 # -- verification ------------------------------------------------------------
 
 

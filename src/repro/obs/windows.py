@@ -69,6 +69,9 @@ ANNOTATED_KINDS = (
     "invariant_violation",
     "decision_skipped",
     "telemetry_gap",
+    "node_quarantined",
+    "node_recovered",
+    "checkpoint_written",
 )
 
 #: Fault kinds that change ground truth (vs. telemetry-view corruption);
@@ -419,12 +422,18 @@ class Window:
             if event.plan_changed:
                 self.plan_changes += 1
         if event.kind in ANNOTATED_KINDS:
-            label = (
-                getattr(event, "fault", None)
-                or getattr(event, "scheduler", None)
-                or getattr(event, "invariant", None)
-                or ""
-            )
+            # Cluster events label by node index — checked with ``is not
+            # None`` because node 0 is falsy but perfectly real.
+            node = getattr(event, "node", None)
+            if node is not None:
+                label = f"node {node}"
+            else:
+                label = (
+                    getattr(event, "fault", None)
+                    or getattr(event, "scheduler", None)
+                    or getattr(event, "invariant", None)
+                    or ""
+                )
             detail = getattr(event, "detail", "") or getattr(event, "reason", "")
             self._annotate(
                 Annotation(
@@ -782,7 +791,7 @@ class WindowedTracer:
 class Cause:
     """One ranked explanation for a tail-latency spike."""
 
-    kind: str  # "fault" | "scheduler" | "co_runner" | "load"
+    kind: str  # "fault" | "scheduler" | "cluster" | "co_runner" | "load"
     label: str
     score: float
     evidence: str
@@ -863,6 +872,8 @@ def why_slow(
       faults, which can only hurt via bad decisions);
     * **scheduler** — resource moves/rollbacks/plan changes inside the
       range, scored by their density relative to the baseline windows;
+    * **cluster** — node quarantines inside the range (the datacenter
+      loop ran degraded: tenants failed over or sat parked);
     * **co-runners** — BE apps whose IPC inside the range dropped below
       their baseline (they were fighting for the shared resources), and
     * **load** — LC apps whose offered load rose above baseline.
@@ -958,6 +969,32 @@ def why_slow(
                 evidence=(
                     f"{spike_churn} moves/rollbacks/plan changes in the range "
                     f"({spike_rate:.2f}/window vs {base_rate:.2f} baseline)"
+                ),
+            )
+        )
+
+    # Cluster degradation: node quarantines in the range mean the epoch
+    # loop ran degraded — failover churn and parked tenants both move
+    # tail latency for everyone sharing the survivors.
+    quarantined = sum(w.counts.get("node_quarantined", 0) for w in spike)
+    if quarantined:
+        nodes = sorted(
+            {
+                a.label
+                for w in spike
+                for a in w.annotations
+                if a.kind == "node_quarantined" and a.label
+            }
+        )
+        causes.append(
+            Cause(
+                kind="cluster",
+                label=", ".join(nodes) if nodes else "quarantine",
+                score=min(0.85, 0.4 + 0.15 * quarantined),
+                evidence=(
+                    f"{quarantined} node quarantine(s) in the range — "
+                    "tenants failed over or sat parked while the cluster "
+                    "ran degraded"
                 ),
             )
         )

@@ -355,6 +355,18 @@ class PointFailure:
         }
 
 
+def summarize_failures(
+    failures: Sequence["PointFailure"],
+) -> List[Dict[str, Any]]:
+    """Fold a failure list into JSON-safe dicts (for logs and artefacts).
+
+    The shared report shape behind :meth:`BatchReport.failure_report`
+    and the datacenter layer's
+    :meth:`~repro.datacenter.shard.ShardReport.failure_report`.
+    """
+    return [failure.as_dict() for failure in failures]
+
+
 @dataclass(frozen=True)
 class BatchReport:
     """Partial results plus a structured failure report (salvage mode).
@@ -380,7 +392,7 @@ class BatchReport:
 
     def failure_report(self) -> List[Dict[str, Any]]:
         """The failures as JSON-safe dicts (for logs and artefacts)."""
-        return [failure.as_dict() for failure in self.failures]
+        return summarize_failures(self.failures)
 
 
 def backoff_s(base_s: float, attempt: int) -> float:

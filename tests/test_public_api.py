@@ -49,7 +49,22 @@ EXPECTED_PUBLIC_NAMES = {
     "Move",
     "Placement",
     "RoundRobinPlacement",
+    "ShardReport",
     "migration_policy",
+    # datacenter chaos + recovery
+    "ClusterFaultPlan",
+    "NodeFaultSpec",
+    "NodeCrash",
+    "NodeStraggle",
+    "NodeFlap",
+    "SummaryLoss",
+    "SummaryCorruption",
+    "cluster_fault_preset",
+    "Quarantine",
+    "DatacenterCheckpoint",
+    "NodeQuarantined",
+    "NodeRecovered",
+    "CheckpointWritten",
     # errors
     "ReproError",
     "ConfigurationError",
