@@ -27,7 +27,7 @@ See ``DESIGN.md`` for the module inventory and ``EXPERIMENTS.md`` for the
 paper-vs-measured record of every table and figure.
 """
 
-from repro.api import RunConfig, RunSummary, compare, run
+from repro.api import ABConfig, RunConfig, RunSummary, ab, compare, run
 from repro.check import (
     CheckConfig,
     CheckingTracer,
@@ -67,6 +67,20 @@ from repro.datacenter import (
     SummaryLoss,
     cluster_fault_preset,
     migration_policy,
+)
+from repro.experiment import (
+    ABResult,
+    Estimate,
+    InterleavedDesign,
+    PairedDesign,
+    SwitchbackDesign,
+    SwitchbackScheduler,
+    TrialMetrics,
+    ab_compare,
+    design_of,
+    difference_in_means,
+    dq_difference,
+    paired_difference,
 )
 from repro.errors import (
     AllocationError,
@@ -155,6 +169,8 @@ from repro.workloads import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "ABConfig",
+    "ABResult",
     "ARQScheduler",
     "AllocationError",
     "Assignment",
@@ -182,11 +198,13 @@ __all__ = [
     "DiurnalLoad",
     "EntropyAwarePlacement",
     "EntropyGuidedMigration",
+    "Estimate",
     "FaultError",
     "FaultInjector",
     "FaultPlan",
     "FaultSpec",
     "FluctuatingLoad",
+    "InterleavedDesign",
     "InvariantViolation",
     "LCFirstScheduler",
     "LCMember",
@@ -208,6 +226,7 @@ __all__ = [
     "NodeStraggle",
     "NullTracer",
     "PAPER_NODE",
+    "PairedDesign",
     "ParallelRunError",
     "PartiesScheduler",
     "Placement",
@@ -231,6 +250,8 @@ __all__ = [
     "StaticScheduler",
     "SummaryCorruption",
     "SummaryLoss",
+    "SwitchbackDesign",
+    "SwitchbackScheduler",
     "SystemObservation",
     "TelemetryCorruption",
     "TelemetryCorruptionError",
@@ -238,25 +259,32 @@ __all__ = [
     "TimeShiftedLoad",
     "TraceEvent",
     "Tracer",
+    "TrialMetrics",
     "UnknownApplicationError",
     "UnmanagedScheduler",
     "WhySlowReport",
     "WindowConfig",
     "WindowSummary",
     "WindowedTracer",
+    "ab",
+    "ab_compare",
     "be_entropy",
     "be_profile",
     "check_trace",
     "cluster_fault_preset",
     "compare",
     "compose_tracers",
+    "design_of",
+    "difference_in_means",
     "differential_check",
+    "dq_difference",
     "fault_preset",
     "lc_entropy",
     "lc_profile",
     "littles_law_report",
     "merge_window_summaries",
     "migration_policy",
+    "paired_difference",
     "resource_equivalence",
     "run",
     "run_collocation",

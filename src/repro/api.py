@@ -46,8 +46,11 @@ from repro.datacenter import (  # noqa: F401
     migration_policy,
 )
 from repro.errors import ConfigurationError
+from repro.experiment.design import DESIGN_NAMES
+from repro.experiment.harness import ABResult
 from repro.experiments.common import (
     DEFAULT_DURATION_S,
+    MIX_PRESETS,
     STRATEGY_FACTORIES,
     STRATEGY_ORDER,
     make_collocation,
@@ -285,4 +288,83 @@ def _warmup_of(config: RunConfig) -> float:
     """The effective warm-up window (the run loop's 20% default)."""
     return (
         config.warmup_s if config.warmup_s is not None else 0.2 * config.duration_s
+    )
+
+
+@dataclass(frozen=True)
+class ABConfig:
+    """A declarative description of one policy A/B comparison.
+
+    ``policy_a``/``policy_b`` are base strategy names; ``mix`` is a
+    :data:`repro.experiments.common.MIX_PRESETS` key; ``design`` names a
+    trial design from :data:`repro.experiment.design.DESIGN_NAMES`
+    (``"paired"`` shares one seed and load draw per trial across both
+    arms, ``"switchback"`` alternates both policies inside single runs,
+    ``"interleaved"`` assigns arms to independent runs alternately).
+    ``duration_s``/``warmup_s`` of ``None`` defer to the design's own
+    timing. Equal configs produce byte-identical
+    :class:`~repro.experiment.harness.ABResult` values at any job count.
+    """
+
+    policy_a: str = "arq"
+    policy_b: str = "unmanaged"
+    mix: str = "canonical"
+    design: str = "paired"
+    trials: int = 20
+    duration_s: Optional[float] = None
+    warmup_s: Optional[float] = None
+    seed: int = 2023
+
+    def __post_init__(self) -> None:
+        for label, policy in (("policy_a", self.policy_a), ("policy_b", self.policy_b)):
+            if policy not in STRATEGY_FACTORIES:
+                raise ConfigurationError(
+                    f"{label}={policy!r} is not a strategy; choose from "
+                    f"{sorted(STRATEGY_FACTORIES)}"
+                )
+        if self.mix not in MIX_PRESETS:
+            raise ConfigurationError(
+                f"unknown mix {self.mix!r}; known mixes: {sorted(MIX_PRESETS)}"
+            )
+        if self.design not in DESIGN_NAMES:
+            raise ConfigurationError(
+                f"unknown design {self.design!r}; choose from {DESIGN_NAMES}"
+            )
+        if self.trials < 2:
+            raise ConfigurationError(
+                f"an A/B comparison needs >= 2 trials, got {self.trials}"
+            )
+
+
+def ab(
+    config: Optional[ABConfig] = None,
+    *,
+    jobs: Optional[int] = None,
+    **overrides: object,
+) -> "ABResult":
+    """Run the policy A/B comparison described by ``config``.
+
+    ``ab()`` with no arguments compares ARQ against Unmanaged on the
+    canonical mix with the paired design;
+    ``ab(policy_b="clite", design="switchback")`` tweaks fields without
+    building an :class:`ABConfig` by hand. Returns the
+    :class:`~repro.experiment.harness.ABResult` with per-metric naive /
+    paired / Differences-in-Q estimates and 95% confidence intervals.
+    """
+    from repro.experiment.harness import ab_compare
+
+    if config is None:
+        config = ABConfig(**overrides)  # type: ignore[arg-type]
+    elif overrides:
+        config = replace(config, **overrides)  # type: ignore[arg-type]
+    return ab_compare(
+        config.policy_a,
+        config.policy_b,
+        mix=config.mix,
+        design=config.design,
+        trials=config.trials,
+        duration_s=config.duration_s,
+        warmup_s=config.warmup_s,
+        seed=config.seed,
+        jobs=jobs,
     )

@@ -80,6 +80,7 @@ from repro.check.golden import (
 )
 from repro.check.invariants import littles_law_report
 from repro.errors import FaultError
+from repro.experiment.design import DESIGN_NAMES
 from repro.experiments.common import (
     MIX_PRESETS,
     STRATEGY_FACTORIES,
@@ -133,6 +134,7 @@ _EXPERIMENTS: Dict[str, str] = {
     "fig14": "repro.experiments.fig14_resilience",
     "fig15": "repro.experiments.fig15_datacenter",
     "fig16": "repro.experiments.fig16_chaos",
+    "fig17": "repro.experiments.fig17_ab",
 }
 
 #: ``--mix`` presets — canonically defined in
@@ -288,7 +290,11 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment_parser = commands.add_parser(
         "experiment", help="regenerate a paper table/figure"
     )
-    experiment_parser.add_argument("name", choices=sorted(_EXPERIMENTS))
+    experiment_parser.add_argument(
+        "name",
+        choices=sorted(_EXPERIMENTS) + ["ab"],
+        help="a committed figure/table, or 'ab' for a policy A/B comparison",
+    )
     _jobs_argument(experiment_parser)
     experiment_parser.add_argument(
         "--quiet", action="store_true", help="suppress stdout reporting"
@@ -297,6 +303,40 @@ def _build_parser() -> argparse.ArgumentParser:
         "--quick",
         action="store_true",
         help="run the experiment's reduced smoke-test sweep",
+    )
+    experiment_parser.add_argument(
+        "--a", dest="policy_a", choices=sorted(STRATEGY_FACTORIES),
+        default="arq", help="[ab] arm A policy",
+    )
+    experiment_parser.add_argument(
+        "--b", dest="policy_b", choices=sorted(STRATEGY_FACTORIES),
+        default="unmanaged", help="[ab] arm B policy",
+    )
+    experiment_parser.add_argument(
+        "--mix", choices=sorted(_MIXES), default="canonical",
+        help="[ab] named mix preset",
+    )
+    experiment_parser.add_argument(
+        "--design", choices=sorted(DESIGN_NAMES), default="paired",
+        help="[ab] trial design",
+    )
+    experiment_parser.add_argument(
+        "--trials", type=int, default=20, help="[ab] number of design trials"
+    )
+    experiment_parser.add_argument(
+        "--seed", type=int, default=2023, help="[ab] base seed"
+    )
+    experiment_parser.add_argument(
+        "--duration", type=float, default=None,
+        help="[ab] per-run duration (defaults to the design's timing)",
+    )
+    experiment_parser.add_argument(
+        "--warmup", type=float, default=None,
+        help="[ab] per-run warm-up (defaults to the design's timing)",
+    )
+    experiment_parser.add_argument(
+        "--json", action="store_true",
+        help="[ab] print canonical JSON instead of tables",
     )
 
     check_parser = commands.add_parser(
@@ -635,12 +675,42 @@ def _command_experiment(args: argparse.Namespace) -> int:
     import importlib
 
     set_quiet(bool(args.quiet))
+    if args.name == "ab":
+        return _command_experiment_ab(args)
     set_quick(bool(args.quick))
     try:
         module = importlib.import_module(_EXPERIMENTS[args.name])
         module.main()
     finally:
         set_quick(False)
+    return 0
+
+
+def _command_experiment_ab(args: argparse.Namespace) -> int:
+    """``repro experiment ab``: policy A/B comparison with error bars."""
+    from repro.experiment import ab_compare
+
+    trials = args.trials
+    duration = args.duration
+    warmup = args.warmup
+    if args.quick and duration is None:
+        trials = min(trials, 4)
+        if args.design != "switchback":
+            duration, warmup = 16.0, 8.0
+    result = ab_compare(
+        args.policy_a,
+        args.policy_b,
+        mix=args.mix,
+        design=args.design,
+        trials=trials,
+        duration_s=duration,
+        warmup_s=warmup,
+        seed=args.seed,
+    )
+    if args.json:
+        print(result.to_json())
+    else:
+        say(result.describe())
     return 0
 
 

@@ -1,0 +1,80 @@
+"""Policy A/B experimentation: designs, estimators, and the harness.
+
+Single-seed figures (``repro.experiments``) show *one* draw of the
+simulator; this package quantifies how sure we are. It contributes:
+
+* :mod:`~repro.experiment.design` — paired same-seed, switchback, and
+  interleaved trial designs, all derived from one base seed so results
+  are byte-reproducible at any ``--jobs``;
+* :mod:`~repro.experiment.estimators` — naive difference-in-means,
+  paired-difference, and the mixed Differences-in-Q estimator that
+  transports Little's-law occupancy into sojourn-time units;
+* :mod:`~repro.experiment.switchback` — the scheduler wrapper that
+  alternates two policies inside one run on exact epoch boundaries;
+* :mod:`~repro.experiment.harness` — :func:`ab_compare`, fanning trials
+  over the warm worker pool and reducing window summaries to estimates
+  with 95% confidence intervals.
+
+See ``repro experiment ab --help`` for the CLI face and
+:func:`repro.api.ab` for the config-object face.
+"""
+
+from repro.experiment.design import (
+    DESIGN_NAMES,
+    InterleavedDesign,
+    PairedDesign,
+    SwitchbackDesign,
+    TrialDesign,
+    TrialSpec,
+    derive_seed,
+    design_of,
+    jittered_loads,
+)
+from repro.experiment.estimators import (
+    Estimate,
+    QueueSample,
+    difference_in_means,
+    dq_difference,
+    paired_difference,
+)
+from repro.experiment.harness import AB_METRICS, ABResult, ab_compare
+from repro.experiment.metrics import (
+    TrialMetrics,
+    fold_trial_metrics,
+    split_arms,
+    switchback_window_predicate,
+)
+from repro.experiment.switchback import (
+    SwitchbackScheduler,
+    is_switchback,
+    parse_switchback,
+    switchback_factory,
+)
+
+__all__ = [
+    "AB_METRICS",
+    "ABResult",
+    "DESIGN_NAMES",
+    "Estimate",
+    "InterleavedDesign",
+    "PairedDesign",
+    "QueueSample",
+    "SwitchbackDesign",
+    "SwitchbackScheduler",
+    "TrialDesign",
+    "TrialMetrics",
+    "TrialSpec",
+    "ab_compare",
+    "derive_seed",
+    "design_of",
+    "difference_in_means",
+    "dq_difference",
+    "fold_trial_metrics",
+    "is_switchback",
+    "jittered_loads",
+    "paired_difference",
+    "parse_switchback",
+    "split_arms",
+    "switchback_factory",
+    "switchback_window_predicate",
+]

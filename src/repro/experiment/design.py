@@ -1,0 +1,330 @@
+"""Trial designs for policy A/B experiments on one simulated cluster.
+
+A *design* turns ``(policy_a, policy_b, n_trials, base_seed)`` into a
+deterministic sequence of :class:`TrialSpec` values — one independent
+simulator run each — plus the bookkeeping the harness needs to attribute
+measurements back to the right arm:
+
+* :class:`PairedDesign` — common random numbers: trial ``i`` runs both
+  policies on the *same* derived seed and load scale, so the paired
+  estimator differences out trial-level traffic variation.
+* :class:`SwitchbackDesign` — one run per trial, alternating the active
+  policy every ``epochs_per_window`` monitoring epochs (the classic
+  switchback schedule for queueing experiments); both arms share the
+  trial's seed and traffic by construction.
+* :class:`InterleavedDesign` — per-point assignment: each trial is a
+  single run of one arm, alternating ``a, b, a, b, …`` with its own
+  derived seed and load scale (the fully independent baseline).
+
+Every randomised quantity — per-trial seeds and the per-trial load jitter
+— is derived from the design's inputs with a keyed BLAKE2b stream
+(:func:`derive_seed` / :func:`derive_unit`), never from global RNG state,
+so a design expansion is byte-reproducible at any ``--jobs`` and across
+processes.
+"""
+
+from __future__ import annotations
+
+import abc
+import hashlib
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import ConfigurationError
+
+#: The design names :func:`design_of` understands.
+DESIGN_NAMES = ("paired", "switchback", "interleaved")
+
+#: Default multiplicative load jitter: each trial scales every LC load by
+#: a factor drawn deterministically from ``[1 - jitter, 1 + jitter]``.
+#: Non-zero jitter makes trials heterogeneous (day-to-day traffic), which
+#: is what gives the paired and DQ estimators their variance advantage
+#: over the naive difference in means.
+DEFAULT_LOAD_JITTER = 0.1
+
+
+def derive_seed(base_seed: int, *parts: object) -> int:
+    """A positive 31-bit seed derived from ``base_seed`` and ``parts``.
+
+    Keyed BLAKE2b over the textual parts: stable across processes and
+    Python hash randomisation, and distinct trials/arms get independent
+    streams.
+    """
+    text = ":".join(str(part) for part in (base_seed, *parts))
+    digest = hashlib.blake2b(text.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big") % (2**31 - 1) + 1
+
+
+def derive_unit(base_seed: int, *parts: object) -> float:
+    """A deterministic uniform draw in ``[0, 1)`` keyed like :func:`derive_seed`."""
+    text = "u:" + ":".join(str(part) for part in (base_seed, *parts))
+    digest = hashlib.blake2b(text.encode("utf-8"), digest_size=8).digest()
+    return (int.from_bytes(digest, "big") >> 11) / float(1 << 53)
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One simulator run a design asks the harness to execute.
+
+    ``arm`` is ``"a"``/``"b"`` for single-policy runs and ``"ab"`` for a
+    switchback run that serves both arms; ``strategy`` is the (possibly
+    composite) strategy name handed to the parallel runner; ``seed`` and
+    ``load_scale`` are the trial's derived randomisation.
+    """
+
+    trial: int
+    arm: str
+    strategy: str
+    seed: int
+    load_scale: float
+
+    def __post_init__(self) -> None:
+        if self.arm not in ("a", "b", "ab"):
+            raise ConfigurationError(f"trial arm must be a/b/ab, got {self.arm!r}")
+        if self.load_scale <= 0:
+            raise ConfigurationError(
+                f"load scale must be positive: {self.load_scale}"
+            )
+
+
+class TrialDesign(abc.ABC):
+    """Common interface of the three trial designs."""
+
+    #: Design name (matches :data:`DESIGN_NAMES`).
+    kind: str = "design"
+    #: Whether the design yields natural (a, b) pairs for the paired/DQ
+    #: estimators (same seed and traffic on both sides of each pair).
+    paired: bool = False
+
+    @abc.abstractmethod
+    def specs(
+        self, policy_a: str, policy_b: str, n_trials: int, base_seed: int
+    ) -> Tuple[TrialSpec, ...]:
+        """Expand into the deterministic run list for ``n_trials`` trials."""
+
+    def default_timing(self, epoch_s: float) -> Tuple[float, float]:
+        """The design's default ``(duration_s, warmup_s)`` per run."""
+        del epoch_s
+        return 60.0, 30.0
+
+    def validate_timing(
+        self, duration_s: float, warmup_s: float, epoch_s: float
+    ) -> None:
+        """Reject timings the design cannot attribute cleanly (no-op here)."""
+        del duration_s, warmup_s, epoch_s
+
+    def _scale(self, base_seed: int, trial: int) -> float:
+        jitter = getattr(self, "load_jitter", 0.0)
+        if not jitter:
+            return 1.0
+        unit = derive_unit(base_seed, self.kind, trial, "load")
+        return 1.0 - jitter + 2.0 * jitter * unit
+
+
+def _check_jitter(jitter: float) -> None:
+    if not 0.0 <= jitter < 1.0:
+        raise ConfigurationError(
+            f"load jitter must be in [0, 1), got {jitter!r}"
+        )
+
+
+@dataclass(frozen=True)
+class PairedDesign(TrialDesign):
+    """Same-seed A/B trials (common random numbers).
+
+    Trial ``i`` expands to two runs — one per policy — sharing the
+    derived seed and load scale, so every trial-level source of variation
+    (traffic level, measurement noise stream) is common to both arms and
+    cancels in the paired difference.
+    """
+
+    load_jitter: float = DEFAULT_LOAD_JITTER
+
+    kind = "paired"
+    paired = True
+
+    def __post_init__(self) -> None:
+        _check_jitter(self.load_jitter)
+
+    def specs(
+        self, policy_a: str, policy_b: str, n_trials: int, base_seed: int
+    ) -> Tuple[TrialSpec, ...]:
+        """``2·n_trials`` runs: (a, b) per trial with shared randomisation."""
+        out = []
+        for trial in range(n_trials):
+            seed = derive_seed(base_seed, self.kind, trial)
+            scale = self._scale(base_seed, trial)
+            out.append(TrialSpec(trial, "a", policy_a, seed, scale))
+            out.append(TrialSpec(trial, "b", policy_b, seed, scale))
+        return tuple(out)
+
+
+@dataclass(frozen=True)
+class SwitchbackDesign(TrialDesign):
+    """Alternate the policy on fixed epoch windows within one run.
+
+    Each trial is a *single* simulator run under a composite
+    ``switchback:<a>:<b>:<epochs>:<phase>`` strategy
+    (:class:`repro.experiment.switchback.SwitchbackScheduler`): the active
+    policy flips every ``epochs_per_window`` monitoring epochs, and
+    ``phase`` alternates per trial so both arms see first-window effects
+    equally often. Per-arm metrics are recovered from the run's window
+    summary; the first ``washout_epochs`` epochs of every switchback
+    window are dropped from attribution (plan carry-over across the
+    boundary).
+    """
+
+    epochs_per_window: int = 8
+    washout_epochs: int = 1
+    load_jitter: float = DEFAULT_LOAD_JITTER
+
+    kind = "switchback"
+    paired = True
+
+    def __post_init__(self) -> None:
+        _check_jitter(self.load_jitter)
+        if self.epochs_per_window < 1:
+            raise ConfigurationError(
+                f"epochs_per_window must be >= 1, got {self.epochs_per_window}"
+            )
+        if not 0 <= self.washout_epochs < self.epochs_per_window:
+            raise ConfigurationError(
+                f"washout_epochs must be in [0, {self.epochs_per_window}), "
+                f"got {self.washout_epochs}"
+            )
+
+    def specs(
+        self, policy_a: str, policy_b: str, n_trials: int, base_seed: int
+    ) -> Tuple[TrialSpec, ...]:
+        """``n_trials`` runs, each serving both arms (``arm="ab"``)."""
+        out = []
+        for trial in range(n_trials):
+            seed = derive_seed(base_seed, self.kind, trial)
+            scale = self._scale(base_seed, trial)
+            phase = trial % 2
+            strategy = (
+                f"switchback:{policy_a}:{policy_b}:"
+                f"{self.epochs_per_window}:{phase}"
+            )
+            out.append(TrialSpec(trial, "ab", strategy, seed, scale))
+        return tuple(out)
+
+    def period_s(self, epoch_s: float) -> float:
+        """One switchback window's span on the simulated clock."""
+        return self.epochs_per_window * epoch_s
+
+    def default_timing(self, epoch_s: float) -> Tuple[float, float]:
+        """16 switchback windows per run, the first 8 as warm-up."""
+        period = self.period_s(epoch_s)
+        return 16.0 * period, 8.0 * period
+
+    def validate_timing(
+        self, duration_s: float, warmup_s: float, epoch_s: float
+    ) -> None:
+        """Require run and warm-up to cover whole switchback windows.
+
+        A partial window would mix epochs from both arms into one
+        attribution bucket — exactly the leakage the byte-determinism
+        tests pin down — so it is rejected outright.
+        """
+        period = self.period_s(epoch_s)
+        for label, value in (("duration_s", duration_s), ("warmup_s", warmup_s)):
+            windows = value / period
+            if abs(windows - round(windows)) > 1e-9:
+                raise ConfigurationError(
+                    f"switchback {label}={value:g}s is not a whole number of "
+                    f"{period:g}s switchback windows "
+                    f"({self.epochs_per_window} epochs x {epoch_s:g}s)"
+                )
+        measured = round((duration_s - warmup_s) / period)
+        if measured < 2 or measured % 2:
+            raise ConfigurationError(
+                "switchback needs an even number (>= 2) of measured windows "
+                f"so both arms get equal exposure; got {measured}"
+            )
+
+    def arm_of_epoch(self, epoch: int, phase: int = 0) -> str:
+        """Which arm owns monitoring epoch ``epoch`` (``"a"`` or ``"b"``)."""
+        if epoch < 0:
+            raise ConfigurationError(f"epoch cannot be negative: {epoch}")
+        window = epoch // self.epochs_per_window
+        return "a" if (window + phase) % 2 == 0 else "b"
+
+    def is_washout_epoch(self, epoch: int) -> bool:
+        """Whether ``epoch`` falls in the post-switch washout span."""
+        return (epoch % self.epochs_per_window) < self.washout_epochs
+
+
+@dataclass(frozen=True)
+class InterleavedDesign(TrialDesign):
+    """Per-point assignment: trial ``i`` runs arm ``a`` iff ``i`` is even.
+
+    Every trial gets its own derived seed and load scale — nothing is
+    shared between arms, so this is the fully independent design the
+    naive difference-in-means estimator assumes. The harness pairs
+    consecutive (a, b) trials positionally when asked for paired
+    estimates, which keeps the arithmetic valid but yields no variance
+    reduction (documented pseudo-pairs).
+    """
+
+    load_jitter: float = DEFAULT_LOAD_JITTER
+
+    kind = "interleaved"
+    paired = False
+
+    def __post_init__(self) -> None:
+        _check_jitter(self.load_jitter)
+
+    def specs(
+        self, policy_a: str, policy_b: str, n_trials: int, base_seed: int
+    ) -> Tuple[TrialSpec, ...]:
+        """``2·n_trials`` single-arm runs alternating ``a, b, a, b, …``."""
+        out = []
+        for point in range(2 * n_trials):
+            arm = "a" if point % 2 == 0 else "b"
+            policy = policy_a if arm == "a" else policy_b
+            seed = derive_seed(base_seed, self.kind, point)
+            scale = self._scale(base_seed, point)
+            out.append(TrialSpec(point // 2, arm, policy, seed, scale))
+        return tuple(out)
+
+
+def design_of(value: object, **overrides: object) -> TrialDesign:
+    """Normalise a design name or instance to a :class:`TrialDesign`.
+
+    ``design_of("switchback", epochs_per_window=4)`` builds a configured
+    design; passing an existing design returns it unchanged (keyword
+    overrides are then rejected).
+    """
+    if isinstance(value, TrialDesign):
+        if overrides:
+            raise ConfigurationError(
+                "design overrides only apply to design names, not instances"
+            )
+        return value
+    if isinstance(value, str):
+        factories = {
+            "paired": PairedDesign,
+            "switchback": SwitchbackDesign,
+            "interleaved": InterleavedDesign,
+        }
+        if value in factories:
+            return factories[value](**overrides)  # type: ignore[arg-type]
+    raise ConfigurationError(
+        f"unknown design {value!r}; choose from {DESIGN_NAMES} "
+        "or pass a TrialDesign instance"
+    )
+
+
+def jittered_loads(
+    loads: "dict[str, float]", scale: float
+) -> "dict[str, float]":
+    """Scale every LC load by the trial's jitter factor (capped at 0.98).
+
+    The cap keeps a jittered trial inside the calibrated operating range
+    — load 1.0 is saturation in the queueing model.
+    """
+    if not math.isfinite(scale) or scale <= 0:
+        raise ConfigurationError(f"load scale must be positive: {scale!r}")
+    return {name: min(0.98, load * scale) for name, load in loads.items()}

@@ -1,0 +1,381 @@
+"""A/B effect estimators: naive, paired, and mixed Differences-in-Q.
+
+Each estimator reduces per-trial metric values from two policy arms to a
+frozen :class:`Estimate` — point estimate, variance of the point
+estimate, and a 95% confidence interval (normal-theory by default, a
+deterministic seeded bootstrap on request).
+
+* :func:`difference_in_means` — the unpaired baseline
+  ``mean(a) − mean(b)`` with ``Var = s²_a/n_a + s²_b/n_b``.
+* :func:`paired_difference` — the common-random-numbers estimator over
+  per-trial differences ``d_i = a_i − b_i``; exactly antisymmetric under
+  swapping the arms (IEEE negation is exact, and every sum runs in the
+  same order).
+* :func:`dq_difference` — the mixed Differences-in-Q estimator for
+  sojourn-time effects (after "Experimentation for Different Scheduling
+  Policies on Queues", PAPERS.md): alongside the direct per-pair sojourn
+  difference ``d_i`` it forms the Little's-law transported difference
+  ``q_i = ΔL_i / λ̄_i`` (queue-length difference converted to time via
+  ``L = λ·W``), then returns the variance-minimising convex combination
+  ``α·d̄ + (1−α)·q̄``. Because ``α = 1`` recovers the direct paired
+  estimator, the mixed estimator's variance never exceeds it.
+
+The queueing-model assumptions behind the Q-transport (arrivals balance
+completions; the M/G/c′ approximation tracks the simulator) are exactly
+what :func:`repro.check.invariants.littles_law_report` cross-checks; the
+harness runs that report alongside every DQ estimate.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Two-sided z value for the default 95% confidence level.
+Z_95 = 1.959963984540054
+
+#: Supported CI construction methods.
+CI_METHODS = ("normal", "bootstrap")
+
+#: Bootstrap resamples used when ``method="bootstrap"``.
+DEFAULT_BOOTSTRAP = 2000
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """One estimator's verdict on one metric's A−B effect."""
+
+    estimator: str
+    metric: str
+    point: float
+    variance: float
+    stderr: float
+    ci_low: float
+    ci_high: float
+    n_a: int
+    n_b: int
+    confidence: float = 0.95
+    method: str = "normal"
+    #: The DQ mixing weight on the direct component (``None`` elsewhere).
+    alpha: Optional[float] = None
+
+    def excludes_zero(self) -> bool:
+        """Whether the confidence interval excludes a zero effect."""
+        return self.ci_low > 0.0 or self.ci_high < 0.0
+
+    def width(self) -> float:
+        """The confidence interval's width."""
+        return self.ci_high - self.ci_low
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-ready dict (stable float repr via json serialisation)."""
+        payload: Dict[str, object] = {
+            "estimator": self.estimator,
+            "metric": self.metric,
+            "point": self.point,
+            "variance": self.variance,
+            "stderr": self.stderr,
+            "ci_low": self.ci_low,
+            "ci_high": self.ci_high,
+            "n_a": self.n_a,
+            "n_b": self.n_b,
+            "confidence": self.confidence,
+            "method": self.method,
+        }
+        if self.alpha is not None:
+            payload["alpha"] = self.alpha
+        return payload
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.metric}[{self.estimator}] = {self.point:+.5f} "
+            f"(95% CI [{self.ci_low:+.5f}, {self.ci_high:+.5f}], "
+            f"var {self.variance:.3e})"
+        )
+
+
+def _z_of(confidence: float) -> float:
+    if confidence == 0.95:
+        return Z_95
+    if not 0.0 < confidence < 1.0:
+        raise ConfigurationError(
+            f"confidence must be in (0, 1), got {confidence!r}"
+        )
+    # Acklam's inverse-normal approximation would be overkill: the repo
+    # only ever reports 90/95/99, so a tiny table keeps this dependency-free.
+    table = {0.90: 1.6448536269514722, 0.99: 2.5758293035489004}
+    if confidence in table:
+        return table[confidence]
+    raise ConfigurationError(
+        f"unsupported confidence level {confidence!r}; use 0.90/0.95/0.99"
+    )
+
+
+def _mean(values: Sequence[float]) -> float:
+    return math.fsum(values) / len(values)
+
+
+def _sample_variance(values: Sequence[float], mean: float) -> float:
+    """Unbiased sample variance (ddof=1); zero for singleton samples."""
+    n = len(values)
+    if n < 2:
+        return 0.0
+    return math.fsum((v - mean) ** 2 for v in values) / (n - 1)
+
+
+def _check_sample(name: str, values: Sequence[float], minimum: int = 2) -> None:
+    if len(values) < minimum:
+        raise ConfigurationError(
+            f"estimator needs at least {minimum} {name} trials, "
+            f"got {len(values)}"
+        )
+    for value in values:
+        if not math.isfinite(value):
+            raise ConfigurationError(
+                f"{name} trials contain a non-finite value: {value!r}"
+            )
+
+
+def _bootstrap_ci(
+    statistic,
+    n_resamples: int,
+    seed: int,
+    confidence: float,
+) -> Tuple[float, float]:
+    """Percentile bootstrap CI from a seeded, deterministic resampler.
+
+    ``statistic(rng)`` must draw its own resample indices from ``rng`` and
+    return the resampled statistic; determinism follows from the fixed
+    ``random.Random`` stream.
+    """
+    rng = random.Random(seed)
+    stats = sorted(statistic(rng) for _ in range(n_resamples))
+    tail = (1.0 - confidence) / 2.0
+    lo_index = min(n_resamples - 1, max(0, int(math.floor(tail * n_resamples))))
+    hi_index = min(
+        n_resamples - 1, max(0, int(math.ceil((1.0 - tail) * n_resamples)) - 1)
+    )
+    return stats[lo_index], stats[hi_index]
+
+
+def _resample(rng: random.Random, values: Sequence[float]) -> List[float]:
+    n = len(values)
+    return [values[rng.randrange(n)] for _ in range(n)]
+
+
+def difference_in_means(
+    a_values: Sequence[float],
+    b_values: Sequence[float],
+    *,
+    metric: str = "value",
+    confidence: float = 0.95,
+    method: str = "normal",
+    bootstrap: int = DEFAULT_BOOTSTRAP,
+    seed: int = 0,
+) -> Estimate:
+    """The naive unpaired estimator ``mean(a) − mean(b)``.
+
+    Variance is ``s²_a/n_a + s²_b/n_b`` (Welch, no pairing assumption);
+    ``method="bootstrap"`` replaces the normal CI with a deterministic
+    seeded percentile bootstrap over independent arm resamples.
+    """
+    _check_sample("arm-a", a_values)
+    _check_sample("arm-b", b_values)
+    if method not in CI_METHODS:
+        raise ConfigurationError(f"CI method must be one of {CI_METHODS}")
+    mean_a = _mean(a_values)
+    mean_b = _mean(b_values)
+    point = mean_a - mean_b
+    variance = _sample_variance(a_values, mean_a) / len(a_values) + (
+        _sample_variance(b_values, mean_b) / len(b_values)
+    )
+    stderr = math.sqrt(variance)
+    if method == "bootstrap":
+        ci_low, ci_high = _bootstrap_ci(
+            lambda rng: _mean(_resample(rng, a_values))
+            - _mean(_resample(rng, b_values)),
+            bootstrap,
+            seed,
+            confidence,
+        )
+    else:
+        z = _z_of(confidence)
+        ci_low, ci_high = point - z * stderr, point + z * stderr
+    return Estimate(
+        estimator="naive",
+        metric=metric,
+        point=point,
+        variance=variance,
+        stderr=stderr,
+        ci_low=ci_low,
+        ci_high=ci_high,
+        n_a=len(a_values),
+        n_b=len(b_values),
+        confidence=confidence,
+        method=method,
+    )
+
+
+def paired_difference(
+    a_values: Sequence[float],
+    b_values: Sequence[float],
+    *,
+    metric: str = "value",
+    confidence: float = 0.95,
+    method: str = "normal",
+    bootstrap: int = DEFAULT_BOOTSTRAP,
+    seed: int = 0,
+) -> Estimate:
+    """The paired (common-random-numbers) estimator ``mean(a_i − b_i)``.
+
+    Requires equal-length, index-aligned samples. Swapping the arms
+    negates the point estimate and mirrors the normal CI *exactly* in
+    IEEE arithmetic: each ``d_i`` flips sign bit-exactly, sums run in the
+    same order, and squared deviations are unchanged.
+    """
+    _check_sample("arm-a", a_values)
+    _check_sample("arm-b", b_values)
+    if len(a_values) != len(b_values):
+        raise ConfigurationError(
+            f"paired estimator needs equal arms, got {len(a_values)} vs "
+            f"{len(b_values)}"
+        )
+    if method not in CI_METHODS:
+        raise ConfigurationError(f"CI method must be one of {CI_METHODS}")
+    diffs = [a - b for a, b in zip(a_values, b_values)]
+    n = len(diffs)
+    point = _mean(diffs)
+    variance = _sample_variance(diffs, point) / n
+    stderr = math.sqrt(variance)
+    if method == "bootstrap":
+        ci_low, ci_high = _bootstrap_ci(
+            lambda rng: _mean(_resample(rng, diffs)), bootstrap, seed, confidence
+        )
+    else:
+        z = _z_of(confidence)
+        ci_low, ci_high = point - z * stderr, point + z * stderr
+    return Estimate(
+        estimator="paired",
+        metric=metric,
+        point=point,
+        variance=variance,
+        stderr=stderr,
+        ci_low=ci_low,
+        ci_high=ci_high,
+        n_a=n,
+        n_b=n,
+        confidence=confidence,
+        method=method,
+    )
+
+
+@dataclass(frozen=True)
+class QueueSample:
+    """One trial's queueing observables for the DQ estimator.
+
+    ``sojourn_ms`` is the arrival-weighted mean LC sojourn (``W``),
+    ``arrival_rps`` the pooled arrival rate (``λ``), and ``in_system``
+    the Little's-law occupancy ``L = λ·W`` (requests in system).
+    """
+
+    sojourn_ms: float
+    arrival_rps: float
+    in_system: float
+
+    def __post_init__(self) -> None:
+        for label, value in (
+            ("sojourn_ms", self.sojourn_ms),
+            ("arrival_rps", self.arrival_rps),
+            ("in_system", self.in_system),
+        ):
+            if not math.isfinite(value):
+                raise ConfigurationError(f"{label} must be finite: {value!r}")
+        if self.arrival_rps <= 0:
+            raise ConfigurationError(
+                f"arrival_rps must be positive: {self.arrival_rps!r}"
+            )
+
+
+def dq_difference(
+    a_samples: Sequence[QueueSample],
+    b_samples: Sequence[QueueSample],
+    *,
+    metric: str = "sojourn_ms",
+    confidence: float = 0.95,
+) -> Estimate:
+    """The mixed Differences-in-Q estimator for the sojourn-time effect.
+
+    For each index-aligned pair it forms two unbiased views of the same
+    effect on ``W`` (ms):
+
+    * the **direct** difference ``d_i = W_a,i − W_b,i``;
+    * the **Q-transported** difference
+      ``q_i = 1000 · (L_a,i − L_b,i) / λ̄_i`` with
+      ``λ̄_i = (λ_a,i + λ_b,i)/2`` — the queue-length difference mapped to
+      time through Little's law.
+
+    The returned estimate is ``α·d̄ + (1−α)·q̄`` with ``α`` chosen to
+    minimise the sample variance of the combination (clamped to
+    ``[0, 1]``); ``α = 1`` recovers :func:`paired_difference` exactly, so
+    ``Var(DQ) ≤ Var(paired)`` by construction. On i.i.d. null data the
+    two components share the zero mean, so DQ agrees with the difference
+    in means up to sampling noise.
+    """
+    if len(a_samples) != len(b_samples):
+        raise ConfigurationError(
+            f"DQ estimator needs equal arms, got {len(a_samples)} vs "
+            f"{len(b_samples)}"
+        )
+    if len(a_samples) < 2:
+        raise ConfigurationError(
+            f"DQ estimator needs at least 2 pairs, got {len(a_samples)}"
+        )
+    direct: List[float] = []
+    transported: List[float] = []
+    for a, b in zip(a_samples, b_samples):
+        direct.append(a.sojourn_ms - b.sojourn_ms)
+        lam_bar = (a.arrival_rps + b.arrival_rps) / 2.0
+        transported.append(1000.0 * (a.in_system - b.in_system) / lam_bar)
+    n = len(direct)
+    mean_d = _mean(direct)
+    mean_q = _mean(transported)
+    var_d = _sample_variance(direct, mean_d)
+    var_q = _sample_variance(transported, mean_q)
+    cov = (
+        math.fsum(
+            (d - mean_d) * (q - mean_q) for d, q in zip(direct, transported)
+        )
+        / (n - 1)
+    )
+    denominator = var_d + var_q - 2.0 * cov
+    if denominator <= 1e-18:
+        alpha = 1.0  # components (near-)identical: the mix degenerates
+    else:
+        alpha = (var_q - cov) / denominator
+        alpha = min(1.0, max(0.0, alpha))
+    point = alpha * mean_d + (1.0 - alpha) * mean_q
+    combined = [
+        alpha * d + (1.0 - alpha) * q for d, q in zip(direct, transported)
+    ]
+    variance = _sample_variance(combined, point) / n
+    stderr = math.sqrt(variance)
+    z = _z_of(confidence)
+    return Estimate(
+        estimator="dq",
+        metric=metric,
+        point=point,
+        variance=variance,
+        stderr=stderr,
+        ci_low=point - z * stderr,
+        ci_high=point + z * stderr,
+        n_a=n,
+        n_b=n,
+        confidence=confidence,
+        method="normal",
+        alpha=alpha,
+    )

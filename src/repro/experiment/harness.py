@@ -1,0 +1,350 @@
+"""``ab_compare``: run a policy A/B experiment and estimate the effect.
+
+The harness expands a :class:`~repro.experiment.design.TrialDesign` into
+independent :class:`~repro.parallel.RunPoint` values, fans them over the
+warm worker pool (byte-identical results at any ``jobs``), folds each
+run's bounded window summary into per-trial
+:class:`~repro.experiment.metrics.TrialMetrics`, and reduces those to
+:class:`~repro.experiment.estimators.Estimate` values per metric:
+
+========== ===========================================
+metric     estimators
+========== ===========================================
+e_s        naive, paired
+violations naive, paired
+sojourn_ms naive, paired, dq (Little's-law transport)
+========== ===========================================
+
+Alongside the DQ estimate the harness re-runs
+:func:`repro.check.invariants.littles_law_report` at the mix's dominant
+LC operating point — the M/G/c′-vs-simulator cross-check that underpins
+the Q-transport's validity — and records the verdict on the result.
+
+Everything on :class:`ABResult` (tables, canonical JSON) is a pure
+function of the config, so ``repro experiment ab --jobs 4`` output is
+``cmp``-identical to ``--jobs 1`` for every design.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.check.invariants import LittlesLawReport, littles_law_report
+from repro.errors import ConfigurationError
+from repro.experiment.design import (
+    SwitchbackDesign,
+    TrialDesign,
+    TrialSpec,
+    design_of,
+    jittered_loads,
+)
+from repro.experiment.estimators import (
+    Estimate,
+    difference_in_means,
+    dq_difference,
+    paired_difference,
+)
+from repro.experiment.metrics import (
+    TrialMetrics,
+    fold_trial_metrics,
+    split_arms,
+    switchback_window_predicate,
+)
+from repro.obs.windows import WindowConfig
+
+#: The metrics every A/B comparison reports, in table order.
+AB_METRICS = ("e_s", "violations", "sojourn_ms")
+
+
+@dataclass(frozen=True)
+class ABResult:
+    """Outcome of one :func:`ab_compare` experiment."""
+
+    policy_a: str
+    policy_b: str
+    mix: str
+    design: str
+    trials: int
+    duration_s: float
+    warmup_s: float
+    seed: int
+    metrics_a: Tuple[TrialMetrics, ...]
+    metrics_b: Tuple[TrialMetrics, ...]
+    #: metric name → estimator name → estimate.
+    estimates: Mapping[str, Mapping[str, Estimate]]
+    #: Little's-law cross-check behind the DQ assumptions (None when the
+    #: caller disabled it); excluded from equality like other drill-downs.
+    littles_law: Optional[LittlesLawReport] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def estimate(self, metric: str, estimator: str = "paired") -> Estimate:
+        """Look up one estimate (:class:`~repro.errors.ConfigurationError` on miss)."""
+        try:
+            return self.estimates[metric][estimator]
+        except KeyError:
+            raise ConfigurationError(
+                f"no {estimator!r} estimate for metric {metric!r}; have "
+                f"{ {m: sorted(e) for m, e in self.estimates.items()} }"
+            ) from None
+
+    def to_dict(self) -> Dict[str, object]:
+        """A canonical JSON-ready dict (sorted keys at serialisation)."""
+        return {
+            "policy_a": self.policy_a,
+            "policy_b": self.policy_b,
+            "mix": self.mix,
+            "design": self.design,
+            "trials": self.trials,
+            "duration_s": self.duration_s,
+            "warmup_s": self.warmup_s,
+            "seed": self.seed,
+            "estimates": {
+                metric: {
+                    name: estimate.to_dict()
+                    for name, estimate in by_name.items()
+                }
+                for metric, by_name in self.estimates.items()
+            },
+            "trials_a": [m.to_dict() for m in self.metrics_a],
+            "trials_b": [m.to_dict() for m in self.metrics_b],
+            "littles_law_ok": (
+                None if self.littles_law is None else self.littles_law.ok
+            ),
+        }
+
+    def to_json(self) -> str:
+        """Canonical compact JSON — byte-identical at any ``--jobs``."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def describe(self) -> str:
+        """The comparison rendered as aligned ASCII tables."""
+        from repro.experiments.reporting import ascii_table
+
+        rows = []
+        for metric in AB_METRICS:
+            for name in ("naive", "paired", "dq"):
+                estimate = self.estimates.get(metric, {}).get(name)
+                if estimate is None:
+                    continue
+                rows.append(
+                    [
+                        metric,
+                        name,
+                        f"{estimate.point:+.5f}",
+                        f"[{estimate.ci_low:+.5f}, {estimate.ci_high:+.5f}]",
+                        f"{estimate.variance:.3e}",
+                        "yes" if estimate.excludes_zero() else "no",
+                    ]
+                )
+        title = (
+            f"A/B {self.policy_a} vs {self.policy_b} — mix {self.mix}, "
+            f"{self.design} design, {self.trials} trials x "
+            f"{self.duration_s:g}s (A−B)"
+        )
+        table = ascii_table(
+            ["metric", "estimator", "point", "95% CI", "variance", "CI≠0"],
+            rows,
+            title=title,
+        )
+        lines = [table]
+        if self.littles_law is not None:
+            verdict = "ok" if self.littles_law.ok else "FAILED"
+            lines.append(
+                f"DQ assumption (Little's law M/G/c' cross-check): {verdict} "
+                f"(sim {self.littles_law.sim_mean_ms:.2f}ms vs model "
+                f"{self.littles_law.model_mean_ms:.2f}ms, "
+                f"L={self.littles_law.l_sim:.2f})"
+            )
+        return "\n".join(lines)
+
+
+def _estimates_for(
+    a_metrics: List[TrialMetrics],
+    b_metrics: List[TrialMetrics],
+    paired_design: bool,
+) -> Dict[str, Dict[str, Estimate]]:
+    """All estimator × metric reductions for one comparison."""
+    out: Dict[str, Dict[str, Estimate]] = {}
+    extract = {
+        "e_s": lambda m: m.e_s,
+        "violations": lambda m: float(m.violations),
+        "sojourn_ms": lambda m: m.sojourn_ms,
+    }
+    pairable = len(a_metrics) == len(b_metrics)
+    for metric in AB_METRICS:
+        values_a = [extract[metric](m) for m in a_metrics]
+        values_b = [extract[metric](m) for m in b_metrics]
+        by_name: Dict[str, Estimate] = {
+            "naive": difference_in_means(values_a, values_b, metric=metric)
+        }
+        if pairable:
+            by_name["paired"] = paired_difference(
+                values_a, values_b, metric=metric
+            )
+        out[metric] = by_name
+    if pairable:
+        out["sojourn_ms"]["dq"] = dq_difference(
+            [m.queue_sample() for m in a_metrics],
+            [m.queue_sample() for m in b_metrics],
+            metric="sojourn_ms",
+        )
+    del paired_design  # pseudo-pairs are documented, not suppressed
+    return out
+
+
+def _dq_assumptions(mix_loads: Mapping[str, float], collocation) -> LittlesLawReport:
+    """Little's-law cross-check at the mix's dominant LC operating point."""
+    profiles = collocation.lc_profiles
+    name = max(
+        mix_loads,
+        key=lambda app: profiles[app].arrival_rps(mix_loads[app]),
+    )
+    profile = profiles[name]
+    load = mix_loads[name]
+    return littles_law_report(
+        arrival_rps=profile.arrival_rps(load),
+        service_time_ms=profile.service_time_ms,
+        servers=max(1, int(profile.threads)),
+        duration_s=30.0,
+        service_cv=profile.service_cv,
+    )
+
+
+def ab_compare(
+    policy_a: str,
+    policy_b: str,
+    *,
+    mix: str = "canonical",
+    design: Union[str, TrialDesign] = "paired",
+    trials: int = 20,
+    duration_s: Optional[float] = None,
+    warmup_s: Optional[float] = None,
+    seed: int = 2023,
+    jobs: Optional[int] = None,
+    check_assumptions: bool = True,
+) -> ABResult:
+    """Compare two policies on one mix with error bars.
+
+    ``design`` is a name (``"paired"``/``"switchback"``/``"interleaved"``)
+    or a configured :class:`~repro.experiment.design.TrialDesign`;
+    ``trials`` counts design trials (a paired/interleaved trial is one run
+    per arm, a switchback trial is a single run serving both arms).
+    ``duration_s``/``warmup_s`` default to the design's own timing.
+    Results are byte-identical at any ``jobs``.
+    """
+    from repro.experiments.common import (
+        MIX_PRESETS,
+        STRATEGY_FACTORIES,
+        make_collocation,
+    )
+    from repro.parallel import RunPoint, run_many
+
+    for label, policy in (("policy_a", policy_a), ("policy_b", policy_b)):
+        if policy not in STRATEGY_FACTORIES:
+            raise ConfigurationError(
+                f"{label}={policy!r} is not a strategy; choose from "
+                f"{sorted(STRATEGY_FACTORIES)}"
+            )
+    if policy_a == policy_b:
+        raise ConfigurationError(
+            "policy_a and policy_b must differ (an A/A run estimates noise, "
+            "not an effect)"
+        )
+    if mix not in MIX_PRESETS:
+        raise ConfigurationError(
+            f"unknown mix {mix!r}; known mixes: {sorted(MIX_PRESETS)}"
+        )
+    if trials < 2:
+        raise ConfigurationError(f"an A/B run needs >= 2 trials, got {trials}")
+    trial_design = design_of(design)
+
+    mix_loads, be_names = MIX_PRESETS[mix]
+    probe = make_collocation(dict(mix_loads), list(be_names), seed=seed)
+    epoch_s = probe.epoch_s
+    if duration_s is None or warmup_s is None:
+        default_duration, default_warmup = trial_design.default_timing(epoch_s)
+        if duration_s is None:
+            duration_s = default_duration
+        if warmup_s is None:
+            warmup_s = default_warmup
+    trial_design.validate_timing(duration_s, warmup_s, epoch_s)
+
+    specs = trial_design.specs(policy_a, policy_b, trials, seed)
+    epochs = int(round(duration_s / epoch_s))
+    windows = WindowConfig(dt_s=epoch_s, keep=max(256, epochs + 8))
+    points = []
+    for spec in specs:
+        collocation = make_collocation(
+            jittered_loads(dict(mix_loads), spec.load_scale),
+            list(be_names),
+            seed=spec.seed,
+        )
+        points.append(
+            RunPoint(
+                collocation=collocation,
+                strategy=spec.strategy,
+                duration_s=duration_s,
+                warmup_s=warmup_s,
+                tag=(spec.trial, spec.arm),
+                windows=windows,
+            )
+        )
+    results = run_many(points, jobs=jobs)
+
+    metrics: List[TrialMetrics] = []
+    for spec, point, result in zip(specs, points, results):
+        summary = result.window_report
+        if spec.arm == "ab":
+            assert isinstance(trial_design, SwitchbackDesign)
+            phase = spec.trial % 2
+            for arm, policy in (("a", policy_a), ("b", policy_b)):
+                metrics.append(
+                    fold_trial_metrics(
+                        summary,
+                        point.collocation,
+                        warmup_s,
+                        policy=policy,
+                        trial=spec.trial,
+                        arm=arm,
+                        seed=spec.seed,
+                        load_scale=spec.load_scale,
+                        keep_window=switchback_window_predicate(
+                            trial_design, phase, arm, epoch_s
+                        ),
+                    )
+                )
+        else:
+            metrics.append(
+                fold_trial_metrics(
+                    summary,
+                    point.collocation,
+                    warmup_s,
+                    policy=spec.strategy,
+                    trial=spec.trial,
+                    arm=spec.arm,
+                    seed=spec.seed,
+                    load_scale=spec.load_scale,
+                )
+            )
+
+    a_metrics, b_metrics = split_arms(metrics)
+    estimates = _estimates_for(a_metrics, b_metrics, trial_design.paired)
+    law = _dq_assumptions(mix_loads, probe) if check_assumptions else None
+
+    return ABResult(
+        policy_a=policy_a,
+        policy_b=policy_b,
+        mix=mix,
+        design=trial_design.kind,
+        trials=trials,
+        duration_s=float(duration_s),
+        warmup_s=float(warmup_s),
+        seed=seed,
+        metrics_a=tuple(a_metrics),
+        metrics_b=tuple(b_metrics),
+        estimates=estimates,
+        littles_law=law,
+    )

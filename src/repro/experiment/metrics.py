@@ -1,0 +1,204 @@
+"""Per-trial metric folding: window summaries → :class:`TrialMetrics`.
+
+The harness runs every trial with a bounded
+:class:`~repro.obs.windows.WindowConfig` whose ``dt_s`` equals the
+collocation's monitoring epoch, so each window holds exactly one epoch's
+measurements and window boundaries coincide with epoch boundaries — the
+alignment the switchback attribution (and its no-partial-window-leakage
+test) relies on. A trial's metrics are then *folds over windows*:
+
+* ``e_s`` — the post-warm-up mean system entropy, from the exact-merge
+  per-window :class:`~repro.obs.windows.BinStats`;
+* ``violations`` — exact integer QoS-violation counts;
+* ``sojourn_ms`` — the arrival-weighted mean LC tail latency ``W``;
+* ``arrival_rps`` / ``in_system`` — the pooled arrival rate ``λ`` (from
+  the windows' load aggregates through each profile's ``arrival_rps``)
+  and the Little's-law occupancy ``L = λ·W`` the DQ estimator transports.
+
+Window aggregates merge exactly (integer bin counts), so every number
+here is byte-identical at any ``--jobs``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.cluster.collocation import Collocation
+from repro.errors import MeasurementError
+from repro.experiment.estimators import QueueSample
+from repro.obs.windows import BinStats, Window, WindowSummary
+
+
+@dataclass(frozen=True)
+class TrialMetrics:
+    """One (trial, arm) observation the estimators consume."""
+
+    policy: str
+    trial: int
+    arm: str
+    seed: int
+    load_scale: float
+    #: Post-warm-up mean system entropy (bin-midpoint fold).
+    e_s: float
+    #: Exact post-warm-up QoS-violation count.
+    violations: int
+    #: Arrival-weighted mean LC tail latency ``W`` (ms).
+    sojourn_ms: float
+    #: Pooled LC arrival rate ``λ`` (requests/s).
+    arrival_rps: float
+    #: Little's-law occupancy ``L = λ·W/1000`` (requests in system).
+    in_system: float
+    #: Windows folded into this observation.
+    windows: int
+
+    def queue_sample(self) -> QueueSample:
+        """The queueing observables as a DQ-estimator sample."""
+        return QueueSample(
+            sojourn_ms=self.sojourn_ms,
+            arrival_rps=self.arrival_rps,
+            in_system=self.in_system,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-ready dict."""
+        return {
+            "policy": self.policy,
+            "trial": self.trial,
+            "arm": self.arm,
+            "seed": self.seed,
+            "load_scale": self.load_scale,
+            "e_s": self.e_s,
+            "violations": self.violations,
+            "sojourn_ms": self.sojourn_ms,
+            "arrival_rps": self.arrival_rps,
+            "in_system": self.in_system,
+            "windows": self.windows,
+        }
+
+
+def _merged_stats(
+    windows: Iterable[Window],
+    select: Callable[[Window], Optional[BinStats]],
+) -> Optional[BinStats]:
+    """Exact-merge one BinStats slot across windows (``None`` if empty)."""
+    merged: Optional[BinStats] = None
+    for window in windows:
+        stats = select(window)
+        if stats is None or not stats.n:
+            continue
+        if merged is None:
+            merged = BinStats(edges=stats.edges)
+        merged.merge(stats)
+    return merged
+
+
+def fold_trial_metrics(
+    summary: WindowSummary,
+    collocation: Collocation,
+    warmup_s: float,
+    *,
+    policy: str,
+    trial: int,
+    arm: str,
+    seed: int,
+    load_scale: float,
+    keep_window: Optional[Callable[[Window], bool]] = None,
+) -> TrialMetrics:
+    """Fold one run's window summary into a :class:`TrialMetrics`.
+
+    ``keep_window`` restricts the fold to a subset of post-warm-up
+    windows (the switchback design passes the arm-ownership predicate);
+    by default every measured window counts.
+    """
+    selected: List[Window] = []
+    for window in summary.ordered():
+        if window.start_s < warmup_s - 1e-9:
+            continue
+        if keep_window is not None and not keep_window(window):
+            continue
+        selected.append(window)
+    if not selected:
+        raise MeasurementError(
+            f"trial {trial} arm {arm!r}: no measured windows after "
+            f"warm-up {warmup_s:g}s (run too short?)"
+        )
+
+    entropy = _merged_stats(selected, lambda w: w.entropy.get("e_s"))
+    if entropy is None:
+        raise MeasurementError(
+            f"trial {trial} arm {arm!r}: windows carry no entropy samples"
+        )
+    violations = sum(window.violation_total() for window in selected)
+
+    profiles = collocation.lc_profiles
+    weighted_tail = 0.0
+    lam_total = 0.0
+    for name, profile in profiles.items():
+        tails = _merged_stats(selected, lambda w, n=name: w.tails.get(n))
+        loads = _merged_stats(selected, lambda w, n=name: w.loads.get(n))
+        if tails is None or loads is None:
+            continue
+        lam = profile.arrival_rps(loads.mean())
+        if lam <= 0 or not math.isfinite(lam):
+            continue
+        weighted_tail += lam * tails.mean()
+        lam_total += lam
+    if lam_total <= 0:
+        raise MeasurementError(
+            f"trial {trial} arm {arm!r}: no LC arrival mass in the windows"
+        )
+    sojourn_ms = weighted_tail / lam_total
+    in_system = weighted_tail / 1000.0  # Σ λ_i·W_i ms → requests in system
+
+    return TrialMetrics(
+        policy=policy,
+        trial=trial,
+        arm=arm,
+        seed=seed,
+        load_scale=load_scale,
+        e_s=entropy.mean(),
+        violations=violations,
+        sojourn_ms=sojourn_ms,
+        arrival_rps=lam_total,
+        in_system=in_system,
+        windows=len(selected),
+    )
+
+
+def switchback_window_predicate(
+    design,
+    phase: int,
+    arm: str,
+    epoch_s: float,
+) -> Callable[[Window], bool]:
+    """The arm-ownership predicate for switchback attribution.
+
+    With ``dt_s == epoch_s`` each window index *is* a monitoring epoch,
+    so ownership is pure integer arithmetic on the index — no window ever
+    straddles a policy switch, and washout epochs are dropped exactly.
+    """
+    del epoch_s  # the alignment is enforced by the harness's WindowConfig
+
+    def keep(window: Window) -> bool:
+        epoch = window.index
+        if design.is_washout_epoch(epoch):
+            return False
+        owner = design.arm_of_epoch(epoch, phase)
+        return owner == arm
+
+    return keep
+
+
+def split_arms(
+    metrics: Iterable[TrialMetrics],
+) -> Tuple[List[TrialMetrics], List[TrialMetrics]]:
+    """Split a metric list into (arm-a, arm-b), each sorted by trial."""
+    a = sorted(
+        (m for m in metrics if m.arm == "a"), key=lambda m: (m.trial, m.policy)
+    )
+    b = sorted(
+        (m for m in metrics if m.arm == "b"), key=lambda m: (m.trial, m.policy)
+    )
+    return a, b

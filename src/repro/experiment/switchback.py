@@ -1,0 +1,226 @@
+"""The switchback policy wrapper: alternate two schedulers on a clock.
+
+:class:`SwitchbackScheduler` runs two inner strategies in one simulator
+run, flipping the active one every ``epochs_per_window`` monitoring
+epochs — the switchback schedule queueing experiments use when two
+policies must share one system. Each arm keeps its *own* plan lineage:
+at a window boundary the wrapper installs the incoming arm's last plan
+(or its ``initial_plan`` on first activation) instead of asking it to
+evolve the outgoing arm's plan, so carry-over is bounded to the one-epoch
+actuation lag the run loop already has (the plan decided at epoch ``t``
+applies from ``t+1``). Metric attribution drops a configurable washout
+span after each switch (see
+:class:`repro.experiment.design.SwitchbackDesign`).
+
+Composite strategy names
+------------------------
+``switchback:<a>:<b>:<epochs_per_window>:<phase>`` round-trips through
+:func:`parse_switchback` / :func:`switchback_factory`, which is how the
+parallel runner's worker processes — which only receive the point's
+strategy *string* — reconstruct the wrapper without pickling scheduler
+objects. :func:`repro.experiments.common.strategy_factory` resolves both
+base names and these composites.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple, Union
+
+from repro.errors import ConfigurationError
+from repro.obs.events import Tracer
+from repro.schedulers.base import RegionPlan, Scheduler, SchedulerContext
+
+#: Composite-name marker understood by the strategy resolver.
+SWITCHBACK_PREFIX = "switchback:"
+
+
+def is_switchback(name: str) -> bool:
+    """Whether ``name`` is a composite switchback strategy name."""
+    return isinstance(name, str) and name.startswith(SWITCHBACK_PREFIX)
+
+
+def parse_switchback(name: str) -> Tuple[str, str, int, int]:
+    """Parse ``switchback:<a>:<b>:<epochs>:<phase>`` (phase optional).
+
+    Returns ``(a, b, epochs_per_window, phase)``; raises
+    :class:`~repro.errors.ConfigurationError` for malformed names or
+    unknown base strategies.
+    """
+    from repro.experiments.common import STRATEGY_FACTORIES
+
+    if not is_switchback(name):
+        raise ConfigurationError(f"not a switchback strategy name: {name!r}")
+    parts = name[len(SWITCHBACK_PREFIX):].split(":")
+    if len(parts) == 3:
+        parts.append("0")
+    if len(parts) != 4:
+        raise ConfigurationError(
+            f"switchback name {name!r} must look like "
+            "'switchback:<a>:<b>:<epochs_per_window>[:<phase>]'"
+        )
+    a, b, epochs_text, phase_text = parts
+    for policy in (a, b):
+        if policy not in STRATEGY_FACTORIES:
+            raise ConfigurationError(
+                f"switchback arm {policy!r} is not a base strategy; known: "
+                f"{sorted(STRATEGY_FACTORIES)}"
+            )
+    try:
+        epochs = int(epochs_text)
+        phase = int(phase_text)
+    except ValueError:
+        raise ConfigurationError(
+            f"switchback name {name!r}: epochs/phase must be integers"
+        ) from None
+    if epochs < 1:
+        raise ConfigurationError(
+            f"switchback epochs_per_window must be >= 1, got {epochs}"
+        )
+    if phase not in (0, 1):
+        raise ConfigurationError(f"switchback phase must be 0 or 1, got {phase}")
+    return a, b, epochs, phase
+
+
+def switchback_factory(name: str) -> Callable[[], "SwitchbackScheduler"]:
+    """A zero-argument factory for the composite strategy ``name``."""
+    a, b, epochs, phase = parse_switchback(name)
+
+    def build() -> "SwitchbackScheduler":
+        """Construct the parsed switchback wrapper (fresh inner arms)."""
+        return SwitchbackScheduler(
+            a=a, b=b, epochs_per_window=epochs, phase=phase, name=name
+        )
+
+    return build
+
+
+class SwitchbackScheduler(Scheduler):
+    """Alternate two inner schedulers every ``epochs_per_window`` epochs.
+
+    ``a``/``b`` accept base strategy names or ready scheduler instances.
+    ``phase=1`` starts with arm ``b`` (trial-alternating phases balance
+    first-window effects across a design). The wrapper owns telemetry
+    sanitising through the base class; inner arms receive the cleaned
+    observation via plain ``decide`` and share the wrapper's tracer.
+    """
+
+    def __init__(
+        self,
+        *,
+        a: Union[str, Scheduler],
+        b: Union[str, Scheduler],
+        epochs_per_window: int = 8,
+        phase: int = 0,
+        name: Optional[str] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        super().__init__(name=name, tracer=tracer)
+        if epochs_per_window < 1:
+            raise ConfigurationError(
+                f"epochs_per_window must be >= 1, got {epochs_per_window}"
+            )
+        if phase not in (0, 1):
+            raise ConfigurationError(f"phase must be 0 or 1, got {phase}")
+        self._arms: Dict[str, Scheduler] = {
+            "a": self._resolve(a),
+            "b": self._resolve(b),
+        }
+        self.epochs_per_window = epochs_per_window
+        self.phase = phase
+        if name is None:
+            self.name = (
+                f"switchback({self._arms['a'].name}|{self._arms['b'].name},"
+                f"w{epochs_per_window})"
+            )
+        self._plans: Dict[str, Optional[RegionPlan]] = {"a": None, "b": None}
+        self._active: str = "a" if phase == 0 else "b"
+        self.attach_tracer(tracer)
+
+    @staticmethod
+    def _resolve(arm: Union[str, Scheduler]) -> Scheduler:
+        if isinstance(arm, Scheduler):
+            return arm
+        from repro.experiments.common import STRATEGY_FACTORIES
+
+        if arm not in STRATEGY_FACTORIES:
+            raise ConfigurationError(
+                f"unknown switchback arm {arm!r}; known: "
+                f"{sorted(STRATEGY_FACTORIES)}"
+            )
+        return STRATEGY_FACTORIES[arm]()
+
+    # -- clock arithmetic --------------------------------------------------
+
+    def arm_key_of_epoch(self, epoch: int) -> str:
+        """Which arm (``"a"``/``"b"``) owns monitoring epoch ``epoch``."""
+        window = epoch // self.epochs_per_window
+        return "a" if (window + self.phase) % 2 == 0 else "b"
+
+    def _epoch_of(self, time_s: float, context: SchedulerContext) -> int:
+        return int(round(time_s / context.epoch_s))
+
+    # -- Scheduler interface ----------------------------------------------
+
+    def attach_tracer(self, tracer: Optional[Tracer]) -> None:
+        """Attach the tracer to the wrapper and both inner arms."""
+        super().attach_tracer(tracer)
+        # Constructor-order wrinkle: ``super().__init__`` calls nothing
+        # here, but this method also runs before ``_arms`` exists when the
+        # base constructor stores the tracer — guard for that window.
+        for arm in getattr(self, "_arms", {}).values():
+            arm.attach_tracer(tracer)
+
+    def reset(self) -> None:
+        """Reset the wrapper and both inner arms for a fresh run."""
+        super().reset()
+        for arm in self._arms.values():
+            arm.reset()
+        self._plans = {"a": None, "b": None}
+        self._active = "a" if self.phase == 0 else "b"
+
+    def initial_plan(self, context: SchedulerContext) -> RegionPlan:
+        """The starting arm's initial plan (epoch 0's owner)."""
+        key = self.arm_key_of_epoch(0)
+        self._active = key
+        plan = self._arms[key].initial_plan(context)
+        self._plans[key] = plan
+        return plan
+
+    def decide(
+        self,
+        context: SchedulerContext,
+        observation,
+        current_plan: RegionPlan,
+        time_s: float,
+    ) -> RegionPlan:
+        """Delegate to the arm owning the *next* epoch.
+
+        The run loop applies the returned plan from the following epoch,
+        so the decision at the last epoch of a window belongs to the
+        incoming arm: at a boundary the wrapper stores the outgoing arm's
+        plan and installs the incoming arm's own lineage instead of
+        letting one policy evolve the other's allocation.
+        """
+        next_epoch = self._epoch_of(time_s, context) + 1
+        key = self.arm_key_of_epoch(next_epoch)
+        if key != self._active:
+            self._plans[self._active] = current_plan
+            self._active = key
+            restored = self._plans[key]
+            if restored is None:
+                restored = self._arms[key].initial_plan(context)
+            self._plans[key] = restored
+            return restored
+        plan = self._arms[key].decide(context, observation, current_plan, time_s)
+        self._plans[key] = plan
+        return plan
+
+    def on_telemetry_gap(
+        self, context: SchedulerContext, current_plan: RegionPlan, time_s: float
+    ) -> None:
+        """Forward blackout notifications to the currently active arm."""
+        self._arms[self._active].on_telemetry_gap(context, current_plan, time_s)
+
+    def on_telemetry_ok(self, time_s: float) -> None:
+        """Forward the healthy-telemetry heartbeat to the active arm."""
+        self._arms[self._active].on_telemetry_ok(time_s)

@@ -6,6 +6,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.check.invariants import CheckConfig
 from repro.cluster.collocation import BEMember, Collocation, LCMember
+from repro.errors import ConfigurationError
 from repro.cluster.run import RunResult, run_collocation
 from repro.faults.plan import FaultPlan
 from repro.obs.events import Tracer
@@ -39,6 +40,39 @@ STRATEGY_FACTORIES: Dict[str, Callable[[], Scheduler]] = {
 
 #: Presentation order used throughout the paper's figures.
 STRATEGY_ORDER = ("unmanaged", "lc-first", "parties", "clite", "arq")
+
+
+def strategy_factory(name: str) -> Callable[[], Scheduler]:
+    """Resolve a strategy name — base or composite — to a factory.
+
+    Base names come from :data:`STRATEGY_FACTORIES`; composite
+    ``switchback:<a>:<b>:<epochs>[:<phase>]`` names (the A/B harness's
+    in-run policy alternation) are parsed into a
+    :class:`~repro.experiment.switchback.SwitchbackScheduler` factory.
+    Raises :class:`~repro.errors.ConfigurationError` for anything else —
+    this is the single resolver the parallel runner's workers use to
+    rebuild schedulers from a point's strategy *string*.
+    """
+    factory = STRATEGY_FACTORIES.get(name)
+    if factory is not None:
+        return factory
+    from repro.experiment.switchback import is_switchback, switchback_factory
+
+    if is_switchback(name):
+        return switchback_factory(name)
+    raise ConfigurationError(
+        f"unknown strategy {name!r}; known strategies: "
+        f"{sorted(STRATEGY_FACTORIES)} (or 'switchback:<a>:<b>:<epochs>')"
+    )
+
+
+def known_strategy(name: str) -> bool:
+    """Whether :func:`strategy_factory` can resolve ``name``."""
+    try:
+        strategy_factory(name)
+    except ConfigurationError:
+        return False
+    return True
 
 #: Named mix presets: name → (LC loads, BE applications). ``fig8``/``fig9``
 #: are the paper's canonical three-LC mixes at mid load; ``fig12`` is the

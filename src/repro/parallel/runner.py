@@ -673,9 +673,9 @@ def _execute_point(point: RunPoint) -> RunResult:
     """Worker entry point (module-level so it pickles for the pool)."""
     # Imported lazily: experiments.common builds its run helpers on top of
     # this module, so a top-level import would be circular.
-    from repro.experiments.common import STRATEGY_FACTORIES
+    from repro.experiments.common import strategy_factory
 
-    scheduler = STRATEGY_FACTORIES[point.strategy]()
+    scheduler = strategy_factory(point.strategy)()
     return run_collocation(
         point.collocation,
         scheduler,
@@ -696,9 +696,9 @@ def _execute_point_instrumented(
     replays/merges them in submission order, which is what makes a
     ``--jobs 4`` trace byte-identical to the serial one.
     """
-    from repro.experiments.common import STRATEGY_FACTORIES
+    from repro.experiments.common import strategy_factory
 
-    scheduler = STRATEGY_FACTORIES[point.strategy]()
+    scheduler = strategy_factory(point.strategy)()
     collector = CollectingTracer() if want_trace else None
     registry = MetricsRegistry() if want_metrics else None
     result = run_collocation(
@@ -739,10 +739,10 @@ def metrics_prefix(index: int, point: RunPoint, batch_size: int) -> str:
     return f"run{index:03d}.{point.strategy}/"
 
 
-def _known_strategies() -> Iterable[str]:
-    from repro.experiments.common import STRATEGY_FACTORIES
+def _known_strategies() -> Callable[[str], bool]:
+    from repro.experiments.common import known_strategy
 
-    return STRATEGY_FACTORIES
+    return known_strategy
 
 
 def run_many(
@@ -811,10 +811,11 @@ def run_many(
                 f"run_many expects RunPoint values, got {type(point).__name__} "
                 f"at index {index}"
             )
-        if point.strategy not in known:
+        if not known(point.strategy):
             raise ConfigurationError(
                 f"unknown strategy {point.strategy!r} at index {index}; "
-                f"known strategies: {sorted(known)}"
+                "known strategies: base names from STRATEGY_FACTORIES or "
+                "composite 'switchback:<a>:<b>:<epochs>' names"
             )
     if not batch:
         return [] if on_error == "raise" else BatchReport(results=())

@@ -1,0 +1,144 @@
+"""Trial designs (``repro.experiment.design``): deterministic expansion,
+seed-stream derivation, and switchback clock arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiment.design import (
+    DESIGN_NAMES,
+    InterleavedDesign,
+    PairedDesign,
+    SwitchbackDesign,
+    derive_seed,
+    derive_unit,
+    design_of,
+    jittered_loads,
+)
+
+
+def test_derive_seed_is_stable_and_distinct():
+    assert derive_seed(2023, "paired", 0) == derive_seed(2023, "paired", 0)
+    seeds = {derive_seed(2023, "paired", trial) for trial in range(100)}
+    assert len(seeds) == 100
+    assert all(1 <= seed < 2**31 for seed in seeds)
+    # Different part structure → different stream.
+    assert derive_seed(2023, "paired", 0) != derive_seed(2023, "switchback", 0)
+
+
+def test_derive_unit_range_and_determinism():
+    units = [derive_unit(7, "x", index) for index in range(200)]
+    assert units == [derive_unit(7, "x", index) for index in range(200)]
+    assert all(0.0 <= unit < 1.0 for unit in units)
+    # Roughly uniform: the mean of 200 draws is near 0.5.
+    assert 0.4 < sum(units) / len(units) < 0.6
+
+
+def test_paired_design_shares_seed_and_scale_within_trials():
+    specs = PairedDesign().specs("arq", "unmanaged", 5, 2023)
+    assert len(specs) == 10
+    for trial in range(5):
+        a, b = specs[2 * trial], specs[2 * trial + 1]
+        assert (a.arm, b.arm) == ("a", "b")
+        assert (a.strategy, b.strategy) == ("arq", "unmanaged")
+        assert a.seed == b.seed
+        assert a.load_scale == b.load_scale
+    # Across trials everything differs (common randomness is per-trial).
+    assert len({spec.seed for spec in specs}) == 5
+    assert len({spec.load_scale for spec in specs}) == 5
+
+
+def test_paired_design_expansion_is_deterministic():
+    design = PairedDesign()
+    assert design.specs("arq", "clite", 8, 1) == design.specs("arq", "clite", 8, 1)
+    assert design.specs("arq", "clite", 8, 1) != design.specs("arq", "clite", 8, 2)
+
+
+def test_interleaved_design_alternates_independent_points():
+    specs = InterleavedDesign().specs("arq", "unmanaged", 4, 2023)
+    assert len(specs) == 8
+    assert [spec.arm for spec in specs] == ["a", "b"] * 4
+    assert [spec.trial for spec in specs] == [0, 0, 1, 1, 2, 2, 3, 3]
+    # Fully independent: every point gets its own seed and load scale.
+    assert len({spec.seed for spec in specs}) == 8
+    assert len({spec.load_scale for spec in specs}) == 8
+
+
+def test_switchback_design_composite_names_alternate_phase():
+    specs = SwitchbackDesign(epochs_per_window=4).specs("arq", "unmanaged", 4, 2023)
+    assert len(specs) == 4
+    assert all(spec.arm == "ab" for spec in specs)
+    assert [spec.strategy for spec in specs] == [
+        "switchback:arq:unmanaged:4:0",
+        "switchback:arq:unmanaged:4:1",
+        "switchback:arq:unmanaged:4:0",
+        "switchback:arq:unmanaged:4:1",
+    ]
+
+
+def test_switchback_clock_arithmetic():
+    design = SwitchbackDesign(epochs_per_window=4, washout_epochs=1)
+    assert [design.arm_of_epoch(e) for e in range(10)] == list("aaaabbbbaa")
+    # phase=1 swaps the starting arm.
+    assert [design.arm_of_epoch(e, phase=1) for e in range(10)] == list("bbbbaaaabb")
+    assert [design.is_washout_epoch(e) for e in range(6)] == [
+        True, False, False, False, True, False,
+    ]
+    with pytest.raises(ConfigurationError, match="negative"):
+        design.arm_of_epoch(-1)
+
+
+def test_switchback_timing_validation():
+    design = SwitchbackDesign(epochs_per_window=4)  # 2 s period at 0.5 s epochs
+    design.validate_timing(16.0, 8.0, 0.5)
+    with pytest.raises(ConfigurationError, match="whole number"):
+        design.validate_timing(15.0, 8.0, 0.5)
+    with pytest.raises(ConfigurationError, match="whole number"):
+        design.validate_timing(16.0, 7.0, 0.5)
+    # An odd number of measured windows gives unequal arm exposure.
+    with pytest.raises(ConfigurationError, match="even number"):
+        design.validate_timing(14.0, 8.0, 0.5)
+    duration, warmup = design.default_timing(0.5)
+    design.validate_timing(duration, warmup, 0.5)
+
+
+def test_switchback_rejects_bad_configuration():
+    with pytest.raises(ConfigurationError, match="epochs_per_window"):
+        SwitchbackDesign(epochs_per_window=0)
+    with pytest.raises(ConfigurationError, match="washout"):
+        SwitchbackDesign(epochs_per_window=4, washout_epochs=4)
+    with pytest.raises(ConfigurationError, match="jitter"):
+        PairedDesign(load_jitter=1.5)
+
+
+def test_design_of_factory():
+    assert design_of("paired").kind == "paired"
+    assert design_of("switchback", epochs_per_window=4).epochs_per_window == 4
+    design = PairedDesign(load_jitter=0.0)
+    assert design_of(design) is design
+    with pytest.raises(ConfigurationError, match="overrides"):
+        design_of(design, load_jitter=0.2)
+    with pytest.raises(ConfigurationError, match="unknown design"):
+        design_of("bogus")
+    assert set(DESIGN_NAMES) == {"paired", "switchback", "interleaved"}
+
+
+def test_load_jitter_scales_within_bounds():
+    design = PairedDesign(load_jitter=0.1)
+    scales = [spec.load_scale for spec in design.specs("arq", "clite", 50, 3)]
+    assert all(0.9 <= scale <= 1.1 for scale in scales)
+    assert len(set(scales)) > 40  # genuinely varied across trials
+    flat = PairedDesign(load_jitter=0.0)
+    assert all(
+        spec.load_scale == 1.0 for spec in flat.specs("arq", "clite", 5, 3)
+    )
+
+
+def test_jittered_loads_caps_at_saturation():
+    loads = {"xapian": 0.9, "moses": 0.2}
+    scaled = jittered_loads(loads, 1.15)
+    assert scaled["xapian"] == 0.98  # capped below the 1.0 saturation point
+    assert scaled["moses"] == pytest.approx(0.23)
+    with pytest.raises(ConfigurationError, match="positive"):
+        jittered_loads(loads, 0.0)

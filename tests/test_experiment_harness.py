@@ -1,0 +1,215 @@
+"""The A/B harness end to end: ``ab_compare``, the ``repro experiment ab``
+CLI face, byte-determinism across ``--jobs``, and the switchback
+scheduler's exact epoch-boundary behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ConfigurationError
+from repro.experiment import (
+    PairedDesign,
+    SwitchbackDesign,
+    SwitchbackScheduler,
+    ab_compare,
+    parse_switchback,
+    switchback_factory,
+)
+
+
+@pytest.fixture(autouse=True)
+def _restore_process_defaults():
+    """In-process ``main()`` calls set process-wide defaults (``--jobs``,
+    ``--quiet``); undo them so other test modules see a clean slate."""
+    yield
+    from repro.obs.export import set_quiet
+    from repro.parallel import set_default_jobs
+
+    set_default_jobs(None)
+    set_quiet(False)
+
+
+QUICK = dict(trials=4, duration_s=16.0, warmup_s=8.0)
+
+
+def test_ab_compare_validates_inputs():
+    with pytest.raises(ConfigurationError, match="policy_a"):
+        ab_compare("bogus", "unmanaged")
+    with pytest.raises(ConfigurationError, match="must differ"):
+        ab_compare("arq", "arq")
+    with pytest.raises(ConfigurationError, match="unknown mix"):
+        ab_compare("arq", "unmanaged", mix="bogus")
+    with pytest.raises(ConfigurationError, match="trials"):
+        ab_compare("arq", "unmanaged", trials=1)
+    with pytest.raises(ConfigurationError, match="whole number"):
+        ab_compare("arq", "unmanaged", design="switchback", trials=2,
+                   duration_s=15.0, warmup_s=8.0)
+
+
+def test_ab_compare_paired_shape_and_estimates():
+    result = ab_compare("arq", "unmanaged", jobs=1, **QUICK)
+    assert len(result.metrics_a) == len(result.metrics_b) == 4
+    assert all(m.policy == "arq" for m in result.metrics_a)
+    assert all(m.policy == "unmanaged" for m in result.metrics_b)
+    # Paired trials share the seed and load draw.
+    for a, b in zip(result.metrics_a, result.metrics_b):
+        assert a.seed == b.seed and a.load_scale == b.load_scale
+    assert set(result.estimates) == {"e_s", "violations", "sojourn_ms"}
+    assert set(result.estimates["sojourn_ms"]) == {"naive", "paired", "dq"}
+    assert set(result.estimates["e_s"]) == {"naive", "paired"}
+    # Identical point estimates from naive and paired (same pooled means).
+    naive = result.estimate("e_s", "naive")
+    paired = result.estimate("e_s", "paired")
+    assert naive.point == pytest.approx(paired.point)
+    with pytest.raises(ConfigurationError, match="no 'dq' estimate"):
+        result.estimate("e_s", "dq")
+    assert result.littles_law is not None and result.littles_law.ok
+    assert "A/B arq vs unmanaged" in result.describe()
+
+
+@pytest.mark.parametrize("design", ["paired", "switchback", "interleaved"])
+def test_ab_compare_byte_identical_across_jobs(design):
+    kwargs = dict(QUICK) if design != "switchback" else {"trials": 4}
+    serial = ab_compare("arq", "unmanaged", design=design, jobs=1, **kwargs)
+    fanned = ab_compare("arq", "unmanaged", design=design, jobs=4, **kwargs)
+    assert serial.to_json() == fanned.to_json()
+    assert serial.describe() == fanned.describe()
+
+
+def test_cli_ab_json_is_byte_identical_across_jobs(capsys):
+    base = [
+        "experiment", "ab", "--a", "arq", "--b", "unmanaged",
+        "--mix", "canonical", "--trials", "3",
+        "--duration", "16", "--warmup", "8", "--json",
+    ]
+    assert main(base + ["--jobs", "1"]) == 0
+    serial = capsys.readouterr().out
+    assert main(base + ["--jobs", "4"]) == 0
+    fanned = capsys.readouterr().out
+    assert serial == fanned
+    assert '"policy_a":"arq"' in serial
+
+
+def test_cli_ab_renders_tables(capsys):
+    assert main([
+        "experiment", "ab", "--trials", "3", "--duration", "16",
+        "--warmup", "8", "--jobs", "1",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "A/B arq vs unmanaged" in out
+    assert "95% CI" in out
+    assert "Little's law" in out
+
+
+def test_api_facade_matches_harness():
+    import repro
+
+    config = repro.ABConfig(trials=3, duration_s=16.0, warmup_s=8.0)
+    via_api = repro.ab(config, jobs=1)
+    direct = ab_compare("arq", "unmanaged", trials=3,
+                        duration_s=16.0, warmup_s=8.0, jobs=1)
+    assert via_api.to_json() == direct.to_json()
+    with pytest.raises(ConfigurationError, match="unknown design"):
+        repro.ABConfig(design="bogus")
+    with pytest.raises(ConfigurationError, match="trials"):
+        repro.ABConfig(trials=1)
+
+
+def test_switchback_composite_names_round_trip():
+    assert parse_switchback("switchback:arq:unmanaged:8:1") == (
+        "arq", "unmanaged", 8, 1
+    )
+    # Phase is optional and defaults to 0.
+    assert parse_switchback("switchback:arq:clite:4") == ("arq", "clite", 4, 0)
+    scheduler = switchback_factory("switchback:arq:unmanaged:4:1")()
+    assert isinstance(scheduler, SwitchbackScheduler)
+    assert scheduler.name == "switchback:arq:unmanaged:4:1"
+    for bad in (
+        "switchback:arq", "switchback:arq:bogus:4", "switchback:arq:clite:0",
+        "switchback:arq:clite:4:2", "switchback:arq:clite:x",
+    ):
+        with pytest.raises(ConfigurationError):
+            parse_switchback(bad)
+
+
+def test_switchback_strategy_resolves_through_the_runner():
+    from repro.experiments.common import known_strategy, strategy_factory
+
+    assert known_strategy("switchback:arq:unmanaged:8:0")
+    assert not known_strategy("switchback:arq:bogus:8:0")
+    assert not known_strategy("bogus")
+    with pytest.raises(ConfigurationError, match="unknown strategy"):
+        strategy_factory("bogus")
+
+
+def test_switchback_plans_never_leak_across_window_boundaries():
+    """Every epoch executes under its owning arm's plan — including the
+    first epoch after a switch, where the wrapper must install the
+    incoming arm's own plan lineage rather than let the run loop's
+    one-epoch actuation lag leak the outgoing policy's allocation."""
+    from repro.cluster.run import run_collocation
+    from repro.experiments.common import mix_collocation
+    from repro.obs.events import CollectingTracer
+
+    design = SwitchbackDesign(epochs_per_window=4)
+    # parties emits per-application isolated regions; unmanaged emits the
+    # single all-shared region — so plan ownership is visible in the
+    # described plan of every SchedulerDecision event.
+    scheduler = SwitchbackScheduler(a="parties", b="unmanaged", epochs_per_window=4)
+    tracer = CollectingTracer()
+    run_collocation(mix_collocation("canonical", seed=11), scheduler,
+                    12.0, 4.0, tracer=tracer)
+    decisions = {
+        event.epoch: event.plan
+        for event in tracer.events
+        if event.kind == "scheduler_decision"
+    }
+    assert len(decisions) == 24
+    for epoch in range(1, 24):
+        # The plan in force at `epoch` is the one decided at `epoch - 1`.
+        in_force = decisions[epoch - 1]
+        owner = design.arm_of_epoch(epoch)
+        if owner == "b":
+            assert in_force.startswith("shared:"), (epoch, in_force)
+        else:
+            assert not in_force.startswith("shared:"), (epoch, in_force)
+
+
+def test_switchback_windows_align_with_epoch_boundaries():
+    """With ``dt_s == epoch_s`` each attribution window is exactly one
+    epoch: both arms fold the same number of windows, washout epochs are
+    excluded, and no window mixes epochs from both arms."""
+    design = SwitchbackDesign(epochs_per_window=4, washout_epochs=1)
+    result = ab_compare("arq", "unmanaged", design=design, trials=2, jobs=1)
+    # Default timing at E=4: 32 s run, 16 s warm-up → 8 measured windows
+    # of 4 epochs; each arm owns 4 windows x (4 - 1 washout) epochs.
+    assert result.duration_s == 32.0 and result.warmup_s == 16.0
+    for metrics in (result.metrics_a, result.metrics_b):
+        assert [m.windows for m in metrics] == [12, 12]
+
+
+@pytest.mark.slow
+@pytest.mark.statistical
+def test_acceptance_canonical_ab_run():
+    """The issue's acceptance command: 20 paired trials of ARQ vs
+    Unmanaged on the canonical mix must produce a pooled-E_S difference
+    whose 95% CI excludes zero, with the paired and DQ estimators beating
+    naive difference-in-means on the same trial budget."""
+    result = ab_compare("arq", "unmanaged", mix="canonical", trials=20, jobs=None)
+    estimate = result.estimate("e_s", "paired")
+    assert estimate.excludes_zero(), estimate.describe()
+    assert result.estimate("e_s", "naive").excludes_zero()
+    # Variance reduction from common random numbers, strictly.
+    assert (
+        result.estimate("e_s", "paired").variance
+        < result.estimate("e_s", "naive").variance
+    )
+    assert (
+        result.estimate("sojourn_ms", "paired").variance
+        < result.estimate("sojourn_ms", "naive").variance
+    )
+    assert (
+        result.estimate("sojourn_ms", "dq").variance
+        < result.estimate("sojourn_ms", "naive").variance
+    )

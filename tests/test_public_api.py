@@ -24,6 +24,21 @@ EXPECTED_PUBLIC_NAMES = {
     "compare",
     "RunConfig",
     "RunSummary",
+    "ab",
+    "ABConfig",
+    # A/B experimentation
+    "ABResult",
+    "Estimate",
+    "TrialMetrics",
+    "PairedDesign",
+    "SwitchbackDesign",
+    "InterleavedDesign",
+    "SwitchbackScheduler",
+    "ab_compare",
+    "design_of",
+    "difference_in_means",
+    "paired_difference",
+    "dq_difference",
     # collocation description + running
     "Collocation",
     "LCMember",
@@ -154,6 +169,7 @@ SCHEDULER_CLASSES = [
     repro.LCFirstScheduler,
     repro.PartiesScheduler,
     repro.StaticScheduler,
+    repro.SwitchbackScheduler,
     repro.UnmanagedScheduler,
     _heracles(),
 ]
